@@ -1,0 +1,39 @@
+//! Criterion benches of full-frame renders: the standard tile-wise
+//! pipeline vs the GCC Gaussian-wise pipeline (with and without
+//! cross-stage conditional processing), on a small Lego instance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gcc_render::gaussian_wise::{render_gaussian_wise, GaussianWiseConfig};
+use gcc_render::standard::{render_standard, StandardConfig};
+use gcc_scene::{SceneConfig, ScenePreset};
+
+fn bench_renderers(c: &mut Criterion) {
+    let scene = ScenePreset::Lego.build(&SceneConfig::with_scale(0.1));
+    let cam = scene.default_camera();
+    let mut group = c.benchmark_group("full_frame_render");
+    group.sample_size(10);
+
+    group.bench_function("standard_aabb", |b| {
+        b.iter(|| render_standard(&scene.gaussians, &cam, &StandardConfig::default()))
+    });
+    group.bench_function("standard_obb_gscore", |b| {
+        b.iter(|| render_standard(&scene.gaussians, &cam, &StandardConfig::gscore()))
+    });
+    group.bench_function("gaussian_wise_gcc", |b| {
+        b.iter(|| render_gaussian_wise(&scene.gaussians, &cam, &GaussianWiseConfig::default()))
+    });
+    group.bench_function("gaussian_wise_gw_only", |b| {
+        b.iter(|| render_gaussian_wise(&scene.gaussians, &cam, &GaussianWiseConfig::gw_only()))
+    });
+    let cmode = GaussianWiseConfig {
+        subview: Some(64),
+        ..GaussianWiseConfig::default()
+    };
+    group.bench_function("gaussian_wise_cmode64", |b| {
+        b.iter(|| render_gaussian_wise(&scene.gaussians, &cam, &cmode))
+    });
+    group.finish();
+}
+
+criterion_group!(renderers, bench_renderers);
+criterion_main!(renderers);

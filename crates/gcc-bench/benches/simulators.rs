@@ -1,0 +1,36 @@
+//! Criterion benches of the accelerator simulators end-to-end (functional
+//! render + cycle/energy model) and of scene generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gcc_scene::{SceneConfig, ScenePreset};
+use gcc_sim::gcc::{simulate_gcc, GccSimConfig};
+use gcc_sim::gscore::{simulate_gscore, GscoreConfig};
+
+fn bench_simulators(c: &mut Criterion) {
+    let scene = ScenePreset::Train.build(&SceneConfig::with_scale(0.1));
+    let cam = scene.default_camera();
+    let mut group = c.benchmark_group("simulate_frame");
+    group.sample_size(10);
+    group.bench_function("gscore", |b| {
+        b.iter(|| simulate_gscore(&scene.gaussians, &cam, &GscoreConfig::default(), "Train"))
+    });
+    group.bench_function("gcc", |b| {
+        b.iter(|| simulate_gcc(&scene.gaussians, &cam, &GccSimConfig::default(), "Train"))
+    });
+    group.finish();
+}
+
+fn bench_scene_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scene_generation");
+    group.sample_size(10);
+    group.bench_function("lego_10pct", |b| {
+        b.iter(|| ScenePreset::Lego.build(&SceneConfig::with_scale(0.1)))
+    });
+    group.bench_function("drjohnson_10pct", |b| {
+        b.iter(|| ScenePreset::Drjohnson.build(&SceneConfig::with_scale(0.1)))
+    });
+    group.finish();
+}
+
+criterion_group!(simulators, bench_simulators, bench_scene_generation);
+criterion_main!(simulators);

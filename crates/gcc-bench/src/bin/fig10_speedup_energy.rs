@@ -1,0 +1,65 @@
+//! Regenerates paper Fig. 10: area-normalized speedup (a) and energy
+//! efficiency (b) of GCC over GSCore on the six scenes.
+//!
+//! Paper: speedups 4.27×(Playroom)–6.22×(Lego), geomean 5.24×; energy
+//! efficiency 3.05–3.72×, geomean 3.35×.
+//!
+//! Usage: `cargo run --release -p gcc-bench --bin fig10_speedup_energy`
+
+use gcc_bench::{bench_scene, geomean, TablePrinter};
+use gcc_scene::ALL_PRESETS;
+use gcc_sim::gcc::{simulate_gcc, GccSimConfig};
+use gcc_sim::gscore::{simulate_gscore, GscoreConfig};
+
+fn main() {
+    let paper_speedup = [5.69, 6.22, 5.91, 5.00, 4.27, 4.64];
+    let paper_energy = [3.51, 3.17, 3.17, 3.05, 3.51, 3.72];
+
+    let mut t = TablePrinter::new();
+    t.row([
+        "Scene", "GSCoreFPS", "GCCFPS", "Speedup/mm2", "Paper", "EnergyEff/mm2", "Paper",
+        "GSCore-pre%",
+    ]);
+    let mut speedups = Vec::new();
+    let mut energies = Vec::new();
+
+    for (i, preset) in ALL_PRESETS.iter().enumerate() {
+        let scene = bench_scene(*preset);
+        let cam = scene.default_camera();
+        let (gs, _) = simulate_gscore(&scene.gaussians, &cam, &GscoreConfig::default(), &scene.name);
+        let (gc, _) = simulate_gcc(&scene.gaussians, &cam, &GccSimConfig::default(), &scene.name);
+
+        // Area-normalized throughput ratio (FPS/mm²), the paper's metric.
+        let speedup = gc.fps_per_mm2() / gs.fps_per_mm2();
+        // Area-normalized energy efficiency: frames per joule per mm².
+        let eff = (1.0 / gc.energy_per_frame_mj() / gc.area_mm2)
+            / (1.0 / gs.energy_per_frame_mj() / gs.area_mm2);
+        speedups.push(speedup);
+        energies.push(eff);
+
+        t.row([
+            scene.name.clone(),
+            format!("{:.1}", gs.fps()),
+            format!("{:.1}", gc.fps()),
+            format!("{:.2}x", speedup),
+            format!("{:.2}x", paper_speedup[i]),
+            format!("{:.2}x", eff),
+            format!("{:.2}x", paper_energy[i]),
+            format!("{:.0}%", 100.0 * gs.phase_fraction("preprocess")),
+        ]);
+    }
+    t.row([
+        "Geomean".to_string(),
+        String::new(),
+        String::new(),
+        format!("{:.2}x", geomean(&speedups)),
+        "5.24x".to_string(),
+        format!("{:.2}x", geomean(&energies)),
+        "3.35x".to_string(),
+        String::new(),
+    ]);
+
+    println!("=== Figure 10: area-normalized speedup & energy efficiency ===\n");
+    t.print();
+    println!("\n(GSCore preprocess share target: ~40% of runtime, paper §1)");
+}

@@ -1,0 +1,81 @@
+//! Regenerates paper Fig. 11: the ablation/breakdown analysis on Palace,
+//! Train and Drjohnson —
+//!
+//! (a) performance of Baseline (GSCore) → +Gaussian-wise (GW) → +cross-
+//!     stage conditional (GW+CC = GCC), raw speedup over baseline;
+//! (b) DRAM accesses by class (3D Gaussians / 2D Gaussians / KV pairs),
+//!     normalized to baseline;
+//! (c) rendering computations, normalized to baseline.
+//!
+//! Usage: `cargo run --release -p gcc-bench --bin fig11_breakdown`
+
+use gcc_bench::{bench_scene, TablePrinter};
+use gcc_scene::ScenePreset;
+use gcc_sim::gcc::{simulate_gcc, GccSimConfig};
+use gcc_sim::gscore::{simulate_gscore, GscoreConfig};
+use gcc_sim::SimReport;
+
+fn main() {
+    let scenes = [ScenePreset::Palace, ScenePreset::Train, ScenePreset::Drjohnson];
+
+    let mut perf = TablePrinter::new();
+    perf.row(["Scene", "Baseline", "GW", "GW+CC(GCC)"]);
+    let mut dram = TablePrinter::new();
+    dram.row([
+        "Scene", "Variant", "3D(MB)", "2D(MB)", "KV(MB)", "Other(MB)", "Norm",
+    ]);
+    let mut comp = TablePrinter::new();
+    comp.row(["Scene", "Baseline", "GCC", "Reduction"]);
+
+    for preset in scenes {
+        let scene = bench_scene(preset);
+        let cam = scene.default_camera();
+        let (base, _) =
+            simulate_gscore(&scene.gaussians, &cam, &GscoreConfig::default(), &scene.name);
+        let gw_cfg = GccSimConfig {
+            cross_stage: false,
+            ..GccSimConfig::default()
+        };
+        let (gw, _) = simulate_gcc(&scene.gaussians, &cam, &gw_cfg, &scene.name);
+        let (cc, _) = simulate_gcc(&scene.gaussians, &cam, &GccSimConfig::default(), &scene.name);
+
+        perf.row([
+            scene.name.clone(),
+            "1.00x".to_string(),
+            format!("{:.2}x", base.total_cycles / gw.total_cycles),
+            format!("{:.2}x", base.total_cycles / cc.total_cycles),
+        ]);
+
+        let base_total = base.traffic.total();
+        for (label, r) in [("Baseline", &base), ("GW", &gw), ("GW+CC", &cc)] {
+            dram.row([
+                scene.name.clone(),
+                label.to_string(),
+                format!("{:.1}", r.traffic.gauss3d_bytes / 1e6),
+                format!("{:.1}", r.traffic.gauss2d_bytes / 1e6),
+                format!("{:.1}", r.traffic.kv_bytes / 1e6),
+                format!("{:.1}", r.traffic.other_bytes / 1e6),
+                format!("{:.2}", r.traffic.total() / base_total),
+            ]);
+        }
+
+        comp.row([
+            scene.name.clone(),
+            fmt_ops(&base),
+            fmt_ops(&cc),
+            format!("{:.2}x", base.render_ops / cc.render_ops),
+        ]);
+    }
+
+    println!("=== Figure 11(a): performance vs baseline ===\n");
+    perf.print();
+    println!("\n=== Figure 11(b): DRAM access breakdown ===\n");
+    dram.print();
+    println!("\n=== Figure 11(c): rendering computations ===\n");
+    comp.print();
+    println!("\n(paper: GW and CC each contribute; GCC cuts DRAM >50% and rendering ops)");
+}
+
+fn fmt_ops(r: &SimReport) -> String {
+    format!("{:.1}M", r.render_ops / 1e6)
+}

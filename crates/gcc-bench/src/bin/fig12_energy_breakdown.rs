@@ -1,0 +1,41 @@
+//! Regenerates paper Fig. 12: per-frame energy consumption breakdown
+//! (off-chip memory / on-chip memory / computation) for GSCore and GCC on
+//! the six scenes.
+//!
+//! Paper shape: DRAM dominates both designs; GCC cuts DRAM traffic by
+//! >50%, trading a little more SRAM activity (Image Buffer) for it.
+//!
+//! Usage: `cargo run --release -p gcc-bench --bin fig12_energy_breakdown`
+
+use gcc_bench::{bench_scene, TablePrinter};
+use gcc_scene::ALL_PRESETS;
+use gcc_sim::gcc::{simulate_gcc, GccSimConfig};
+use gcc_sim::gscore::{simulate_gscore, GscoreConfig};
+
+fn main() {
+    println!("=== Figure 12: energy breakdown per frame (mJ) ===\n");
+    let mut t = TablePrinter::new();
+    t.row([
+        "Scene", "Accel", "DRAM", "SRAM", "Compute", "Total", "DRAM%",
+    ]);
+    for preset in ALL_PRESETS {
+        let scene = bench_scene(preset);
+        let cam = scene.default_camera();
+        let (gs, _) = simulate_gscore(&scene.gaussians, &cam, &GscoreConfig::default(), &scene.name);
+        let (gc, _) = simulate_gcc(&scene.gaussians, &cam, &GccSimConfig::default(), &scene.name);
+        for r in [&gs, &gc] {
+            let e = &r.energy;
+            t.row([
+                scene.name.clone(),
+                r.accelerator.clone(),
+                format!("{:.3}", e.dram_pj * 1e-9),
+                format!("{:.3}", e.sram_pj * 1e-9),
+                format!("{:.3}", e.compute_pj * 1e-9),
+                format!("{:.3}", e.total_mj()),
+                format!("{:.0}%", 100.0 * e.dram_pj / e.total_pj()),
+            ]);
+        }
+    }
+    t.print();
+    println!("\n(paper: DRAM dominates; GCC cuts DRAM traffic by >50%)");
+}

@@ -1,0 +1,68 @@
+//! Regenerates paper Fig. 13: design-space exploration on the Train scene —
+//! (a) image-buffer capacity (32 KB – 8 MB) and (b) alpha/blending array
+//! size, both scored by area-normalized throughput (FPS/mm²) and
+//! area-normalized energy (mJ·mm², lower = better).
+//!
+//! Paper conclusions: 128 KB image buffer and the 8×8 array are the sweet
+//! spots.
+//!
+//! Usage: `cargo run --release -p gcc-bench --bin fig13_design_space`
+
+use gcc_bench::{bench_scene, TablePrinter};
+use gcc_scene::ScenePreset;
+use gcc_sim::area::{alpha_blend_area_mm2, gcc_summary, image_buffer_area_mm2};
+use gcc_sim::gcc::{simulate_gcc, GccSimConfig};
+
+fn main() {
+    let scene = bench_scene(ScenePreset::Train);
+    let cam = scene.default_camera();
+    let base_area = gcc_summary().area_mm2;
+
+    println!("=== Figure 13(a): image buffer size sweep (Train) ===\n");
+    let mut ta = TablePrinter::new();
+    ta.row(["Buffer", "SubView", "FPS", "Area(mm2)", "FPS/mm2", "mJ*mm2"]);
+    for &kb in &[32.0f64, 128.0, 512.0, 2048.0, 8192.0] {
+        let mut cfg = GccSimConfig {
+            image_buffer_kb: kb,
+            subview_override: None,
+            ..GccSimConfig::default()
+        };
+        // Half-resolution repro: scale the paper's sub-view operating
+        // point with the resolution (DESIGN.md §6).
+        cfg.subview_override = Some((cfg.subview_edge() / 2).max(16));
+        let (r, _) = simulate_gcc(&scene.gaussians, &cam, &cfg, &scene.name);
+        let area = base_area - image_buffer_area_mm2(128.0) + image_buffer_area_mm2(kb);
+        ta.row([
+            format!("{}KB", kb),
+            format!("{}", cfg.subview_override.unwrap()),
+            format!("{:.0}", r.fps()),
+            format!("{:.2}", area),
+            format!("{:.0}", r.fps() / area),
+            format!("{:.2}", r.energy_per_frame_mj() * area),
+        ]);
+    }
+    ta.print();
+
+    println!("\n=== Figure 13(b): alpha & blending array size sweep (Train) ===\n");
+    let mut tb = TablePrinter::new();
+    tb.row(["ArrayEdge", "Lanes", "FPS", "Area(mm2)", "FPS/mm2", "mJ*mm2"]);
+    for &edge in &[4u32, 8, 16, 32, 64] {
+        let cfg = GccSimConfig {
+            block_edge: edge,
+            ..GccSimConfig::default()
+        };
+        let (r, _) = simulate_gcc(&scene.gaussians, &cam, &cfg, &scene.name);
+        let lanes = edge * edge;
+        let area = base_area - alpha_blend_area_mm2(64) + alpha_blend_area_mm2(lanes);
+        tb.row([
+            format!("{edge}x{edge}"),
+            format!("{lanes}"),
+            format!("{:.0}", r.fps()),
+            format!("{:.2}", area),
+            format!("{:.0}", r.fps() / area),
+            format!("{:.2}", r.energy_per_frame_mj() * area),
+        ]);
+    }
+    tb.print();
+    println!("\n(paper: 128 KB buffer and the 8x8 array maximize FPS/mm2)");
+}

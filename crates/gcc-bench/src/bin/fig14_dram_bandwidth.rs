@@ -1,0 +1,55 @@
+//! Regenerates paper Fig. 14: throughput of GCC and GSCore on the Train
+//! scene under increasing DRAM bandwidth (LPDDR4-3200 → LPDDR6-14400 plus
+//! intermediate points).
+//!
+//! Paper shape: both designs scale with bandwidth at first; GCC plateaus
+//! once it becomes compute-bound (its off-chip traffic is far smaller),
+//! while GSCore keeps scaling far beyond.
+//!
+//! Usage: `cargo run --release -p gcc-bench --bin fig14_dram_bandwidth`
+
+use gcc_bench::{bench_scene, TablePrinter};
+use gcc_scene::ScenePreset;
+use gcc_sim::dram::DramModel;
+use gcc_sim::gcc::{simulate_gcc, GccSimConfig};
+use gcc_sim::gscore::{simulate_gscore, GscoreConfig};
+
+fn main() {
+    let scene = bench_scene(ScenePreset::Train);
+    let cam = scene.default_camera();
+
+    println!("=== Figure 14: throughput vs DRAM bandwidth (Train) ===\n");
+    let mut t = TablePrinter::new();
+    t.row(["DRAM", "BW(GB/s)", "GSCore FPS", "GCC FPS", "GCC bound"]);
+
+    let mut sweep = DramModel::sweep();
+    sweep.push(DramModel::custom(281.6));
+    sweep.push(DramModel::custom(409.6));
+    for dram in sweep {
+        let gs_cfg = GscoreConfig {
+            dram: dram.clone(),
+            ..GscoreConfig::default()
+        };
+        let gc_cfg = GccSimConfig {
+            dram: dram.clone(),
+            ..GccSimConfig::default()
+        };
+        let (gs, _) = simulate_gscore(&scene.gaussians, &cam, &gs_cfg, &scene.name);
+        let (gc, _) = simulate_gcc(&scene.gaussians, &cam, &gc_cfg, &scene.name);
+        let bound = if gc.phases.iter().any(gcc_sim::PhaseTiming::memory_bound) {
+            "memory"
+        } else {
+            "compute"
+        };
+        t.row([
+            dram.name.clone(),
+            format!("{:.1}", dram.bandwidth_gbps),
+            format!("{:.0}", gs.fps()),
+            format!("{:.0}", gc.fps()),
+            bound.to_string(),
+        ]);
+    }
+    t.print();
+    println!("\n(paper: GCC plateaus at high bandwidth — it becomes compute-bound — while");
+    println!(" GSCore, with far more off-chip traffic, keeps scaling)");
+}

@@ -1,0 +1,99 @@
+//! Regenerates paper Table 3: cross-accelerator comparison on the Lego
+//! scene (model, PSNR, process, area, SRAM, frequency, power, throughput,
+//! area-normalized throughput).
+//!
+//! NeRF-accelerator and GPU rows are literature constants (as in the
+//! paper); the GSCore and GCC rows come from this repository's simulators.
+//! FPS is reported at repro scale and linearly extrapolated to the paper's
+//! full-scale Lego workload (~9.7× more Gaussians and pixels); the
+//! GCC-vs-GSCore throughput *ratio* is the reproduced quantity.
+//!
+//! Usage: `cargo run --release -p gcc-bench --bin table3_accelerators`
+
+use gcc_bench::{bench_scene, TablePrinter};
+use gcc_scene::ScenePreset;
+use gcc_sim::area::{gcc_summary, gscore_summary};
+use gcc_sim::gcc::{simulate_gcc, GccSimConfig};
+use gcc_sim::gscore::{simulate_gscore, GscoreConfig};
+use gcc_sim::scaling::{scale_gaussian_wise, scale_standard, WorkloadScale};
+
+/// Full-scale Lego (~331 K Gaussians at 800×800) over our repro scene.
+const FULL_SCALE_FACTOR: f64 = 9.7;
+
+fn main() {
+    let scene = bench_scene(ScenePreset::Lego);
+    let cam = scene.default_camera();
+    let gs_cfg = GscoreConfig::default();
+    let gc_cfg = GccSimConfig::default();
+    let (gs, gs_out) = simulate_gscore(&scene.gaussians, &cam, &gs_cfg, &scene.name);
+    let (gc, gc_out) = simulate_gcc(&scene.gaussians, &cam, &gc_cfg, &scene.name);
+
+    // Extrapolate the measured workload statistics to the full-scale Lego
+    // and rerun the cycle models on the scaled workload.
+    let scale = WorkloadScale::uniform(FULL_SCALE_FACTOR);
+    let pixels_full = f64::from(cam.width) * f64::from(cam.height) * FULL_SCALE_FACTOR;
+    let gs_full = gcc_sim::gscore::report_from_stats(
+        &scale_standard(&gs_out.stats, scale),
+        &gs_cfg,
+        &scene.name,
+    );
+    let gc_full = gcc_sim::gcc::report_from_stats(
+        &scale_gaussian_wise(&gc_out.stats, scale),
+        pixels_full,
+        &gc_cfg,
+        &scene.name,
+    );
+    let gs_fps_full = gs_full.fps();
+    let gc_fps_full = gc_full.fps();
+    let gs_sum = gscore_summary();
+    let gc_sum = gcc_summary();
+
+    println!("=== Table 3: neural rendering accelerator comparison (Lego) ===\n");
+    let mut t = TablePrinter::new();
+    t.row([
+        "Design", "Model", "Process", "Area(mm2)", "SRAM(KB)", "Freq", "Power(W)",
+        "FPS*", "FPS/mm2",
+    ]);
+    // Literature rows, as printed in the paper.
+    t.row(["MetaVRain (ISSCC'23)", "NeRF", "28nm", "20.25", "2015", "250MHz", "0.89", "110", "5.43"]);
+    t.row(["Fusion-3D (MICRO'24)", "NeRF", "28nm", "8.7", "1099", "600MHz", "6.0", "36", "4.13"]);
+    t.row(["NVIDIA A6000", "3DGS", "8nm", "628", "-", "1040MHz", "300", "300", "0.48"]);
+    t.row(["Jetson AGX Xavier", "3DGS", "12nm", "350", "-", "854MHz", "30", "20", "0.05"]);
+    t.row([
+        "GSCore (ASPLOS'24, sim)".to_string(),
+        "3DGS".to_string(),
+        "28nm".to_string(),
+        format!("{:.2}", gs_sum.area_mm2),
+        format!("{:.0}", gs_sum.sram_kb),
+        "1GHz".to_string(),
+        format!("{:.2}", gs_sum.power_mw / 1e3),
+        format!("{:.0}", gs_fps_full),
+        format!("{:.1}", gs_fps_full / gs_sum.area_mm2),
+    ]);
+    t.row([
+        "GCC (this work, sim)".to_string(),
+        "3DGS".to_string(),
+        "28nm".to_string(),
+        format!("{:.2}", gc_sum.area_mm2),
+        format!("{:.0}", gc_sum.sram_kb),
+        "1GHz".to_string(),
+        format!("{:.2}", gc_sum.power_mw / 1e3),
+        format!("{:.0}", gc_fps_full),
+        format!("{:.1}", gc_fps_full / gc_sum.area_mm2),
+    ]);
+    t.print();
+
+    println!(
+        "\nGCC/GSCore throughput ratio: {:.2}x (paper: 667/190 = 3.51x)",
+        gc_fps_full / gs_fps_full
+    );
+    println!(
+        "GCC/GSCore area-normalized ratio: {:.2}x (paper: 246.0/48.1 = 5.11x)",
+        (gc_fps_full / gc_sum.area_mm2) / (gs_fps_full / gs_sum.area_mm2)
+    );
+    println!(
+        "\n*GSCore/GCC FPS extrapolated to the paper's full-scale Lego ({}x repro workload);",
+        FULL_SCALE_FACTOR
+    );
+    println!(" measured at repro scale: GSCore {:.0} FPS, GCC {:.0} FPS.", gs.fps(), gc.fps());
+}

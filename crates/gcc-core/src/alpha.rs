@@ -1,0 +1,236 @@
+//! Alpha evaluation and front-to-back compositing (paper Eqs. 3, 4, 9) with
+//! the early-termination rule that the whole GCC dataflow is built around.
+
+use crate::{ProjectedGaussian, ALPHA_MAX, ALPHA_MIN, TRANSMITTANCE_EPS};
+use gcc_math::{PwlExp, Vec2, Vec3};
+
+/// Which exponential the alpha evaluation uses.
+#[derive(Debug, Clone, Default)]
+pub enum ExpMode {
+    /// Exact `f32::exp` — the GPU reference datapath.
+    #[default]
+    Exact,
+    /// GCC's 16-segment fixed-point LUT (paper §4.4).
+    Lut(PwlExp),
+}
+
+impl ExpMode {
+    /// The GCC hardware LUT.
+    pub fn lut() -> Self {
+        Self::Lut(PwlExp::new())
+    }
+
+    /// Evaluates `e^x` with the unit's clamping rules: `x < -5.54 → 0`,
+    /// `x ≥ 0 → 1` (both modes share the clamps so they are comparable).
+    pub fn exp(&self, x: f32) -> f32 {
+        match self {
+            Self::Exact => {
+                if x < gcc_math::exp::EXP_INPUT_MIN {
+                    0.0
+                } else if x >= 0.0 {
+                    1.0
+                } else {
+                    x.exp()
+                }
+            }
+            Self::Lut(lut) => lut.eval(x),
+        }
+    }
+}
+
+/// Computes the alpha contribution of a projected Gaussian at a pixel
+/// (Eq. 9), returning `0.0` for contributions below `1/255`.
+pub fn gaussian_alpha(p: &ProjectedGaussian, x: i32, y: i32, exp: &ExpMode) -> f32 {
+    let d = Vec2::new(x as f32 + 0.5, y as f32 + 0.5) - p.mean2d;
+    let power = p.ln_opacity - 0.5 * p.conic.quad_form(d);
+    let a = exp.exp(power).min(ALPHA_MAX);
+    if a < ALPHA_MIN {
+        0.0
+    } else {
+        a
+    }
+}
+
+/// Per-pixel compositing state: accumulated color `C` and transmittance `T`
+/// (Eq. 4: `Tᵢ = Π (1 − αⱼ)`, `C = Σ Tᵢ αᵢ cᵢ`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PixelState {
+    /// Accumulated RGB.
+    pub color: Vec3,
+    /// Remaining transmittance, starts at 1.
+    pub transmittance: f32,
+}
+
+impl Default for PixelState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PixelState {
+    /// Fresh pixel: black, fully transmissive.
+    pub fn new() -> Self {
+        Self {
+            color: Vec3::ZERO,
+            transmittance: 1.0,
+        }
+    }
+
+    /// Front-to-back blend of one contribution. Returns the alpha actually
+    /// blended (zero if the pixel had already terminated).
+    pub fn blend(&mut self, alpha: f32, color: Vec3) -> f32 {
+        if self.terminated() || alpha <= 0.0 {
+            return 0.0;
+        }
+        self.color += color * (alpha * self.transmittance);
+        self.transmittance *= 1.0 - alpha;
+        alpha
+    }
+
+    /// Early-termination check: `T < 1e-4` (paper §2.1).
+    pub fn terminated(&self) -> bool {
+        self.transmittance < TRANSMITTANCE_EPS
+    }
+
+    /// Composites over a background color (3DGS uses black or white).
+    pub fn resolve(&self, background: Vec3) -> Vec3 {
+        self.color + background * self.transmittance
+    }
+}
+
+/// Blends an ordered front-to-back sequence of `(alpha, color)` pairs and
+/// returns the final state — the per-pixel inner loop of every renderer in
+/// this repository.
+pub fn composite<I>(contributions: I) -> PixelState
+where
+    I: IntoIterator<Item = (f32, Vec3)>,
+{
+    let mut st = PixelState::new();
+    for (a, c) in contributions {
+        if st.terminated() {
+            break;
+        }
+        st.blend(a, c);
+    }
+    st
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcc_math::{approx_eq, SymMat2};
+
+    fn proj(mean: Vec2, opacity: f32) -> ProjectedGaussian {
+        let cov = SymMat2::new(4.0, 0.0, 4.0);
+        ProjectedGaussian {
+            id: 0,
+            mean2d: mean,
+            cov2d: cov,
+            conic: cov.inverse().unwrap(),
+            depth: 1.0,
+            opacity,
+            ln_opacity: opacity.ln(),
+            radius: 6.0,
+            color: Vec3::new(1.0, 0.0, 0.0),
+        }
+    }
+
+    #[test]
+    fn alpha_peaks_at_center_and_decays() {
+        let p = proj(Vec2::new(10.5, 10.5), 0.9);
+        let e = ExpMode::Exact;
+        let center = gaussian_alpha(&p, 10, 10, &e);
+        let off = gaussian_alpha(&p, 13, 10, &e);
+        let far = gaussian_alpha(&p, 30, 10, &e);
+        assert!(approx_eq(center, 0.9, 1e-4));
+        assert!(off < center && off > 0.0);
+        assert_eq!(far, 0.0);
+    }
+
+    #[test]
+    fn lut_alpha_tracks_exact_within_one_percent() {
+        let p = proj(Vec2::new(10.5, 10.5), 0.7);
+        let exact = ExpMode::Exact;
+        let lut = ExpMode::lut();
+        for x in 0..21 {
+            for y in 0..21 {
+                let a = gaussian_alpha(&p, x, y, &exact);
+                let b = gaussian_alpha(&p, x, y, &lut);
+                if a > 0.0 {
+                    assert!(
+                        (a - b).abs() / a < 0.015,
+                        "LUT deviates at ({x},{y}): {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_opaque_layer_dominates() {
+        let mut st = PixelState::new();
+        st.blend(0.99, Vec3::new(1.0, 1.0, 1.0));
+        assert!(approx_eq(st.color.x, 0.99, 1e-6));
+        assert!(approx_eq(st.transmittance, 0.01, 1e-6));
+        assert!(!st.terminated());
+    }
+
+    #[test]
+    fn transmittance_product_rule() {
+        // T after blending α₁, α₂ is (1−α₁)(1−α₂).
+        let mut st = PixelState::new();
+        st.blend(0.5, Vec3::ZERO);
+        st.blend(0.25, Vec3::ZERO);
+        assert!(approx_eq(st.transmittance, 0.5 * 0.75, 1e-6));
+    }
+
+    #[test]
+    fn blend_weights_match_equation4() {
+        // C = Σ Tᵢ αᵢ cᵢ with T₁ = 1, T₂ = (1 − α₁)…
+        let c1 = Vec3::new(1.0, 0.0, 0.0);
+        let c2 = Vec3::new(0.0, 1.0, 0.0);
+        let st = composite([(0.6, c1), (0.5, c2)]);
+        assert!(approx_eq(st.color.x, 0.6, 1e-6));
+        assert!(approx_eq(st.color.y, 0.4 * 0.5, 1e-6));
+    }
+
+    #[test]
+    fn terminated_pixel_rejects_further_blending() {
+        let mut st = PixelState::new();
+        for _ in 0..10 {
+            st.blend(0.9, Vec3::new(0.1, 0.1, 0.1));
+        }
+        assert!(st.terminated());
+        let before = st.color;
+        let blended = st.blend(0.5, Vec3::new(5.0, 5.0, 5.0));
+        assert_eq!(blended, 0.0);
+        assert_eq!(st.color, before);
+    }
+
+    #[test]
+    fn composite_stops_at_termination() {
+        // Infinite iterator: composite must terminate on its own.
+        let contributions = std::iter::repeat((0.9f32, Vec3::splat(0.5)));
+        let st = composite(contributions.take(10_000));
+        assert!(st.terminated());
+        // Color converges to 0.5 (weighted average of identical layers).
+        assert!(approx_eq(st.color.x, 0.5, 1e-3));
+    }
+
+    #[test]
+    fn resolve_adds_background_through_remaining_transmittance() {
+        let mut st = PixelState::new();
+        st.blend(0.5, Vec3::new(1.0, 0.0, 0.0));
+        let out = st.resolve(Vec3::new(0.0, 0.0, 1.0));
+        assert!(approx_eq(out.x, 0.5, 1e-6));
+        assert!(approx_eq(out.z, 0.5, 1e-6));
+    }
+
+    #[test]
+    fn exact_mode_applies_hardware_clamps() {
+        let e = ExpMode::Exact;
+        assert_eq!(e.exp(-6.0), 0.0);
+        assert_eq!(e.exp(0.1), 1.0);
+        assert!(approx_eq(e.exp(-1.0), (-1.0f32).exp(), 1e-6));
+    }
+}

@@ -1,0 +1,324 @@
+//! Stage I — Gaussian grouping by depth (paper §3 Stage I, §4.2).
+//!
+//! At the start of each frame the accelerator computes every Gaussian's
+//! view-space depth with the shared MVMs, culls those in front of the
+//! near pivot (`z′ < 0.2`), and partitions the rest into depth-ordered
+//! groups. Coarse bins holding more than `N = 256` Gaussians are
+//! recursively subdivided so that every group fits the on-chip sort unit.
+//! Groups are emitted near-to-far; blending then only needs a sort
+//! *within* each group to obtain a global front-to-back order.
+
+use crate::{MAX_GROUP_SIZE, NEAR_DEPTH};
+use serde::{Deserialize, Serialize};
+
+/// One depth group: the indices of its member Gaussians and its depth span.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DepthGroup {
+    /// Indices into the scene's Gaussian array (unsorted within the group;
+    /// Stage III sorts them).
+    pub members: Vec<u32>,
+    /// Minimum view depth of the group's bin (inclusive).
+    pub depth_min: f32,
+    /// Maximum view depth of the group's bin (exclusive).
+    pub depth_max: f32,
+}
+
+/// The output of Stage I: near-to-far depth groups plus culling stats.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DepthGroups {
+    /// Groups ordered near → far; member counts never exceed the group
+    /// capacity used at construction.
+    pub groups: Vec<DepthGroup>,
+    /// Gaussians culled by the near-plane pivot.
+    pub near_culled: u32,
+    /// Capacity the grouping honoured.
+    pub capacity: usize,
+}
+
+impl DepthGroups {
+    /// Total Gaussians across all groups.
+    pub fn total_members(&self) -> usize {
+        self.groups.iter().map(|g| g.members.len()).sum()
+    }
+
+    /// Iterates over groups near → far.
+    pub fn iter(&self) -> impl Iterator<Item = &DepthGroup> {
+        self.groups.iter()
+    }
+}
+
+/// Configuration of the grouping pass.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GroupingConfig {
+    /// Near-plane pivot (paper: 0.2).
+    pub near: f32,
+    /// Number of coarse bins the RCA splits the depth range into.
+    /// The paper uses "tens of thousands" at million-Gaussian scale; the
+    /// default here scales with scene size (see [`GroupingConfig::for_count`]).
+    pub coarse_bins: usize,
+    /// Maximum Gaussians per group after recursive subdivision
+    /// (paper: N = 256).
+    pub capacity: usize,
+}
+
+impl Default for GroupingConfig {
+    fn default() -> Self {
+        Self {
+            near: NEAR_DEPTH,
+            coarse_bins: 1024,
+            capacity: MAX_GROUP_SIZE,
+        }
+    }
+}
+
+impl GroupingConfig {
+    /// Picks a coarse-bin count proportional to the scene size, mirroring
+    /// the paper's ratio of ~tens of thousands of bins for millions of
+    /// Gaussians (≈ 1 bin per 64 Gaussians, min 64 bins).
+    pub fn for_count(n: usize) -> Self {
+        Self {
+            coarse_bins: (n / 64).max(64),
+            ..Self::default()
+        }
+    }
+}
+
+/// Groups Gaussians by precomputed view depths.
+///
+/// `depths[i]` is the view-space depth of Gaussian `i`. Gaussians with
+/// depth `< config.near` (or non-finite depth) are culled and counted.
+///
+/// # Panics
+///
+/// Panics if `config.capacity` is zero or `config.coarse_bins` is zero.
+pub fn group_by_depth(depths: &[f32], config: &GroupingConfig) -> DepthGroups {
+    assert!(config.capacity > 0, "group capacity must be positive");
+    assert!(config.coarse_bins > 0, "need at least one coarse bin");
+
+    let mut near_culled = 0u32;
+    let mut max_depth = config.near;
+    let mut survivors: Vec<(u32, f32)> = Vec::with_capacity(depths.len());
+    for (i, &d) in depths.iter().enumerate() {
+        if !d.is_finite() || d < config.near {
+            near_culled += 1;
+            continue;
+        }
+        max_depth = max_depth.max(d);
+        survivors.push((i as u32, d));
+    }
+
+    if survivors.is_empty() {
+        return DepthGroups {
+            groups: Vec::new(),
+            near_culled,
+            capacity: config.capacity,
+        };
+    }
+
+    // Coarse binning: uniform bins over [near, max_depth].
+    let span = (max_depth - config.near).max(1e-6);
+    let bin_width = span / config.coarse_bins as f32;
+    let mut bins: Vec<Vec<(u32, f32)>> = vec![Vec::new(); config.coarse_bins];
+    for &(id, d) in &survivors {
+        let idx = (((d - config.near) / bin_width) as usize).min(config.coarse_bins - 1);
+        bins[idx].push((id, d));
+    }
+
+    // Recursive subdivision of overfull bins (paper §4.2: bins with
+    // N′ > N are split until every subgroup holds ≤ N Gaussians).
+    let mut groups = Vec::new();
+    for (b, members) in bins.into_iter().enumerate() {
+        if members.is_empty() {
+            continue;
+        }
+        let lo = config.near + b as f32 * bin_width;
+        let hi = lo + bin_width;
+        subdivide(members, lo, hi, config.capacity, &mut groups);
+    }
+
+    DepthGroups {
+        groups,
+        near_culled,
+        capacity: config.capacity,
+    }
+}
+
+/// Splits `members` (all inside `[lo, hi)`) into groups of at most
+/// `capacity`, bisecting the depth range. When a range stops separating
+/// members (identical depths), falls back to chunking the sorted list so
+/// termination is guaranteed.
+fn subdivide(
+    mut members: Vec<(u32, f32)>,
+    lo: f32,
+    hi: f32,
+    capacity: usize,
+    out: &mut Vec<DepthGroup>,
+) {
+    if members.len() <= capacity {
+        out.push(DepthGroup {
+            members: members.into_iter().map(|(id, _)| id).collect(),
+            depth_min: lo,
+            depth_max: hi,
+        });
+        return;
+    }
+    let mid = 0.5 * (lo + hi);
+    let (near_half, far_half): (Vec<_>, Vec<_>) = members.iter().partition(|&&(_, d)| d < mid);
+    if near_half.is_empty() || far_half.is_empty() || (hi - lo) < 1e-5 {
+        // Degenerate split (e.g. many identical depths): chunk in sorted
+        // order, which preserves global ordering because all members share
+        // (nearly) one depth.
+        members.sort_by(|a, b| a.1.total_cmp(&b.1));
+        for chunk in members.chunks(capacity) {
+            out.push(DepthGroup {
+                members: chunk.iter().map(|&(id, _)| id).collect(),
+                depth_min: lo,
+                depth_max: hi,
+            });
+        }
+        return;
+    }
+    subdivide(near_half, lo, mid, capacity, out);
+    subdivide(far_half, mid, hi, capacity, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn depths_linear(n: usize, lo: f32, hi: f32) -> Vec<f32> {
+        (0..n)
+            .map(|i| lo + (hi - lo) * i as f32 / n.max(1) as f32)
+            .collect()
+    }
+
+    #[test]
+    fn near_plane_culling_counts() {
+        let depths = vec![0.1, 0.19, 0.2, 0.5, -1.0, f32::NAN, 3.0];
+        let g = group_by_depth(&depths, &GroupingConfig::default());
+        assert_eq!(g.near_culled, 4);
+        assert_eq!(g.total_members(), 3);
+    }
+
+    #[test]
+    fn every_survivor_appears_exactly_once() {
+        let depths = depths_linear(10_000, 0.3, 50.0);
+        let g = group_by_depth(&depths, &GroupingConfig::default());
+        let mut seen = vec![false; depths.len()];
+        for grp in g.iter() {
+            for &id in &grp.members {
+                assert!(!seen[id as usize], "duplicate id {id}");
+                seen[id as usize] = true;
+            }
+        }
+        assert_eq!(seen.iter().filter(|&&s| s).count(), 10_000);
+    }
+
+    #[test]
+    fn groups_respect_capacity() {
+        // Heavily clustered depths force recursive subdivision.
+        let mut depths = vec![1.0f32; 5_000];
+        depths.extend(depths_linear(5_000, 0.3, 100.0));
+        let cfg = GroupingConfig {
+            coarse_bins: 32,
+            ..GroupingConfig::default()
+        };
+        let g = group_by_depth(&depths, &cfg);
+        for grp in g.iter() {
+            assert!(
+                grp.members.len() <= cfg.capacity,
+                "group of {} exceeds capacity {}",
+                grp.members.len(),
+                cfg.capacity
+            );
+        }
+        assert_eq!(g.total_members(), 10_000);
+    }
+
+    #[test]
+    fn groups_are_ordered_near_to_far() {
+        let depths = depths_linear(20_000, 0.25, 80.0);
+        let g = group_by_depth(&depths, &GroupingConfig::default());
+        let mut prev_max = f32::NEG_INFINITY;
+        for grp in g.iter() {
+            assert!(
+                grp.depth_min >= prev_max - 1e-4,
+                "group [{}, {}) not after previous max {prev_max}",
+                grp.depth_min,
+                grp.depth_max
+            );
+            prev_max = grp.depth_max.max(prev_max);
+        }
+    }
+
+    #[test]
+    fn members_fall_inside_their_groups_bin() {
+        let depths = depths_linear(3_000, 0.5, 10.0);
+        let g = group_by_depth(&depths, &GroupingConfig::default());
+        for grp in g.iter() {
+            for &id in &grp.members {
+                let d = depths[id as usize];
+                assert!(
+                    d >= grp.depth_min - 1e-4 && d <= grp.depth_max + 1e-4,
+                    "depth {d} outside bin [{}, {})",
+                    grp.depth_min,
+                    grp.depth_max
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identical_depths_still_terminate_and_chunk() {
+        let depths = vec![2.0f32; 1_000];
+        let cfg = GroupingConfig {
+            coarse_bins: 4,
+            capacity: 256,
+            ..GroupingConfig::default()
+        };
+        let g = group_by_depth(&depths, &cfg);
+        assert_eq!(g.total_members(), 1_000);
+        for grp in g.iter() {
+            assert!(grp.members.len() <= 256);
+        }
+    }
+
+    #[test]
+    fn empty_input_gives_empty_groups() {
+        let g = group_by_depth(&[], &GroupingConfig::default());
+        assert!(g.groups.is_empty());
+        assert_eq!(g.near_culled, 0);
+    }
+
+    #[test]
+    fn cross_group_ordering_enables_global_sort() {
+        // Sorting within each group must yield a globally sorted sequence.
+        let depths = depths_linear(5_000, 0.21, 42.0);
+        let g = group_by_depth(&depths, &GroupingConfig::for_count(depths.len()));
+        let mut prev = f32::NEG_INFINITY;
+        for grp in g.iter() {
+            let mut ds: Vec<f32> = grp.members.iter().map(|&i| depths[i as usize]).collect();
+            ds.sort_by(f32::total_cmp);
+            for d in ds {
+                assert!(d >= prev - 1e-4, "global order violated: {d} after {prev}");
+                prev = d;
+            }
+        }
+    }
+
+    #[test]
+    fn for_count_scales_bins() {
+        assert_eq!(GroupingConfig::for_count(64_000).coarse_bins, 1_000);
+        assert_eq!(GroupingConfig::for_count(100).coarse_bins, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let cfg = GroupingConfig {
+            capacity: 0,
+            ..GroupingConfig::default()
+        };
+        let _ = group_by_depth(&[1.0], &cfg);
+    }
+}

@@ -1,0 +1,89 @@
+//! Q-format fixed-point helpers backing the Alpha Unit's EXP datapath.
+//!
+//! The paper (§4.4) stresses that, unlike GSCore's FP16 EXP unit which can
+//! overflow, GCC's EXP unit uses *fully fixed-point arithmetic*. These
+//! helpers model that datapath: signed 32-bit integers with a configurable
+//! number of fractional bits.
+
+/// Converts a float to fixed point with `frac_bits` fractional bits,
+/// rounding to nearest.
+///
+/// # Panics
+///
+/// Panics if the value does not fit in an `i32` with the requested format
+/// (that would be a hardware overflow, which the unit is designed to make
+/// impossible over its clamped input range).
+pub fn to_fixed(x: f32, frac_bits: u32) -> i32 {
+    let scaled = (x as f64 * (1u64 << frac_bits) as f64).round();
+    assert!(
+        scaled >= f64::from(i32::MIN) && scaled <= f64::from(i32::MAX),
+        "fixed-point overflow converting {x} with {frac_bits} fractional bits"
+    );
+    scaled as i32
+}
+
+/// Converts a fixed-point value back to a float.
+pub fn from_fixed(x: i32, frac_bits: u32) -> f32 {
+    (x as f64 / (1u64 << frac_bits) as f64) as f32
+}
+
+/// Fixed-point multiply: both operands have `frac_bits` fractional bits and
+/// so does the result. Uses a 64-bit intermediate, as a hardware multiplier
+/// would.
+pub fn fixed_mul(a: i32, b: i32, frac_bits: u32) -> i32 {
+    ((i64::from(a) * i64::from(b)) >> frac_bits) as i32
+}
+
+/// Saturating fixed-point addition.
+pub fn fixed_add_sat(a: i32, b: i32) -> i32 {
+    a.saturating_add(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn round_trip_is_close() {
+        for &x in &[0.0f32, 1.0, -1.0, 1.72814, -5.54, 0.001, -0.001] {
+            let f = to_fixed(x, 16);
+            let back = from_fixed(f, 16);
+            assert!(approx_eq(back, x, 1e-4), "{x} -> {back}");
+        }
+    }
+
+    #[test]
+    fn quantization_error_is_bounded_by_half_lsb() {
+        let frac = 12u32;
+        let lsb = 1.0 / (1u64 << frac) as f32;
+        for i in 0..1000 {
+            let x = -5.54 + 5.54 * (i as f32 / 1000.0);
+            let err = (from_fixed(to_fixed(x, frac), frac) - x).abs();
+            assert!(err <= 0.5001 * lsb, "error {err} at {x}");
+        }
+    }
+
+    #[test]
+    fn fixed_mul_matches_float_mul() {
+        let a = 1.5f32;
+        let b = -2.25f32;
+        let fa = to_fixed(a, 16);
+        let fb = to_fixed(b, 16);
+        let prod = from_fixed(fixed_mul(fa, fb, 16), 16);
+        assert!(approx_eq(prod, a * b, 1e-3));
+    }
+
+    #[test]
+    #[should_panic(expected = "fixed-point overflow")]
+    fn overflow_panics() {
+        let _ = to_fixed(1e9, 16);
+    }
+
+    #[test]
+    fn saturating_add_does_not_wrap() {
+        assert_eq!(fixed_add_sat(i32::MAX, 1), i32::MAX);
+        assert_eq!(fixed_add_sat(i32::MIN, -1), i32::MIN);
+        assert_eq!(fixed_add_sat(1, 2), 3);
+    }
+}

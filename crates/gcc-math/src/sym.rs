@@ -1,0 +1,188 @@
+//! Symmetric 2×2 matrices — projected covariances Σ′ and conics Σ′⁻¹.
+//!
+//! 3DGS stores the screen-space covariance as three floats `(a, b, c)` with
+//!
+//! ```text
+//! Σ′ = | a  b |
+//!      | b  c |
+//! ```
+//!
+//! The closed-form eigenvalues drive both the 3σ rule (paper Eq. 6) and the
+//! ω-σ law (paper Eq. 8).
+
+use crate::{Mat2, Vec2};
+use serde::{Deserialize, Serialize};
+
+/// Symmetric 2×2 matrix stored as `(a, b, c)` = (m00, m01 = m10, m11).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SymMat2 {
+    /// Top-left entry.
+    pub a: f32,
+    /// Off-diagonal entry.
+    pub b: f32,
+    /// Bottom-right entry.
+    pub c: f32,
+}
+
+impl SymMat2 {
+    /// Constructs from the three stored entries.
+    pub const fn new(a: f32, b: f32, c: f32) -> Self {
+        Self { a, b, c }
+    }
+
+    /// Identity matrix.
+    pub const IDENTITY: Self = Self::new(1.0, 0.0, 1.0);
+
+    /// Extracts the symmetric part of a general 2×2 matrix. The EWA chain
+    /// produces a symmetric Σ′ up to floating-point noise; this folds the
+    /// noise symmetrically.
+    pub fn from_mat2(m: Mat2) -> Self {
+        Self::new(m.m[0][0], 0.5 * (m.m[0][1] + m.m[1][0]), m.m[1][1])
+    }
+
+    /// Expands to a general [`Mat2`].
+    pub fn to_mat2(self) -> Mat2 {
+        Mat2::from_rows([self.a, self.b], [self.b, self.c])
+    }
+
+    /// Determinant `ac − b²`.
+    pub fn det(self) -> f32 {
+        self.a * self.c - self.b * self.b
+    }
+
+    /// Trace `a + c`.
+    pub fn trace(self) -> f32 {
+        self.a + self.c
+    }
+
+    /// Eigenvalues `(λ₁, λ₂)` with `λ₁ ≥ λ₂`, in closed form:
+    /// `λ = tr/2 ± √((tr/2)² − det)`.
+    pub fn eigenvalues(self) -> (f32, f32) {
+        let mid = 0.5 * self.trace();
+        // Guard the discriminant against tiny negative values from rounding.
+        let disc = (mid * mid - self.det()).max(0.0).sqrt();
+        (mid + disc, mid - disc)
+    }
+
+    /// Unit eigenvector of the *largest* eigenvalue — the major axis
+    /// direction of the splat ellipse (used by the OBB construction).
+    pub fn major_axis(self) -> Vec2 {
+        let (l1, _) = self.eigenvalues();
+        // Solve (Σ − λ₁ I) v = 0. Pick the better-conditioned row.
+        let v1 = Vec2::new(self.b, l1 - self.a);
+        let v2 = Vec2::new(l1 - self.c, self.b);
+        let v = if v1.norm_sq() > v2.norm_sq() { v1 } else { v2 };
+        if v.norm_sq() < 1e-24 {
+            // Isotropic: any direction is a major axis.
+            Vec2::new(1.0, 0.0)
+        } else {
+            v.normalized()
+        }
+    }
+
+    /// Inverse (the conic used in the alpha evaluation, paper Eq. 3), or
+    /// `None` when the determinant magnitude is below `1e-12`.
+    pub fn inverse(self) -> Option<Self> {
+        let d = self.det();
+        if d.abs() < 1e-12 {
+            return None;
+        }
+        Some(Self::new(self.c / d, -self.b / d, self.a / d))
+    }
+
+    /// Quadratic form `dᵀ M d` — the Mahalanobis term inside the alpha
+    /// exponential (paper Eqs. 3, 7, 9).
+    pub fn quad_form(self, d: Vec2) -> f32 {
+        self.a * d.x * d.x + 2.0 * self.b * d.x * d.y + self.c * d.y * d.y
+    }
+
+    /// `true` when the matrix is positive definite (both eigenvalues > 0),
+    /// the validity condition for a splat footprint.
+    pub fn is_positive_definite(self) -> bool {
+        self.det() > 0.0 && self.a > 0.0
+    }
+
+    /// Adds `v` to the diagonal — the screen-space dilation (low-pass
+    /// filter) term that the 3DGS rasterizer applies (`Σ′ + 0.3·I`).
+    pub fn dilated(self, v: f32) -> Self {
+        Self::new(self.a + v, self.b, self.c + v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn eigenvalues_of_diagonal() {
+        let s = SymMat2::new(4.0, 0.0, 1.0);
+        let (l1, l2) = s.eigenvalues();
+        assert!(approx_eq(l1, 4.0, 1e-6));
+        assert!(approx_eq(l2, 1.0, 1e-6));
+    }
+
+    #[test]
+    fn eigenvalues_satisfy_characteristic_equation() {
+        let s = SymMat2::new(3.0, 1.5, 2.0);
+        let (l1, l2) = s.eigenvalues();
+        for l in [l1, l2] {
+            let char_val = (s.a - l) * (s.c - l) - s.b * s.b;
+            assert!(char_val.abs() < 1e-4, "char poly at λ={l} is {char_val}");
+        }
+        assert!(l1 >= l2);
+    }
+
+    #[test]
+    fn major_axis_is_eigenvector() {
+        let s = SymMat2::new(5.0, 2.0, 1.0);
+        let (l1, _) = s.eigenvalues();
+        let v = s.major_axis();
+        let mv = s.to_mat2().mul_vec(v);
+        // M v should equal λ₁ v.
+        assert!((mv - v * l1).norm() < 1e-4);
+    }
+
+    #[test]
+    fn major_axis_isotropic_is_unit() {
+        let s = SymMat2::new(2.0, 0.0, 2.0);
+        assert!(approx_eq(s.major_axis().norm(), 1.0, 1e-6));
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let s = SymMat2::new(2.0, 0.5, 1.0);
+        let inv = s.inverse().unwrap();
+        let prod = s.to_mat2() * inv.to_mat2();
+        assert!(approx_eq(prod.m[0][0], 1.0, 1e-5));
+        assert!(approx_eq(prod.m[1][1], 1.0, 1e-5));
+        assert!(approx_eq(prod.m[0][1], 0.0, 1e-5));
+    }
+
+    #[test]
+    fn singular_inverse_is_none() {
+        let s = SymMat2::new(1.0, 1.0, 1.0);
+        assert!(s.inverse().is_none());
+    }
+
+    #[test]
+    fn quad_form_matches_explicit() {
+        let s = SymMat2::new(2.0, -0.5, 3.0);
+        let d = Vec2::new(1.5, -2.0);
+        let explicit = d.dot(s.to_mat2().mul_vec(d));
+        assert!(approx_eq(s.quad_form(d), explicit, 1e-5));
+    }
+
+    #[test]
+    fn positive_definite_detection() {
+        assert!(SymMat2::new(2.0, 0.1, 3.0).is_positive_definite());
+        assert!(!SymMat2::new(-1.0, 0.0, 3.0).is_positive_definite());
+        assert!(!SymMat2::new(1.0, 2.0, 1.0).is_positive_definite());
+    }
+
+    #[test]
+    fn dilation_adds_to_diagonal() {
+        let s = SymMat2::new(1.0, 0.5, 2.0).dilated(0.3);
+        assert_eq!(s, SymMat2::new(1.3, 0.5, 2.3));
+    }
+}

@@ -1,0 +1,239 @@
+//! A linear-RGB `f32` framebuffer with PPM export.
+
+use gcc_math::Vec3;
+use serde::{Deserialize, Serialize};
+use std::io::{self, Write};
+use std::path::Path;
+
+/// An RGB image with `f32` channels in `[0, 1]` (values outside the range
+/// are clamped on export).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Image {
+    width: u32,
+    height: u32,
+    data: Vec<Vec3>,
+}
+
+impl Image {
+    /// Black image of the given size.
+    ///
+    /// # Panics
+    ///
+    /// Panics for zero-sized images.
+    pub fn new(width: u32, height: u32) -> Self {
+        Self::filled(width, height, Vec3::ZERO)
+    }
+
+    /// Image filled with a constant color.
+    ///
+    /// # Panics
+    ///
+    /// Panics for zero-sized images.
+    pub fn filled(width: u32, height: u32, color: Vec3) -> Self {
+        assert!(width > 0 && height > 0, "degenerate image size");
+        Self {
+            width,
+            height,
+            data: vec![color; (width as usize) * (height as usize)],
+        }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Total pixels.
+    pub fn pixel_count(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn get(&self, x: u32, y: u32) -> Vec3 {
+        assert!(x < self.width && y < self.height, "pixel ({x},{y}) oob");
+        self.data[(y * self.width + x) as usize]
+    }
+
+    /// Sets pixel `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn set(&mut self, x: u32, y: u32, c: Vec3) {
+        assert!(x < self.width && y < self.height, "pixel ({x},{y}) oob");
+        self.data[(y * self.width + x) as usize] = c;
+    }
+
+    /// Raw pixel slice, row-major.
+    pub fn pixels(&self) -> &[Vec3] {
+        &self.data
+    }
+
+    /// Mutable raw pixel slice, row-major.
+    pub fn pixels_mut(&mut self) -> &mut [Vec3] {
+        &mut self.data
+    }
+
+    /// Mean color over the image.
+    pub fn mean(&self) -> Vec3 {
+        let mut acc = Vec3::ZERO;
+        for p in &self.data {
+            acc += *p;
+        }
+        acc / self.data.len() as f32
+    }
+
+    /// Mean squared error against another image of the same size.
+    ///
+    /// # Panics
+    ///
+    /// Panics on size mismatch.
+    pub fn mse(&self, other: &Image) -> f64 {
+        assert_eq!(
+            (self.width, self.height),
+            (other.width, other.height),
+            "image size mismatch"
+        );
+        let mut acc = 0.0f64;
+        for (a, b) in self.data.iter().zip(other.data.iter()) {
+            let d = *a - *b;
+            acc += f64::from(d.norm_sq()) / 3.0;
+        }
+        acc / self.data.len() as f64
+    }
+
+    /// Maximum per-channel absolute difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics on size mismatch.
+    pub fn max_abs_diff(&self, other: &Image) -> f32 {
+        assert_eq!((self.width, self.height), (other.width, other.height));
+        let mut worst = 0.0f32;
+        for (a, b) in self.data.iter().zip(other.data.iter()) {
+            let d = *a - *b;
+            worst = worst.max(d.x.abs()).max(d.y.abs()).max(d.z.abs());
+        }
+        worst
+    }
+
+    /// Encodes as binary PPM (P6, 8-bit).
+    pub fn to_ppm(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.data.len() * 3 + 32);
+        out.extend_from_slice(format!("P6\n{} {}\n255\n", self.width, self.height).as_bytes());
+        for p in &self.data {
+            for c in [p.x, p.y, p.z] {
+                out.push((c.clamp(0.0, 1.0) * 255.0).round() as u8);
+            }
+        }
+        out
+    }
+
+    /// Writes a PPM file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save_ppm<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(&self.to_ppm())
+    }
+
+    /// Downsamples by 2× (box filter), used by the multi-scale perceptual
+    /// metric. Odd trailing rows/columns are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image is smaller than 2×2.
+    pub fn downsample2(&self) -> Image {
+        assert!(self.width >= 2 && self.height >= 2, "too small to halve");
+        let (w, h) = (self.width / 2, self.height / 2);
+        let mut out = Image::new(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                let acc = self.get(2 * x, 2 * y)
+                    + self.get(2 * x + 1, 2 * y)
+                    + self.get(2 * x, 2 * y + 1)
+                    + self.get(2 * x + 1, 2 * y + 1);
+                out.set(x, y, acc * 0.25);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut img = Image::new(4, 3);
+        assert_eq!(img.pixel_count(), 12);
+        img.set(3, 2, Vec3::new(1.0, 0.5, 0.25));
+        assert_eq!(img.get(3, 2), Vec3::new(1.0, 0.5, 0.25));
+        assert_eq!(img.get(0, 0), Vec3::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "oob")]
+    fn out_of_bounds_get_panics() {
+        let img = Image::new(2, 2);
+        let _ = img.get(2, 0);
+    }
+
+    #[test]
+    fn mse_of_identical_images_is_zero() {
+        let img = Image::filled(8, 8, Vec3::splat(0.3));
+        assert_eq!(img.mse(&img), 0.0);
+    }
+
+    #[test]
+    fn mse_of_known_offset() {
+        let a = Image::filled(4, 4, Vec3::splat(0.5));
+        let b = Image::filled(4, 4, Vec3::splat(0.6));
+        assert!((a.mse(&b) - 0.01).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ppm_header_and_size() {
+        let img = Image::new(5, 7);
+        let ppm = img.to_ppm();
+        assert!(ppm.starts_with(b"P6\n5 7\n255\n"));
+        assert_eq!(ppm.len(), b"P6\n5 7\n255\n".len() + 5 * 7 * 3);
+    }
+
+    #[test]
+    fn ppm_clamps_out_of_range() {
+        let img = Image::filled(1, 1, Vec3::new(2.0, -1.0, 0.5));
+        let ppm = img.to_ppm();
+        let px = &ppm[ppm.len() - 3..];
+        assert_eq!(px, &[255u8, 0, 128]);
+    }
+
+    #[test]
+    fn downsample_halves_and_averages() {
+        let mut img = Image::new(4, 4);
+        img.set(0, 0, Vec3::splat(1.0));
+        let down = img.downsample2();
+        assert_eq!(down.width(), 2);
+        assert_eq!(down.get(0, 0), Vec3::splat(0.25));
+        assert_eq!(down.get(1, 1), Vec3::ZERO);
+    }
+
+    #[test]
+    fn mean_is_average() {
+        let mut img = Image::new(2, 1);
+        img.set(0, 0, Vec3::splat(1.0));
+        assert_eq!(img.mean(), Vec3::splat(0.5));
+    }
+}

@@ -1,0 +1,32 @@
+//! Software renderers for both 3DGS dataflows of the GCC paper, plus
+//! image-quality metrics.
+//!
+//! Three renderers share the `gcc-core` primitives:
+//!
+//! * [`standard::render_standard`] — the conventional decoupled
+//!   "preprocess-then-render" pipeline with tile-wise (16×16) rendering,
+//!   as used by the GPU reference and GSCore. Fully instrumented: it
+//!   reports the preprocessed/rendered Gaussian counts of Fig. 2(a), the
+//!   per-Gaussian tile-load multiplicity of Fig. 2(b), and the
+//!   AABB/OBB/effective pixel-work numbers of Table 1.
+//! * [`gaussian_wise::render_gaussian_wise`] — the GCC dataflow: Stage I
+//!   depth grouping, interleaved (cross-stage conditional) preprocessing
+//!   and rendering, ω-σ culling, per-group sorting, Algorithm 1 block
+//!   traversal with T-mask, and Compatibility-Mode sub-view partitioning
+//!   (Fig. 6).
+//! * the "GPU reference" — [`standard::render_reference`], the exact
+//!   arithmetic configuration used as the quality anchor of Table 2.
+//!
+//! [`quality`] provides PSNR / SSIM, the perceptual-distance proxy standing
+//! in for LPIPS, and the pseudo-ground-truth anchoring described in
+//! `DESIGN.md` §1.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gaussian_wise;
+mod image;
+pub mod quality;
+pub mod standard;
+
+pub use image::Image;

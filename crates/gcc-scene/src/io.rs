@@ -1,0 +1,235 @@
+//! Scene (de)serialization: JSON for interchange, a compact binary float
+//! format for large clouds.
+//!
+//! The binary layout is the accelerator's DRAM image: a small header
+//! followed by each Gaussian's 59-float record (see
+//! [`Gaussian3D::to_floats`]), little-endian.
+
+use crate::{OrbitRig, Scene};
+use gcc_core::{Gaussian3D, PARAM_FLOATS};
+use std::io::{self, Read, Write};
+
+/// Magic bytes of the binary format.
+const MAGIC: &[u8; 8] = b"GCC3DGS\0";
+
+/// Errors from scene I/O.
+#[derive(Debug)]
+pub enum SceneIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Malformed file contents.
+    Format(String),
+}
+
+impl std::fmt::Display for SceneIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+            Self::Format(m) => write!(f, "invalid scene file: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SceneIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            Self::Format(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for SceneIoError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Serializes a scene as JSON (pretty when `pretty`).
+///
+/// # Errors
+///
+/// Returns [`SceneIoError::Format`] if serde fails (should not happen for
+/// well-formed scenes).
+pub fn to_json(scene: &Scene, pretty: bool) -> Result<String, SceneIoError> {
+    let r = if pretty {
+        serde_json::to_string_pretty(scene)
+    } else {
+        serde_json::to_string(scene)
+    };
+    r.map_err(|e| SceneIoError::Format(e.to_string()))
+}
+
+/// Parses a scene from JSON.
+///
+/// # Errors
+///
+/// Returns [`SceneIoError::Format`] for malformed JSON.
+pub fn from_json(s: &str) -> Result<Scene, SceneIoError> {
+    serde_json::from_str(s).map_err(|e| SceneIoError::Format(e.to_string()))
+}
+
+/// Writes the binary DRAM-image format.
+///
+/// # Errors
+///
+/// Propagates writer failures.
+pub fn write_binary<W: Write>(scene: &Scene, mut w: W) -> Result<(), SceneIoError> {
+    w.write_all(MAGIC)?;
+    let name = scene.name.as_bytes();
+    w.write_all(&(name.len() as u32).to_le_bytes())?;
+    w.write_all(name)?;
+    w.write_all(&scene.resolution.0.to_le_bytes())?;
+    w.write_all(&scene.resolution.1.to_le_bytes())?;
+    w.write_all(&scene.fov_y_deg.to_le_bytes())?;
+    let rig = [
+        scene.rig.center.x,
+        scene.rig.center.y,
+        scene.rig.center.z,
+        scene.rig.look_at.x,
+        scene.rig.look_at.y,
+        scene.rig.look_at.z,
+        scene.rig.radius,
+        scene.rig.height,
+        scene.rig.arc,
+        scene.rig.phase,
+    ];
+    for v in rig {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    w.write_all(&(scene.gaussians.len() as u64).to_le_bytes())?;
+    for g in &scene.gaussians {
+        for v in g.to_floats() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads the binary DRAM-image format.
+///
+/// # Errors
+///
+/// Returns [`SceneIoError::Format`] for bad magic/truncated payloads and
+/// [`SceneIoError::Io`] for reader failures.
+pub fn read_binary<R: Read>(mut r: R) -> Result<Scene, SceneIoError> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(SceneIoError::Format("bad magic".into()));
+    }
+    let name_len = read_u32(&mut r)? as usize;
+    if name_len > 4096 {
+        return Err(SceneIoError::Format(format!("name length {name_len}")));
+    }
+    let mut name = vec![0u8; name_len];
+    r.read_exact(&mut name)?;
+    let name =
+        String::from_utf8(name).map_err(|_| SceneIoError::Format("non-UTF8 name".into()))?;
+    let width = read_u32(&mut r)?;
+    let height = read_u32(&mut r)?;
+    let fov_y_deg = read_f32(&mut r)?;
+    let mut rig = [0.0f32; 10];
+    for v in &mut rig {
+        *v = read_f32(&mut r)?;
+    }
+    let count = read_u64(&mut r)? as usize;
+    let mut gaussians = Vec::with_capacity(count.min(1 << 24));
+    let mut rec = [0.0f32; PARAM_FLOATS];
+    for _ in 0..count {
+        for v in &mut rec {
+            *v = read_f32(&mut r)?;
+        }
+        gaussians.push(Gaussian3D::from_floats(&rec));
+    }
+    Ok(Scene {
+        name,
+        gaussians,
+        resolution: (width, height),
+        fov_y_deg,
+        rig: OrbitRig {
+            center: gcc_math::Vec3::new(rig[0], rig[1], rig[2]),
+            look_at: gcc_math::Vec3::new(rig[3], rig[4], rig[5]),
+            radius: rig[6],
+            height: rig[7],
+            arc: rig[8],
+            phase: rig[9],
+        },
+    })
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, SceneIoError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, SceneIoError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_f32<R: Read>(r: &mut R) -> Result<f32, SceneIoError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(f32::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SceneConfig, ScenePreset};
+
+    fn small_scene() -> Scene {
+        ScenePreset::Lego.build(&SceneConfig::with_scale(0.02))
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let scene = small_scene();
+        let s = to_json(&scene, false).unwrap();
+        let back = from_json(&s).unwrap();
+        assert_eq!(scene.name, back.name);
+        assert_eq!(scene.gaussians, back.gaussians);
+        assert_eq!(scene.resolution, back.resolution);
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let scene = small_scene();
+        let mut buf = Vec::new();
+        write_binary(&scene, &mut buf).unwrap();
+        let back = read_binary(buf.as_slice()).unwrap();
+        assert_eq!(scene.name, back.name);
+        assert_eq!(scene.gaussians, back.gaussians);
+        assert_eq!(scene.rig, back.rig);
+    }
+
+    #[test]
+    fn binary_size_matches_59_float_records() {
+        let scene = small_scene();
+        let mut buf = Vec::new();
+        write_binary(&scene, &mut buf).unwrap();
+        let payload = scene.gaussians.len() * PARAM_FLOATS * 4;
+        // Header: magic 8 + name_len 4 + name + res 8 + fov 4 + rig 40 + count 8.
+        let header = 8 + 4 + scene.name.len() + 8 + 4 + 40 + 8;
+        assert_eq!(buf.len(), header + payload);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = read_binary(&b"NOTASCENE_______"[..]).unwrap_err();
+        assert!(matches!(err, SceneIoError::Format(_)));
+    }
+
+    #[test]
+    fn truncated_payload_is_io_error() {
+        let scene = small_scene();
+        let mut buf = Vec::new();
+        write_binary(&scene, &mut buf).unwrap();
+        buf.truncate(buf.len() - 13);
+        let err = read_binary(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, SceneIoError::Io(_)));
+    }
+}

@@ -1,0 +1,130 @@
+//! Silicon area and power: the paper's Table 4 breakdown for GCC and the
+//! published GSCore totals, all at 28 nm / 1 GHz.
+
+use serde::{Deserialize, Serialize};
+
+/// One hardware component's area/power contribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Component {
+    /// Component name (Table 4 row).
+    pub name: &'static str,
+    /// Area in mm².
+    pub area_mm2: f64,
+    /// Power in mW (dynamic + leakage at nominal activity).
+    pub power_mw: f64,
+    /// Configuration note (unit counts / capacities).
+    pub configuration: &'static str,
+}
+
+/// The GCC compute units of Table 4.
+pub fn gcc_compute_units() -> Vec<Component> {
+    vec![
+        Component { name: "RCA", area_mm2: 0.010, power_mw: 2.0, configuration: "4 units" },
+        Component { name: "Projection Unit", area_mm2: 0.358, power_mw: 147.0, configuration: "2 units" },
+        Component { name: "SH Unit", area_mm2: 0.339, power_mw: 141.0, configuration: "1 unit" },
+        Component { name: "Sorting Unit", area_mm2: 0.010, power_mw: 11.0, configuration: "1 unit" },
+        Component { name: "Alpha Unit", area_mm2: 0.576, power_mw: 266.0, configuration: "64 PEs" },
+        Component { name: "Blending Unit", area_mm2: 0.382, power_mw: 172.0, configuration: "64 PEs" },
+    ]
+}
+
+/// The GCC on-chip buffers of Table 4.
+pub fn gcc_buffers() -> Vec<Component> {
+    vec![
+        Component { name: "Shared Buffer", area_mm2: 0.019, power_mw: 3.0, configuration: "2 x 1 x 6 KB" },
+        Component { name: "SH Buffer", area_mm2: 0.116, power_mw: 10.0, configuration: "2 x 3 x 8 KB" },
+        Component { name: "Sorted Buffer", area_mm2: 0.029, power_mw: 1.0, configuration: "2 x 1 x 1 KB" },
+        Component { name: "Image Buffer", area_mm2: 0.872, power_mw: 37.0, configuration: "1 x 4 x 32 KB" },
+    ]
+}
+
+/// Area/power summary of one accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChipSummary {
+    /// Total die area in mm².
+    pub area_mm2: f64,
+    /// Compute-unit area in mm².
+    pub compute_area_mm2: f64,
+    /// Buffer area in mm².
+    pub buffer_area_mm2: f64,
+    /// Total power in mW.
+    pub power_mw: f64,
+    /// Total on-chip SRAM in KB.
+    pub sram_kb: f64,
+}
+
+/// GCC's totals (Table 4: 2.711 mm², 790 mW, 190 KB).
+pub fn gcc_summary() -> ChipSummary {
+    let cu: f64 = gcc_compute_units().iter().map(|c| c.area_mm2).sum();
+    let bu: f64 = gcc_buffers().iter().map(|c| c.area_mm2).sum();
+    let pw: f64 = gcc_compute_units()
+        .iter()
+        .chain(gcc_buffers().iter())
+        .map(|c| c.power_mw)
+        .sum();
+    ChipSummary {
+        area_mm2: cu + bu,
+        compute_area_mm2: cu,
+        buffer_area_mm2: bu,
+        power_mw: pw,
+        sram_kb: 190.0,
+    }
+}
+
+/// GSCore's published totals (Table 4 bottom: 3.95 mm², 870 mW, 272 KB;
+/// compute 2.70 mm² / 830 mW, buffers 1.25 mm² / 40 mW).
+pub fn gscore_summary() -> ChipSummary {
+    ChipSummary {
+        area_mm2: 3.95,
+        compute_area_mm2: 2.70,
+        buffer_area_mm2: 1.25,
+        power_mw: 870.0,
+        sram_kb: 272.0,
+    }
+}
+
+/// Image-buffer area scaling for the Fig. 13(a) design-space exploration:
+/// SRAM area grows near-linearly with capacity; 128 KB is the Table 4
+/// reference point (0.872 mm² for 4×32 KB).
+pub fn image_buffer_area_mm2(size_kb: f64) -> f64 {
+    0.872 * (size_kb / 128.0)
+}
+
+/// Alpha+Blending array area scaling for Fig. 13(b): PE-array area is
+/// linear in lane count; 64 lanes is the Table 4 reference (0.958 mm²
+/// for Alpha + Blending).
+pub fn alpha_blend_area_mm2(lanes: u32) -> f64 {
+    (0.576 + 0.382) * (f64::from(lanes) / 64.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcc_totals_match_table4() {
+        let s = gcc_summary();
+        assert!((s.compute_area_mm2 - 1.675).abs() < 1e-9, "{}", s.compute_area_mm2);
+        assert!((s.buffer_area_mm2 - 1.036).abs() < 1e-9, "{}", s.buffer_area_mm2);
+        assert!((s.area_mm2 - 2.711).abs() < 1e-9);
+        assert!((s.power_mw - 790.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gcc_is_smaller_and_lower_power_than_gscore() {
+        let gcc = gcc_summary();
+        let gs = gscore_summary();
+        // Paper: GCC occupies ~31% less area and slightly less power.
+        assert!(gcc.area_mm2 < gs.area_mm2 * 0.75);
+        assert!(gcc.power_mw < gs.power_mw);
+        assert!(gcc.sram_kb < gs.sram_kb);
+    }
+
+    #[test]
+    fn dse_scaling_is_monotone() {
+        assert!(image_buffer_area_mm2(512.0) > image_buffer_area_mm2(128.0));
+        assert!((image_buffer_area_mm2(128.0) - 0.872).abs() < 1e-12);
+        assert!(alpha_blend_area_mm2(16) < alpha_blend_area_mm2(64));
+        assert!((alpha_blend_area_mm2(64) - 0.958).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,155 @@
+//! Off-chip memory model: peak-bandwidth presets and per-byte energy.
+//!
+//! The paper pairs both accelerators with Micron LPDDR4-3200 (51.2 GB/s)
+//! and sweeps bandwidth up to LPDDR6-class in Fig. 14.
+
+use serde::{Deserialize, Serialize};
+
+/// An off-chip DRAM configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DramModel {
+    /// Marketing name of the configuration.
+    pub name: String,
+    /// Peak bandwidth in GB/s.
+    pub bandwidth_gbps: f64,
+    /// Access energy in pJ per byte (core + I/O, LPDDR class).
+    pub energy_pj_per_byte: f64,
+}
+
+impl DramModel {
+    /// LPDDR4-3200, the paper's default (51.2 GB/s peak).
+    pub fn lpddr4_3200() -> Self {
+        Self {
+            name: "LPDDR4-3200".into(),
+            bandwidth_gbps: 51.2,
+            energy_pj_per_byte: 25.0,
+        }
+    }
+
+    /// LPDDR4X-4266.
+    pub fn lpddr4x_4266() -> Self {
+        Self {
+            name: "LPDDR4X-4266".into(),
+            bandwidth_gbps: 68.3,
+            energy_pj_per_byte: 20.0,
+        }
+    }
+
+    /// LPDDR5-6400.
+    pub fn lpddr5_6400() -> Self {
+        Self {
+            name: "LPDDR5-6400".into(),
+            bandwidth_gbps: 102.4,
+            energy_pj_per_byte: 16.0,
+        }
+    }
+
+    /// LPDDR5X-8533.
+    pub fn lpddr5x_8533() -> Self {
+        Self {
+            name: "LPDDR5X-8533".into(),
+            bandwidth_gbps: 136.5,
+            energy_pj_per_byte: 14.0,
+        }
+    }
+
+    /// LPDDR6-14400 (future, >220 GB/s — where GCC turns compute-bound in
+    /// Fig. 14).
+    pub fn lpddr6_14400() -> Self {
+        Self {
+            name: "LPDDR6-14400".into(),
+            bandwidth_gbps: 230.4,
+            energy_pj_per_byte: 12.0,
+        }
+    }
+
+    /// The Fig. 14 sweep, slowest to fastest.
+    pub fn sweep() -> Vec<Self> {
+        vec![
+            Self::lpddr4_3200(),
+            Self::lpddr4x_4266(),
+            Self::lpddr5_6400(),
+            Self::lpddr5x_8533(),
+            Self::lpddr6_14400(),
+        ]
+    }
+
+    /// A custom bandwidth point (GB/s) for fine sweeps.
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-positive bandwidth.
+    pub fn custom(bandwidth_gbps: f64) -> Self {
+        assert!(bandwidth_gbps > 0.0, "bandwidth must be positive");
+        Self {
+            name: format!("custom-{bandwidth_gbps:.0}GBps"),
+            bandwidth_gbps,
+            energy_pj_per_byte: 20.0,
+        }
+    }
+
+    /// Bytes transferable per cycle at `clock_ghz`.
+    pub fn bytes_per_cycle(&self, clock_ghz: f64) -> f64 {
+        self.bandwidth_gbps / clock_ghz
+    }
+
+    /// Cycles to move `bytes` at `clock_ghz`, at peak utilization.
+    pub fn cycles_for(&self, bytes: f64, clock_ghz: f64) -> f64 {
+        bytes / self.bytes_per_cycle(clock_ghz)
+    }
+
+    /// Energy in pJ to move `bytes`.
+    pub fn energy_pj(&self, bytes: f64) -> f64 {
+        bytes * self.energy_pj_per_byte
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_preset_matches_paper() {
+        let d = DramModel::lpddr4_3200();
+        assert_eq!(d.bandwidth_gbps, 51.2);
+        // At 1 GHz, 51.2 bytes move per cycle.
+        assert!((d.bytes_per_cycle(1.0) - 51.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sweep_is_monotonically_faster() {
+        let sweep = DramModel::sweep();
+        for w in sweep.windows(2) {
+            assert!(w[1].bandwidth_gbps > w[0].bandwidth_gbps);
+            // Newer generations cost less energy per byte.
+            assert!(w[1].energy_pj_per_byte <= w[0].energy_pj_per_byte);
+        }
+        assert!(sweep.last().unwrap().bandwidth_gbps > 220.0);
+    }
+
+    #[test]
+    fn cycles_scale_inversely_with_bandwidth() {
+        let slow = DramModel::lpddr4_3200();
+        let fast = DramModel::lpddr5_6400();
+        let bytes = 1e6;
+        assert!(slow.cycles_for(bytes, 1.0) > fast.cycles_for(bytes, 1.0));
+        assert!(
+            (slow.cycles_for(bytes, 1.0) / fast.cycles_for(bytes, 1.0)
+                - fast.bandwidth_gbps / slow.bandwidth_gbps)
+                .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn energy_is_linear_in_bytes() {
+        let d = DramModel::lpddr4_3200();
+        assert!((d.energy_pj(100.0) - 2500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn custom_rejects_zero() {
+        let _ = DramModel::custom(0.0);
+    }
+}

@@ -1,0 +1,36 @@
+//! Cycle-level and energy-level models of the GCC and GSCore 3DGS
+//! accelerators (paper §5), plus the DRAM/SRAM substrate and a GPU cost
+//! model for the dataflow study of Fig. 15.
+//!
+//! Methodology mirrors the paper's: a functional renderer produces exact
+//! per-frame workload statistics (Gaussians processed, bytes moved, pixels
+//! evaluated — `gcc-render`), and an analytical per-module cost model
+//! turns them into cycles, joules and silicon area. The paper's own
+//! evaluation is driven by a cycle-validated Python simulator of the same
+//! construction; area/power constants are seeded from its Table 4 and the
+//! GSCore paper.
+//!
+//! Modules:
+//!
+//! * [`dram`] — bandwidth/energy presets LPDDR4-3200 … LPDDR6-14400 (Fig. 14),
+//! * [`sram`] — CACTI-style on-chip buffer access energy,
+//! * [`ops`] — per-operation energy (28 nm class) and op counters,
+//! * [`area`] — the Table 4 area/power breakdown for GCC and GSCore totals,
+//! * [`gscore`] — the baseline accelerator model (two-stage, tile-wise),
+//! * [`gcc`] — the proposed accelerator model (Gaussian-wise, conditional),
+//! * [`gpu`] — the roofline GPU cost model (Fig. 15).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod dram;
+pub mod gcc;
+pub mod gpu;
+pub mod gscore;
+pub mod ops;
+pub mod report;
+pub mod scaling;
+pub mod sram;
+
+pub use report::{EnergyBreakdown, PhaseTiming, SimReport, TrafficBreakdown};

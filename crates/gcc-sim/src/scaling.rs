@@ -1,0 +1,202 @@
+//! Workload scaling: extrapolates measured per-frame statistics to a
+//! different scene scale (more Gaussians, more pixels) so absolute
+//! full-scale numbers (Table 3) can be estimated from repro-scale runs.
+//!
+//! The scaling laws are the obvious first-order ones:
+//!
+//! * per-Gaussian quantities (loads, projections, SH, KV pairs, sort
+//!   elements, group counts) scale with the Gaussian factor,
+//! * per-pixel quantities (alpha evaluations, blends, blocks) scale with
+//!   the pixel factor,
+//! * the per-Gaussian *tile/block multiplicity* is scale-invariant at
+//!   matched density (DESIGN.md §6), so mixed quantities use the
+//!   geometric pairing above rather than a product.
+//!
+//! This is an estimate, not a simulation — Table 3's caption marks the
+//! extrapolated rows accordingly.
+
+use gcc_render::gaussian_wise::GaussianWiseStats;
+use gcc_render::standard::StandardStats;
+use serde::{Deserialize, Serialize};
+
+/// Scale factors from the measured workload to the target workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadScale {
+    /// Target Gaussian count ÷ measured Gaussian count.
+    pub gaussians: f64,
+    /// Target pixel count ÷ measured pixel count.
+    pub pixels: f64,
+}
+
+impl WorkloadScale {
+    /// Uniform scale (same factor for both axes).
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-positive factors.
+    pub fn uniform(f: f64) -> Self {
+        Self::new(f, f)
+    }
+
+    /// Constructs a scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-positive factors.
+    pub fn new(gaussians: f64, pixels: f64) -> Self {
+        assert!(
+            gaussians > 0.0 && pixels > 0.0,
+            "scale factors must be positive"
+        );
+        Self { gaussians, pixels }
+    }
+}
+
+fn sg(v: u64, f: f64) -> u64 {
+    (v as f64 * f).round() as u64
+}
+
+/// Scales standard-dataflow statistics.
+pub fn scale_standard(s: &StandardStats, w: WorkloadScale) -> StandardStats {
+    let g = w.gaussians;
+    let p = w.pixels;
+    StandardStats {
+        total_gaussians: sg(s.total_gaussians, g),
+        preprocessed: sg(s.preprocessed, g),
+        rendered: sg(s.rendered, g),
+        kv_pairs: sg(s.kv_pairs, g),
+        tile_loads: sg(s.tile_loads, g),
+        unique_loaded: sg(s.unique_loaded, g),
+        pixels_tested: sg(s.pixels_tested, p),
+        pixels_tested_aabb: sg(s.pixels_tested_aabb, p),
+        pixels_tested_obb: sg(s.pixels_tested_obb, p),
+        pixels_blended: sg(s.pixels_blended, p),
+        sort_elements: sg(s.sort_elements, g),
+        tiles: sg(s.tiles, p),
+    }
+}
+
+/// Scales Gaussian-wise statistics.
+pub fn scale_gaussian_wise(s: &GaussianWiseStats, w: WorkloadScale) -> GaussianWiseStats {
+    let g = w.gaussians;
+    let p = w.pixels;
+    GaussianWiseStats {
+        total_gaussians: sg(s.total_gaussians, g),
+        near_culled: sg(s.near_culled, g),
+        groups_total: sg(s.groups_total, g),
+        groups_processed: sg(s.groups_processed, g),
+        groups_skipped: sg(s.groups_skipped, g),
+        geometry_loads: sg(s.geometry_loads, g),
+        projected: sg(s.projected, g),
+        sh_loads: sg(s.sh_loads, g),
+        render_invocations: sg(s.render_invocations, g),
+        rendered_unique: sg(s.rendered_unique, g),
+        blocks_dispatched: sg(s.blocks_dispatched, p),
+        blocks_masked_skips: sg(s.blocks_masked_skips, p),
+        pixels_evaluated: sg(s.pixels_evaluated, p),
+        alpha_lane_evals: sg(s.alpha_lane_evals, p),
+        pixels_blended: sg(s.pixels_blended, p),
+        sort_elements: sg(s.sort_elements, g),
+        windows: sg(s.windows, p),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gw_stats() -> GaussianWiseStats {
+        GaussianWiseStats {
+            total_gaussians: 1000,
+            near_culled: 50,
+            groups_total: 20,
+            groups_processed: 60,
+            groups_skipped: 10,
+            geometry_loads: 800,
+            projected: 700,
+            sh_loads: 300,
+            render_invocations: 280,
+            rendered_unique: 250,
+            blocks_dispatched: 5_000,
+            blocks_masked_skips: 1_000,
+            pixels_evaluated: 320_000,
+            alpha_lane_evals: 200_000,
+            pixels_blended: 90_000,
+            sort_elements: 700,
+            windows: 6,
+        }
+    }
+
+    #[test]
+    fn uniform_identity_is_a_noop() {
+        let s = gw_stats();
+        let out = scale_gaussian_wise(&s, WorkloadScale::uniform(1.0));
+        assert_eq!(s, out);
+    }
+
+    #[test]
+    fn gaussian_axis_scales_loads_not_pixels() {
+        let s = gw_stats();
+        let out = scale_gaussian_wise(&s, WorkloadScale::new(10.0, 1.0));
+        assert_eq!(out.geometry_loads, 8_000);
+        assert_eq!(out.sh_loads, 3_000);
+        assert_eq!(out.pixels_evaluated, 320_000);
+    }
+
+    #[test]
+    fn pixel_axis_scales_alpha_work() {
+        let s = gw_stats();
+        let out = scale_gaussian_wise(&s, WorkloadScale::new(1.0, 4.0));
+        assert_eq!(out.pixels_evaluated, 1_280_000);
+        assert_eq!(out.pixels_blended, 360_000);
+        assert_eq!(out.geometry_loads, 800);
+    }
+
+    #[test]
+    fn standard_stats_preserve_load_multiplicity() {
+        let s = StandardStats {
+            total_gaussians: 1000,
+            preprocessed: 800,
+            rendered: 300,
+            kv_pairs: 3_000,
+            tile_loads: 2_500,
+            unique_loaded: 600,
+            pixels_tested: 400_000,
+            pixels_tested_aabb: 600_000,
+            pixels_tested_obb: 400_000,
+            pixels_blended: 90_000,
+            sort_elements: 3_000,
+            tiles: 300,
+        };
+        let before = s.avg_loads_per_gaussian();
+        let out = scale_standard(&s, WorkloadScale::uniform(9.7));
+        let after = out.avg_loads_per_gaussian();
+        assert!((before - after).abs() < 0.01, "{before} vs {after}");
+        assert!((out.unused_fraction() - s.unused_fraction()).abs() < 0.01);
+    }
+
+    #[test]
+    fn scaled_reports_scale_fps_inversely() {
+        // A 10x workload should run ~10x slower through the cycle model.
+        let s = gw_stats();
+        let cfg = crate::gcc::GccSimConfig::default();
+        let small = crate::gcc::report_from_stats(&s, 320.0 * 180.0, &cfg, "x");
+        let big = crate::gcc::report_from_stats(
+            &scale_gaussian_wise(&s, WorkloadScale::uniform(10.0)),
+            320.0 * 180.0 * 10.0,
+            &cfg,
+            "x",
+        );
+        let ratio = small.fps() / big.fps();
+        assert!(
+            (6.0..14.0).contains(&ratio),
+            "expected ~10x slowdown, got {ratio}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_rejected() {
+        let _ = WorkloadScale::uniform(0.0);
+    }
+}

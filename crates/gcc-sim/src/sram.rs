@@ -1,0 +1,100 @@
+//! On-chip SRAM buffer model: CACTI-P-style access energy as a function of
+//! capacity (the paper models its buffers with CACTI-P at 28 nm).
+
+use serde::{Deserialize, Serialize};
+
+/// One on-chip buffer instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SramBuffer {
+    /// Buffer name (Table 4 row).
+    pub name: String,
+    /// Capacity in KiB.
+    pub size_kb: f64,
+    /// Access counters (reads + writes), in 4-byte words.
+    pub accesses: u64,
+}
+
+impl SramBuffer {
+    /// Creates a buffer of `size_kb` KiB.
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-positive capacity.
+    pub fn new(name: &str, size_kb: f64) -> Self {
+        assert!(size_kb > 0.0, "buffer capacity must be positive");
+        Self {
+            name: name.to_string(),
+            size_kb,
+            accesses: 0,
+        }
+    }
+
+    /// CACTI-style per-access (4-byte word) energy in pJ: a wordline/
+    /// bitline term growing with √capacity plus a fixed decoder/IO term.
+    /// Calibrated so a 32 KB bank costs ~1.3 pJ/word and a 4 KB bank
+    /// ~0.7 pJ/word at 28 nm — consistent with the paper's buffer power
+    /// being a small fraction of total (Table 4: 51 mW for 190 KB).
+    pub fn energy_per_access_pj(&self) -> f64 {
+        0.5 + 0.15 * self.size_kb.sqrt()
+    }
+
+    /// Records `n` word accesses.
+    pub fn access(&mut self, n: u64) {
+        self.accesses += n;
+    }
+
+    /// Total energy spent in pJ.
+    pub fn energy_pj(&self) -> f64 {
+        self.accesses as f64 * self.energy_per_access_pj()
+    }
+}
+
+/// Energy for `words` accesses to a buffer of `size_kb` without tracking
+/// state — convenience for the analytical models.
+pub fn sram_energy_pj(size_kb: f64, words: u64) -> f64 {
+    let mut b = SramBuffer::new("tmp", size_kb);
+    b.access(words);
+    b.energy_pj()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn larger_buffers_cost_more_per_access() {
+        let small = SramBuffer::new("s", 4.0);
+        let big = SramBuffer::new("b", 128.0);
+        assert!(big.energy_per_access_pj() > small.energy_per_access_pj());
+    }
+
+    #[test]
+    fn energy_accumulates_with_accesses() {
+        let mut b = SramBuffer::new("x", 32.0);
+        assert_eq!(b.energy_pj(), 0.0);
+        b.access(1000);
+        let e1 = b.energy_pj();
+        b.access(1000);
+        assert!((b.energy_pj() - 2.0 * e1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn calibration_anchor_32kb() {
+        let b = SramBuffer::new("image", 32.0);
+        let e = b.energy_per_access_pj();
+        assert!((1.0..2.0).contains(&e), "32KB access energy {e} pJ");
+    }
+
+    #[test]
+    fn helper_matches_struct() {
+        let mut b = SramBuffer::new("h", 16.0);
+        b.access(500);
+        assert!((sram_energy_pj(16.0, 500) - b.energy_pj()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _ = SramBuffer::new("bad", 0.0);
+    }
+}

@@ -1,0 +1,68 @@
+//! Architect's view: sweep the GCC hardware knobs (image buffer, PE array,
+//! DRAM generation) on one scene and print the area-normalized Pareto
+//! points — a condensed version of the paper's §5.4 sensitivity study.
+//!
+//! Run with: `cargo run --release --example design_space`
+
+use gcc_scene::{SceneConfig, ScenePreset};
+use gcc_sim::area::{alpha_blend_area_mm2, gcc_summary, image_buffer_area_mm2};
+use gcc_sim::dram::DramModel;
+use gcc_sim::gcc::{simulate_gcc, GccSimConfig};
+
+fn main() {
+    let scene = ScenePreset::Truck.build(&SceneConfig::with_scale(0.5));
+    let cam = scene.default_camera();
+    let base_area = gcc_summary().area_mm2;
+    println!(
+        "design-space sweep on '{}' ({} Gaussians)\n",
+        scene.name,
+        scene.len()
+    );
+
+    println!("image buffer (sub-view scales with capacity):");
+    for kb in [32.0, 128.0, 512.0] {
+        let mut cfg = GccSimConfig {
+            image_buffer_kb: kb,
+            subview_override: None,
+            ..GccSimConfig::default()
+        };
+        cfg.subview_override = Some((cfg.subview_edge() / 2).max(16));
+        let (r, _) = simulate_gcc(&scene.gaussians, &cam, &cfg, &scene.name);
+        let area = base_area - image_buffer_area_mm2(128.0) + image_buffer_area_mm2(kb);
+        println!(
+            "  {kb:>6.0} KB -> {:>6.0} FPS, {:>6.1} FPS/mm2",
+            r.fps(),
+            r.fps() / area
+        );
+    }
+
+    println!("\nalpha/blend PE array:");
+    for edge in [4u32, 8, 16] {
+        let cfg = GccSimConfig {
+            block_edge: edge,
+            ..GccSimConfig::default()
+        };
+        let (r, _) = simulate_gcc(&scene.gaussians, &cam, &cfg, &scene.name);
+        let area = base_area - alpha_blend_area_mm2(64) + alpha_blend_area_mm2(edge * edge);
+        println!(
+            "  {edge:>2}x{edge:<2} -> {:>6.0} FPS, {:>6.1} FPS/mm2",
+            r.fps(),
+            r.fps() / area
+        );
+    }
+
+    println!("\nDRAM generation:");
+    for dram in DramModel::sweep() {
+        let cfg = GccSimConfig {
+            dram: dram.clone(),
+            ..GccSimConfig::default()
+        };
+        let (r, _) = simulate_gcc(&scene.gaussians, &cam, &cfg, &scene.name);
+        println!(
+            "  {:>14} ({:>5.1} GB/s) -> {:>6.0} FPS",
+            dram.name,
+            dram.bandwidth_gbps,
+            r.fps()
+        );
+    }
+}

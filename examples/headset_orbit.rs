@@ -1,0 +1,45 @@
+//! Headset scenario: orbit a scene and check whether the modeled GCC
+//! accelerator sustains the 90 FPS immersion target the paper's intro
+//! demands — frame by frame, against the GSCore baseline.
+//!
+//! Run with: `cargo run --release --example headset_orbit`
+
+use gcc_scene::{SceneConfig, ScenePreset};
+use gcc_sim::gcc::{simulate_gcc, GccSimConfig};
+use gcc_sim::gscore::{simulate_gscore, GscoreConfig};
+
+fn main() {
+    let scene = ScenePreset::Palace.build(&SceneConfig::with_scale(0.5));
+    println!(
+        "orbiting '{}' ({} Gaussians), 8 viewpoints\n",
+        scene.name,
+        scene.len()
+    );
+    println!(
+        "{:>5}  {:>12}  {:>12}  {:>8}  {:>10}",
+        "view", "GSCore FPS", "GCC FPS", "speedup", "GCC mJ/frm"
+    );
+
+    let mut worst_gcc = f64::INFINITY;
+    for i in 0..8 {
+        let t = i as f32 / 8.0;
+        let cam = scene.camera(t);
+        let (gs, _) =
+            simulate_gscore(&scene.gaussians, &cam, &GscoreConfig::default(), &scene.name);
+        let (gc, _) = simulate_gcc(&scene.gaussians, &cam, &GccSimConfig::default(), &scene.name);
+        worst_gcc = worst_gcc.min(gc.fps());
+        println!(
+            "{:>5}  {:>12.0}  {:>12.0}  {:>7.2}x  {:>10.3}",
+            i,
+            gs.fps(),
+            gc.fps(),
+            gc.fps() / gs.fps(),
+            gc.energy_per_frame_mj()
+        );
+    }
+    println!(
+        "\nworst-case GCC frame rate: {:.0} FPS ({} the 90 FPS immersion target)",
+        worst_gcc,
+        if worst_gcc >= 90.0 { "meets" } else { "misses" }
+    );
+}

@@ -1,0 +1,210 @@
+//! Property-based tests (proptest) on the core invariants the pipeline
+//! rests on: projection validity, bounding-law containment, Algorithm 1
+//! exactness, compositing algebra and grouping order.
+
+use gcc_core::alpha::{composite, PixelState};
+use gcc_core::boundary::{BlockGrid, BlockTracer, MaskMode, PixelTracer};
+use gcc_core::bounds::{bounding_radius, omega_sigma_extent_sq, BoundingLaw, EffectiveTest};
+use gcc_core::grouping::{group_by_depth, GroupingConfig};
+use gcc_core::projection::{covariance3d, project_gaussian};
+use gcc_core::{Camera, Gaussian3D};
+use gcc_math::{Quat, SymMat2, Vec2, Vec3};
+use proptest::prelude::*;
+
+fn camera() -> Camera {
+    Camera::look_at(
+        Vec3::new(0.0, 0.0, -5.0),
+        Vec3::ZERO,
+        Vec3::new(0.0, 1.0, 0.0),
+        60.0,
+        160,
+        120,
+    )
+}
+
+fn arb_quat() -> impl Strategy<Value = Quat> {
+    (-1.0f32..1.0, -1.0f32..1.0, -1.0f32..1.0, -1.0f32..1.0)
+        .prop_filter("non-degenerate", |(w, x, y, z)| {
+            (w * w + x * x + y * y + z * z) > 1e-3
+        })
+        .prop_map(|(w, x, y, z)| Quat::new(w, x, y, z))
+}
+
+fn arb_gaussian() -> impl Strategy<Value = Gaussian3D> {
+    (
+        (-1.5f32..1.5, -1.0f32..1.0, -1.0f32..2.0),
+        (0.01f32..0.4, 0.01f32..0.4, 0.01f32..0.4),
+        arb_quat(),
+        0.005f32..1.0,
+    )
+        .prop_map(|((x, y, z), (sx, sy, sz), q, op)| {
+            Gaussian3D::new(
+                Vec3::new(x, y, z),
+                Vec3::new(sx, sy, sz),
+                q,
+                op,
+                [0.0; 48],
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rotation_matrices_are_orthonormal(q in arb_quat()) {
+        let r = q.to_mat3();
+        let rtr = r * r.transposed();
+        prop_assert!((rtr - gcc_math::Mat3::IDENTITY).frob_norm() < 1e-4);
+        prop_assert!((r.det() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn covariance3d_is_symmetric_positive_semidefinite(g in arb_gaussian()) {
+        let cov = covariance3d(g.scale, g.rot);
+        prop_assert!((cov - cov.transposed()).frob_norm() < 1e-4);
+        // PSD check via random quadratic forms.
+        for v in [Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.3, -0.8, 0.5), Vec3::new(-1.0, 1.0, 1.0)] {
+            let q = v.dot(cov.mul_vec(v));
+            prop_assert!(q >= -1e-4, "negative quadratic form {q}");
+        }
+    }
+
+    #[test]
+    fn projected_covariance_is_positive_definite(g in arb_gaussian()) {
+        let cam = camera();
+        if let Some(p) = project_gaussian(&g, 0, &cam, BoundingLaw::ThreeSigma) {
+            prop_assert!(p.cov2d.is_positive_definite());
+            prop_assert!(p.conic.is_positive_definite());
+            prop_assert!(p.depth >= gcc_core::NEAR_DEPTH);
+            prop_assert!(p.radius > 0.0);
+        }
+    }
+
+    #[test]
+    fn omega_sigma_is_tighter_below_crossover(lambda in 0.1f32..100.0, op in 0.005f32..0.35) {
+        let dynamic = bounding_radius(BoundingLaw::OmegaSigma, lambda, op);
+        let fixed = bounding_radius(BoundingLaw::ThreeSigma, lambda, op);
+        prop_assert!(dynamic <= fixed, "ω-σ {dynamic} > 3σ {fixed}");
+    }
+
+    #[test]
+    fn alpha_at_omega_sigma_boundary_is_at_most_threshold(op in 0.005f32..1.0) {
+        // Eq. 7/8: on the ω-σ boundary, α = 1/255 exactly (up to rounding).
+        let extent = omega_sigma_extent_sq(op);
+        prop_assume!(extent > 0.0);
+        let alpha = (op.ln() - 0.5 * extent).exp();
+        prop_assert!((alpha - 1.0 / 255.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn algorithm1_matches_exhaustive_scan(
+        cx in 8.0f32..56.0,
+        cy in 8.0f32..56.0,
+        a in 2.0f32..40.0,
+        b in -8.0f32..8.0,
+        c in 2.0f32..40.0,
+        op in 0.01f32..1.0,
+    ) {
+        let cov = SymMat2::new(a, b, c);
+        prop_assume!(cov.is_positive_definite());
+        let conic = cov.inverse().unwrap();
+        let test = EffectiveTest::new(Vec2::new(cx, cy), conic, op);
+        let mut tracer = PixelTracer::new(64, 64);
+        let mut out = Vec::new();
+        tracer.trace(&test, &mut out);
+        let mut expect = Vec::new();
+        for y in 0..64 {
+            for x in 0..64 {
+                if test.passes(x, y) {
+                    expect.push((x, y));
+                }
+            }
+        }
+        out.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn block_trace_covers_every_effective_pixel(
+        cx in 4.0f32..60.0,
+        cy in 4.0f32..60.0,
+        a in 2.0f32..60.0,
+        c in 2.0f32..60.0,
+        op in 0.02f32..1.0,
+    ) {
+        let cov = SymMat2::new(a, a.min(c) * 0.3, c);
+        prop_assume!(cov.is_positive_definite());
+        let conic = cov.inverse().unwrap();
+        let test = EffectiveTest::new(Vec2::new(cx, cy), conic, op);
+        let grid = BlockGrid::new(8, 64, 64);
+        let mut tracer = BlockTracer::new(grid);
+        let mut blocks = Vec::new();
+        tracer.trace(&test, None, MaskMode::Traverse, &mut blocks);
+        for y in 0..64 {
+            for x in 0..64 {
+                if test.passes(x, y) {
+                    prop_assert!(
+                        blocks.contains(&grid.block_of(x, y)),
+                        "effective pixel ({x},{y}) missed"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compositing_color_is_convex_combination(
+        alphas in prop::collection::vec(0.0f32..0.99, 1..30),
+    ) {
+        // Blending layers of unit-red: final red ∈ [0, 1], T ∈ (0, 1].
+        let st = composite(alphas.iter().map(|&a| (a, Vec3::new(1.0, 0.0, 0.0))));
+        prop_assert!(st.color.x >= -1e-6 && st.color.x <= 1.0 + 1e-5);
+        prop_assert!(st.transmittance > 0.0 && st.transmittance <= 1.0);
+        // Conservation: blended mass + remaining T = 1.
+        prop_assert!((st.color.x + st.transmittance - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn blend_order_within_equal_alpha_layers_is_commutative_in_t(
+        a1 in 0.01f32..0.9,
+        a2 in 0.01f32..0.9,
+    ) {
+        // Transmittance is a product, hence order independent.
+        let mut s1 = PixelState::new();
+        s1.blend(a1, Vec3::ZERO);
+        s1.blend(a2, Vec3::ZERO);
+        let mut s2 = PixelState::new();
+        s2.blend(a2, Vec3::ZERO);
+        s2.blend(a1, Vec3::ZERO);
+        prop_assert!((s1.transmittance - s2.transmittance).abs() < 1e-6);
+    }
+
+    #[test]
+    fn grouping_partitions_and_orders(depths in prop::collection::vec(0.0f32..50.0, 1..3000)) {
+        let groups = group_by_depth(&depths, &GroupingConfig::for_count(depths.len()));
+        let mut seen = vec![false; depths.len()];
+        let mut prev_min = f32::NEG_INFINITY;
+        for g in groups.iter() {
+            prop_assert!(g.members.len() <= gcc_core::MAX_GROUP_SIZE);
+            prop_assert!(g.depth_min >= prev_min - 1e-4);
+            prev_min = g.depth_min;
+            for &id in &g.members {
+                prop_assert!(!seen[id as usize], "duplicate member {id}");
+                seen[id as usize] = true;
+            }
+        }
+        let grouped = seen.iter().filter(|&&s| s).count();
+        let culled = depths.iter().filter(|&&d| d < gcc_core::NEAR_DEPTH).count();
+        prop_assert_eq!(grouped + culled, depths.len());
+    }
+
+    #[test]
+    fn lut_exp_stays_within_one_percent(x in -5.54f32..-0.001) {
+        let lut = gcc_math::PwlExp::new();
+        let exact = x.exp();
+        let approx = lut.eval(x);
+        prop_assert!((approx - exact).abs() / exact < 0.01);
+    }
+}
