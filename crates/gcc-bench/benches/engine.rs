@@ -1,0 +1,76 @@
+//! Criterion benches of the parallel frame engine: the same frame through
+//! sequential and multi-threaded schedules, plus a trajectory batch.
+//! This is the acceptance check that intra-frame parallelism beats
+//! single-threaded rendering on a multi-core host.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gcc_parallel::Parallelism;
+use gcc_render::gaussian_wise::{render_gaussian_wise_with, GaussianWiseConfig};
+use gcc_render::standard::{render_standard_with, StandardConfig};
+use gcc_render::StandardRenderer;
+use gcc_scene::{SceneConfig, ScenePreset, TrajectoryRunner};
+
+fn bench_standard_engine(c: &mut Criterion) {
+    let scene = ScenePreset::Train.build(&SceneConfig::with_scale(0.2));
+    let cam = scene.default_camera();
+    let cfg = StandardConfig::default();
+    let mut group = c.benchmark_group("standard_frame_engine");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| render_standard_with(&scene.gaussians, &cam, &cfg, Parallelism::Sequential))
+    });
+    group.bench_function("threads_auto", |b| {
+        b.iter(|| render_standard_with(&scene.gaussians, &cam, &cfg, Parallelism::Auto))
+    });
+    group.finish();
+}
+
+fn bench_gaussian_wise_engine(c: &mut Criterion) {
+    let scene = ScenePreset::Train.build(&SceneConfig::with_scale(0.2));
+    let cam = scene.default_camera();
+    // Intra-frame parallelism for the Gaussian-wise schedule comes from
+    // Cmode sub-views.
+    let cfg = GaussianWiseConfig {
+        subview: Some(32),
+        ..GaussianWiseConfig::default()
+    };
+    let mut group = c.benchmark_group("gaussian_wise_frame_engine_cmode32");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| render_gaussian_wise_with(&scene.gaussians, &cam, &cfg, Parallelism::Sequential))
+    });
+    group.bench_function("threads_auto", |b| {
+        b.iter(|| render_gaussian_wise_with(&scene.gaussians, &cam, &cfg, Parallelism::Auto))
+    });
+    group.finish();
+}
+
+fn bench_trajectory_batch(c: &mut Criterion) {
+    let scene = ScenePreset::Lego.build(&SceneConfig::with_scale(0.1));
+    let renderer = StandardRenderer::reference();
+    let mut group = c.benchmark_group("trajectory_8_frames");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            TrajectoryRunner::new(8)
+                .with_parallelism(Parallelism::Sequential)
+                .run(&scene, &renderer)
+        })
+    });
+    group.bench_function("threads_auto", |b| {
+        b.iter(|| {
+            TrajectoryRunner::new(8)
+                .with_parallelism(Parallelism::Auto)
+                .run(&scene, &renderer)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    engine,
+    bench_standard_engine,
+    bench_gaussian_wise_engine,
+    bench_trajectory_batch
+);
+criterion_main!(engine);

@@ -21,7 +21,14 @@ fn main() {
     println!("=== Figure 2(a): Gaussians per processing phase ===");
     println!("(paper: 64.0%-82.8% of preprocessed Gaussians unused)\n");
     let mut ta = TablePrinter::new();
-    ta.row(["Scene", "Total", "InFrustum", "Rendered", "Unused%", "Paper%"]);
+    ta.row([
+        "Scene",
+        "Total",
+        "InFrustum",
+        "Rendered",
+        "Unused%",
+        "Paper%",
+    ]);
     let paper_unused = [67.1, 64.0, 81.4, 82.8];
 
     let mut tb = TablePrinter::new();
@@ -36,7 +43,7 @@ fn main() {
         ta.row([
             scene.name.clone(),
             fmt_count(s.total_gaussians),
-            fmt_count(s.preprocessed),
+            fmt_count(s.projected),
             fmt_count(s.rendered),
             format!("{:.1}%", 100.0 * s.unused_fraction()),
             format!("{:.1}%", paper_unused[i]),

@@ -8,9 +8,7 @@
 //! Usage: `cargo run --release -p gcc-bench --bin fig04_regions`
 
 use gcc_bench::TablePrinter;
-use gcc_core::bounds::{
-    bounding_radius, BoundingLaw, EffectiveTest, Obb, PixelRect,
-};
+use gcc_core::bounds::{bounding_radius, BoundingLaw, EffectiveTest, Obb, PixelRect};
 use gcc_math::{SymMat2, Vec2};
 
 const W: u32 = 96;
@@ -29,8 +27,7 @@ fn main() {
     for &opacity in &[1.0f32, 0.01] {
         let r = bounding_radius(BoundingLaw::ThreeSigma, l1, opacity);
         let aabb = PixelRect::from_circle(center, r, W, H);
-        let obb =
-            Obb::from_cov(center, cov, BoundingLaw::ThreeSigma, opacity).expect("valid obb");
+        let obb = Obb::from_cov(center, cov, BoundingLaw::ThreeSigma, opacity).expect("valid obb");
         let eff = EffectiveTest::new(center, conic, opacity);
         let full = PixelRect {
             x0: 0,

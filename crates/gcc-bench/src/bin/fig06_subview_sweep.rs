@@ -17,10 +17,7 @@ fn main() {
     for preset in [ScenePreset::Lego, ScenePreset::Train] {
         let scene = bench_scene(preset);
         let cam = scene.default_camera();
-        println!(
-            "--- {} ({}x{}) ---",
-            scene.name, cam.width, cam.height
-        );
+        println!("--- {} ({}x{}) ---", scene.name, cam.width, cam.height);
         let mut t = TablePrinter::new();
         t.row([
             "SubView",
@@ -41,10 +38,10 @@ fn main() {
                 format!("{sub}"),
                 format!("{}", sub * 2),
                 fmt_count(s.render_invocations),
-                fmt_count(s.rendered_unique),
+                fmt_count(s.rendered),
                 format!(
                     "{:.2}x",
-                    s.render_invocations as f64 / s.rendered_unique.max(1) as f64
+                    s.render_invocations as f64 / s.rendered.max(1) as f64
                 ),
                 fmt_count(s.geometry_loads),
             ]);

@@ -17,7 +17,13 @@ fn main() {
 
     let mut t = TablePrinter::new();
     t.row([
-        "Scene", "GSCoreFPS", "GCCFPS", "Speedup/mm2", "Paper", "EnergyEff/mm2", "Paper",
+        "Scene",
+        "GSCoreFPS",
+        "GCCFPS",
+        "Speedup/mm2",
+        "Paper",
+        "EnergyEff/mm2",
+        "Paper",
         "GSCore-pre%",
     ]);
     let mut speedups = Vec::new();
@@ -26,8 +32,18 @@ fn main() {
     for (i, preset) in ALL_PRESETS.iter().enumerate() {
         let scene = bench_scene(*preset);
         let cam = scene.default_camera();
-        let (gs, _) = simulate_gscore(&scene.gaussians, &cam, &GscoreConfig::default(), &scene.name);
-        let (gc, _) = simulate_gcc(&scene.gaussians, &cam, &GccSimConfig::default(), &scene.name);
+        let (gs, _) = simulate_gscore(
+            &scene.gaussians,
+            &cam,
+            &GscoreConfig::default(),
+            &scene.name,
+        );
+        let (gc, _) = simulate_gcc(
+            &scene.gaussians,
+            &cam,
+            &GccSimConfig::default(),
+            &scene.name,
+        );
 
         // Area-normalized throughput ratio (FPS/mm²), the paper's metric.
         let speedup = gc.fps_per_mm2() / gs.fps_per_mm2();

@@ -16,13 +16,23 @@ use gcc_sim::gscore::{simulate_gscore, GscoreConfig};
 use gcc_sim::SimReport;
 
 fn main() {
-    let scenes = [ScenePreset::Palace, ScenePreset::Train, ScenePreset::Drjohnson];
+    let scenes = [
+        ScenePreset::Palace,
+        ScenePreset::Train,
+        ScenePreset::Drjohnson,
+    ];
 
     let mut perf = TablePrinter::new();
     perf.row(["Scene", "Baseline", "GW", "GW+CC(GCC)"]);
     let mut dram = TablePrinter::new();
     dram.row([
-        "Scene", "Variant", "3D(MB)", "2D(MB)", "KV(MB)", "Other(MB)", "Norm",
+        "Scene",
+        "Variant",
+        "3D(MB)",
+        "2D(MB)",
+        "KV(MB)",
+        "Other(MB)",
+        "Norm",
     ]);
     let mut comp = TablePrinter::new();
     comp.row(["Scene", "Baseline", "GCC", "Reduction"]);
@@ -30,14 +40,23 @@ fn main() {
     for preset in scenes {
         let scene = bench_scene(preset);
         let cam = scene.default_camera();
-        let (base, _) =
-            simulate_gscore(&scene.gaussians, &cam, &GscoreConfig::default(), &scene.name);
+        let (base, _) = simulate_gscore(
+            &scene.gaussians,
+            &cam,
+            &GscoreConfig::default(),
+            &scene.name,
+        );
         let gw_cfg = GccSimConfig {
             cross_stage: false,
             ..GccSimConfig::default()
         };
         let (gw, _) = simulate_gcc(&scene.gaussians, &cam, &gw_cfg, &scene.name);
-        let (cc, _) = simulate_gcc(&scene.gaussians, &cam, &GccSimConfig::default(), &scene.name);
+        let (cc, _) = simulate_gcc(
+            &scene.gaussians,
+            &cam,
+            &GccSimConfig::default(),
+            &scene.name,
+        );
 
         perf.row([
             scene.name.clone(),

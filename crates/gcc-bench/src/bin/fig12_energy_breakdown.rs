@@ -21,8 +21,18 @@ fn main() {
     for preset in ALL_PRESETS {
         let scene = bench_scene(preset);
         let cam = scene.default_camera();
-        let (gs, _) = simulate_gscore(&scene.gaussians, &cam, &GscoreConfig::default(), &scene.name);
-        let (gc, _) = simulate_gcc(&scene.gaussians, &cam, &GccSimConfig::default(), &scene.name);
+        let (gs, _) = simulate_gscore(
+            &scene.gaussians,
+            &cam,
+            &GscoreConfig::default(),
+            &scene.name,
+        );
+        let (gc, _) = simulate_gcc(
+            &scene.gaussians,
+            &cam,
+            &GccSimConfig::default(),
+            &scene.name,
+        );
         for r in [&gs, &gc] {
             let e = &r.energy;
             t.row([

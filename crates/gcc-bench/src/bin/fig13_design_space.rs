@@ -45,7 +45,14 @@ fn main() {
 
     println!("\n=== Figure 13(b): alpha & blending array size sweep (Train) ===\n");
     let mut tb = TablePrinter::new();
-    tb.row(["ArrayEdge", "Lanes", "FPS", "Area(mm2)", "FPS/mm2", "mJ*mm2"]);
+    tb.row([
+        "ArrayEdge",
+        "Lanes",
+        "FPS",
+        "Area(mm2)",
+        "FPS/mm2",
+        "mJ*mm2",
+    ]);
     for &edge in &[4u32, 8, 16, 32, 64] {
         let cfg = GccSimConfig {
             block_edge: edge,

@@ -21,7 +21,11 @@ use gcc_sim::gpu::{gcc_dataflow_cost, standard_dataflow_cost, GpuPlatform};
 use gcc_sim::gscore::{simulate_gscore, GscoreConfig};
 
 fn main() {
-    let scenes = [ScenePreset::Palace, ScenePreset::Train, ScenePreset::Drjohnson];
+    let scenes = [
+        ScenePreset::Palace,
+        ScenePreset::Train,
+        ScenePreset::Drjohnson,
+    ];
     let gpus = [GpuPlatform::rtx3090(), GpuPlatform::jetson_xavier()];
 
     println!("=== Figure 15: dataflow time breakdown, normalized per platform ===\n");
@@ -60,9 +64,18 @@ fn main() {
 
         // Accelerator column: GSCore (standard) vs GCC, from the cycle
         // models, sliced into the same categories.
-        let (gs, _) =
-            simulate_gscore(&scene.gaussians, &cam, &GscoreConfig::default(), &scene.name);
-        let (gc, _) = simulate_gcc(&scene.gaussians, &cam, &GccSimConfig::default(), &scene.name);
+        let (gs, _) = simulate_gscore(
+            &scene.gaussians,
+            &cam,
+            &GscoreConfig::default(),
+            &scene.name,
+        );
+        let (gc, _) = simulate_gcc(
+            &scene.gaussians,
+            &cam,
+            &GccSimConfig::default(),
+            &scene.name,
+        );
         let base = gs.total_cycles;
         let gs_pre = gs.phases[0].cycles();
         let gs_sort = gs.phases[1].cycles();

@@ -39,8 +39,14 @@ fn main() {
             fmt_count(s.pixels_tested_aabb),
             fmt_count(s.pixels_tested_obb),
             fmt_count(s.pixels_blended),
-            format!("{:.2}x", s.pixels_tested_aabb as f64 / s.pixels_tested_obb.max(1) as f64),
-            format!("{:.2}x", s.pixels_tested_obb as f64 / s.pixels_blended.max(1) as f64),
+            format!(
+                "{:.2}x",
+                s.pixels_tested_aabb as f64 / s.pixels_tested_obb.max(1) as f64
+            ),
+            format!(
+                "{:.2}x",
+                s.pixels_tested_obb as f64 / s.pixels_blended.max(1) as f64
+            ),
         ]);
     }
     t.print();

@@ -22,9 +22,7 @@ fn main() {
 
     println!("=== Table 2: rendering quality (PSNR dB / perceptual distance / SSIM) ===\n");
     let mut t = TablePrinter::new();
-    t.row([
-        "Scene", "Method", "PSNR", "Perc.", "SSIM", "dPSNR-vs-GPU",
-    ]);
+    t.row(["Scene", "Method", "PSNR", "Perc.", "SSIM", "dPSNR-vs-GPU"]);
     for (i, preset) in ALL_PRESETS.iter().enumerate() {
         let scene = bench_scene(*preset);
         let cam = scene.default_camera();

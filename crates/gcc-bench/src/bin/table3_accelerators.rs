@@ -15,7 +15,7 @@ use gcc_scene::ScenePreset;
 use gcc_sim::area::{gcc_summary, gscore_summary};
 use gcc_sim::gcc::{simulate_gcc, GccSimConfig};
 use gcc_sim::gscore::{simulate_gscore, GscoreConfig};
-use gcc_sim::scaling::{scale_gaussian_wise, scale_standard, WorkloadScale};
+use gcc_sim::scaling::{scale_stats, WorkloadScale};
 
 /// Full-scale Lego (~331 K Gaussians at 800×800) over our repro scene.
 const FULL_SCALE_FACTOR: f64 = 9.7;
@@ -33,12 +33,12 @@ fn main() {
     let scale = WorkloadScale::uniform(FULL_SCALE_FACTOR);
     let pixels_full = f64::from(cam.width) * f64::from(cam.height) * FULL_SCALE_FACTOR;
     let gs_full = gcc_sim::gscore::report_from_stats(
-        &scale_standard(&gs_out.stats, scale),
+        &scale_stats(&gs_out.stats, scale),
         &gs_cfg,
         &scene.name,
     );
     let gc_full = gcc_sim::gcc::report_from_stats(
-        &scale_gaussian_wise(&gc_out.stats, scale),
+        &scale_stats(&gc_out.stats, scale),
         pixels_full,
         &gc_cfg,
         &scene.name,
@@ -51,14 +51,61 @@ fn main() {
     println!("=== Table 3: neural rendering accelerator comparison (Lego) ===\n");
     let mut t = TablePrinter::new();
     t.row([
-        "Design", "Model", "Process", "Area(mm2)", "SRAM(KB)", "Freq", "Power(W)",
-        "FPS*", "FPS/mm2",
+        "Design",
+        "Model",
+        "Process",
+        "Area(mm2)",
+        "SRAM(KB)",
+        "Freq",
+        "Power(W)",
+        "FPS*",
+        "FPS/mm2",
     ]);
     // Literature rows, as printed in the paper.
-    t.row(["MetaVRain (ISSCC'23)", "NeRF", "28nm", "20.25", "2015", "250MHz", "0.89", "110", "5.43"]);
-    t.row(["Fusion-3D (MICRO'24)", "NeRF", "28nm", "8.7", "1099", "600MHz", "6.0", "36", "4.13"]);
-    t.row(["NVIDIA A6000", "3DGS", "8nm", "628", "-", "1040MHz", "300", "300", "0.48"]);
-    t.row(["Jetson AGX Xavier", "3DGS", "12nm", "350", "-", "854MHz", "30", "20", "0.05"]);
+    t.row([
+        "MetaVRain (ISSCC'23)",
+        "NeRF",
+        "28nm",
+        "20.25",
+        "2015",
+        "250MHz",
+        "0.89",
+        "110",
+        "5.43",
+    ]);
+    t.row([
+        "Fusion-3D (MICRO'24)",
+        "NeRF",
+        "28nm",
+        "8.7",
+        "1099",
+        "600MHz",
+        "6.0",
+        "36",
+        "4.13",
+    ]);
+    t.row([
+        "NVIDIA A6000",
+        "3DGS",
+        "8nm",
+        "628",
+        "-",
+        "1040MHz",
+        "300",
+        "300",
+        "0.48",
+    ]);
+    t.row([
+        "Jetson AGX Xavier",
+        "3DGS",
+        "12nm",
+        "350",
+        "-",
+        "854MHz",
+        "30",
+        "20",
+        "0.05",
+    ]);
     t.row([
         "GSCore (ASPLOS'24, sim)".to_string(),
         "3DGS".to_string(),
@@ -95,5 +142,9 @@ fn main() {
         "\n*GSCore/GCC FPS extrapolated to the paper's full-scale Lego ({}x repro workload);",
         FULL_SCALE_FACTOR
     );
-    println!(" measured at repro scale: GSCore {:.0} FPS, GCC {:.0} FPS.", gs.fps(), gc.fps());
+    println!(
+        " measured at repro scale: GSCore {:.0} FPS, GCC {:.0} FPS.",
+        gs.fps(),
+        gc.fps()
+    );
 }

@@ -22,11 +22,10 @@
 //! border).
 
 use crate::bounds::EffectiveTest;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Statistics from one pixel-level trace.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PixelTraceStats {
     /// Pixels found inside the influence region.
     pub pixels_in_region: u64,
@@ -178,7 +177,7 @@ const NEIGHBORS8: [(i32, i32); 8] = [
 ];
 
 /// How a [`BlockTracer`] treats transmittance-masked blocks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MaskMode {
     /// Paper behaviour (§4.5): masked blocks initialize the status map as
     /// visited — they are neither dispatched nor expanded through.
@@ -189,7 +188,7 @@ pub enum MaskMode {
 }
 
 /// Geometry of the block grid the Alpha Unit operates on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BlockGrid {
     /// Block edge length in pixels (GCC: 8).
     pub block: u32,
@@ -254,7 +253,7 @@ impl BlockGrid {
 
 /// Per-block transmittance mask maintained by the Blending Unit: a block is
 /// masked once *all* of its pixels have terminated (`T < 1e-4`).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TMask {
     bits: Vec<bool>,
 }
@@ -284,7 +283,7 @@ impl TMask {
 }
 
 /// Statistics from one block-level trace.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BlockTraceStats {
     /// Blocks dispatched to the PE array (alpha computed for each lane).
     pub blocks_dispatched: u64,

@@ -2,12 +2,11 @@
 //! opacity-aware ω-σ law (Eq. 8), AABB/OBB footprints (Fig. 4, Table 1) and
 //! the exact alpha ellipse test (Eq. 7).
 
-use crate::{ALPHA_MIN, ALPHA_MAX};
+use crate::{ALPHA_MAX, ALPHA_MIN};
 use gcc_math::{SymMat2, Vec2};
-use serde::{Deserialize, Serialize};
 
 /// Which law converts a projected covariance into a bounding radius.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BoundingLaw {
     /// The conventional fixed `3σ` envelope: `r = ⌈3·√λmax⌉` (Eq. 6),
     /// used by GPU 3DGS and GSCore regardless of opacity.
@@ -42,7 +41,7 @@ pub fn bounding_radius(law: BoundingLaw, lambda_max: f32, opacity: f32) -> f32 {
 }
 
 /// Integer pixel rectangle, clipped to the screen: the AABB footprint.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PixelRect {
     /// Inclusive minimum x.
     pub x0: i32,
@@ -119,7 +118,7 @@ impl PixelRect {
 /// Oriented bounding box of a splat ellipse (GSCore's tightened footprint):
 /// centered at the projected mean, axes along the covariance eigenvectors,
 /// half-lengths set by the bounding law applied per-eigenvalue.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Obb {
     /// Projected Gaussian center.
     pub center: Vec2,
@@ -181,9 +180,7 @@ impl Obb {
     /// Number of screen pixels inside the OBB (Table 1's "OBB" row).
     pub fn pixel_count(&self, width: u32, height: u32) -> u64 {
         let rect = self.enclosing_rect(width, height);
-        rect.pixels()
-            .filter(|&(x, y)| self.contains(x, y))
-            .count() as u64
+        rect.pixels().filter(|&(x, y)| self.contains(x, y)).count() as u64
     }
 }
 
@@ -273,7 +270,10 @@ mod tests {
 
     #[test]
     fn invisible_opacity_gives_empty_envelope() {
-        assert_eq!(bounding_radius(BoundingLaw::OmegaSigma, 10.0, 1.0 / 255.0), 0.0);
+        assert_eq!(
+            bounding_radius(BoundingLaw::OmegaSigma, 10.0, 1.0 / 255.0),
+            0.0
+        );
         assert_eq!(bounding_radius(BoundingLaw::OmegaSigma, 10.0, 0.001), 0.0);
     }
 

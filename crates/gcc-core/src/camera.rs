@@ -2,10 +2,9 @@
 //! viewing direction, so view-space depth is simply `z′` (paper Stage I).
 
 use gcc_math::{Mat4, Vec2, Vec3};
-use serde::{Deserialize, Serialize};
 
 /// A posed pinhole camera with pixel-space intrinsics.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Camera {
     /// World → camera rigid transform (rotation block `W` + translation).
     pub view: Mat4,

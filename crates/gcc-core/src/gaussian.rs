@@ -5,7 +5,6 @@
 
 use crate::sh;
 use gcc_math::{Quat, Vec3};
-use serde::{Deserialize, Serialize};
 
 /// SH coefficients per color channel (third-order real SH: (3+1)² = 16).
 pub const SH_COEFFS_PER_CHANNEL: usize = 16;
@@ -25,7 +24,7 @@ pub const PARAM_FLOATS: usize = 3 + 3 + 4 + 1 + SH_FLOATS;
 ///
 /// SH coefficients are channel-major: `sh[c * 16 + k]` is coefficient `k`
 /// of channel `c` (0 = R, 1 = G, 2 = B).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Gaussian3D {
     /// World-space mean position μ.
     pub mean: Vec3,
@@ -36,27 +35,7 @@ pub struct Gaussian3D {
     /// Log-space opacity `ln ω` with `ω ∈ (0, 1]`.
     pub ln_opacity: f32,
     /// 48 spherical-harmonics coefficients, channel-major.
-    #[serde(with = "sh_serde")]
     pub sh: [f32; SH_FLOATS],
-}
-
-/// Serde support for the 48-float SH block (serde's built-in array impls
-/// stop at 32 elements).
-mod sh_serde {
-    use super::SH_FLOATS;
-    use serde::de::Error;
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
-
-    pub fn serialize<S: Serializer>(v: &[f32; SH_FLOATS], s: S) -> Result<S::Ok, S::Error> {
-        v.as_slice().serialize(s)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<[f32; SH_FLOATS], D::Error> {
-        let v = Vec::<f32>::deserialize(d)?;
-        let n = v.len();
-        v.try_into()
-            .map_err(|_| D::Error::custom(format!("expected {SH_FLOATS} SH floats, got {n}")))
-    }
 }
 
 impl Default for Gaussian3D {

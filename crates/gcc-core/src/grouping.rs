@@ -9,10 +9,9 @@
 //! *within* each group to obtain a global front-to-back order.
 
 use crate::{MAX_GROUP_SIZE, NEAR_DEPTH};
-use serde::{Deserialize, Serialize};
 
 /// One depth group: the indices of its member Gaussians and its depth span.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DepthGroup {
     /// Indices into the scene's Gaussian array (unsorted within the group;
     /// Stage III sorts them).
@@ -24,7 +23,7 @@ pub struct DepthGroup {
 }
 
 /// The output of Stage I: near-to-far depth groups plus culling stats.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DepthGroups {
     /// Groups ordered near → far; member counts never exceed the group
     /// capacity used at construction.
@@ -48,7 +47,7 @@ impl DepthGroups {
 }
 
 /// Configuration of the grouping pass.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GroupingConfig {
     /// Near-plane pivot (paper: 0.2).
     pub near: f32,

@@ -6,7 +6,6 @@
 use crate::bounds::{bounding_radius, BoundingLaw};
 use crate::{Camera, Gaussian3D};
 use gcc_math::{Mat3, SymMat2, Vec2, Vec3};
-use serde::{Deserialize, Serialize};
 
 /// Screen-space dilation added to the projected covariance diagonal — the
 /// low-pass filter of the 3DGS rasterizer ensuring every splat covers at
@@ -16,7 +15,7 @@ pub const COV2D_DILATION: f32 = 0.3;
 /// A Gaussian that survived projection: everything the rendering stages
 /// need (paper Fig. 3's Stage II/III outputs — μ′ 2 floats, Σ′ 3 floats,
 /// plus depth, color and opacity).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProjectedGaussian {
     /// Index of the source Gaussian in its scene.
     pub id: u32,

@@ -151,7 +151,8 @@ mod tests {
                     theta.cos() as f32,
                 );
                 let b = basis(d);
-                let w = theta.sin() * std::f64::consts::PI / n_theta as f64 * 2.0
+                let w = theta.sin() * std::f64::consts::PI / n_theta as f64
+                    * 2.0
                     * std::f64::consts::PI
                     / n_phi as f64;
                 for i in 0..4 {

@@ -7,13 +7,11 @@
 //! the cycle-faithful model the simulator's sort-throughput constant is
 //! derived from, and tests pin the two against each other.
 
-use serde::{Deserialize, Serialize};
-
 /// Width of the hardware sorting network (GSCore/GCC: 16).
 pub const NETWORK_WIDTH: usize = 16;
 
 /// A key-index pair flowing through the sorter (depth + Gaussian ID).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SortRecord {
     /// Sort key (view depth).
     pub key: f32,
@@ -22,7 +20,7 @@ pub struct SortRecord {
 }
 
 /// Statistics of one sort: how much work the hardware network did.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SortStats {
     /// Compare-exchange operations executed.
     pub compare_exchanges: u64,
@@ -205,8 +203,14 @@ mod tests {
 
     #[test]
     fn group_sort_matches_std_sort() {
-        let src: Vec<f32> = (0..256).map(|i| (((i * 2654435761u64 as usize) % 1000) as f32) * 0.1).collect();
-        let pairs: Vec<(f32, u32)> = src.iter().enumerate().map(|(i, &k)| (k, i as u32)).collect();
+        let src: Vec<f32> = (0..256)
+            .map(|i| (((i * 2654435761u64 as usize) % 1000) as f32) * 0.1)
+            .collect();
+        let pairs: Vec<(f32, u32)> = src
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (k, i as u32))
+            .collect();
         let (ids, stats) = sort_by_depth(&pairs);
         let mut expect: Vec<(f32, u32)> = pairs.clone();
         expect.sort_by(|a, b| a.0.total_cmp(&b.0));

@@ -9,7 +9,6 @@
 //! which this implementation meets (see the error-bound test).
 
 use crate::fixed::{fixed_mul, from_fixed, to_fixed};
-use serde::{Deserialize, Serialize};
 
 /// Lower edge of the LUT input range: `ln(1/255) ≈ -5.5413`.
 pub const EXP_INPUT_MIN: f32 = -5.54;
@@ -36,7 +35,7 @@ const FRAC_BITS: u32 = 20;
 /// assert_eq!(exp.eval(-9.0), 0.0); // clamped
 /// assert_eq!(exp.eval(0.5), 1.0); // saturated
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PwlExp {
     /// Per-segment slope in fixed point.
     slope: Vec<i32>,

@@ -2,11 +2,10 @@
 //! Σ′ = J W Σ Wᵀ Jᵀ (paper Eq. 1).
 
 use crate::{Vec2, Vec3, Vec4};
-use serde::{Deserialize, Serialize};
 use std::ops::{Add, Mul, Sub};
 
 /// 2×2 matrix, row-major.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Mat2 {
     /// Row-major entries `[[m00, m01], [m10, m11]]`.
     pub m: [[f32; 2]; 2],
@@ -70,7 +69,7 @@ impl Mul for Mat2 {
 
 /// 3×3 matrix, row-major. Used for rotations, covariances and the EWA
 /// Jacobian/view blocks.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Mat3 {
     /// Row-major entries.
     pub m: [[f32; 3]; 3],
@@ -153,10 +152,7 @@ impl Mat3 {
     /// Upper-left 2×2 block — the final step of Σ′ extraction in EWA
     /// splatting (the paper keeps only the 2D screen-space covariance).
     pub fn upper_left_2x2(&self) -> Mat2 {
-        Mat2::from_rows(
-            [self.m[0][0], self.m[0][1]],
-            [self.m[1][0], self.m[1][1]],
-        )
+        Mat2::from_rows([self.m[0][0], self.m[0][1]], [self.m[1][0], self.m[1][1]])
     }
 
     /// Frobenius norm, mostly useful in tests.
@@ -210,7 +206,7 @@ impl Sub for Mat3 {
 }
 
 /// 4×4 matrix, row-major. View and projection transforms.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Mat4 {
     /// Row-major entries.
     pub m: [[f32; 4]; 4],
@@ -229,7 +225,9 @@ impl Mat4 {
 
     /// Builds a matrix from rows.
     pub const fn from_rows(r0: [f32; 4], r1: [f32; 4], r2: [f32; 4], r3: [f32; 4]) -> Self {
-        Self { m: [r0, r1, r2, r3] }
+        Self {
+            m: [r0, r1, r2, r3],
+        }
     }
 
     /// Homogeneous matrix-vector product.

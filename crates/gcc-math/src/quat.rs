@@ -2,14 +2,13 @@
 //! parameterize each Gaussian's rotation matrix `R` (paper Eq. 1).
 
 use crate::{Mat3, Vec3};
-use serde::{Deserialize, Serialize};
 
 /// A rotation quaternion `w + xi + yj + zk`.
 ///
 /// 3DGS stores rotations as four floats that are normalized on use; the
 /// Reconstruction Unit (paper §4.3) performs the same normalize-then-expand
 /// sequence implemented by [`Quat::to_mat3`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Quat {
     /// Scalar part.
     pub w: f32,

@@ -11,10 +11,9 @@
 //! ω-σ law (paper Eq. 8).
 
 use crate::{Mat2, Vec2};
-use serde::{Deserialize, Serialize};
 
 /// Symmetric 2×2 matrix stored as `(a, b, c)` = (m00, m01 = m10, m11).
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct SymMat2 {
     /// Top-left entry.
     pub a: f32,

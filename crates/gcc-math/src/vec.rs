@@ -1,6 +1,5 @@
 //! Small fixed-size vectors (`f32`), the workhorse types of the pipeline.
 
-use serde::{Deserialize, Serialize};
 use std::ops::{Add, AddAssign, Div, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign};
 
 macro_rules! impl_vec_common {
@@ -150,7 +149,7 @@ macro_rules! impl_vec_common {
 }
 
 /// 2D vector: pixel coordinates, projected means, screen offsets.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Vec2 {
     /// Horizontal component.
     pub x: f32,
@@ -190,7 +189,7 @@ impl Index<usize> for Vec2 {
 }
 
 /// 3D vector: world/camera-space positions, scales, view directions, RGB.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Vec3 {
     /// X component.
     pub x: f32,
@@ -252,7 +251,7 @@ impl IndexMut<usize> for Vec3 {
 }
 
 /// 4D vector: homogeneous coordinates and quaternion storage.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Vec4 {
     /// X component.
     pub x: f32,

@@ -1,0 +1,246 @@
+//! Deterministic data-parallel primitives for the frame engine.
+//!
+//! This crate is the workspace's rayon seam: the build environment has no
+//! crates.io access, so instead of `rayon` the engine runs on a minimal
+//! work-stealing map built from `std::thread::scope`. The API is shaped so
+//! that swapping in rayon later is a local change inside this crate.
+//!
+//! Two invariants matter to callers and are guaranteed here:
+//!
+//! * **Order preservation** — [`par_map`] returns results in input order,
+//!   whatever order workers finished in, so parallel pipelines produce
+//!   output streams identical to their sequential counterparts.
+//! * **Determinism** — each item is processed exactly once by a pure call
+//!   of the worker closure; merging is the caller's job and stays
+//!   bit-for-bit reproducible as long as the caller's merge is performed
+//!   in input order (associative counters, disjoint pixel patches).
+//!
+//! Scheduling (which worker runs which item) is *not* deterministic — only
+//! the results are.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How many worker threads a parallel stage should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Run inline on the calling thread (the reference schedule).
+    Sequential,
+    /// One worker per available hardware thread.
+    #[default]
+    Auto,
+    /// Exactly this many workers.
+    Fixed(NonZeroUsize),
+}
+
+impl Parallelism {
+    /// Worker-thread count this policy resolves to on the current host.
+    pub fn threads(self) -> usize {
+        match self {
+            Self::Sequential => 1,
+            Self::Auto => available_threads(),
+            Self::Fixed(n) => n.get(),
+        }
+    }
+
+    /// Convenience constructor; `n = 0` or `1` means sequential.
+    pub fn fixed(n: usize) -> Self {
+        match NonZeroUsize::new(n) {
+            Some(n) if n.get() > 1 => Self::Fixed(n),
+            _ => Self::Sequential,
+        }
+    }
+}
+
+/// Hardware threads available to this process (at least 1).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `0..count` with `threads` workers and returns the results
+/// in index order. Items are handed out through an atomic cursor, so
+/// uneven item costs still balance across workers.
+///
+/// With `threads <= 1` (or fewer than two items) the map runs inline on
+/// the calling thread — that path *is* the sequential reference schedule,
+/// not an approximation of it.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the scope joins all workers first).
+pub fn par_map_indexed<R, F>(count: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if threads <= 1 || count < 2 {
+        return (0..count).map(f).collect();
+    }
+    let workers = threads.min(count);
+    let cursor = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(count));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= count {
+                        break;
+                    }
+                    local.push((i, f(i)));
+                }
+                if !local.is_empty() {
+                    collected
+                        .lock()
+                        .expect("worker result mutex poisoned")
+                        .append(&mut local);
+                }
+            });
+        }
+    });
+    let mut pairs = collected
+        .into_inner()
+        .expect("worker result mutex poisoned");
+    pairs.sort_unstable_by_key(|(i, _)| *i);
+    debug_assert_eq!(pairs.len(), count);
+    pairs.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Maps `f` over a slice with `threads` workers, preserving input order.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_indexed(items.len(), threads, |i| f(&items[i]))
+}
+
+/// Chunked order-preserving map: one output element per input element,
+/// with contiguous chunks dispatched to workers (amortizing the per-task
+/// handout for fine-grained items). The result is element-for-element
+/// identical to `items.iter().enumerate().map(per_item).collect()`.
+pub fn par_map_chunked<T, R, F>(items: &[T], threads: usize, per_item: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_filter_map_chunked(items, threads, |i, t| Some(per_item(i, t)))
+}
+
+/// Chunked order-preserving flat map: splits `items` into contiguous
+/// chunks, maps each chunk on a worker with `per_item`, and concatenates
+/// the per-chunk outputs in input order. The result is element-for-element
+/// identical to `items.iter().filter_map(per_item).collect()`.
+pub fn par_filter_map_chunked<T, R, F>(items: &[T], threads: usize, per_item: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> Option<R> + Sync,
+{
+    if threads <= 1 || items.len() < 2 {
+        return items
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| per_item(i, t))
+            .collect();
+    }
+    // Several chunks per worker so a dense chunk cannot straggle the map.
+    let chunk = items.len().div_ceil(threads * 4).max(1);
+    let chunks: Vec<(usize, &[T])> = items
+        .chunks(chunk)
+        .enumerate()
+        .map(|(k, c)| (k * chunk, c))
+        .collect();
+    let mapped = par_map(&chunks, threads, |(base, c)| {
+        c.iter()
+            .enumerate()
+            .filter_map(|(j, t)| per_item(base + j, t))
+            .collect::<Vec<R>>()
+    });
+    let mut out = Vec::with_capacity(mapped.iter().map(Vec::len).sum());
+    for mut m in mapped {
+        out.append(&mut m);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..997).collect();
+        let seq: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 3, 8] {
+            let par = par_map(&items, threads, |x| x * x);
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_indexed_handles_edge_sizes() {
+        assert!(par_map_indexed(0, 4, |i| i).is_empty());
+        assert_eq!(par_map_indexed(1, 4, |i| i), vec![0]);
+        assert_eq!(par_map_indexed(2, 16, |i| i), vec![0, 1]);
+    }
+
+    #[test]
+    fn filter_map_chunked_matches_sequential() {
+        let items: Vec<i64> = (0..1234).collect();
+        let seq: Vec<i64> = items
+            .iter()
+            .enumerate()
+            .filter_map(|(i, x)| (x % 3 == 0).then_some(x * 2 + i as i64))
+            .collect();
+        for threads in [1, 2, 7] {
+            let par = par_filter_map_chunked(&items, threads, |i, x| {
+                (x % 3 == 0).then_some(x * 2 + i as i64)
+            });
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_chunked_is_length_preserving_and_ordered() {
+        let items: Vec<u32> = (0..513).collect();
+        let seq: Vec<u64> = items.iter().map(|&x| u64::from(x) + 7).collect();
+        for threads in [1, 3, 8] {
+            let par = par_map_chunked(&items, threads, |_, &x| u64::from(x) + 7);
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallelism_resolves_thread_counts() {
+        assert_eq!(Parallelism::Sequential.threads(), 1);
+        assert_eq!(Parallelism::fixed(0), Parallelism::Sequential);
+        assert_eq!(Parallelism::fixed(1), Parallelism::Sequential);
+        assert_eq!(Parallelism::fixed(6).threads(), 6);
+        assert!(Parallelism::Auto.threads() >= 1);
+    }
+
+    #[test]
+    fn uneven_work_is_balanced_and_complete() {
+        // Items with wildly different costs still all get processed once.
+        let out = par_map_indexed(257, 5, |i| {
+            if i % 64 == 0 {
+                (0..50_000).fold(i as u64, |a, b| a.wrapping_add(b))
+            } else {
+                i as u64
+            }
+        });
+        assert_eq!(out.len(), 257);
+        assert_eq!(out[1], 1);
+        assert_eq!(out[256], (0..50_000).fold(256u64, |a, b| a.wrapping_add(b)));
+    }
+}

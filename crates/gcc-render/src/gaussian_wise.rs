@@ -1,35 +1,43 @@
 //! The GCC dataflow (paper §3, Fig. 3): Gaussian-wise rendering with
-//! cross-stage conditional processing.
+//! cross-stage conditional processing, expressed as a schedule over the
+//! shared [`crate::pipeline::stages`] primitives.
 //!
 //! Per frame:
 //!
-//! * **Stage I** — view depths for all Gaussians, near-plane cull at 0.2,
-//!   depth grouping (near → far, ≤ 256 per group).
+//! * **Stage I** — view depths for all Gaussians
+//!   ([`stages::view_depths`]), near-plane cull at 0.2, depth grouping
+//!   (near → far, ≤ 256 per group).
 //! * **Per group, interleaved**: once the frame (or Cmode sub-view) is
 //!   fully terminated, *all remaining groups are skipped* — no geometry
 //!   load, no projection, no SH (cross-stage conditional processing).
 //! * **Stage II** — position/shape projection with the opacity-aware ω-σ
-//!   law; the SCU culls off-screen and never-visible Gaussians.
-//! * **Stage III** — SH color for survivingAussians only (conditional SH
-//!   loading) and intra-group depth sort.
+//!   law ([`stages::project_one`]); the SCU culls off-screen and
+//!   never-visible Gaussians.
+//! * **Stage III** — SH color for surviving Gaussians only (conditional SH
+//!   loading, [`stages::shade_one`]) and intra-group depth sort
+//!   ([`stages::sort_by_depth`]).
 //! * **Stage IV** — Algorithm 1 block traversal (8×8 PE array granularity)
 //!   restricted by the transmittance mask, alpha evaluation (optionally
 //!   through the fixed-point LUT-EXP), and front-to-back blending.
 //!
 //! Compatibility Mode (paper §4.6) partitions the image into `n × n`
-//! sub-views rendered sequentially, with conservative screen-space binning
-//! of Gaussians to sub-views; the duplicated processing it introduces is
-//! what Fig. 6 sweeps.
+//! sub-views ([`stages::partition_windows`]) rendered independently, with
+//! conservative screen-space binning of Gaussians to sub-views; the
+//! duplicated processing it introduces is what Fig. 6 sweeps. Sub-views
+//! own disjoint pixels, so the frame engine renders them in parallel
+//! ([`render_gaussian_wise_with`]) with per-window [`FrameStats`] partials
+//! merged in window order — bit-identical to the sequential schedule.
 
-use gcc_core::alpha::{gaussian_alpha, ExpMode, PixelState};
+use gcc_core::alpha::{gaussian_alpha, ExpMode};
 use gcc_core::boundary::{BlockGrid, BlockTracer, MaskMode, TMask};
 use gcc_core::bounds::{BoundingLaw, EffectiveTest};
 use gcc_core::grouping::{group_by_depth, DepthGroups, GroupingConfig};
-use gcc_core::projection::{map_color, project_gaussian};
 use gcc_core::{Camera, Gaussian3D, ProjectedGaussian};
-use gcc_math::Vec3;
-use serde::{Deserialize, Serialize};
+use gcc_math::{Vec2, Vec3};
+use gcc_parallel::{par_map_chunked, par_map_indexed, Parallelism};
 
+use crate::pipeline::stages::{self, PixelPatch};
+use crate::pipeline::FrameStats;
 use crate::Image;
 
 /// Configuration of the Gaussian-wise renderer.
@@ -90,281 +98,260 @@ impl GaussianWiseConfig {
     }
 }
 
-/// Workload statistics of one Gaussian-wise frame.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
-pub struct GaussianWiseStats {
-    /// Gaussians in the scene.
-    pub total_gaussians: u64,
-    /// Stage I near-plane culls.
-    pub near_culled: u64,
-    /// Depth groups in the global structure.
-    pub groups_total: u64,
-    /// (window, group) units entered.
-    pub groups_processed: u64,
-    /// (window, group) units skipped by cross-stage termination.
-    pub groups_skipped: u64,
-    /// Gaussian geometry records (11 floats) streamed from DRAM.
-    pub geometry_loads: u64,
-    /// Gaussians surviving Stage II (SCU) across windows.
-    pub projected: u64,
-    /// SH records (48 floats) streamed from DRAM.
-    pub sh_loads: u64,
-    /// Per-window Gaussians that contributed at least one blend
-    /// (duplicates across sub-views counted — Fig. 6 "Rendering
-    /// Invocations").
-    pub render_invocations: u64,
-    /// Unique Gaussians that contributed anywhere (Fig. 6 "Rendered
-    /// Gaussians").
-    pub rendered_unique: u64,
-    /// Pixel blocks dispatched to the alpha PE array.
-    pub blocks_dispatched: u64,
-    /// Dispatch skips due to the transmittance mask.
-    pub blocks_masked_skips: u64,
-    /// Alpha-lane evaluations dispatched to the PE array (all in-bounds
-    /// lanes of dispatched blocks — the *throughput* cost).
-    pub pixels_evaluated: u64,
-    /// Alpha evaluations on live (non-terminated) lanes — the *energy*
-    /// cost after S-map/T-mask clock gating.
-    pub alpha_lane_evals: u64,
-    /// Blends applied (alpha ≥ 1/255 on live pixels).
-    pub pixels_blended: u64,
-    /// Elements passed through intra-group sorting.
-    pub sort_elements: u64,
-    /// Sub-views rendered.
-    pub windows: u64,
-}
-
-impl GaussianWiseStats {
-    /// Fraction of in-frustum work skipped relative to loading everything:
-    /// the preprocessing reduction delivered by cross-stage processing.
-    pub fn geometry_load_fraction(&self) -> f64 {
-        if self.total_gaussians == 0 {
-            0.0
-        } else {
-            self.geometry_loads as f64 / self.total_gaussians as f64
-        }
-    }
-}
-
 /// Output of a Gaussian-wise render.
 #[derive(Debug, Clone)]
 pub struct GaussianWiseOutput {
     /// The rendered frame.
     pub image: Image,
-    /// Workload statistics.
-    pub stats: GaussianWiseStats,
+    /// Unified workload statistics.
+    pub stats: FrameStats,
     /// Sizes of the depth groups (diagnostics / sim input).
     pub group_sizes: Vec<u32>,
 }
 
-/// Renders a frame with the GCC Gaussian-wise dataflow.
+/// Cheap Stage-I screen information used for Cmode window binning: center
+/// projection plus a conservative bounding-circle radius (center + max
+/// scale only — over-covers the exact ω-σ footprint, as in paper §4.6).
+struct ScreenBound {
+    center: Vec2,
+    radius: f32,
+}
+
+/// Everything a window worker needs, shared read-only across workers.
+struct WindowContext<'a> {
+    cfg: &'a GaussianWiseConfig,
+    cam: &'a Camera,
+    gaussians: &'a [Gaussian3D],
+    groups: &'a DepthGroups,
+    bounds: &'a [Option<ScreenBound>],
+}
+
+/// What one window render produces: its pixel patch, additive stats, and
+/// the Gaussians that contributed (merged by OR into the frame set).
+struct WindowOutcome {
+    patch: PixelPatch,
+    stats: FrameStats,
+    rendered: Vec<u32>,
+}
+
+/// Conservative circle-vs-window overlap test (the Cmode 2D spatial
+/// binning of paper §4.6).
+fn touches_window(b: &ScreenBound, win: (u32, u32, u32, u32)) -> bool {
+    let (x0, y0) = (win.0 as f32, win.1 as f32);
+    let (x1, y1) = ((win.0 + win.2) as f32, (win.1 + win.3) as f32);
+    let cx = b.center.x.clamp(x0, x1);
+    let cy = b.center.y.clamp(y0, y1);
+    let d2 = (b.center.x - cx) * (b.center.x - cx) + (b.center.y - cy) * (b.center.y - cy);
+    d2 <= b.radius * b.radius
+}
+
+/// Renders one (sub-)view through Stages II–IV with cross-stage
+/// conditional group skipping. Pure function of its inputs — the unit of
+/// parallelism of the Gaussian-wise schedule under Compatibility Mode.
+fn render_window(ctx: &WindowContext<'_>, win: (u32, u32, u32, u32)) -> WindowOutcome {
+    let cfg = ctx.cfg;
+    let subcam = ctx.cam.sub_view(win.0, win.1, win.2, win.3);
+    let grid = BlockGrid::new(cfg.block, win.2, win.3);
+    let mut tracer = BlockTracer::new(grid);
+    let mut tmask = TMask::new(&grid);
+    let mut live_blocks = grid.block_count();
+    let mut patch = PixelPatch::new(win.0, win.1, win.2, win.3);
+    let mut stats = FrameStats::default();
+    let mut rendered = Vec::new();
+    let mut blocks_buf: Vec<usize> = Vec::new();
+    let mut survivors: Vec<ProjectedGaussian> = Vec::new();
+
+    for group in ctx.groups.iter() {
+        // Cross-stage conditional skip: the rendering termination
+        // condition is met for this (sub-)view, so every deeper group
+        // is bypassed entirely.
+        if cfg.cross_stage && live_blocks == 0 {
+            stats.groups_skipped += 1;
+            continue;
+        }
+        stats.groups_processed += 1;
+
+        // ---- Stage II: projection + SCU, member by member. ----
+        survivors.clear();
+        for &id in &group.members {
+            let Some(bound) = &ctx.bounds[id as usize] else {
+                continue;
+            };
+            if !touches_window(bound, win) {
+                continue;
+            }
+            stats.geometry_loads += 1;
+            if let Some(p) = stages::project_one(&ctx.gaussians[id as usize], id, &subcam, cfg.law)
+            {
+                survivors.push(p);
+            }
+        }
+        stats.projected += survivors.len() as u64;
+        if !cfg.cross_stage {
+            // GW-only ablation: SH is loaded for every in-frustum
+            // Gaussian up front, as in the standard pipeline.
+            stats.sh_loads += survivors.len() as u64;
+        }
+
+        // ---- Stage III: intra-group sort + conditional SH. ----
+        stats.sort_elements += survivors.len() as u64;
+        stages::sort_by_depth(&mut survivors);
+        for p in survivors.iter_mut() {
+            // ---- Stage IV: boundary identification + blending. ----
+            // Alpha evaluation needs only geometry (μ′, Σ′⁻¹, lnω);
+            // color is consumed first at blending. Under cross-stage
+            // conditional processing the 48-float SH block is
+            // therefore fetched only once the runtime identifier
+            // confirms the Gaussian touches a live block — "only the
+            // Gaussians that contribute to the final RGB values" are
+            // fully preprocessed (paper §1, Fig. 1 "Conditional
+            // Loading").
+            let test = EffectiveTest::new(p.mean2d, p.conic, p.opacity);
+            let tr = tracer.trace(&test, Some(&tmask), cfg.mask_mode, &mut blocks_buf);
+            stats.blocks_dispatched += tr.blocks_dispatched;
+            stats.blocks_masked_skips += tr.blocks_masked;
+            stats.pixels_evaluated += tr.pixels_evaluated;
+
+            if cfg.cross_stage {
+                if blocks_buf.is_empty() {
+                    continue;
+                }
+                stats.sh_loads += 1;
+            }
+            stages::shade_one(p, &ctx.gaussians[p.id as usize], &subcam);
+
+            let mut contributed = false;
+            for &b in &blocks_buf {
+                let (bx0, by0, bx1, by1) = grid.block_rect(b);
+                let mut all_terminated = true;
+                for y in by0..by1 {
+                    for x in bx0..bx1 {
+                        let st = patch.state_mut(x as u32, y as u32);
+                        if st.terminated() {
+                            continue;
+                        }
+                        stats.alpha_lane_evals += 1;
+                        let a = gaussian_alpha(p, x, y, &cfg.exp);
+                        if a > 0.0 {
+                            st.blend(a, p.color);
+                            stats.pixels_blended += 1;
+                            contributed = true;
+                        }
+                        if !st.terminated() {
+                            all_terminated = false;
+                        }
+                    }
+                }
+                if all_terminated && !tmask.is_set(b) {
+                    tmask.set(b);
+                    live_blocks -= 1;
+                }
+            }
+            if contributed {
+                stats.render_invocations += 1;
+                rendered.push(p.id);
+            }
+        }
+    }
+
+    WindowOutcome {
+        patch,
+        stats,
+        rendered,
+    }
+}
+
+/// Renders a frame with the GCC Gaussian-wise dataflow, sequentially (the
+/// reference schedule).
 pub fn render_gaussian_wise(
     gaussians: &[Gaussian3D],
     cam: &Camera,
     cfg: &GaussianWiseConfig,
 ) -> GaussianWiseOutput {
+    render_gaussian_wise_with(gaussians, cam, cfg, Parallelism::Sequential)
+}
+
+/// Renders a frame with the Gaussian-wise dataflow on the parallel frame
+/// engine: Stage I is chunk-parallel over Gaussians and Stages II–IV are
+/// parallel over Compatibility-Mode sub-views (a full-frame render has a
+/// single window and stays on one worker). Image and statistics are
+/// bit-identical to [`render_gaussian_wise`] for every `parallelism`
+/// policy.
+pub fn render_gaussian_wise_with(
+    gaussians: &[Gaussian3D],
+    cam: &Camera,
+    cfg: &GaussianWiseConfig,
+    parallelism: Parallelism,
+) -> GaussianWiseOutput {
+    let threads = parallelism.threads();
     let (w, h) = (cam.width, cam.height);
-    let mut stats = GaussianWiseStats {
-        total_gaussians: gaussians.len() as u64,
-        ..GaussianWiseStats::default()
-    };
 
     // ---- Stage I: depths + grouping (global, once per frame). ----
-    let depths: Vec<f32> = gaussians.iter().map(|g| cam.view_depth(g.mean)).collect();
+    let depths = stages::view_depths(gaussians, cam, threads);
     let grouping = cfg
         .grouping
         .unwrap_or_else(|| GroupingConfig::for_count(gaussians.len()));
     let groups: DepthGroups = group_by_depth(&depths, &grouping);
-    stats.near_culled = u64::from(groups.near_culled);
-    stats.groups_total = groups.groups.len() as u64;
-    let group_sizes: Vec<u32> = groups.groups.iter().map(|g| g.members.len() as u32).collect();
+    let group_sizes: Vec<u32> = groups
+        .groups
+        .iter()
+        .map(|g| g.members.len() as u32)
+        .collect();
 
-    // ---- Cmode window partition + conservative spatial binning. ----
-    let windows = partition_windows(w, h, cfg.subview);
-    stats.windows = windows.len() as u64;
-    let window_members = bin_to_windows(gaussians, &depths, cam, &windows);
+    // ---- Cmode window partition + conservative screen bounds. ----
+    let windows = stages::partition_windows(w, h, cfg.subview);
+    let focal = cam.fx.max(cam.fy);
+    let bounds: Vec<Option<ScreenBound>> = par_map_chunked(gaussians, threads, |i, g| {
+        let z = depths[i];
+        if z < gcc_core::NEAR_DEPTH {
+            return None;
+        }
+        let (px, _) = cam.project_point(g.mean)?;
+        let radius = 6.0 * g.scale.max_component() * focal / z + 4.0;
+        Some(ScreenBound { center: px, radius })
+    });
 
-    let mut states = vec![PixelState::new(); (w * h) as usize];
+    let mut stats = FrameStats {
+        total_gaussians: gaussians.len() as u64,
+        near_culled: u64::from(groups.near_culled),
+        groups_total: groups.groups.len() as u64,
+        windows: windows.len() as u64,
+        ..FrameStats::default()
+    };
+
+    // ---- Stages II–IV, parallel over windows. ----
+    let ctx = WindowContext {
+        cfg,
+        cam,
+        gaussians,
+        groups: &groups,
+        bounds: &bounds,
+    };
+    let outcomes = par_map_indexed(windows.len(), threads, |wi| {
+        render_window(&ctx, windows[wi])
+    });
+
+    // ---- Merge in window order: patches are disjoint, counters additive,
+    // contributor sets OR-combined. ----
+    // A fresh PixelState resolves to exactly the background (T = 1, no
+    // color), so the frame is pre-filled directly (windows tile the whole
+    // image; the fill is only visible if a window produces no patch).
+    let mut image = Image::filled(w, h, cfg.background);
     let mut rendered_anywhere = vec![false; gaussians.len()];
-    let mut blocks_buf: Vec<usize> = Vec::new();
-    let mut survivors: Vec<ProjectedGaussian> = Vec::new();
-
-    for (wi, win) in windows.iter().enumerate() {
-        let subcam = cam.sub_view(win.0, win.1, win.2, win.3);
-        let grid = BlockGrid::new(cfg.block, win.2, win.3);
-        let mut tracer = BlockTracer::new(grid);
-        let mut tmask = TMask::new(&grid);
-        let mut live_blocks = grid.block_count();
-        let in_window = &window_members[wi];
-
-        for group in groups.iter() {
-            // Cross-stage conditional skip: the rendering termination
-            // condition is met for this (sub-)view, so every deeper group
-            // is bypassed entirely.
-            if cfg.cross_stage && live_blocks == 0 {
-                stats.groups_skipped += 1;
-                continue;
-            }
-            stats.groups_processed += 1;
-
-            // ---- Stage II: projection + SCU, member by member. ----
-            survivors.clear();
-            for &id in &group.members {
-                if !in_window[id as usize] {
-                    continue;
-                }
-                stats.geometry_loads += 1;
-                if let Some(p) =
-                    project_gaussian(&gaussians[id as usize], id, &subcam, cfg.law)
-                {
-                    survivors.push(p);
-                }
-            }
-            stats.projected += survivors.len() as u64;
-            if !cfg.cross_stage {
-                // GW-only ablation: SH is loaded for every in-frustum
-                // Gaussian up front, as in the standard pipeline.
-                stats.sh_loads += survivors.len() as u64;
-            }
-
-            // ---- Stage III: intra-group sort + conditional SH. ----
-            stats.sort_elements += survivors.len() as u64;
-            survivors.sort_by(|a, b| a.depth.total_cmp(&b.depth));
-            for p in survivors.iter_mut() {
-                // ---- Stage IV: boundary identification + blending. ----
-                // Alpha evaluation needs only geometry (μ′, Σ′⁻¹, lnω);
-                // color is consumed first at blending. Under cross-stage
-                // conditional processing the 48-float SH block is
-                // therefore fetched only once the runtime identifier
-                // confirms the Gaussian touches a live block — "only the
-                // Gaussians that contribute to the final RGB values" are
-                // fully preprocessed (paper §1, Fig. 1 "Conditional
-                // Loading").
-                let test = EffectiveTest::new(p.mean2d, p.conic, p.opacity);
-                let tr = tracer.trace(&test, Some(&tmask), cfg.mask_mode, &mut blocks_buf);
-                stats.blocks_dispatched += tr.blocks_dispatched;
-                stats.blocks_masked_skips += tr.blocks_masked;
-                stats.pixels_evaluated += tr.pixels_evaluated;
-
-                if cfg.cross_stage {
-                    if blocks_buf.is_empty() {
-                        continue;
-                    }
-                    stats.sh_loads += 1;
-                }
-                map_color(p, &gaussians[p.id as usize], &subcam);
-
-                let mut contributed = false;
-                for &b in &blocks_buf {
-                    let (bx0, by0, bx1, by1) = grid.block_rect(b);
-                    let mut all_terminated = true;
-                    for y in by0..by1 {
-                        for x in bx0..bx1 {
-                            let gx = win.0 + x as u32;
-                            let gy = win.1 + y as u32;
-                            let st = &mut states[(gy * w + gx) as usize];
-                            if st.terminated() {
-                                continue;
-                            }
-                            stats.alpha_lane_evals += 1;
-                            let a = gaussian_alpha(p, x, y, &cfg.exp);
-                            if a > 0.0 {
-                                st.blend(a, p.color);
-                                stats.pixels_blended += 1;
-                                contributed = true;
-                            }
-                            if !st.terminated() {
-                                all_terminated = false;
-                            }
-                        }
-                    }
-                    if all_terminated && !tmask.is_set(b) {
-                        tmask.set(b);
-                        live_blocks -= 1;
-                    }
-                }
-                if contributed {
-                    stats.render_invocations += 1;
-                    rendered_anywhere[p.id as usize] = true;
-                }
-            }
+    for outcome in &outcomes {
+        stats.merge_add(&outcome.stats);
+        outcome.patch.resolve_into(&mut image, cfg.background);
+        for &id in &outcome.rendered {
+            rendered_anywhere[id as usize] = true;
         }
     }
-
-    stats.rendered_unique = rendered_anywhere.iter().filter(|&&b| b).count() as u64;
-
-    let mut image = Image::new(w, h);
-    for y in 0..h {
-        for x in 0..w {
-            image.set(x, y, states[(y * w + x) as usize].resolve(cfg.background));
-        }
-    }
+    stats.rendered = rendered_anywhere.iter().filter(|&&b| b).count() as u64;
 
     GaussianWiseOutput {
         image,
         stats,
         group_sizes,
     }
-}
-
-/// Splits the image into `subview × subview` windows (the trailing row /
-/// column may be smaller). `None` yields a single full-frame window.
-fn partition_windows(w: u32, h: u32, subview: Option<u32>) -> Vec<(u32, u32, u32, u32)> {
-    match subview {
-        None => vec![(0, 0, w, h)],
-        Some(s) => {
-            assert!(s > 0, "sub-view size must be positive");
-            let mut out = Vec::new();
-            let mut y = 0;
-            while y < h {
-                let wh = s.min(h - y);
-                let mut x = 0;
-                while x < w {
-                    let ww = s.min(w - x);
-                    out.push((x, y, ww, wh));
-                    x += ww;
-                }
-                y += wh;
-            }
-            out
-        }
-    }
-}
-
-/// Conservative screen-space binning of Gaussians to windows
-/// (the Cmode 2D spatial binning of paper §4.6): a Gaussian is assigned to
-/// every window its conservative bounding circle touches. The circle uses
-/// the cheap Stage I information only (center projection + max scale),
-/// over-covering the exact ω-σ footprint.
-fn bin_to_windows(
-    gaussians: &[Gaussian3D],
-    depths: &[f32],
-    cam: &Camera,
-    windows: &[(u32, u32, u32, u32)],
-) -> Vec<Vec<bool>> {
-    let focal = cam.fx.max(cam.fy);
-    let mut members = vec![vec![false; gaussians.len()]; windows.len()];
-    for (i, g) in gaussians.iter().enumerate() {
-        let z = depths[i];
-        if z < gcc_core::NEAR_DEPTH {
-            continue;
-        }
-        let Some((px, _)) = cam.project_point(g.mean) else {
-            continue;
-        };
-        let r = 6.0 * g.scale.max_component() * focal / z + 4.0;
-        for (wi, win) in windows.iter().enumerate() {
-            let (x0, y0) = (win.0 as f32, win.1 as f32);
-            let (x1, y1) = ((win.0 + win.2) as f32, (win.1 + win.3) as f32);
-            let cx = px.x.clamp(x0, x1);
-            let cy = px.y.clamp(y0, y1);
-            let d2 = (px.x - cx) * (px.x - cx) + (px.y - cy) * (px.y - cy);
-            if d2 <= r * r {
-                members[wi][i] = true;
-            }
-        }
-    }
-    members
 }
 
 #[cfg(test)]
@@ -388,11 +375,7 @@ mod tests {
             .map(|i| {
                 let t = i as f32 / n as f32;
                 Gaussian3D::isotropic(
-                    Vec3::new(
-                        (t * 13.0).sin() * 0.8,
-                        (t * 7.0).cos() * 0.5,
-                        t * 2.0 - 0.5,
-                    ),
+                    Vec3::new((t * 13.0).sin() * 0.8, (t * 7.0).cos() * 0.5, t * 2.0 - 0.5),
                     0.06 + 0.1 * t,
                     0.05f32.max(t),
                     Vec3::new(t, 1.0 - t, 0.5 + 0.4 * (t * 31.0).sin()),
@@ -429,14 +412,6 @@ mod tests {
     }
 
     #[test]
-    fn subview_partition_tiles_cover_image() {
-        let wins = partition_windows(100, 60, Some(32));
-        assert_eq!(wins.len(), 4 * 2);
-        let area: u32 = wins.iter().map(|w| w.2 * w.3).sum();
-        assert_eq!(area, 100 * 60);
-    }
-
-    #[test]
     fn cmode_render_is_equivalent_to_full_frame() {
         let cam = test_cam();
         let cloud = colored_cloud(100);
@@ -450,8 +425,25 @@ mod tests {
         assert!(diff < 1e-4, "Cmode changed the image by {diff}");
         assert!(tiled.stats.windows > 1);
         // Sub-views duplicate work (Fig. 6): invocations ≥ unique rendered.
-        assert!(tiled.stats.render_invocations >= tiled.stats.rendered_unique);
+        assert!(tiled.stats.render_invocations >= tiled.stats.rendered);
         assert!(tiled.stats.geometry_loads >= full.stats.geometry_loads);
+    }
+
+    #[test]
+    fn parallel_windows_reproduce_sequential_render_exactly() {
+        let cam = test_cam();
+        let cloud = colored_cloud(150);
+        let cfg = GaussianWiseConfig {
+            subview: Some(32),
+            ..GaussianWiseConfig::default()
+        };
+        let seq = render_gaussian_wise(&cloud, &cam, &cfg);
+        for threads in [2, 4, 7] {
+            let par = render_gaussian_wise_with(&cloud, &cam, &cfg, Parallelism::fixed(threads));
+            assert_eq!(seq.image, par.image, "threads={threads}");
+            assert_eq!(seq.stats, par.stats, "threads={threads}");
+            assert_eq!(seq.group_sizes, par.group_sizes, "threads={threads}");
+        }
     }
 
     #[test]
@@ -481,7 +473,11 @@ mod tests {
             let t = i as f32 / 400.0;
             // Occluded background at z≈2 (depth 6).
             cloud.push(Gaussian3D::isotropic(
-                Vec3::new((t * 23.0).fract() * 2.0 - 1.0, (t * 5.0).fract() * 1.4 - 0.7, 2.0),
+                Vec3::new(
+                    (t * 23.0).fract() * 2.0 - 1.0,
+                    (t * 5.0).fract() * 1.4 - 0.7,
+                    2.0,
+                ),
                 0.1,
                 0.8,
                 Vec3::new(0.1, 0.8, 0.3),
@@ -525,8 +521,8 @@ mod tests {
         assert_eq!(s.total_gaussians, 150);
         assert!(s.projected <= s.geometry_loads);
         assert!(s.sh_loads <= s.projected);
-        assert!(s.rendered_unique <= s.projected);
-        assert!(s.render_invocations >= s.rendered_unique);
+        assert!(s.rendered <= s.projected);
+        assert!(s.render_invocations >= s.rendered);
         assert!(s.pixels_blended <= s.pixels_evaluated);
         assert_eq!(s.groups_processed + s.groups_skipped, s.groups_total);
         assert_eq!(s.windows, 1);
@@ -541,6 +537,6 @@ mod tests {
         };
         let out = render_gaussian_wise(&[], &cam, &cfg);
         assert_eq!(out.image.get(5, 5), Vec3::new(0.1, 0.2, 0.3));
-        assert_eq!(out.stats.rendered_unique, 0);
+        assert_eq!(out.stats.rendered, 0);
     }
 }

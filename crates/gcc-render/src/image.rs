@@ -1,13 +1,12 @@
 //! A linear-RGB `f32` framebuffer with PPM export.
 
 use gcc_math::Vec3;
-use serde::{Deserialize, Serialize};
 use std::io::{self, Write};
 use std::path::Path;
 
 /// An RGB image with `f32` channels in `[0, 1]` (values outside the range
 /// are clamped on export).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Image {
     width: u32,
     height: u32,

@@ -1,19 +1,24 @@
-//! Software renderers for both 3DGS dataflows of the GCC paper, plus
-//! image-quality metrics.
+//! Software renderers for both 3DGS dataflows of the GCC paper, unified
+//! behind the stage-based frame pipeline, plus image-quality metrics.
 //!
-//! Three renderers share the `gcc-core` primitives:
+//! The crate is layered:
 //!
-//! * [`standard::render_standard`] — the conventional decoupled
-//!   "preprocess-then-render" pipeline with tile-wise (16×16) rendering,
-//!   as used by the GPU reference and GSCore. Fully instrumented: it
-//!   reports the preprocessed/rendered Gaussian counts of Fig. 2(a), the
-//!   per-Gaussian tile-load multiplicity of Fig. 2(b), and the
-//!   AABB/OBB/effective pixel-work numbers of Table 1.
-//! * [`gaussian_wise::render_gaussian_wise`] — the GCC dataflow: Stage I
-//!   depth grouping, interleaved (cross-stage conditional) preprocessing
-//!   and rendering, ω-σ culling, per-group sorting, Algorithm 1 block
-//!   traversal with T-mask, and Compatibility-Mode sub-view partitioning
-//!   (Fig. 6).
+//! * [`pipeline`] — the architecture seam: the [`pipeline::Renderer`]
+//!   trait (one frame → [`Image`] + unified [`pipeline::FrameStats`]),
+//!   the shared stage primitives ([`pipeline::stages`]: cull, project,
+//!   SH, depth sort, window partitioning, pixel patches), and the
+//!   parallel frame engine that renders tiles / Cmode sub-views across
+//!   threads with bit-for-bit deterministic merges.
+//! * [`standard`] — the conventional decoupled "preprocess-then-render"
+//!   schedule with tile-wise (16×16) rendering, as used by the GPU
+//!   reference and GSCore. Fully instrumented: it reports the
+//!   projected/rendered Gaussian counts of Fig. 2(a), the per-Gaussian
+//!   tile-load multiplicity of Fig. 2(b), and the AABB/OBB/effective
+//!   pixel-work numbers of Table 1.
+//! * [`gaussian_wise`] — the GCC schedule: Stage I depth grouping,
+//!   interleaved (cross-stage conditional) preprocessing and rendering,
+//!   ω-σ culling, per-group sorting, Algorithm 1 block traversal with
+//!   T-mask, and Compatibility-Mode sub-view partitioning (Fig. 6).
 //! * the "GPU reference" — [`standard::render_reference`], the exact
 //!   arithmetic configuration used as the quality anchor of Table 2.
 //!
@@ -26,7 +31,9 @@
 
 pub mod gaussian_wise;
 mod image;
+pub mod pipeline;
 pub mod quality;
 pub mod standard;
 
 pub use image::Image;
+pub use pipeline::{Frame, FrameStats, GaussianWiseRenderer, Renderer, StandardRenderer};

@@ -1,0 +1,280 @@
+//! Shared per-Gaussian stage primitives.
+//!
+//! Both dataflows of the paper are *schedules* over the same five stages —
+//! cull → project → SH → sort → blend (paper §2, Fig. 1). This module
+//! holds the stage functions themselves, so `standard.rs` and
+//! `gaussian_wise.rs` only decide *when* each stage runs and for *which*
+//! Gaussians, never *how*:
+//!
+//! * [`project_one`] — frustum/near cull + EWA projection of one Gaussian
+//!   (Stage II in GCC's numbering; "preprocess" step 1 in the standard
+//!   pipeline),
+//! * [`shade_one`] — SH color evaluation (Stage III / preprocess step 2),
+//! * [`project_and_shade_all`] — the standard schedule's eager Stage 1:
+//!   every Gaussian through both, order-preserving and parallelizable,
+//! * [`view_depths`] — Stage I depth computation for grouping,
+//! * [`sort_by_depth`] / [`sort_indices_by_depth`] — the depth-sort stage
+//!   over survivors or over per-tile index lists,
+//! * [`partition_windows`] — Compatibility-Mode sub-view partitioning,
+//! * [`PixelPatch`] — a rectangular tile/window of blending state that a
+//!   worker owns exclusively, resolved into the frame at merge time.
+//!
+//! Every function here is deterministic and free of interior ordering
+//! choices, which is what makes the parallel engine's output bit-identical
+//! to the sequential schedules.
+
+use gcc_core::alpha::PixelState;
+use gcc_core::bounds::BoundingLaw;
+use gcc_core::projection::{map_color, project_gaussian};
+use gcc_core::{Camera, Gaussian3D, ProjectedGaussian};
+use gcc_math::Vec3;
+use gcc_parallel::{par_filter_map_chunked, par_map_chunked};
+
+use crate::Image;
+
+/// Cull + project stage for one Gaussian: `None` when the Gaussian fails
+/// the near-plane or frustum test under `law`.
+pub fn project_one(
+    g: &Gaussian3D,
+    id: u32,
+    cam: &Camera,
+    law: BoundingLaw,
+) -> Option<ProjectedGaussian> {
+    project_gaussian(g, id, cam, law)
+}
+
+/// SH color stage: evaluates the view-dependent color of `g` into `p`.
+pub fn shade_one(p: &mut ProjectedGaussian, g: &Gaussian3D, cam: &Camera) {
+    map_color(p, g, cam);
+}
+
+/// The standard schedule's eager preprocessing: every Gaussian through
+/// cull + project + SH. Survivors come back in scene order regardless of
+/// `threads`, so downstream binning and sorting see the exact sequential
+/// stream.
+pub fn project_and_shade_all(
+    gaussians: &[Gaussian3D],
+    cam: &Camera,
+    law: BoundingLaw,
+    threads: usize,
+) -> Vec<ProjectedGaussian> {
+    par_filter_map_chunked(gaussians, threads, |i, g| {
+        project_one(g, i as u32, cam, law).map(|mut p| {
+            shade_one(&mut p, g, cam);
+            p
+        })
+    })
+}
+
+/// Stage I of the Gaussian-wise schedule: view-space depths for all
+/// Gaussians, in scene order (parallelized over chunks).
+pub fn view_depths(gaussians: &[Gaussian3D], cam: &Camera, threads: usize) -> Vec<f32> {
+    par_map_chunked(gaussians, threads, |_, g| cam.view_depth(g.mean))
+}
+
+/// Depth-sort stage over projected survivors (front to back).
+pub fn sort_by_depth(survivors: &mut [ProjectedGaussian]) {
+    survivors.sort_by(|a, b| a.depth.total_cmp(&b.depth));
+}
+
+/// Depth-sort stage over an index list into a projected array (the
+/// standard schedule's per-tile sort).
+pub fn sort_indices_by_depth(indices: &mut [u32], projected: &[ProjectedGaussian]) {
+    indices.sort_by(|&a, &b| {
+        projected[a as usize]
+            .depth
+            .total_cmp(&projected[b as usize].depth)
+    });
+}
+
+/// Splits a `w × h` image into `subview × subview` windows `(x, y, w, h)`
+/// in row-major order (the trailing row/column may be smaller). `None`
+/// yields a single full-frame window.
+///
+/// # Panics
+///
+/// Panics when `subview` is `Some(0)`.
+pub fn partition_windows(w: u32, h: u32, subview: Option<u32>) -> Vec<(u32, u32, u32, u32)> {
+    match subview {
+        None => vec![(0, 0, w, h)],
+        Some(s) => {
+            assert!(s > 0, "sub-view size must be positive");
+            let mut out = Vec::new();
+            let mut y = 0;
+            while y < h {
+                let wh = s.min(h - y);
+                let mut x = 0;
+                while x < w {
+                    let ww = s.min(w - x);
+                    out.push((x, y, ww, wh));
+                    x += ww;
+                }
+                y += wh;
+            }
+            out
+        }
+    }
+}
+
+/// A rectangle of per-pixel blending state owned exclusively by one work
+/// unit (a tile or a Cmode window). Workers blend into their patch;
+/// the frame driver resolves patches into the output image in work-unit
+/// order — the merge is trivially deterministic because patches never
+/// overlap.
+#[derive(Debug, Clone)]
+pub struct PixelPatch {
+    /// Frame-space x of the patch's left edge.
+    pub x0: u32,
+    /// Frame-space y of the patch's top edge.
+    pub y0: u32,
+    /// Patch width in pixels.
+    pub w: u32,
+    /// Patch height in pixels.
+    pub h: u32,
+    states: Vec<PixelState>,
+}
+
+impl PixelPatch {
+    /// Fresh (fully transparent) patch covering `[x0, x0+w) × [y0, y0+h)`.
+    pub fn new(x0: u32, y0: u32, w: u32, h: u32) -> Self {
+        Self {
+            x0,
+            y0,
+            w,
+            h,
+            states: vec![PixelState::new(); (w as usize) * (h as usize)],
+        }
+    }
+
+    /// Blending state of the patch-local pixel `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `(x, y)` is outside the patch. The check is
+    /// unconditional: a wrapped index could still land inside `states`
+    /// and silently blend the wrong pixel, and this accessor is the
+    /// module's safety seam for future schedules.
+    pub fn state_mut(&mut self, x: u32, y: u32) -> &mut PixelState {
+        assert!(x < self.w && y < self.h, "pixel ({x},{y}) outside patch");
+        &mut self.states[(y * self.w + x) as usize]
+    }
+
+    /// Shared view of the patch-local pixel `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `(x, y)` is outside the patch.
+    pub fn state(&self, x: u32, y: u32) -> &PixelState {
+        assert!(x < self.w && y < self.h, "pixel ({x},{y}) outside patch");
+        &self.states[(y * self.w + x) as usize]
+    }
+
+    /// Resolves every pixel against `background` and writes the patch into
+    /// its frame-space rectangle of `image`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the patch extends past the image.
+    pub fn resolve_into(&self, image: &mut Image, background: Vec3) {
+        for y in 0..self.h {
+            for x in 0..self.w {
+                image.set(
+                    self.x0 + x,
+                    self.y0 + y,
+                    self.state(x, y).resolve(background),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcc_math::Vec3;
+
+    fn cam() -> Camera {
+        Camera::look_at(
+            Vec3::new(0.0, 0.0, -4.0),
+            Vec3::ZERO,
+            Vec3::new(0.0, 1.0, 0.0),
+            60.0,
+            64,
+            48,
+        )
+    }
+
+    fn cloud(n: usize) -> Vec<Gaussian3D> {
+        (0..n)
+            .map(|i| {
+                let t = i as f32 / n as f32;
+                Gaussian3D::isotropic(
+                    Vec3::new((t * 9.0).sin(), (t * 5.0).cos() * 0.4, t),
+                    0.05 + 0.05 * t,
+                    0.1f32.max(t),
+                    Vec3::new(t, 1.0 - t, 0.5),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_preprocess_matches_sequential() {
+        let cam = cam();
+        let g = cloud(300);
+        let seq = project_and_shade_all(&g, &cam, BoundingLaw::ThreeSigma, 1);
+        for threads in [2, 5] {
+            let par = project_and_shade_all(&g, &cam, BoundingLaw::ThreeSigma, threads);
+            assert_eq!(seq.len(), par.len());
+            for (a, b) in seq.iter().zip(&par) {
+                assert_eq!(a.id, b.id);
+                assert_eq!(a.depth.to_bits(), b.depth.to_bits());
+                assert_eq!(a.color, b.color);
+            }
+        }
+    }
+
+    #[test]
+    fn view_depths_preserve_order() {
+        let cam = cam();
+        let g = cloud(101);
+        let seq = view_depths(&g, &cam, 1);
+        let par = view_depths(&g, &cam, 4);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn window_partition_covers_image_exactly() {
+        let wins = partition_windows(100, 60, Some(32));
+        assert_eq!(wins.len(), 4 * 2);
+        let area: u32 = wins.iter().map(|w| w.2 * w.3).sum();
+        assert_eq!(area, 100 * 60);
+        assert_eq!(partition_windows(100, 60, None), vec![(0, 0, 100, 60)]);
+    }
+
+    #[test]
+    fn pixel_patch_resolves_into_frame_rect() {
+        let mut patch = PixelPatch::new(2, 1, 3, 2);
+        patch.state_mut(0, 0).blend(0.9, Vec3::new(1.0, 0.0, 0.0));
+        let mut img = Image::new(8, 4);
+        patch.resolve_into(&mut img, Vec3::splat(0.5));
+        // Blended pixel lands at frame (2, 1).
+        assert!(img.get(2, 1).x > 0.8);
+        // Untouched patch pixels resolve to background…
+        assert_eq!(img.get(3, 1), Vec3::splat(0.5));
+        // …and pixels outside the patch stay black.
+        assert_eq!(img.get(0, 0), Vec3::ZERO);
+    }
+
+    #[test]
+    fn index_sort_orders_front_to_back() {
+        let cam = cam();
+        let g = cloud(50);
+        let projected = project_and_shade_all(&g, &cam, BoundingLaw::ThreeSigma, 1);
+        let mut idx: Vec<u32> = (0..projected.len() as u32).collect();
+        sort_indices_by_depth(&mut idx, &projected);
+        for pair in idx.windows(2) {
+            assert!(projected[pair[0] as usize].depth <= projected[pair[1] as usize].depth);
+        }
+    }
+}

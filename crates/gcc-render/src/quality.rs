@@ -252,10 +252,7 @@ mod tests {
             let gt = pseudo_ground_truth(&img, target, 42);
             let got = psnr(&img, &gt);
             // Clamping at [0,1] and quantized noise leave ~1 dB slack.
-            assert!(
-                (got - target).abs() < 1.5,
-                "target {target} got {got}"
-            );
+            assert!((got - target).abs() < 1.5, "target {target} got {got}");
         }
     }
 

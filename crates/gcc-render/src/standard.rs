@@ -2,30 +2,40 @@
 //! the GPU implementation and by all prior accelerators including GSCore
 //! (paper §2.2, Fig. 1 top).
 //!
-//! Two sequential stages:
+//! Two sequential stages, both expressed over the shared
+//! [`crate::pipeline::stages`] primitives:
 //!
 //! 1. **Preprocess**: every Gaussian is frustum-culled, projected (Eq. 1)
-//!    and SH-colored (Eq. 2) — regardless of whether rendering will use it.
+//!    and SH-colored (Eq. 2) — regardless of whether rendering will use it
+//!    ([`stages::project_and_shade_all`]).
 //! 2. **Render**: projected Gaussians are binned to 16×16 tiles by their
-//!    footprint, each tile's list is depth-sorted, and pixels are blended
+//!    footprint, each tile's list is depth-sorted
+//!    ([`stages::sort_indices_by_depth`]), and pixels are blended
 //!    front-to-back with early termination. A Gaussian overlapping `k`
 //!    tiles is loaded `k` times (the Fig. 2(b) redundancy).
 //!
+//! Tiles own disjoint pixel rectangles, so the frame engine renders them
+//! in parallel ([`render_standard_with`]): each worker blends into its own
+//! [`stages::PixelPatch`] and reports an additive [`FrameStats`] partial;
+//! the driver merges patches and partials in tile order, which makes the
+//! parallel render bit-identical to the sequential one.
+//!
 //! The renderer is instrumented to produce every statistic the paper's
 //! motivation section and evaluation need (Fig. 2, Table 1, Fig. 11/12
-//! traffic inputs).
+//! traffic inputs), reported through the unified [`FrameStats`] view.
 
-use gcc_core::alpha::{gaussian_alpha, ExpMode, PixelState};
+use gcc_core::alpha::{gaussian_alpha, ExpMode};
 use gcc_core::bounds::{BoundingLaw, Obb, PixelRect};
-use gcc_core::projection::{map_color, project_gaussian};
 use gcc_core::{Camera, Gaussian3D, ProjectedGaussian};
 use gcc_math::Vec3;
-use serde::{Deserialize, Serialize};
+use gcc_parallel::{par_map_chunked, par_map_indexed, Parallelism};
 
+use crate::pipeline::stages::{self, PixelPatch};
+use crate::pipeline::FrameStats;
 use crate::Image;
 
 /// Which footprint limits per-pixel alpha evaluation inside a tile.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Footprint {
     /// Axis-aligned bounding box (the GPU rasterizer).
     Aabb,
@@ -71,69 +81,13 @@ impl StandardConfig {
     }
 }
 
-/// Workload statistics of one standard-dataflow frame.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
-pub struct StandardStats {
-    /// Gaussians in the scene.
-    pub total_gaussians: u64,
-    /// Gaussians surviving frustum cull + projection ("In Frustum" /
-    /// "preprocessed" in Fig. 2(a)).
-    pub preprocessed: u64,
-    /// Gaussians that contributed at least one blended pixel
-    /// ("Rendered" in Fig. 2(a)).
-    pub rendered: u64,
-    /// Gaussian-tile key-value pairs created at binning.
-    pub kv_pairs: u64,
-    /// Gaussian loads during rendering (pairs actually processed before
-    /// their tile terminated) — the numerator of Fig. 2(b).
-    pub tile_loads: u64,
-    /// Unique Gaussians processed during rendering — the denominator of
-    /// Fig. 2(b).
-    pub unique_loaded: u64,
-    /// Alpha evaluations the configured footprint performed.
-    pub pixels_tested: u64,
-    /// Alpha evaluations an AABB footprint would perform on the same
-    /// workload (Table 1 "AABB").
-    pub pixels_tested_aabb: u64,
-    /// Alpha evaluations an OBB footprint would perform (Table 1 "OBB").
-    pub pixels_tested_obb: u64,
-    /// Pixel blends actually applied (alpha ≥ 1/255, pixel not terminated;
-    /// Table 1 "Rendered").
-    pub pixels_blended: u64,
-    /// Total elements across per-tile sort lists (sorting workload).
-    pub sort_elements: u64,
-    /// Number of image tiles.
-    pub tiles: u64,
-}
-
-impl StandardStats {
-    /// Average tile loads per unique Gaussian (Fig. 2(b)).
-    pub fn avg_loads_per_gaussian(&self) -> f64 {
-        if self.unique_loaded == 0 {
-            0.0
-        } else {
-            self.tile_loads as f64 / self.unique_loaded as f64
-        }
-    }
-
-    /// Fraction of preprocessed Gaussians never used by rendering
-    /// (the paper's ">60% unused" motivation).
-    pub fn unused_fraction(&self) -> f64 {
-        if self.preprocessed == 0 {
-            0.0
-        } else {
-            1.0 - self.rendered as f64 / self.preprocessed as f64
-        }
-    }
-}
-
 /// Output of a standard-dataflow render.
 #[derive(Debug, Clone)]
 pub struct StandardOutput {
     /// The rendered frame.
     pub image: Image,
-    /// Workload statistics.
-    pub stats: StandardStats,
+    /// Unified workload statistics.
+    pub stats: FrameStats,
     /// Projected Gaussians in scene order (preprocessing output, useful
     /// for downstream analysis).
     pub projected: Vec<ProjectedGaussian>,
@@ -141,40 +95,156 @@ pub struct StandardOutput {
     pub tile_gaussian_counts: Vec<u32>,
 }
 
-/// Renders a frame with the standard two-stage tile-wise dataflow.
+/// Everything a tile worker needs, shared read-only across workers.
+struct TileContext<'a> {
+    cfg: &'a StandardConfig,
+    projected: &'a [ProjectedGaussian],
+    obbs: &'a [Option<Obb>],
+    width: u32,
+    height: u32,
+    tiles_x: u32,
+}
+
+/// What one tile render produces: its pixel patch, additive stats, and
+/// the Gaussians it loaded/rendered (merged by OR into the frame sets).
+struct TileOutcome {
+    patch: PixelPatch,
+    stats: FrameStats,
+    loaded: Vec<u32>,
+    rendered: Vec<u32>,
+}
+
+/// Renders one tile: depth-sort its bin, then blend front-to-back with
+/// per-tile early termination. Pure function of its inputs — the unit of
+/// parallelism of the standard schedule.
+fn render_tile(ctx: &TileContext<'_>, tile: usize, bin: &[u32]) -> TileOutcome {
+    let ts = ctx.cfg.tile_size;
+    let tx = (tile as u32) % ctx.tiles_x;
+    let ty = (tile as u32) / ctx.tiles_x;
+    let x0 = (tx * ts) as i32;
+    let y0 = (ty * ts) as i32;
+    let x1 = ((tx + 1) * ts).min(ctx.width) as i32;
+    let y1 = ((ty + 1) * ts).min(ctx.height) as i32;
+    let mut patch = PixelPatch::new(x0 as u32, y0 as u32, (x1 - x0) as u32, (y1 - y0) as u32);
+
+    let mut stats = FrameStats::default();
+    let mut order: Vec<u32> = bin.to_vec();
+    stats.sort_elements += order.len() as u64;
+    stages::sort_indices_by_depth(&mut order, ctx.projected);
+
+    let mut loaded = Vec::new();
+    let mut rendered = Vec::new();
+    let mut active = ((x1 - x0) * (y1 - y0)) as i64;
+    for &idx in &order {
+        if active <= 0 {
+            // Tile fully terminated: the remaining KV pairs are never
+            // loaded (GSCore's per-tile early termination).
+            break;
+        }
+        let p = &ctx.projected[idx as usize];
+        stats.tile_loads += 1;
+        loaded.push(idx);
+
+        let rect = PixelRect::from_circle(p.mean2d, p.radius, ctx.width, ctx.height);
+        let rx0 = rect.x0.max(x0);
+        let ry0 = rect.y0.max(y0);
+        let rx1 = rect.x1.min(x1);
+        let ry1 = rect.y1.min(y1);
+        if rx0 >= rx1 || ry0 >= ry1 {
+            continue;
+        }
+        let obb = ctx.obbs[idx as usize];
+        let mut contributed = false;
+        for y in ry0..ry1 {
+            for x in rx0..rx1 {
+                stats.pixels_tested_aabb += 1;
+                let in_obb = obb.map(|o| o.contains(x, y)).unwrap_or(false);
+                if in_obb {
+                    stats.pixels_tested_obb += 1;
+                }
+                let evaluate = match ctx.cfg.footprint {
+                    Footprint::Aabb => true,
+                    Footprint::Obb => in_obb,
+                };
+                if !evaluate {
+                    continue;
+                }
+                stats.pixels_tested += 1;
+                let st = patch.state_mut((x - x0) as u32, (y - y0) as u32);
+                if st.terminated() {
+                    continue;
+                }
+                let a = gaussian_alpha(p, x, y, &ctx.cfg.exp);
+                if a > 0.0 {
+                    st.blend(a, p.color);
+                    stats.pixels_blended += 1;
+                    contributed = true;
+                    if st.terminated() {
+                        active -= 1;
+                    }
+                }
+            }
+        }
+        if contributed {
+            rendered.push(idx);
+        }
+    }
+
+    TileOutcome {
+        patch,
+        stats,
+        loaded,
+        rendered,
+    }
+}
+
+/// Renders a frame with the standard two-stage tile-wise dataflow,
+/// sequentially (the reference schedule).
 pub fn render_standard(
     gaussians: &[Gaussian3D],
     cam: &Camera,
     cfg: &StandardConfig,
 ) -> StandardOutput {
+    render_standard_with(gaussians, cam, cfg, Parallelism::Sequential)
+}
+
+/// Renders a frame with the standard dataflow on the parallel frame
+/// engine: preprocessing is chunk-parallel over Gaussians and rendering is
+/// parallel over tiles. Image and statistics are bit-identical to
+/// [`render_standard`] for every `parallelism` policy.
+pub fn render_standard_with(
+    gaussians: &[Gaussian3D],
+    cam: &Camera,
+    cfg: &StandardConfig,
+    parallelism: Parallelism,
+) -> StandardOutput {
+    let threads = parallelism.threads();
     let (w, h) = (cam.width, cam.height);
     let ts = cfg.tile_size;
     let tiles_x = w.div_ceil(ts);
     let tiles_y = h.div_ceil(ts);
     let n_tiles = (tiles_x * tiles_y) as usize;
 
-    let mut stats = StandardStats {
-        total_gaussians: gaussians.len() as u64,
-        tiles: n_tiles as u64,
-        ..StandardStats::default()
-    };
-
     // ---- Stage 1: preprocess everything (the paper's Challenge 1). ----
-    let mut projected: Vec<ProjectedGaussian> = Vec::new();
-    for (i, g) in gaussians.iter().enumerate() {
-        if let Some(mut p) = project_gaussian(g, i as u32, cam, cfg.law) {
-            map_color(&mut p, g, cam);
-            projected.push(p);
-        }
-    }
-    stats.preprocessed = projected.len() as u64;
+    let projected = stages::project_and_shade_all(gaussians, cam, cfg.law, threads);
+
+    let mut stats = FrameStats {
+        total_gaussians: gaussians.len() as u64,
+        // The standard dataflow streams every record once in preprocessing
+        // and fetches SH for every in-frustum Gaussian up front.
+        geometry_loads: gaussians.len() as u64,
+        projected: projected.len() as u64,
+        sh_loads: projected.len() as u64,
+        tiles: n_tiles as u64,
+        windows: 1,
+        ..FrameStats::default()
+    };
 
     // Precompute OBBs once per projected Gaussian (used for footprint
     // and/or the Table 1 OBB column).
-    let obbs: Vec<Option<Obb>> = projected
-        .iter()
-        .map(|p| Obb::from_cov(p.mean2d, p.cov2d, cfg.law, p.opacity))
-        .collect();
+    let obbs: Vec<Option<Obb>> = par_map_chunked(&projected, threads, |_, p| {
+        Obb::from_cov(p.mean2d, p.cov2d, cfg.law, p.opacity)
+    });
 
     // ---- Binning: Gaussian → tile key-value pairs. ----
     let mut bins: Vec<Vec<u32>> = vec![Vec::new(); n_tiles];
@@ -193,87 +263,43 @@ pub fn render_standard(
     }
     let tile_gaussian_counts: Vec<u32> = bins.iter().map(|b| b.len() as u32).collect();
 
-    // ---- Stage 2: tile-wise rendering in scanline order. ----
-    let mut states = vec![PixelState::new(); (w * h) as usize];
+    // ---- Stage 2: tile-wise rendering, parallel over tiles. ----
+    let ctx = TileContext {
+        cfg,
+        projected: &projected,
+        obbs: &obbs,
+        width: w,
+        height: h,
+        tiles_x,
+    };
+    let occupied: Vec<usize> = (0..n_tiles).filter(|&t| !bins[t].is_empty()).collect();
+    let outcomes = par_map_indexed(occupied.len(), threads, |k| {
+        let t = occupied[k];
+        render_tile(&ctx, t, &bins[t])
+    });
+
+    // ---- Merge in tile order: patches are disjoint, counters additive,
+    // loaded/rendered sets OR-combined — all order-insensitive, so the
+    // merge reproduces the sequential render exactly. ----
+    // A fresh PixelState resolves to exactly the background (T = 1, no
+    // color), so unoccupied tiles are pre-filled directly.
+    let mut image = Image::filled(w, h, cfg.background);
     let mut loaded = vec![false; projected.len()];
     let mut rendered = vec![false; projected.len()];
-
-    for (t, bin) in bins.iter_mut().enumerate() {
-        if bin.is_empty() {
-            continue;
-        }
-        stats.sort_elements += bin.len() as u64;
-        bin.sort_by(|&a, &b| projected[a as usize].depth.total_cmp(&projected[b as usize].depth));
-
-        let tx = (t as u32) % tiles_x;
-        let ty = (t as u32) / tiles_x;
-        let x0 = (tx * ts) as i32;
-        let y0 = (ty * ts) as i32;
-        let x1 = ((tx + 1) * ts).min(w) as i32;
-        let y1 = ((ty + 1) * ts).min(h) as i32;
-
-        let mut active = ((x1 - x0) * (y1 - y0)) as i64;
-        for &idx in bin.iter() {
-            if active <= 0 {
-                // Tile fully terminated: the remaining KV pairs are never
-                // loaded (GSCore's per-tile early termination).
-                break;
-            }
-            let p = &projected[idx as usize];
-            stats.tile_loads += 1;
+    for outcome in &outcomes {
+        stats.merge_add(&outcome.stats);
+        outcome.patch.resolve_into(&mut image, cfg.background);
+        for &idx in &outcome.loaded {
             loaded[idx as usize] = true;
-
-            let rect = PixelRect::from_circle(p.mean2d, p.radius, w, h);
-            let rx0 = rect.x0.max(x0);
-            let ry0 = rect.y0.max(y0);
-            let rx1 = rect.x1.min(x1);
-            let ry1 = rect.y1.min(y1);
-            if rx0 >= rx1 || ry0 >= ry1 {
-                continue;
-            }
-            let obb = obbs[idx as usize];
-            for y in ry0..ry1 {
-                for x in rx0..rx1 {
-                    stats.pixels_tested_aabb += 1;
-                    let in_obb = obb.map(|o| o.contains(x, y)).unwrap_or(false);
-                    if in_obb {
-                        stats.pixels_tested_obb += 1;
-                    }
-                    let evaluate = match cfg.footprint {
-                        Footprint::Aabb => true,
-                        Footprint::Obb => in_obb,
-                    };
-                    if !evaluate {
-                        continue;
-                    }
-                    stats.pixels_tested += 1;
-                    let st = &mut states[(y as u32 * w + x as u32) as usize];
-                    if st.terminated() {
-                        continue;
-                    }
-                    let a = gaussian_alpha(p, x, y, &cfg.exp);
-                    if a > 0.0 {
-                        st.blend(a, p.color);
-                        stats.pixels_blended += 1;
-                        rendered[idx as usize] = true;
-                        if st.terminated() {
-                            active -= 1;
-                        }
-                    }
-                }
-            }
+        }
+        for &idx in &outcome.rendered {
+            rendered[idx as usize] = true;
         }
     }
-
     stats.unique_loaded = loaded.iter().filter(|&&b| b).count() as u64;
     stats.rendered = rendered.iter().filter(|&&b| b).count() as u64;
-
-    let mut image = Image::new(w, h);
-    for y in 0..h {
-        for x in 0..w {
-            image.set(x, y, states[(y * w + x) as usize].resolve(cfg.background));
-        }
-    }
+    // Single window: every contributor is invoked exactly once.
+    stats.render_invocations = stats.rendered;
 
     StandardOutput {
         image,
@@ -323,7 +349,7 @@ mod tests {
         assert!(center.y < 0.05);
         // Far corner stays background.
         assert_eq!(out.image.get(0, 0), Vec3::ZERO);
-        assert_eq!(out.stats.preprocessed, 1);
+        assert_eq!(out.stats.projected, 1);
         assert_eq!(out.stats.rendered, 1);
     }
 
@@ -341,7 +367,7 @@ mod tests {
         // Blend enough copies of the front to guarantee termination.
         let gaussians = vec![front.clone(), front.clone(), front.clone(), front, back];
         let out = render_reference(&gaussians, &cam);
-        assert_eq!(out.stats.preprocessed, 5);
+        assert_eq!(out.stats.projected, 5);
         assert!(
             out.stats.rendered < 5,
             "back Gaussian should be terminated away (rendered {})",
@@ -360,7 +386,10 @@ mod tests {
         assert!(out.stats.kv_pairs >= 1);
         assert_eq!(
             out.stats.kv_pairs,
-            out.tile_gaussian_counts.iter().map(|&c| u64::from(c)).sum::<u64>()
+            out.tile_gaussian_counts
+                .iter()
+                .map(|&c| u64::from(c))
+                .sum::<u64>()
         );
     }
 
@@ -438,16 +467,42 @@ mod tests {
         };
         let out = render_standard(&[], &cam, &cfg);
         assert_eq!(out.image.get(10, 10), Vec3::new(0.2, 0.3, 0.4));
-        assert_eq!(out.stats.preprocessed, 0);
+        assert_eq!(out.stats.projected, 0);
     }
 
     #[test]
     fn unused_fraction_definition() {
-        let s = StandardStats {
-            preprocessed: 10,
+        let s = FrameStats {
+            projected: 10,
             rendered: 4,
-            ..StandardStats::default()
+            ..FrameStats::default()
         };
         assert!((s.unused_fraction() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_tiles_reproduce_sequential_render_exactly() {
+        let cam = test_cam();
+        let mut gaussians = Vec::new();
+        for i in 0..250 {
+            let t = i as f32 / 250.0;
+            gaussians.push(Gaussian3D::isotropic(
+                Vec3::new((t * 19.0).sin(), (t * 13.0).cos() * 0.6, t * 2.0 - 0.3),
+                0.05 + 0.1 * t,
+                0.05f32.max(t),
+                Vec3::new(t, 1.0 - t, 0.4),
+            ));
+        }
+        let seq = render_standard(&gaussians, &cam, &StandardConfig::default());
+        for threads in [2, 4, 7] {
+            let par = render_standard_with(
+                &gaussians,
+                &cam,
+                &StandardConfig::default(),
+                Parallelism::fixed(threads),
+            );
+            assert_eq!(seq.image, par.image, "threads={threads}");
+            assert_eq!(seq.stats, par.stats, "threads={threads}");
+        }
     }
 }

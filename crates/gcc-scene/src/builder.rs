@@ -16,12 +16,11 @@
 //! effective-vs-bounding-box footprint gap of Fig. 4 / Table 1.
 
 use crate::preset::{PresetParams, SceneKind};
+use crate::rng::StdRng;
 use crate::scene::{Scene, SceneConfig};
 use crate::trajectory::OrbitRig;
 use gcc_core::{Gaussian3D, SH_COEFFS_PER_CHANNEL, SH_FLOATS};
 use gcc_math::{Quat, Vec3};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Builds a scene from preset parameters and a config.
 pub fn build_scene(params: &PresetParams, config: &SceneConfig) -> Scene {
@@ -146,11 +145,7 @@ enum Role {
     Backdrop,
 }
 
-fn sample_position(
-    params: &PresetParams,
-    clusters: &[Cluster],
-    rng: &mut StdRng,
-) -> (Vec3, Role) {
+fn sample_position(params: &PresetParams, clusters: &[Cluster], rng: &mut StdRng) -> (Vec3, Role) {
     let r = params.world_radius;
     let cluster_spread = params.cluster_sigma * r;
     let from_cluster = |rng: &mut StdRng| {
@@ -274,11 +269,7 @@ fn sample_sh(rng: &mut StdRng) -> [f32; SH_FLOATS] {
     sh
 }
 
-fn sample_gaussian(
-    params: &PresetParams,
-    clusters: &[Cluster],
-    rng: &mut StdRng,
-) -> Gaussian3D {
+fn sample_gaussian(params: &PresetParams, clusters: &[Cluster], rng: &mut StdRng) -> Gaussian3D {
     let (position, role) = sample_position(params, clusters, rng);
     let mut opacity = sample_opacity(params, rng);
     if role == Role::Backdrop {
@@ -377,11 +368,7 @@ mod tests {
             .iter()
             .filter(|g| g.opacity() < 0.08)
             .count() as f32;
-        let high = scene
-            .gaussians
-            .iter()
-            .filter(|g| g.opacity() > 0.6)
-            .count() as f32;
+        let high = scene.gaussians.iter().filter(|g| g.opacity() > 0.6).count() as f32;
         let p = ScenePreset::Drjohnson.params();
         // Backdrop points (walls) are forced opaque, so the low tail is
         // diluted below its nominal fraction and the opaque mode exceeds

@@ -5,8 +5,11 @@
 //! followed by each Gaussian's 59-float record (see
 //! [`Gaussian3D::to_floats`]), little-endian.
 
+use crate::json::{self, Value};
 use crate::{OrbitRig, Scene};
 use gcc_core::{Gaussian3D, PARAM_FLOATS};
+use gcc_math::Vec3;
+use std::fmt::Write as _;
 use std::io::{self, Read, Write};
 
 /// Magic bytes of the binary format.
@@ -47,26 +50,176 @@ impl From<io::Error> for SceneIoError {
 
 /// Serializes a scene as JSON (pretty when `pretty`).
 ///
+/// Floats are written with Rust's shortest round-trip formatting, so
+/// [`from_json`] recovers bit-identical values. Each Gaussian is one
+/// 59-float array in [`Gaussian3D::to_floats`] order.
+///
 /// # Errors
 ///
-/// Returns [`SceneIoError::Format`] if serde fails (should not happen for
-/// well-formed scenes).
+/// Returns [`SceneIoError::Format`] if the scene contains a non-finite
+/// float (JSON has no NaN/infinity tokens, and a silent `NaN` would
+/// break the round trip at parse time instead of here).
 pub fn to_json(scene: &Scene, pretty: bool) -> Result<String, SceneIoError> {
-    let r = if pretty {
-        serde_json::to_string_pretty(scene)
-    } else {
-        serde_json::to_string(scene)
+    let finite = |v: f32, what: &str| {
+        if v.is_finite() {
+            Ok(())
+        } else {
+            Err(SceneIoError::Format(format!("non-finite {what}: {v}")))
+        }
     };
-    r.map_err(|e| SceneIoError::Format(e.to_string()))
+    finite(scene.fov_y_deg, "fov_y_deg")?;
+    let r = &scene.rig;
+    for (v, what) in [
+        (r.center.x, "rig.center"),
+        (r.center.y, "rig.center"),
+        (r.center.z, "rig.center"),
+        (r.look_at.x, "rig.look_at"),
+        (r.look_at.y, "rig.look_at"),
+        (r.look_at.z, "rig.look_at"),
+        (r.radius, "rig.radius"),
+        (r.height, "rig.height"),
+        (r.arc, "rig.arc"),
+        (r.phase, "rig.phase"),
+    ] {
+        finite(v, what)?;
+    }
+
+    let (nl, ind, sp) = if pretty {
+        ("\n", "  ", " ")
+    } else {
+        ("", "", "")
+    };
+    let mut out = String::with_capacity(scene.gaussians.len() * PARAM_FLOATS * 8 + 256);
+    out.push('{');
+    out.push_str(nl);
+
+    let _ = write!(out, "{ind}\"name\":{sp}");
+    json::write_str(&mut out, &scene.name);
+    let _ = write!(
+        out,
+        ",{nl}{ind}\"resolution\":{sp}[{},{sp}{}],{nl}",
+        scene.resolution.0, scene.resolution.1
+    );
+    let _ = write!(out, "{ind}\"fov_y_deg\":{sp}{},{nl}", scene.fov_y_deg);
+
+    let r = &scene.rig;
+    let _ = write!(
+        out,
+        "{ind}\"rig\":{sp}{{\"center\":{sp}[{},{sp}{},{sp}{}],{sp}\"look_at\":{sp}[{},{sp}{},{sp}{}],{sp}\
+         \"radius\":{sp}{},{sp}\"height\":{sp}{},{sp}\"arc\":{sp}{},{sp}\"phase\":{sp}{}}},{nl}",
+        r.center.x, r.center.y, r.center.z,
+        r.look_at.x, r.look_at.y, r.look_at.z,
+        r.radius, r.height, r.arc, r.phase
+    );
+
+    let _ = write!(out, "{ind}\"gaussians\":{sp}[{nl}");
+    for (i, g) in scene.gaussians.iter().enumerate() {
+        let _ = write!(out, "{ind}{ind}[");
+        for (j, v) in g.to_floats().iter().enumerate() {
+            if !v.is_finite() {
+                return Err(SceneIoError::Format(format!(
+                    "non-finite float in gaussian {i} (index {j}): {v}"
+                )));
+            }
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{v}");
+        }
+        out.push(']');
+        if i + 1 != scene.gaussians.len() {
+            out.push(',');
+        }
+        out.push_str(nl);
+    }
+    let _ = write!(out, "{ind}]{nl}}}");
+    Ok(out)
 }
 
-/// Parses a scene from JSON.
+fn field<'v>(v: &'v Value, key: &str) -> Result<&'v Value, SceneIoError> {
+    v.get(key)
+        .ok_or_else(|| SceneIoError::Format(format!("missing field '{key}'")))
+}
+
+fn f32_field(v: &Value, key: &str) -> Result<f32, SceneIoError> {
+    field(v, key)?
+        .as_f32()
+        .ok_or_else(|| SceneIoError::Format(format!("field '{key}' is not a number")))
+}
+
+fn vec3_field(v: &Value, key: &str) -> Result<Vec3, SceneIoError> {
+    let arr = field(v, key)?
+        .as_arr()
+        .filter(|a| a.len() == 3)
+        .ok_or_else(|| SceneIoError::Format(format!("field '{key}' is not a 3-array")))?;
+    let mut out = [0.0f32; 3];
+    for (slot, item) in out.iter_mut().zip(arr) {
+        *slot = item
+            .as_f32()
+            .ok_or_else(|| SceneIoError::Format(format!("non-numeric '{key}' element")))?;
+    }
+    Ok(Vec3::new(out[0], out[1], out[2]))
+}
+
+/// Parses a scene from the JSON produced by [`to_json`].
 ///
 /// # Errors
 ///
-/// Returns [`SceneIoError::Format`] for malformed JSON.
+/// Returns [`SceneIoError::Format`] for malformed JSON or a wrong schema.
 pub fn from_json(s: &str) -> Result<Scene, SceneIoError> {
-    serde_json::from_str(s).map_err(|e| SceneIoError::Format(e.to_string()))
+    let doc = json::parse(s).map_err(SceneIoError::Format)?;
+    let name = field(&doc, "name")?
+        .as_str()
+        .ok_or_else(|| SceneIoError::Format("'name' is not a string".into()))?
+        .to_string();
+    let res = field(&doc, "resolution")?
+        .as_arr()
+        .filter(|a| a.len() == 2)
+        .ok_or_else(|| SceneIoError::Format("'resolution' is not a 2-array".into()))?;
+    let resolution = (
+        res[0]
+            .as_u32()
+            .ok_or_else(|| SceneIoError::Format("bad width".into()))?,
+        res[1]
+            .as_u32()
+            .ok_or_else(|| SceneIoError::Format("bad height".into()))?,
+    );
+    let fov_y_deg = f32_field(&doc, "fov_y_deg")?;
+    let rig_v = field(&doc, "rig")?;
+    let rig = OrbitRig {
+        center: vec3_field(rig_v, "center")?,
+        look_at: vec3_field(rig_v, "look_at")?,
+        radius: f32_field(rig_v, "radius")?,
+        height: f32_field(rig_v, "height")?,
+        arc: f32_field(rig_v, "arc")?,
+        phase: f32_field(rig_v, "phase")?,
+    };
+    let gauss_v = field(&doc, "gaussians")?
+        .as_arr()
+        .ok_or_else(|| SceneIoError::Format("'gaussians' is not an array".into()))?;
+    let mut gaussians = Vec::with_capacity(gauss_v.len());
+    for (i, g) in gauss_v.iter().enumerate() {
+        let rec = g
+            .as_arr()
+            .filter(|a| a.len() == PARAM_FLOATS)
+            .ok_or_else(|| {
+                SceneIoError::Format(format!("gaussian {i} is not a {PARAM_FLOATS}-array"))
+            })?;
+        let mut floats = [0.0f32; PARAM_FLOATS];
+        for (slot, item) in floats.iter_mut().zip(rec) {
+            *slot = item
+                .as_f32()
+                .ok_or_else(|| SceneIoError::Format(format!("gaussian {i}: bad float")))?;
+        }
+        gaussians.push(Gaussian3D::from_floats(&floats));
+    }
+    Ok(Scene {
+        name,
+        gaussians,
+        resolution,
+        fov_y_deg,
+        rig,
+    })
 }
 
 /// Writes the binary DRAM-image format.
@@ -124,8 +277,7 @@ pub fn read_binary<R: Read>(mut r: R) -> Result<Scene, SceneIoError> {
     }
     let mut name = vec![0u8; name_len];
     r.read_exact(&mut name)?;
-    let name =
-        String::from_utf8(name).map_err(|_| SceneIoError::Format("non-UTF8 name".into()))?;
+    let name = String::from_utf8(name).map_err(|_| SceneIoError::Format("non-UTF8 name".into()))?;
     let width = read_u32(&mut r)?;
     let height = read_u32(&mut r)?;
     let fov_y_deg = read_f32(&mut r)?;
@@ -193,6 +345,33 @@ mod tests {
         assert_eq!(scene.name, back.name);
         assert_eq!(scene.gaussians, back.gaussians);
         assert_eq!(scene.resolution, back.resolution);
+    }
+
+    #[test]
+    fn overflowing_floats_are_rejected_at_parse_time() {
+        // A foreign/hand-edited document whose value saturates f32 to
+        // infinity must fail parsing, mirroring the writer-side check.
+        let doc = |fov: &str| {
+            format!(
+                "{{\"name\":\"x\",\"resolution\":[4,4],\"fov_y_deg\":{fov},\
+                 \"rig\":{{\"center\":[0,0,0],\"look_at\":[0,0,1],\"radius\":1,\
+                 \"height\":0,\"arc\":1,\"phase\":0}},\"gaussians\":[]}}"
+            )
+        };
+        assert!(from_json(&doc("47")).is_ok());
+        let err = from_json(&doc("1e39")).unwrap_err();
+        assert!(matches!(err, SceneIoError::Format(_)), "{err}");
+    }
+
+    #[test]
+    fn non_finite_scene_is_rejected_at_write_time() {
+        let mut scene = small_scene();
+        scene.gaussians[0].ln_opacity = f32::NAN;
+        let err = to_json(&scene, false).unwrap_err();
+        assert!(matches!(err, SceneIoError::Format(_)), "{err}");
+        let mut scene = small_scene();
+        scene.fov_y_deg = f32::INFINITY;
+        assert!(to_json(&scene, false).is_err());
     }
 
     #[test]

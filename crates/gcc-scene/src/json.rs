@@ -1,0 +1,428 @@
+//! A minimal JSON reader/writer for scene interchange.
+//!
+//! The build environment has no crates.io access, so scene JSON is handled
+//! by this self-contained module instead of `serde_json`. Numbers keep
+//! their raw source text ([`Value::Num`] stores the token), so an `f32`
+//! written with Rust's shortest round-trip `Display` parses back to the
+//! bit-identical `f32` — which is what makes the JSON round-trip tests in
+//! [`crate::io`] exact.
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its raw token text.
+    Num(String),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in source order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member of an object by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Elements of an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// String payload.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Number parsed as `f32` (exact for tokens written from `f32`).
+    ///
+    /// Returns `None` for tokens whose magnitude overflows `f32` (Rust's
+    /// parser saturates such tokens to infinity; JSON itself cannot
+    /// represent non-finite values, so saturation is always an
+    /// out-of-range input, not data).
+    pub fn as_f32(&self) -> Option<f32> {
+        match self {
+            Value::Num(t) => t.parse().ok().filter(|v: &f32| v.is_finite()),
+            _ => None,
+        }
+    }
+
+    /// Number parsed as `u32`.
+    pub fn as_u32(&self) -> Option<u32> {
+        match self {
+            Value::Num(t) => t.parse().ok(),
+            _ => None,
+        }
+    }
+}
+
+/// Escapes and quotes a string into `out`.
+pub fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses a complete JSON document.
+///
+/// # Errors
+///
+/// Returns a human-readable message naming the byte offset of the problem.
+pub fn parse(src: &str) -> Result<Value, String> {
+    let mut p = Parser {
+        bytes: src.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+/// Maximum container nesting the parser accepts. Scene documents nest
+/// four levels deep; the cap exists so a pathological foreign input
+/// (e.g. `"[".repeat(100_000)`) returns `Err` instead of overflowing
+/// the stack of this recursive-descent parser.
+const MAX_DEPTH: u32 = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: u32,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let token = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "non-UTF8 number".to_string())?;
+        // Validate now so consumers can parse infallibly later.
+        token
+            .parse::<f64>()
+            .map_err(|_| format!("bad number '{token}' at byte {start}"))?;
+        Ok(Value::Num(token.to_string()))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let code = self.hex4()?;
+                            let c = match code {
+                                // High surrogate: a spec-valid document
+                                // encodes a supplementary-plane char as a
+                                // \uHHHH\uLLLL pair.
+                                0xD800..=0xDBFF => {
+                                    if self.peek() != Some(b'\\') {
+                                        return Err("high surrogate not followed by \\u".into());
+                                    }
+                                    self.pos += 1;
+                                    if self.peek() != Some(b'u') {
+                                        return Err("high surrogate not followed by \\u".into());
+                                    }
+                                    self.pos += 1;
+                                    let low = self.hex4()?;
+                                    if !(0xDC00..=0xDFFF).contains(&low) {
+                                        return Err(format!("invalid low surrogate '{low:04x}'"));
+                                    }
+                                    let scalar = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                    char::from_u32(scalar)
+                                        .ok_or_else(|| "bad surrogate pair".to_string())?
+                                }
+                                0xDC00..=0xDFFF => {
+                                    return Err(format!("lone low surrogate '{code:04x}'"));
+                                }
+                                c => char::from_u32(c)
+                                    .ok_or_else(|| format!("bad \\u escape '{c:04x}'"))?,
+                            };
+                            out.push(c);
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos - 1)),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte safe).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "non-UTF8 string".to_string())?;
+                    let c = rest.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Reads the four hex digits of a `\u` escape (cursor past the `u`).
+    fn hex4(&mut self) -> Result<u32, String> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or("truncated \\u escape")?;
+        let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| format!("bad \\u escape '{hex}'"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_DEPTH} at byte {}",
+                self.pos
+            ));
+        }
+        Ok(())
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        self.enter()?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        self.enter()?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let v = self.value()?;
+            members.push((key, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Obj(members));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_containers() {
+        let v = parse(r#"{"a": [1, -2.5e3, true, null], "b": "x\ny"}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 4);
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[0].as_u32(), Some(1));
+        assert_eq!(v.get("b").unwrap().as_str(), Some("x\ny"));
+    }
+
+    #[test]
+    fn f32_tokens_round_trip_exactly() {
+        for x in [0.1f32, 1e-7, -3.4e38, std::f32::consts::PI, 1.0 / 3.0] {
+            let doc = format!("[{x}]");
+            let v = parse(&doc).unwrap();
+            let back = v.as_arr().unwrap()[0].as_f32().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x}");
+        }
+    }
+
+    #[test]
+    fn overflowing_numbers_are_rejected_as_f32() {
+        // parse::<f32> saturates 1e39/1e999 to inf; as_f32 must not let
+        // that through as a "valid" number.
+        for tok in ["1e39", "-1e39", "1e999"] {
+            let v = parse(&format!("[{tok}]")).unwrap();
+            assert_eq!(v.as_arr().unwrap()[0].as_f32(), None, "{tok}");
+        }
+        // Underflow to zero and f32::MAX remain accepted.
+        let v = parse("[1e-60, 3.4028235e38]").unwrap();
+        assert_eq!(v.as_arr().unwrap()[0].as_f32(), Some(0.0));
+        assert_eq!(v.as_arr().unwrap()[1].as_f32(), Some(f32::MAX));
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let mut out = String::new();
+        write_str(&mut out, "a\"b\\c\nd\te\u{1}");
+        let v = parse(&out).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c\nd\te\u{1}"));
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_and_lone_surrogates_are_rejected() {
+        // U+1F600 is encoded in JSON as the surrogate pair \ud83d\ude00.
+        let v = parse(r#"["\ud83d\ude00 ok"]"#).unwrap();
+        assert_eq!(v.as_arr().unwrap()[0].as_str(), Some("\u{1F600} ok"));
+        // Lone high, lone low, and high + non-surrogate all fail loudly.
+        assert!(parse(r#"["\ud83d"]"#).is_err());
+        assert!(parse(r#"["\ude00"]"#).is_err());
+        assert!(parse(r#"["\ud83dx"]"#).is_err());
+        assert!(parse(r#"["\ud83dA"]"#).is_err());
+    }
+
+    #[test]
+    fn pathological_nesting_errors_instead_of_overflowing() {
+        let deep = "[".repeat(100_000);
+        let err = parse(&deep).unwrap_err();
+        assert!(err.contains("nesting"), "{err}");
+        // Depth within the cap still parses.
+        let ok = format!("{}{}", "[".repeat(64), "]".repeat(64));
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse(r#"{"a" 1}"#).is_err());
+        assert!(parse("[1] trailing").is_err());
+        assert!(parse("nope").is_err());
+    }
+
+    #[test]
+    fn nested_objects_preserve_order() {
+        let v = parse(r#"{"z": 1, "a": {"k": [2]}}"#).unwrap();
+        if let Value::Obj(members) = &v {
+            assert_eq!(members[0].0, "z");
+            assert_eq!(members[1].0, "a");
+        } else {
+            panic!("not an object");
+        }
+    }
+}

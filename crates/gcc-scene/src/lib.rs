@@ -34,10 +34,14 @@
 
 mod builder;
 pub mod io;
+pub mod json;
 mod preset;
+pub mod rng;
+mod runner;
 mod scene;
 mod trajectory;
 
 pub use preset::{PresetParams, SceneKind, ScenePreset, ALL_PRESETS};
+pub use runner::{TrajectoryResult, TrajectoryRunner};
 pub use scene::{Scene, SceneConfig, SceneStats};
 pub use trajectory::OrbitRig;

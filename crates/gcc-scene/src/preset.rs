@@ -8,11 +8,10 @@
 //! counts for quick tests or heavier runs.
 
 use crate::scene::{Scene, SceneConfig};
-use serde::{Deserialize, Serialize};
 
 /// Coarse scene layout family, controlling how the generator places
 /// Gaussian clusters and the default camera.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SceneKind {
     /// Synthetic object-centric capture (Lego, Palace): a compact object
     /// at the origin, camera orbiting outside it, nearly everything in
@@ -28,7 +27,7 @@ pub enum SceneKind {
 }
 
 /// Generation parameters for one scene preset.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PresetParams {
     /// Scene name as used in the paper's tables.
     pub name: &'static str,
@@ -68,7 +67,7 @@ pub struct PresetParams {
 }
 
 /// The six paper scenes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ScenePreset {
     /// Synthetic palace model (compact, Gaussians cluster near the view
     /// center — paper §5.2).
@@ -243,7 +242,11 @@ mod tests {
     fn opacity_fractions_are_valid() {
         for p in ALL_PRESETS {
             let pa = p.params();
-            assert!(pa.opacity_low_frac + pa.opacity_mid_frac < 1.0, "{}", pa.name);
+            assert!(
+                pa.opacity_low_frac + pa.opacity_mid_frac < 1.0,
+                "{}",
+                pa.name
+            );
             assert!(pa.opacity_low_frac > 0.0);
         }
     }

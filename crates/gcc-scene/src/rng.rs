@@ -1,0 +1,214 @@
+//! Deterministic pseudo-random numbers for scene synthesis.
+//!
+//! The build environment has no crates.io access, so instead of the `rand`
+//! crate the builder uses this self-contained generator: SplitMix64 for
+//! seeding into xoshiro256**, the same construction rand's small RNGs use.
+//! Scenes remain a pure function of `(preset, seed)`; the exact stream
+//! differs from rand's `StdRng`, which only shifts which statistically
+//! equivalent cloud a seed denotes.
+
+/// A deterministic 64-bit generator (xoshiro256**, SplitMix64-seeded) with
+/// the sampling helpers the scene builder needs.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    /// Seeds the full 256-bit state from one `u64` via SplitMix64.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = move || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Self {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform sample in `[0, 1)` with 24 bits of mantissa entropy.
+    pub fn gen<T: Sample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Uniform sample in a half-open range.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty range.
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+}
+
+/// Types [`StdRng::gen`] can produce.
+pub trait Sample {
+    /// Draws one uniform value.
+    fn sample(rng: &mut StdRng) -> Self;
+}
+
+impl Sample for f32 {
+    fn sample(rng: &mut StdRng) -> Self {
+        // Top 24 bits → [0, 1) on the f32 lattice.
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Sample for u64 {
+    fn sample(rng: &mut StdRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+/// Ranges [`StdRng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// Element type of the range.
+    type Output;
+    /// Draws one uniform value from the range.
+    fn sample(self, rng: &mut StdRng) -> Self::Output;
+}
+
+impl SampleRange for std::ops::Range<f32> {
+    type Output = f32;
+
+    fn sample(self, rng: &mut StdRng) -> f32 {
+        assert!(self.start < self.end, "empty range {self:?}");
+        let u: f32 = rng.gen();
+        let v = self.start + u * (self.end - self.start);
+        // `start + u*(end-start)` can round up to exactly `end` even for
+        // u < 1; pin the half-open contract by stepping such draws down
+        // to the largest representable value below `end` (≥ start, since
+        // the range is non-empty).
+        if v < self.end {
+            v
+        } else {
+            self.end.next_down()
+        }
+    }
+}
+
+impl SampleRange for std::ops::Range<usize> {
+    type Output = usize;
+
+    fn sample(self, rng: &mut StdRng) -> usize {
+        assert!(self.start < self.end, "empty range {self:?}");
+        // Multiply-shift bounded sampling (Lemire): the u128 widening
+        // product cannot overflow for any usize span, and the residual
+        // modulo bias (< span/2^64) is irrelevant at scene-builder scales.
+        let span = (self.end - self.start) as u128;
+        let x = u128::from(rng.next_u64());
+        self.start + ((x * span) >> 64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f32_samples_are_in_unit_interval_and_spread() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut mean = 0.0f64;
+        const N: usize = 10_000;
+        for _ in 0..N {
+            let v: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+            mean += f64::from(v);
+        }
+        mean /= N as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn range_sampling_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-2.0f32..3.5);
+            assert!((-2.0..3.5).contains(&v));
+            let i = rng.gen_range(0usize..7);
+            assert!(i < 7);
+        }
+    }
+
+    #[test]
+    #[cfg(target_pointer_width = "64")]
+    fn usize_range_handles_spans_beyond_32_bits() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (start, end) = (7usize, 7 + (1usize << 33));
+        let mut above_u32 = 0;
+        for _ in 0..64 {
+            let v = rng.gen_range(start..end);
+            assert!((start..end).contains(&v), "v {v} escaped");
+            if v - start > u32::MAX as usize {
+                above_u32 += 1;
+            }
+        }
+        // With a 2^33 span, about half the draws land above 2^32.
+        assert!(above_u32 > 10, "only {above_u32} draws above u32::MAX");
+    }
+
+    #[test]
+    fn usize_range_hits_every_bucket() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut hits = [0u32; 5];
+        for _ in 0..5000 {
+            hits[rng.gen_range(0usize..5)] += 1;
+        }
+        for (i, h) in hits.iter().enumerate() {
+            assert!(*h > 700, "bucket {i} starved: {h}");
+        }
+    }
+
+    #[test]
+    fn f32_range_upper_bound_is_exclusive_even_under_rounding() {
+        // Over a 1-ULP span, `start + u * span` rounds up to `end` for
+        // roughly half of all `u` draws — the half-open contract must
+        // hold anyway.
+        let mut rng = StdRng::seed_from_u64(42);
+        let (start, end) = (1.0f32, 1.0 + f32::EPSILON);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(start..end);
+            assert!(v >= start && v < end, "v {v} escaped [{start}, {end})");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = rng.gen_range(1.0f32..1.0);
+    }
+}

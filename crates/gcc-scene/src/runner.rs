@@ -1,0 +1,171 @@
+//! Batch rendering of camera trajectories through any [`Renderer`].
+//!
+//! The [`TrajectoryRunner`] samples a scene's [`crate::OrbitRig`] at `n`
+//! evenly spaced parameters and renders every viewpoint through one
+//! renderer — the workload of the paper's headset scenario (a continuous
+//! orbit at 90 FPS) and of any batch-serving deployment. Frames are
+//! independent, so the runner parallelizes *across* frames with
+//! [`gcc_parallel`]; frame order in the result is the trajectory order
+//! regardless of the thread count, and the aggregate statistics are the
+//! order-independent sum of per-frame [`FrameStats`].
+//!
+//! Parallelism composition: frame-level parallelism here multiplies with
+//! the renderer's intra-frame parallelism. For throughput over a long
+//! trajectory, prefer a sequential renderer inside a parallel runner (one
+//! frame per core); for latency on a single frame, prefer the reverse.
+
+use gcc_core::Camera;
+use gcc_parallel::{par_map_indexed, Parallelism};
+use gcc_render::pipeline::{Frame, FrameStats, Renderer};
+
+use crate::Scene;
+
+/// Renders a scene's camera trajectory as a batch through any renderer.
+#[derive(Debug, Clone)]
+pub struct TrajectoryRunner {
+    /// Number of evenly spaced viewpoints on the rig (`t = i / frames`).
+    pub frames: usize,
+    /// Frame-level parallelism policy.
+    pub parallelism: Parallelism,
+}
+
+impl Default for TrajectoryRunner {
+    fn default() -> Self {
+        Self {
+            frames: 8,
+            parallelism: Parallelism::Auto,
+        }
+    }
+}
+
+impl TrajectoryRunner {
+    /// Runner over `frames` viewpoints with automatic parallelism.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `frames` is zero.
+    pub fn new(frames: usize) -> Self {
+        assert!(frames > 0, "a trajectory needs at least one frame");
+        Self {
+            frames,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the frame-level parallelism policy.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// The cameras this runner samples, in trajectory order.
+    pub fn cameras(&self, scene: &Scene) -> Vec<Camera> {
+        (0..self.frames)
+            .map(|i| scene.camera(i as f32 / self.frames as f32))
+            .collect()
+    }
+
+    /// Renders the whole trajectory through `renderer`. Frame `i` of the
+    /// result is viewpoint `t = i / frames`, independent of the thread
+    /// count.
+    pub fn run(&self, scene: &Scene, renderer: &dyn Renderer) -> TrajectoryResult {
+        let cameras = self.cameras(scene);
+        let frames = par_map_indexed(cameras.len(), self.parallelism.threads(), |i| {
+            renderer.render_frame(&scene.gaussians, &cameras[i])
+        });
+        TrajectoryResult { frames }
+    }
+}
+
+/// The frames of one trajectory run, in trajectory order.
+#[derive(Debug, Clone)]
+pub struct TrajectoryResult {
+    /// Rendered frames (image + stats per viewpoint).
+    pub frames: Vec<Frame>,
+}
+
+impl TrajectoryResult {
+    /// Sum of all per-frame statistics (every counter is additive across
+    /// frames; `total_gaussians` etc. accumulate per-frame contributions,
+    /// so divide by [`Self::len`] for per-frame means). Note that the
+    /// aggregate's `windows` counts frames×windows — feed *per-frame*
+    /// stats, not this sum, to `gcc_sim::scaling::scale_stats`.
+    pub fn aggregate_stats(&self) -> FrameStats {
+        let mut total = FrameStats::default();
+        for f in &self.frames {
+            total.merge_add(&f.stats);
+        }
+        total
+    }
+
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// `true` when the trajectory rendered no frames.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SceneConfig, ScenePreset};
+    use gcc_render::pipeline::{GaussianWiseRenderer, StandardRenderer};
+
+    fn scene() -> Scene {
+        ScenePreset::Lego.build(&SceneConfig::with_scale(0.03))
+    }
+
+    #[test]
+    fn trajectory_covers_requested_viewpoints() {
+        let scene = scene();
+        let runner = TrajectoryRunner::new(5).with_parallelism(Parallelism::Sequential);
+        let cams = runner.cameras(&scene);
+        assert_eq!(cams.len(), 5);
+        let result = runner.run(&scene, &StandardRenderer::reference());
+        assert_eq!(result.len(), 5);
+        assert!(!result.is_empty());
+        for f in &result.frames {
+            assert_eq!(f.image.width(), scene.resolution.0);
+            assert_eq!(f.stats.total_gaussians, scene.len() as u64);
+        }
+    }
+
+    #[test]
+    fn parallel_batch_matches_sequential_batch_exactly() {
+        let scene = scene();
+        let renderer = GaussianWiseRenderer::default();
+        let seq = TrajectoryRunner::new(6)
+            .with_parallelism(Parallelism::Sequential)
+            .run(&scene, &renderer);
+        let par = TrajectoryRunner::new(6)
+            .with_parallelism(Parallelism::fixed(4))
+            .run(&scene, &renderer);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.frames.iter().zip(&par.frames) {
+            assert_eq!(a.image, b.image);
+            assert_eq!(a.stats, b.stats);
+        }
+        assert_eq!(seq.aggregate_stats(), par.aggregate_stats());
+    }
+
+    #[test]
+    fn aggregate_sums_per_frame_counters() {
+        let scene = scene();
+        let runner = TrajectoryRunner::new(3).with_parallelism(Parallelism::Sequential);
+        let result = runner.run(&scene, &StandardRenderer::gscore());
+        let agg = result.aggregate_stats();
+        let manual: u64 = result.frames.iter().map(|f| f.stats.pixels_blended).sum();
+        assert_eq!(agg.pixels_blended, manual);
+        assert_eq!(agg.total_gaussians, 3 * scene.len() as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn zero_frames_rejected() {
+        let _ = TrajectoryRunner::new(0);
+    }
+}

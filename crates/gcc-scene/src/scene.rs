@@ -3,10 +3,9 @@
 
 use crate::trajectory::OrbitRig;
 use gcc_core::{Camera, Gaussian3D};
-use serde::{Deserialize, Serialize};
 
 /// Controls how a preset is instantiated.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SceneConfig {
     /// Multiplies the preset's base Gaussian count. `1.0` is the default
     /// repro scale documented in `DESIGN.md` §6; tests typically run at
@@ -36,10 +35,7 @@ impl SceneConfig {
             scale > 0.0 && scale <= 100.0,
             "scene scale {scale} out of range"
         );
-        Self {
-            scale,
-            seed: None,
-        }
+        Self { scale, seed: None }
     }
 
     /// Reads `GCC_SCENE_SCALE` from the environment (used by the bench
@@ -55,7 +51,7 @@ impl SceneConfig {
 }
 
 /// A synthesized scene: Gaussians plus viewing setup.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Scene {
     /// Scene name (paper table row).
     pub name: String,
@@ -122,7 +118,7 @@ impl Scene {
 }
 
 /// Aggregate Gaussian population statistics.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SceneStats {
     /// Total Gaussians.
     pub count: usize,

@@ -2,12 +2,11 @@
 
 use gcc_core::Camera;
 use gcc_math::Vec3;
-use serde::{Deserialize, Serialize};
 
 /// A circular orbit (object scenes) or inside-out pan (scans): the eye
 /// moves on a circle of `radius` at height `height` around `center`,
 /// always looking at `look_at`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OrbitRig {
     /// Orbit center.
     pub center: Vec3,

@@ -1,10 +1,8 @@
 //! Silicon area and power: the paper's Table 4 breakdown for GCC and the
 //! published GSCore totals, all at 28 nm / 1 GHz.
 
-use serde::{Deserialize, Serialize};
-
 /// One hardware component's area/power contribution.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Component {
     /// Component name (Table 4 row).
     pub name: &'static str,
@@ -19,27 +17,77 @@ pub struct Component {
 /// The GCC compute units of Table 4.
 pub fn gcc_compute_units() -> Vec<Component> {
     vec![
-        Component { name: "RCA", area_mm2: 0.010, power_mw: 2.0, configuration: "4 units" },
-        Component { name: "Projection Unit", area_mm2: 0.358, power_mw: 147.0, configuration: "2 units" },
-        Component { name: "SH Unit", area_mm2: 0.339, power_mw: 141.0, configuration: "1 unit" },
-        Component { name: "Sorting Unit", area_mm2: 0.010, power_mw: 11.0, configuration: "1 unit" },
-        Component { name: "Alpha Unit", area_mm2: 0.576, power_mw: 266.0, configuration: "64 PEs" },
-        Component { name: "Blending Unit", area_mm2: 0.382, power_mw: 172.0, configuration: "64 PEs" },
+        Component {
+            name: "RCA",
+            area_mm2: 0.010,
+            power_mw: 2.0,
+            configuration: "4 units",
+        },
+        Component {
+            name: "Projection Unit",
+            area_mm2: 0.358,
+            power_mw: 147.0,
+            configuration: "2 units",
+        },
+        Component {
+            name: "SH Unit",
+            area_mm2: 0.339,
+            power_mw: 141.0,
+            configuration: "1 unit",
+        },
+        Component {
+            name: "Sorting Unit",
+            area_mm2: 0.010,
+            power_mw: 11.0,
+            configuration: "1 unit",
+        },
+        Component {
+            name: "Alpha Unit",
+            area_mm2: 0.576,
+            power_mw: 266.0,
+            configuration: "64 PEs",
+        },
+        Component {
+            name: "Blending Unit",
+            area_mm2: 0.382,
+            power_mw: 172.0,
+            configuration: "64 PEs",
+        },
     ]
 }
 
 /// The GCC on-chip buffers of Table 4.
 pub fn gcc_buffers() -> Vec<Component> {
     vec![
-        Component { name: "Shared Buffer", area_mm2: 0.019, power_mw: 3.0, configuration: "2 x 1 x 6 KB" },
-        Component { name: "SH Buffer", area_mm2: 0.116, power_mw: 10.0, configuration: "2 x 3 x 8 KB" },
-        Component { name: "Sorted Buffer", area_mm2: 0.029, power_mw: 1.0, configuration: "2 x 1 x 1 KB" },
-        Component { name: "Image Buffer", area_mm2: 0.872, power_mw: 37.0, configuration: "1 x 4 x 32 KB" },
+        Component {
+            name: "Shared Buffer",
+            area_mm2: 0.019,
+            power_mw: 3.0,
+            configuration: "2 x 1 x 6 KB",
+        },
+        Component {
+            name: "SH Buffer",
+            area_mm2: 0.116,
+            power_mw: 10.0,
+            configuration: "2 x 3 x 8 KB",
+        },
+        Component {
+            name: "Sorted Buffer",
+            area_mm2: 0.029,
+            power_mw: 1.0,
+            configuration: "2 x 1 x 1 KB",
+        },
+        Component {
+            name: "Image Buffer",
+            area_mm2: 0.872,
+            power_mw: 37.0,
+            configuration: "1 x 4 x 32 KB",
+        },
     ]
 }
 
 /// Area/power summary of one accelerator.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ChipSummary {
     /// Total die area in mm².
     pub area_mm2: f64,
@@ -104,8 +152,16 @@ mod tests {
     #[test]
     fn gcc_totals_match_table4() {
         let s = gcc_summary();
-        assert!((s.compute_area_mm2 - 1.675).abs() < 1e-9, "{}", s.compute_area_mm2);
-        assert!((s.buffer_area_mm2 - 1.036).abs() < 1e-9, "{}", s.buffer_area_mm2);
+        assert!(
+            (s.compute_area_mm2 - 1.675).abs() < 1e-9,
+            "{}",
+            s.compute_area_mm2
+        );
+        assert!(
+            (s.buffer_area_mm2 - 1.036).abs() < 1e-9,
+            "{}",
+            s.buffer_area_mm2
+        );
         assert!((s.area_mm2 - 2.711).abs() < 1e-9);
         assert!((s.power_mw - 790.0).abs() < 1e-9);
     }

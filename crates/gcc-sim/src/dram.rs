@@ -3,10 +3,8 @@
 //! The paper pairs both accelerators with Micron LPDDR4-3200 (51.2 GB/s)
 //! and sweeps bandwidth up to LPDDR6-class in Fig. 14.
 
-use serde::{Deserialize, Serialize};
-
 /// An off-chip DRAM configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DramModel {
     /// Marketing name of the configuration.
     pub name: String,

@@ -13,15 +13,14 @@
 
 use crate::dram::DramModel;
 use crate::ops::{
-    OpCounters, OpEnergy, DIVSQRT_PER_PROJECTION, FMA_PER_ALPHA, FMA_PER_BLEND,
-    FMA_PER_PROJECTION, FMA_PER_SH,
+    OpCounters, OpEnergy, DIVSQRT_PER_PROJECTION, FMA_PER_ALPHA, FMA_PER_BLEND, FMA_PER_PROJECTION,
+    FMA_PER_SH,
 };
 use crate::report::{EnergyBreakdown, PhaseTiming, SimReport, TrafficBreakdown};
 use crate::sram::sram_energy_pj;
 use gcc_core::{Camera, Gaussian3D};
-use gcc_render::gaussian_wise::{
-    render_gaussian_wise, GaussianWiseConfig, GaussianWiseOutput, GaussianWiseStats,
-};
+use gcc_render::gaussian_wise::{render_gaussian_wise, GaussianWiseConfig, GaussianWiseOutput};
+use gcc_render::pipeline::FrameStats;
 
 /// GCC simulator configuration (hardware parameters + ablation toggles).
 #[derive(Debug, Clone)]
@@ -144,9 +143,11 @@ pub fn simulate_gcc(
     (report, out)
 }
 
-/// Builds the timing/energy report from workload statistics.
+/// Builds the timing/energy report from unified workload statistics.
+/// Reads the common core plus the Gaussian-wise schedule section of
+/// [`FrameStats`].
 pub fn report_from_stats(
-    s: &GaussianWiseStats,
+    s: &FrameStats,
     screen_pixels: f64,
     cfg: &GccSimConfig,
     scene_name: &str,
@@ -193,8 +194,7 @@ pub fn report_from_stats(
             name: "grouping".into(),
             compute_cycles: stage1_compute,
             dram_bytes: stage1_bytes,
-            dram_cycles: cfg.dram.cycles_for(stage1_bytes, cfg.clock_ghz)
-                / cfg.seq_dram_efficiency,
+            dram_cycles: cfg.dram.cycles_for(stage1_bytes, cfg.clock_ghz) / cfg.seq_dram_efficiency,
         },
         PhaseTiming {
             name: "render".into(),

@@ -11,14 +11,12 @@
 //!    *increases* rendering time on a GPU despite fewer alpha
 //!    evaluations.
 
-use gcc_render::gaussian_wise::GaussianWiseStats;
-use gcc_render::standard::StandardStats;
-use serde::{Deserialize, Serialize};
+use gcc_render::pipeline::FrameStats;
 
 use crate::ops::{FMA_PER_ALPHA, FMA_PER_BLEND, FMA_PER_PROJECTION, FMA_PER_SH};
 
 /// A GPU platform for the cost model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpuPlatform {
     /// Marketing name.
     pub name: String,
@@ -59,7 +57,7 @@ impl GpuPlatform {
 }
 
 /// Per-frame execution-time breakdown (milliseconds), Fig. 15's slices.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GpuBreakdown {
     /// Preprocessing (cull + project + SH).
     pub preprocess_ms: f64,
@@ -91,43 +89,38 @@ const FLOP_PER_KV: f64 = 24.0;
 /// Per-element radix-sort cost.
 const FLOP_PER_SORT: f64 = 40.0;
 
-/// Cost of the *standard* dataflow on a GPU, from tile-renderer stats.
-pub fn standard_dataflow_cost(s: &StandardStats, gpu: &GpuPlatform) -> GpuBreakdown {
+/// Cost of the *standard* dataflow on a GPU, from the tile-wise section
+/// of the unified frame statistics.
+pub fn standard_dataflow_cost(s: &FrameStats, gpu: &GpuPlatform) -> GpuBreakdown {
     let flops = gpu.effective_flops();
     let ms = |fl: f64| fl * GPU_OP_OVERHEAD / flops * 1e3;
     let n = s.total_gaussians as f64;
-    let pre = s.preprocessed as f64;
+    let pre = s.projected as f64;
     GpuBreakdown {
         preprocess_ms: ms(n * 12.0 + pre * (FMA_PER_PROJECTION + FMA_PER_SH) as f64),
         duplicate_ms: ms(s.kv_pairs as f64 * FLOP_PER_KV),
         sort_ms: ms(s.kv_pairs as f64 * FLOP_PER_SORT),
-        render_ms: ms(
-            s.pixels_tested as f64 * FMA_PER_ALPHA as f64
-                + s.pixels_blended as f64 * FMA_PER_BLEND as f64,
-        ),
+        render_ms: ms(s.pixels_tested as f64 * FMA_PER_ALPHA as f64
+            + s.pixels_blended as f64 * FMA_PER_BLEND as f64),
     }
 }
 
 /// Cost of the *GCC* dataflow on a GPU, from Gaussian-wise stats: less
 /// preprocessing and no duplication, but atomic blending inflates
 /// rendering (paper §6, observation 2).
-pub fn gcc_dataflow_cost(s: &GaussianWiseStats, gpu: &GpuPlatform) -> GpuBreakdown {
+pub fn gcc_dataflow_cost(s: &FrameStats, gpu: &GpuPlatform) -> GpuBreakdown {
     let flops = gpu.effective_flops();
     let ms = |fl: f64| fl * GPU_OP_OVERHEAD / flops * 1e3;
     let n = s.total_gaussians as f64;
     GpuBreakdown {
-        preprocess_ms: ms(
-            n * 12.0
-                + s.geometry_loads as f64 * FMA_PER_PROJECTION as f64
-                + s.sh_loads as f64 * FMA_PER_SH as f64,
-        ),
+        preprocess_ms: ms(n * 12.0
+            + s.geometry_loads as f64 * FMA_PER_PROJECTION as f64
+            + s.sh_loads as f64 * FMA_PER_SH as f64),
         duplicate_ms: 0.0,
         sort_ms: ms(s.sort_elements as f64 * FLOP_PER_SORT),
-        render_ms: ms(
-            (s.pixels_evaluated as f64 * FMA_PER_ALPHA as f64
-                + s.pixels_blended as f64 * FMA_PER_BLEND as f64)
-                * gpu.atomic_penalty,
-        ),
+        render_ms: ms((s.pixels_evaluated as f64 * FMA_PER_ALPHA as f64
+            + s.pixels_blended as f64 * FMA_PER_BLEND as f64)
+            * gpu.atomic_penalty),
     }
 }
 
@@ -135,10 +128,12 @@ pub fn gcc_dataflow_cost(s: &GaussianWiseStats, gpu: &GpuPlatform) -> GpuBreakdo
 mod tests {
     use super::*;
 
-    fn standard_stats() -> StandardStats {
-        StandardStats {
+    fn standard_stats() -> FrameStats {
+        FrameStats {
             total_gaussians: 100_000,
-            preprocessed: 80_000,
+            geometry_loads: 100_000,
+            projected: 80_000,
+            sh_loads: 80_000,
             rendered: 30_000,
             kv_pairs: 300_000,
             tile_loads: 250_000,
@@ -149,11 +144,13 @@ mod tests {
             pixels_blended: 5_000_000,
             sort_elements: 300_000,
             tiles: 800,
+            windows: 1,
+            ..FrameStats::default()
         }
     }
 
-    fn gw_stats() -> GaussianWiseStats {
-        GaussianWiseStats {
+    fn gw_stats() -> FrameStats {
+        FrameStats {
             total_gaussians: 100_000,
             near_culled: 5_000,
             groups_total: 400,
@@ -163,7 +160,7 @@ mod tests {
             projected: 50_000,
             sh_loads: 50_000,
             render_invocations: 32_000,
-            rendered_unique: 30_000,
+            rendered: 30_000,
             blocks_dispatched: 900_000,
             blocks_masked_skips: 300_000,
             pixels_evaluated: 8_000_000,
@@ -171,6 +168,7 @@ mod tests {
             pixels_blended: 5_000_000,
             sort_elements: 50_000,
             windows: 6,
+            ..FrameStats::default()
         }
     }
 

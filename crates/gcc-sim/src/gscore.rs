@@ -10,13 +10,14 @@
 
 use crate::dram::DramModel;
 use crate::ops::{
-    OpCounters, OpEnergy, DIVSQRT_PER_PROJECTION, FMA_PER_ALPHA, FMA_PER_BLEND,
-    FMA_PER_PROJECTION, FMA_PER_SH,
+    OpCounters, OpEnergy, DIVSQRT_PER_PROJECTION, FMA_PER_ALPHA, FMA_PER_BLEND, FMA_PER_PROJECTION,
+    FMA_PER_SH,
 };
 use crate::report::{EnergyBreakdown, PhaseTiming, SimReport, TrafficBreakdown};
 use crate::sram::sram_energy_pj;
 use gcc_core::{Camera, Gaussian3D};
-use gcc_render::standard::{render_standard, StandardConfig, StandardOutput, StandardStats};
+use gcc_render::pipeline::FrameStats;
+use gcc_render::standard::{render_standard, StandardConfig, StandardOutput};
 
 /// GSCore configuration.
 #[derive(Debug, Clone)]
@@ -86,11 +87,13 @@ pub fn simulate_gscore(
     (report, out)
 }
 
-/// Builds the timing/energy report from workload statistics (exposed so
-/// scaling studies can rescale the stats without re-rendering).
-pub fn report_from_stats(s: &StandardStats, cfg: &GscoreConfig, scene_name: &str) -> SimReport {
+/// Builds the timing/energy report from unified workload statistics
+/// (exposed so scaling studies can rescale the stats without
+/// re-rendering). Reads the common core plus the tile-wise schedule
+/// section of [`FrameStats`].
+pub fn report_from_stats(s: &FrameStats, cfg: &GscoreConfig, scene_name: &str) -> SimReport {
     let n = s.total_gaussians as f64;
-    let pre = s.preprocessed as f64;
+    let pre = s.projected as f64;
     let kv = s.kv_pairs as f64;
     let loads = s.tile_loads as f64;
     let tested = s.pixels_tested as f64;
@@ -237,10 +240,7 @@ mod tests {
     fn render_traffic_scales_with_tile_loads() {
         let (g, cam) = tiny_workload();
         let (r, out) = simulate_gscore(&g, &cam, &GscoreConfig::default(), "tiny");
-        assert!(
-            r.traffic.gauss2d_bytes
-                >= out.stats.tile_loads as f64 * records::GAUSS2D
-        );
+        assert!(r.traffic.gauss2d_bytes >= out.stats.tile_loads as f64 * records::GAUSS2D);
     }
 
     #[test]

@@ -4,12 +4,11 @@
 //! (paper §4.1, citing FPnew [25]); GCC's EXP unit is a fixed-point
 //! 16-segment LUT (§4.4), GSCore's an FP16 unit.
 
-use serde::{Deserialize, Serialize};
 use std::ops::{Add, AddAssign};
 
 /// Energy per operation in pJ (28 nm, ~1 GHz signoff, datapath + local
 /// control; values in the range used by accelerator papers of this class).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OpEnergy {
     /// FP32 fused multiply-add.
     pub fma32_pj: f64,
@@ -36,7 +35,7 @@ impl Default for OpEnergy {
 }
 
 /// Counters for the operations a frame executes.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OpCounters {
     /// FP32 FMAs.
     pub fma32: u64,

@@ -1,12 +1,10 @@
 //! Common simulation-report structures shared by the GSCore and GCC
 //! models.
 
-use serde::{Deserialize, Serialize};
-
 /// Timing of one pipeline phase: cycles are the max of the compute demand
 /// and the memory demand (each phase is internally pipelined; the slower
 /// resource bounds throughput).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PhaseTiming {
     /// Phase name.
     pub name: String,
@@ -32,7 +30,7 @@ impl PhaseTiming {
 }
 
 /// DRAM traffic by content class (Fig. 11(b)).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct TrafficBreakdown {
     /// 3D Gaussian attribute bytes (geometry + SH).
     pub gauss3d_bytes: f64,
@@ -52,7 +50,7 @@ impl TrafficBreakdown {
 }
 
 /// Energy by source (Fig. 12).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct EnergyBreakdown {
     /// Off-chip memory access energy, pJ.
     pub dram_pj: f64,
@@ -75,7 +73,7 @@ impl EnergyBreakdown {
 }
 
 /// The full result of simulating one frame on one accelerator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// Accelerator name.
     pub accelerator: String,

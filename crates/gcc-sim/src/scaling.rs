@@ -2,12 +2,13 @@
 //! different scene scale (more Gaussians, more pixels) so absolute
 //! full-scale numbers (Table 3) can be estimated from repro-scale runs.
 //!
-//! The scaling laws are the obvious first-order ones:
+//! The scaling laws are the obvious first-order ones, applied field by
+//! field to the unified [`FrameStats`]:
 //!
 //! * per-Gaussian quantities (loads, projections, SH, KV pairs, sort
 //!   elements, group counts) scale with the Gaussian factor,
-//! * per-pixel quantities (alpha evaluations, blends, blocks) scale with
-//!   the pixel factor,
+//! * per-pixel quantities (alpha evaluations, blends, blocks, tiles,
+//!   windows) scale with the pixel factor,
 //! * the per-Gaussian *tile/block multiplicity* is scale-invariant at
 //!   matched density (DESIGN.md §6), so mixed quantities use the
 //!   geometric pairing above rather than a product.
@@ -15,12 +16,10 @@
 //! This is an estimate, not a simulation — Table 3's caption marks the
 //! extrapolated rows accordingly.
 
-use gcc_render::gaussian_wise::GaussianWiseStats;
-use gcc_render::standard::StandardStats;
-use serde::{Deserialize, Serialize};
+use gcc_render::pipeline::FrameStats;
 
 /// Scale factors from the measured workload to the target workload.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WorkloadScale {
     /// Target Gaussian count ÷ measured Gaussian count.
     pub gaussians: f64,
@@ -56,48 +55,50 @@ fn sg(v: u64, f: f64) -> u64 {
     (v as f64 * f).round() as u64
 }
 
-/// Scales standard-dataflow statistics.
-pub fn scale_standard(s: &StandardStats, w: WorkloadScale) -> StandardStats {
+/// Scales unified frame statistics: one function for every schedule —
+/// Gaussian-axis fields by `w.gaussians`, pixel-axis fields by `w.pixels`.
+///
+/// Applies to **single-frame** statistics. A trajectory aggregate (summed
+/// `FrameStats`, where `windows` counts frames rather than a Cmode
+/// partition) must be scaled per frame before summing — the `windows > 1`
+/// branch below would otherwise misread the frame count as sub-views.
+pub fn scale_stats(s: &FrameStats, w: WorkloadScale) -> FrameStats {
     let g = w.gaussians;
     let p = w.pixels;
-    StandardStats {
+    FrameStats {
+        // ---- Gaussian axis ----
         total_gaussians: sg(s.total_gaussians, g),
-        preprocessed: sg(s.preprocessed, g),
+        geometry_loads: sg(s.geometry_loads, g),
+        projected: sg(s.projected, g),
+        sh_loads: sg(s.sh_loads, g),
         rendered: sg(s.rendered, g),
+        render_invocations: sg(s.render_invocations, g),
+        sort_elements: sg(s.sort_elements, g),
         kv_pairs: sg(s.kv_pairs, g),
         tile_loads: sg(s.tile_loads, g),
         unique_loaded: sg(s.unique_loaded, g),
-        pixels_tested: sg(s.pixels_tested, p),
-        pixels_tested_aabb: sg(s.pixels_tested_aabb, p),
-        pixels_tested_obb: sg(s.pixels_tested_obb, p),
-        pixels_blended: sg(s.pixels_blended, p),
-        sort_elements: sg(s.sort_elements, g),
-        tiles: sg(s.tiles, p),
-    }
-}
-
-/// Scales Gaussian-wise statistics.
-pub fn scale_gaussian_wise(s: &GaussianWiseStats, w: WorkloadScale) -> GaussianWiseStats {
-    let g = w.gaussians;
-    let p = w.pixels;
-    GaussianWiseStats {
-        total_gaussians: sg(s.total_gaussians, g),
         near_culled: sg(s.near_culled, g),
         groups_total: sg(s.groups_total, g),
         groups_processed: sg(s.groups_processed, g),
         groups_skipped: sg(s.groups_skipped, g),
-        geometry_loads: sg(s.geometry_loads, g),
-        projected: sg(s.projected, g),
-        sh_loads: sg(s.sh_loads, g),
-        render_invocations: sg(s.render_invocations, g),
-        rendered_unique: sg(s.rendered_unique, g),
+        // ---- Pixel axis ----
+        pixels_blended: sg(s.pixels_blended, p),
+        // Windows track the Cmode partition: at a fixed hardware sub-view
+        // size they grow with the pixel count, but a full-frame schedule
+        // (windows == 1) stays one window at any resolution.
+        windows: if s.windows > 1 {
+            sg(s.windows, p)
+        } else {
+            s.windows
+        },
+        tiles: sg(s.tiles, p),
+        pixels_tested: sg(s.pixels_tested, p),
+        pixels_tested_aabb: sg(s.pixels_tested_aabb, p),
+        pixels_tested_obb: sg(s.pixels_tested_obb, p),
         blocks_dispatched: sg(s.blocks_dispatched, p),
         blocks_masked_skips: sg(s.blocks_masked_skips, p),
         pixels_evaluated: sg(s.pixels_evaluated, p),
         alpha_lane_evals: sg(s.alpha_lane_evals, p),
-        pixels_blended: sg(s.pixels_blended, p),
-        sort_elements: sg(s.sort_elements, g),
-        windows: sg(s.windows, p),
     }
 }
 
@@ -105,8 +106,8 @@ pub fn scale_gaussian_wise(s: &GaussianWiseStats, w: WorkloadScale) -> GaussianW
 mod tests {
     use super::*;
 
-    fn gw_stats() -> GaussianWiseStats {
-        GaussianWiseStats {
+    fn gw_stats() -> FrameStats {
+        FrameStats {
             total_gaussians: 1000,
             near_culled: 50,
             groups_total: 20,
@@ -116,7 +117,7 @@ mod tests {
             projected: 700,
             sh_loads: 300,
             render_invocations: 280,
-            rendered_unique: 250,
+            rendered: 250,
             blocks_dispatched: 5_000,
             blocks_masked_skips: 1_000,
             pixels_evaluated: 320_000,
@@ -124,40 +125,18 @@ mod tests {
             pixels_blended: 90_000,
             sort_elements: 700,
             windows: 6,
+            ..FrameStats::default()
         }
     }
 
-    #[test]
-    fn uniform_identity_is_a_noop() {
-        let s = gw_stats();
-        let out = scale_gaussian_wise(&s, WorkloadScale::uniform(1.0));
-        assert_eq!(s, out);
-    }
-
-    #[test]
-    fn gaussian_axis_scales_loads_not_pixels() {
-        let s = gw_stats();
-        let out = scale_gaussian_wise(&s, WorkloadScale::new(10.0, 1.0));
-        assert_eq!(out.geometry_loads, 8_000);
-        assert_eq!(out.sh_loads, 3_000);
-        assert_eq!(out.pixels_evaluated, 320_000);
-    }
-
-    #[test]
-    fn pixel_axis_scales_alpha_work() {
-        let s = gw_stats();
-        let out = scale_gaussian_wise(&s, WorkloadScale::new(1.0, 4.0));
-        assert_eq!(out.pixels_evaluated, 1_280_000);
-        assert_eq!(out.pixels_blended, 360_000);
-        assert_eq!(out.geometry_loads, 800);
-    }
-
-    #[test]
-    fn standard_stats_preserve_load_multiplicity() {
-        let s = StandardStats {
+    fn tile_stats() -> FrameStats {
+        FrameStats {
             total_gaussians: 1000,
-            preprocessed: 800,
+            geometry_loads: 1000,
+            projected: 800,
+            sh_loads: 800,
             rendered: 300,
+            render_invocations: 300,
             kv_pairs: 3_000,
             tile_loads: 2_500,
             unique_loaded: 600,
@@ -167,9 +146,40 @@ mod tests {
             pixels_blended: 90_000,
             sort_elements: 3_000,
             tiles: 300,
-        };
+            windows: 1,
+            ..FrameStats::default()
+        }
+    }
+
+    #[test]
+    fn uniform_identity_is_a_noop() {
+        let s = gw_stats();
+        assert_eq!(scale_stats(&s, WorkloadScale::uniform(1.0)), s);
+        let t = tile_stats();
+        assert_eq!(scale_stats(&t, WorkloadScale::uniform(1.0)), t);
+    }
+
+    #[test]
+    fn gaussian_axis_scales_loads_not_pixels() {
+        let out = scale_stats(&gw_stats(), WorkloadScale::new(10.0, 1.0));
+        assert_eq!(out.geometry_loads, 8_000);
+        assert_eq!(out.sh_loads, 3_000);
+        assert_eq!(out.pixels_evaluated, 320_000);
+    }
+
+    #[test]
+    fn pixel_axis_scales_alpha_work() {
+        let out = scale_stats(&gw_stats(), WorkloadScale::new(1.0, 4.0));
+        assert_eq!(out.pixels_evaluated, 1_280_000);
+        assert_eq!(out.pixels_blended, 360_000);
+        assert_eq!(out.geometry_loads, 800);
+    }
+
+    #[test]
+    fn tile_stats_preserve_load_multiplicity() {
+        let s = tile_stats();
         let before = s.avg_loads_per_gaussian();
-        let out = scale_standard(&s, WorkloadScale::uniform(9.7));
+        let out = scale_stats(&s, WorkloadScale::uniform(9.7));
         let after = out.avg_loads_per_gaussian();
         assert!((before - after).abs() < 0.01, "{before} vs {after}");
         assert!((out.unused_fraction() - s.unused_fraction()).abs() < 0.01);
@@ -182,7 +192,7 @@ mod tests {
         let cfg = crate::gcc::GccSimConfig::default();
         let small = crate::gcc::report_from_stats(&s, 320.0 * 180.0, &cfg, "x");
         let big = crate::gcc::report_from_stats(
-            &scale_gaussian_wise(&s, WorkloadScale::uniform(10.0)),
+            &scale_stats(&s, WorkloadScale::uniform(10.0)),
             320.0 * 180.0 * 10.0,
             &cfg,
             "x",
@@ -192,6 +202,14 @@ mod tests {
             (6.0..14.0).contains(&ratio),
             "expected ~10x slowdown, got {ratio}"
         );
+    }
+
+    #[test]
+    fn full_frame_schedules_keep_one_window() {
+        let out = scale_stats(&tile_stats(), WorkloadScale::new(1.0, 9.7));
+        assert_eq!(out.windows, 1);
+        let out = scale_stats(&gw_stats(), WorkloadScale::new(1.0, 4.0));
+        assert_eq!(out.windows, 24);
     }
 
     #[test]

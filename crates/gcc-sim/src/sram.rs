@@ -1,10 +1,8 @@
 //! On-chip SRAM buffer model: CACTI-P-style access energy as a function of
 //! capacity (the paper models its buffers with CACTI-P at 28 nm).
 
-use serde::{Deserialize, Serialize};
-
 /// One on-chip buffer instance.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SramBuffer {
     /// Buffer name (Table 4 row).
     pub name: String,

@@ -5,9 +5,8 @@
 //!
 //! Run with: `cargo run --release --example dataflow_compare`
 
-use gcc_render::gaussian_wise::{render_gaussian_wise, GaussianWiseConfig};
 use gcc_render::quality::psnr;
-use gcc_render::standard::{render_reference, render_standard, StandardConfig};
+use gcc_render::{GaussianWiseRenderer, Renderer, StandardRenderer};
 use gcc_scene::{SceneConfig, ScenePreset};
 
 fn main() {
@@ -15,17 +14,24 @@ fn main() {
     let cam = scene.default_camera();
     println!("scene '{}': {} Gaussians\n", scene.name, scene.len());
 
-    let gpu = render_reference(&scene.gaussians, &cam);
-    let gscore = render_standard(&scene.gaussians, &cam, &StandardConfig::gscore());
-    let gcc = render_gaussian_wise(&scene.gaussians, &cam, &GaussianWiseConfig::gcc_hardware());
+    // All three dataflows behind the same `Renderer` interface.
+    let gpu = StandardRenderer::reference().render_frame(&scene.gaussians, &cam);
+    let gscore = StandardRenderer::gscore().render_frame(&scene.gaussians, &cam);
+    let gcc = GaussianWiseRenderer::gcc_hardware().render_frame(&scene.gaussians, &cam);
 
     println!("image agreement:");
-    println!("  GSCore vs GPU: {:.1} dB PSNR", psnr(&gscore.image, &gpu.image));
-    println!("  GCC    vs GPU: {:.1} dB PSNR", psnr(&gcc.image, &gpu.image));
+    println!(
+        "  GSCore vs GPU: {:.1} dB PSNR",
+        psnr(&gscore.image, &gpu.image)
+    );
+    println!(
+        "  GCC    vs GPU: {:.1} dB PSNR",
+        psnr(&gcc.image, &gpu.image)
+    );
 
     println!("\nwork done (standard tile-wise pipeline):");
     let s = &gscore.stats;
-    println!("  preprocessed Gaussians : {}", s.preprocessed);
+    println!("  projected Gaussians    : {}", s.projected);
     println!("  KV pairs               : {}", s.kv_pairs);
     println!(
         "  tile loads             : {} ({:.2}x per Gaussian)",
@@ -38,12 +44,15 @@ fn main() {
     let g = &gcc.stats;
     println!("  geometry loads         : {}", g.geometry_loads);
     println!("  SH loads (conditional) : {}", g.sh_loads);
-    println!("  groups skipped         : {} of {}", g.groups_skipped, g.groups_total);
+    println!(
+        "  groups skipped         : {} of {}",
+        g.groups_skipped, g.groups_total
+    );
     println!("  blocks dispatched      : {}", g.blocks_dispatched);
     println!("  live alpha evaluations : {}", g.alpha_lane_evals);
 
     println!(
         "\nSH-load reduction vs standard preprocessing: {:.1}x",
-        s.preprocessed as f64 / g.sh_loads.max(1) as f64
+        s.projected as f64 / g.sh_loads.max(1) as f64
     );
 }

@@ -2,11 +2,18 @@
 //! accelerator sustains the 90 FPS immersion target the paper's intro
 //! demands — frame by frame, against the GSCore baseline.
 //!
+//! The orbit runs as a batch through the `TrajectoryRunner` and the
+//! stage-based `Renderer` interface; each accelerator report is then
+//! derived from the frames' unified `FrameStats`, which is exactly the
+//! seam the simulators consume.
+//!
 //! Run with: `cargo run --release --example headset_orbit`
 
-use gcc_scene::{SceneConfig, ScenePreset};
-use gcc_sim::gcc::{simulate_gcc, GccSimConfig};
-use gcc_sim::gscore::{simulate_gscore, GscoreConfig};
+use gcc_parallel::Parallelism;
+use gcc_render::{GaussianWiseRenderer, StandardRenderer};
+use gcc_scene::{SceneConfig, ScenePreset, TrajectoryRunner};
+use gcc_sim::gcc::GccSimConfig;
+use gcc_sim::gscore::GscoreConfig;
 
 fn main() {
     let scene = ScenePreset::Palace.build(&SceneConfig::with_scale(0.5));
@@ -15,18 +22,29 @@ fn main() {
         scene.name,
         scene.len()
     );
+
+    let cam = scene.default_camera();
+    let pixels = f64::from(cam.width) * f64::from(cam.height);
+    let gs_cfg = GscoreConfig::default();
+    let gc_cfg = GccSimConfig::default();
+
+    // Render the whole orbit as a batch through each schedule; frames run
+    // across threads, one functional render per viewpoint.
+    let runner = TrajectoryRunner::new(8).with_parallelism(Parallelism::Auto);
+    let gs_run = runner.run(&scene, &StandardRenderer::gscore());
+    let gc_run = runner.run(
+        &scene,
+        &GaussianWiseRenderer::new(gc_cfg.renderer_config(&cam)),
+    );
+
     println!(
         "{:>5}  {:>12}  {:>12}  {:>8}  {:>10}",
         "view", "GSCore FPS", "GCC FPS", "speedup", "GCC mJ/frm"
     );
-
     let mut worst_gcc = f64::INFINITY;
-    for i in 0..8 {
-        let t = i as f32 / 8.0;
-        let cam = scene.camera(t);
-        let (gs, _) =
-            simulate_gscore(&scene.gaussians, &cam, &GscoreConfig::default(), &scene.name);
-        let (gc, _) = simulate_gcc(&scene.gaussians, &cam, &GccSimConfig::default(), &scene.name);
+    for (i, (gs_frame, gc_frame)) in gs_run.frames.iter().zip(&gc_run.frames).enumerate() {
+        let gs = gcc_sim::gscore::report_from_stats(&gs_frame.stats, &gs_cfg, &scene.name);
+        let gc = gcc_sim::gcc::report_from_stats(&gc_frame.stats, pixels, &gc_cfg, &scene.name);
         worst_gcc = worst_gcc.min(gc.fps());
         println!(
             "{:>5}  {:>12.0}  {:>12.0}  {:>7.2}x  {:>10.3}",

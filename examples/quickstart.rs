@@ -1,10 +1,10 @@
-//! Quickstart: build a scene, render it with the GCC dataflow, save a PPM,
-//! and print the workload statistics that motivate the paper.
+//! Quickstart: build a scene, render it through the stage-based pipeline
+//! with both schedules, save a PPM, and print the workload statistics
+//! that motivate the paper.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use gcc_render::gaussian_wise::{render_gaussian_wise, GaussianWiseConfig};
-use gcc_render::standard::render_reference;
+use gcc_render::{GaussianWiseRenderer, Renderer, StandardRenderer};
 use gcc_scene::{SceneConfig, ScenePreset};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -20,18 +20,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         scene.fov_y_deg
     );
 
-    // Reference (GPU-style) render.
-    let reference = render_reference(&scene.gaussians, &cam);
+    // Both schedules implement the same `Renderer` interface and report
+    // the same unified `FrameStats`.
+    let reference = StandardRenderer::reference().render_frame(&scene.gaussians, &cam);
     println!(
-        "standard dataflow: preprocessed {} of {} Gaussians, {} rendered ({:.0}% unused)",
-        reference.stats.preprocessed,
+        "standard dataflow: projected {} of {} Gaussians, {} rendered ({:.0}% unused)",
+        reference.stats.projected,
         reference.stats.total_gaussians,
         reference.stats.rendered,
         100.0 * reference.stats.unused_fraction()
     );
 
     // GCC dataflow render (hardware configuration: LUT-EXP, omega-sigma law).
-    let gcc = render_gaussian_wise(&scene.gaussians, &cam, &GaussianWiseConfig::gcc_hardware());
+    let gcc = GaussianWiseRenderer::gcc_hardware().render_frame(&scene.gaussians, &cam);
     println!(
         "GCC dataflow: {} geometry loads, {} SH loads, {} groups skipped",
         gcc.stats.geometry_loads, gcc.stats.sh_loads, gcc.stats.groups_skipped

@@ -1,14 +1,19 @@
 //! Umbrella crate for the GCC (MICRO 2025) reproduction: re-exports the
-//! workspace's five library crates so examples and integration tests can
+//! workspace's library crates so examples and integration tests can
 //! depend on one name.
 //!
 //! See `README.md` for the tour, `DESIGN.md` for the system inventory and
 //! `EXPERIMENTS.md` for the paper-vs-measured record.
 //!
 //! ```
+//! use gcc_repro::render::{Renderer, StandardRenderer};
 //! use gcc_repro::scene::{SceneConfig, ScenePreset};
+//!
 //! let scene = ScenePreset::Lego.build(&SceneConfig::with_scale(0.02));
 //! assert!(!scene.is_empty());
+//! let cam = scene.default_camera();
+//! let frame = StandardRenderer::reference().render_frame(&scene.gaussians, &cam);
+//! assert_eq!(frame.stats.total_gaussians, scene.len() as u64);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -16,6 +21,7 @@
 
 pub use gcc_core as core;
 pub use gcc_math as math;
+pub use gcc_parallel as parallel;
 pub use gcc_render as render;
 pub use gcc_scene as scene;
 pub use gcc_sim as sim;

@@ -96,7 +96,7 @@ fn renderer_counts_agree_across_pipelines() {
     let gs = render_standard(&scene.gaussians, &cam, &StandardConfig::gscore());
     let gc = render_gaussian_wise(&scene.gaussians, &cam, &GaussianWiseConfig::default());
     let a = gs.stats.rendered as f64;
-    let b = gc.stats.rendered_unique as f64;
+    let b = gc.stats.rendered as f64;
     let ratio = a.max(b) / a.min(b).max(1.0);
     assert!(
         ratio < 1.35,
