@@ -1,0 +1,212 @@
+//! `bench_frame` — the machine-readable frame-time harness behind
+//! `BENCH_frame.json`.
+//!
+//! Renders preset scenes at several scales through both dataflows
+//! (standard tile-wise and GCC Gaussian-wise), each under sequential and
+//! auto-threaded intra-frame parallelism, and records wall-clock frame
+//! times. The output is the start of the repository's perf trajectory:
+//! every PR that touches the hot path regenerates the file and compares
+//! against the previous run.
+//!
+//! ```text
+//! cargo run --release -p gcc-bench --bin bench_frame            # full sweep
+//! cargo run --release -p gcc-bench --bin bench_frame -- --smoke # CI smoke
+//! ```
+//!
+//! Flags: `--smoke` (tiny scene set, 1 rep — CI), `--reps N` (timed
+//! repetitions per case, best-of; default 3), `--out PATH` (default
+//! `BENCH_frame.json` in the working directory). The binary re-parses the
+//! JSON it wrote and exits non-zero if the file is invalid, so CI can
+//! treat a zero exit as "valid perf record produced".
+
+use std::time::Instant;
+
+use gcc_bench::TablePrinter;
+use gcc_parallel::{available_threads, Parallelism};
+use gcc_render::pipeline::{Frame, FrameScratch, GaussianWiseRenderer, Renderer, StandardRenderer};
+use gcc_scene::{Scene, SceneConfig, ScenePreset};
+
+/// One (scene, scale) point of the sweep.
+struct Case {
+    preset: ScenePreset,
+    scale: f32,
+}
+
+/// One measured row of the output.
+struct Row {
+    scene: &'static str,
+    scale: f32,
+    gaussians: usize,
+    width: u32,
+    height: u32,
+    engine: &'static str,
+    parallelism: &'static str,
+    threads: usize,
+    ms_per_frame: f64,
+}
+
+/// The engines of the sweep; [`build_engine`] is the single constructor.
+const ENGINES: [&str; 2] = ["standard_frame_engine", "gaussian_wise_frame_engine"];
+
+fn build_engine(engine: &str, parallelism: Parallelism) -> Box<dyn Renderer> {
+    match engine {
+        "standard_frame_engine" => {
+            Box::new(StandardRenderer::reference().with_parallelism(parallelism))
+        }
+        "gaussian_wise_frame_engine" => {
+            Box::new(GaussianWiseRenderer::default().with_parallelism(parallelism))
+        }
+        other => unreachable!("unknown engine {other}"),
+    }
+}
+
+/// Best-of-`reps` frame time in milliseconds (one warmup render first).
+fn time_frames(scene: &Scene, renderer: &dyn Renderer, reps: usize) -> f64 {
+    let cam = scene.default_camera();
+    let mut scratch = FrameScratch::new();
+    let _warmup: Frame = renderer.render_frame_reusing(&scene.gaussians, &cam, &mut scratch);
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let frame = renderer.render_frame_reusing(&scene.gaussians, &cam, &mut scratch);
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        // Keep the frame alive through the timer so the render cannot be
+        // optimized away.
+        assert!(frame.image.width() > 0);
+        best = best.min(ms);
+    }
+    best
+}
+
+fn push_json_row(out: &mut String, row: &Row, last: bool) {
+    out.push_str(&format!(
+        "    {{\"scene\": \"{}\", \"scale\": {}, \"gaussians\": {}, \"width\": {}, \"height\": {}, \"engine\": \"{}\", \"parallelism\": \"{}\", \"threads\": {}, \"ms_per_frame\": {:.4}}}{}\n",
+        row.scene,
+        row.scale,
+        row.gaussians,
+        row.width,
+        row.height,
+        row.engine,
+        row.parallelism,
+        row.threads,
+        row.ms_per_frame,
+        if last { "" } else { "," },
+    ));
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut reps = if smoke { 1 } else { 3 };
+    let mut out_path = String::from("BENCH_frame.json");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--reps" => {
+                reps = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--reps needs a positive integer");
+            }
+            "--out" => {
+                out_path = it.next().expect("--out needs a path").clone();
+            }
+            "--smoke" => {}
+            other => panic!("unknown flag {other} (expected --smoke, --reps N, --out PATH)"),
+        }
+    }
+    assert!(reps > 0, "--reps must be positive");
+
+    let cases: Vec<Case> = if smoke {
+        vec![
+            Case {
+                preset: ScenePreset::Lego,
+                scale: 0.05,
+            },
+            Case {
+                preset: ScenePreset::Train,
+                scale: 0.02,
+            },
+        ]
+    } else {
+        vec![
+            Case {
+                preset: ScenePreset::Lego,
+                scale: 0.25,
+            },
+            Case {
+                preset: ScenePreset::Lego,
+                scale: 1.0,
+            },
+            Case {
+                preset: ScenePreset::Train,
+                scale: 0.05,
+            },
+            Case {
+                preset: ScenePreset::Train,
+                scale: 0.2,
+            },
+        ]
+    };
+
+    let auto_threads = available_threads();
+    let mut rows: Vec<Row> = Vec::new();
+    let mut table = TablePrinter::new();
+    table.row(["scene", "scale", "gaussians", "engine", "par", "ms/frame"]);
+
+    for case in &cases {
+        let scene = case.preset.build(&SceneConfig::with_scale(case.scale));
+        for engine in ENGINES {
+            for (par_name, par, threads) in [
+                ("sequential", Parallelism::Sequential, 1),
+                ("auto", Parallelism::Auto, auto_threads),
+            ] {
+                let renderer = build_engine(engine, par);
+                let ms = time_frames(&scene, renderer.as_ref(), reps);
+                table.row([
+                    scene.name.clone(),
+                    format!("{}", case.scale),
+                    format!("{}", scene.len()),
+                    engine.to_string(),
+                    par_name.to_string(),
+                    format!("{ms:.3}"),
+                ]);
+                rows.push(Row {
+                    scene: case.preset.params().name,
+                    scale: case.scale,
+                    gaussians: scene.len(),
+                    width: scene.resolution.0,
+                    height: scene.resolution.1,
+                    engine,
+                    parallelism: par_name,
+                    threads,
+                    ms_per_frame: ms,
+                });
+            }
+        }
+    }
+    table.print();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"bench_frame/v1\",\n");
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!("  \"reps\": {reps},\n"));
+    json.push_str(&format!("  \"host_threads\": {auto_threads},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        push_json_row(&mut json, row, i + 1 == rows.len());
+    }
+    json.push_str("  ]\n}\n");
+
+    // Self-validate before declaring success: CI keys off the exit code.
+    if let Err(e) = gcc_scene::json::parse(&json) {
+        eprintln!("bench_frame produced invalid JSON: {e}");
+        std::process::exit(1);
+    }
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("bench_frame could not write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path} ({} results)", rows.len());
+}

@@ -28,7 +28,7 @@ fn main() {
             ..GccSimConfig::default()
         };
         // Half-resolution repro: scale the paper's sub-view operating
-        // point with the resolution (DESIGN.md §6).
+        // point with the resolution (DESIGN.md §7).
         cfg.subview_override = Some((cfg.subview_edge() / 2).max(16));
         let (r, _) = simulate_gcc(&scene.gaussians, &cam, &cfg, &scene.name);
         let area = base_area - image_buffer_area_mm2(128.0) + image_buffer_area_mm2(kb);

@@ -11,7 +11,7 @@ use gcc_scene::{Scene, SceneConfig, ScenePreset};
 
 /// Default scene scale for the bench binaries (relative to the presets'
 /// base counts, themselves ~1/10 of the paper's model sizes at 1/7 the
-/// paper's pixel count — the calibrated repro scale of `DESIGN.md` §6).
+/// paper's pixel count — the calibrated repro scale of `DESIGN.md` §7).
 pub const DEFAULT_BENCH_SCALE: f32 = 1.0;
 
 /// Builds a preset scene at the env-configured scale.

@@ -51,6 +51,183 @@ pub fn gaussian_alpha(p: &ProjectedGaussian, x: i32, y: i32, exp: &ExpMode) -> f
     }
 }
 
+/// Row-incremental alpha evaluation: walks one pixel row of a projected
+/// Gaussian with the conic quadratic form hoisted out of the x-loop.
+///
+/// The exponent `power(x) = lnω − ½·dᵀΣ′⁻¹d` is a quadratic in `x` along a
+/// row (fixed `y`), so second-order forward differences advance it with
+/// **two adds per pixel** instead of a full [`SymMat2::quad_form`]
+/// (`SymMat2` = the conic): with `d = (dx, dy)` and conic `(a, b, c)`,
+///
+/// ```text
+/// Δpower(x→x+1) = −½·(a·(2·dx + 1) + 2·b·dy),   Δ²power = −a.
+/// ```
+///
+/// The start-of-row value is the exact quadratic form, so the forward
+/// differences only accumulate rounding across one row's width (a ≤16 px
+/// tile span or an 8 px block span in the renderers) — tests pin the
+/// drift against the exact path at well below the `1/255` alpha
+/// quantization.
+///
+/// [`SymMat2::quad_form`]: gcc_math::SymMat2::quad_form
+#[derive(Debug, Clone, Copy)]
+pub struct RowAlpha {
+    power: f32,
+    step: f32,
+    curve: f32,
+}
+
+impl RowAlpha {
+    /// Positions the evaluator at pixel `(x0, y)` (center-sampled) for the
+    /// projected Gaussian `p`.
+    #[inline]
+    pub fn new(p: &ProjectedGaussian, x0: i32, y: i32) -> Self {
+        let dx = x0 as f32 + 0.5 - p.mean2d.x;
+        let dy = y as f32 + 0.5 - p.mean2d.y;
+        let conic = p.conic;
+        let q = conic.a * dx * dx + 2.0 * conic.b * dx * dy + conic.c * dy * dy;
+        Self {
+            power: p.ln_opacity - 0.5 * q,
+            step: -0.5 * (conic.a * (2.0 * dx + 1.0) + 2.0 * conic.b * dy),
+            curve: -conic.a,
+        }
+    }
+
+    /// Alpha at the current pixel (Eq. 9 with the unit's clamps), `0.0`
+    /// below the `1/255` cutoff — same contract as [`gaussian_alpha`].
+    #[inline]
+    pub fn alpha(&self, exp: &ExpMode) -> f32 {
+        let a = exp.exp(self.power).min(ALPHA_MAX);
+        if a < ALPHA_MIN {
+            0.0
+        } else {
+            a
+        }
+    }
+
+    /// Advances one pixel to the right: two adds.
+    #[inline]
+    pub fn advance(&mut self) {
+        self.power += self.step;
+        self.step += self.curve;
+    }
+}
+
+/// Half-open pixel-x interval of row `y`, clipped to `[x0, x1)`, outside
+/// which the Gaussian's alpha is guaranteed zero — both exponential modes
+/// clamp inputs below [`EXP_INPUT_MIN`](gcc_math::exp::EXP_INPUT_MIN) to
+/// `α = 0`, so `power(x) ≥ EXP_INPUT_MIN` is a quadratic inequality in
+/// `x` solved once per row (`f64`, padded one pixel per side against
+/// rounding). Blend loops walk only this span; pixels inside it still go
+/// through the exact incremental evaluation, so the image is unchanged —
+/// the span only skips work that provably produces nothing.
+pub fn effective_row_span(p: &ProjectedGaussian, y: i32, x0: i32, x1: i32) -> (i32, i32) {
+    let a = f64::from(p.conic.a);
+    if a <= 0.0 {
+        // Degenerate conic: no restriction (projection culls these, but
+        // stay conservative).
+        return (x0, x1);
+    }
+    let dy = f64::from(y) + 0.5 - f64::from(p.mean2d.y);
+    let b_dy = f64::from(p.conic.b) * dy;
+    let c = f64::from(p.conic.c);
+    // power = lnω − ½q ≥ m  ⟺  a·dx² + 2·b·dy·dx + c·dy² ≤ 2(lnω − m).
+    let rhs = 2.0 * (f64::from(p.ln_opacity) - f64::from(gcc_math::exp::EXP_INPUT_MIN));
+    let disc = b_dy * b_dy - a * (c * dy * dy - rhs);
+    if disc < 0.0 {
+        return (x0, x0); // the whole row is below the cutoff
+    }
+    let sq = disc.sqrt();
+    let mx = f64::from(p.mean2d.x);
+    // Pixel x samples at center x + 0.5, i.e. dx = x + 0.5 − mx.
+    let lo = ((-b_dy - sq) / a + mx - 0.5 - 1.0)
+        .floor()
+        .max(f64::from(x0));
+    let hi = (((-b_dy + sq) / a + mx - 0.5 + 1.0).ceil() + 1.0).min(f64::from(x1));
+    if lo >= hi {
+        (x0, x0)
+    } else {
+        (lo as i32, hi as i32)
+    }
+}
+
+/// Multi-row effective-span walker: yields [`effective_row_span`] for
+/// consecutive rows `y0, y0 + 1, …` with the quadratic solved by
+/// second-order forward differences — the discriminant is itself a
+/// quadratic in `dy` and the interval center is linear, so a row costs a
+/// handful of adds plus one square root (only on non-empty rows), instead
+/// of rebuilding the full formula. Stepping runs in `f64`; the drift over
+/// a tile's ≤16 rows is orders of magnitude below the one-pixel safety
+/// pad, so the conservative-coverage guarantee is preserved.
+#[derive(Debug, Clone, Copy)]
+pub struct EffectiveSpanWalker {
+    x0: i32,
+    x1: i32,
+    /// Interval center in `dx`, linear in `dy`.
+    center: f64,
+    dcenter: f64,
+    /// Discriminant `a·rhs − det·dy²`, quadratic in `dy`.
+    disc: f64,
+    ddisc: f64,
+    dddisc: f64,
+    inv_a: f64,
+    /// `μ′.x − 0.5`: converts `dx` to pixel x.
+    mx_off: f64,
+    /// Degenerate conic: every row falls back to the full `[x0, x1)`.
+    degenerate: bool,
+}
+
+impl EffectiveSpanWalker {
+    /// Walker over rows `y0, y0 + 1, …` of the projected Gaussian `p`,
+    /// spans clipped to `[x0, x1)`.
+    pub fn new(p: &ProjectedGaussian, x0: i32, x1: i32, y0: i32) -> Self {
+        let a = f64::from(p.conic.a);
+        let b = f64::from(p.conic.b);
+        let c = f64::from(p.conic.c);
+        let dy = f64::from(y0) + 0.5 - f64::from(p.mean2d.y);
+        let rhs = 2.0 * (f64::from(p.ln_opacity) - f64::from(gcc_math::exp::EXP_INPUT_MIN));
+        let det = a * c - b * b;
+        Self {
+            x0,
+            x1,
+            center: -b * dy / a,
+            dcenter: -b / a,
+            disc: a * rhs - det * dy * dy,
+            ddisc: -det * (2.0 * dy + 1.0),
+            dddisc: -2.0 * det,
+            inv_a: 1.0 / a,
+            mx_off: f64::from(p.mean2d.x) - 0.5,
+            degenerate: a <= 0.0,
+        }
+    }
+
+    /// Span of the current row (half-open, clipped to `[x0, x1)`), then
+    /// advances to the next row.
+    #[inline]
+    pub fn next_span(&mut self) -> (i32, i32) {
+        if self.degenerate {
+            return (self.x0, self.x1);
+        }
+        let (center, disc) = (self.center, self.disc);
+        self.center += self.dcenter;
+        self.disc += self.ddisc;
+        self.ddisc += self.dddisc;
+        if disc < 0.0 {
+            return (self.x0, self.x0);
+        }
+        let half = disc.sqrt() * self.inv_a;
+        let lo = (center - half + self.mx_off - 1.0)
+            .floor()
+            .max(f64::from(self.x0));
+        let hi = ((center + half + self.mx_off + 1.0).ceil() + 1.0).min(f64::from(self.x1));
+        if lo >= hi {
+            (self.x0, self.x0)
+        } else {
+            (lo as i32, hi as i32)
+        }
+    }
+}
+
 /// Per-pixel compositing state: accumulated color `C` and transmittance `T`
 /// (Eq. 4: `Tᵢ = Π (1 − αⱼ)`, `C = Σ Tᵢ αᵢ cᵢ`).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -162,6 +339,145 @@ mod tests {
                         "LUT deviates at ({x},{y}): {a} vs {b}"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn row_alpha_matches_quad_form_at_row_start() {
+        // At x0 the power is the exact quadratic form — bit-identical to
+        // gaussian_alpha.
+        let mut p = proj(Vec2::new(17.3, 9.8), 0.83);
+        p.conic = SymMat2::new(0.21, -0.07, 0.33).inverse().unwrap();
+        let e = ExpMode::Exact;
+        for y in 0..24 {
+            for x0 in [0, 5, 16] {
+                let row = RowAlpha::new(&p, x0, y);
+                assert_eq!(
+                    row.alpha(&e).to_bits(),
+                    gaussian_alpha(&p, x0, y, &e).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn row_alpha_drift_is_far_below_alpha_quantization() {
+        // Forward differences across a 16-px tile row (the widest span the
+        // renderers walk) must track the exact path to ≪ 1/255 — the pin
+        // that lets both blend loops use the incremental evaluator.
+        let exact = ExpMode::Exact;
+        for (ca, cb, cc) in [(4.0, 0.0, 4.0), (9.0, 3.5, 2.0), (0.8, -0.3, 1.7)] {
+            let cov = SymMat2::new(ca, cb, cc);
+            let mut p = proj(Vec2::new(8.1, 7.6), 0.97);
+            p.cov2d = cov;
+            p.conic = cov.inverse().unwrap();
+            p.ln_opacity = 0.97f32.ln();
+            for y in 0..16 {
+                let mut row = RowAlpha::new(&p, 0, y);
+                for x in 0..16 {
+                    let incremental = row.alpha(&exact);
+                    let reference = gaussian_alpha(&p, x, y, &exact);
+                    assert!(
+                        (incremental - reference).abs() < 2e-4,
+                        "cov ({ca},{cb},{cc}) pixel ({x},{y}): {incremental} vs {reference}"
+                    );
+                    row.advance();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn effective_row_span_covers_every_nonzero_alpha_pixel() {
+        // The span is a conservative work restriction: any pixel with
+        // alpha > 0 (either exp mode) must fall inside it.
+        let exact = ExpMode::Exact;
+        let lut = ExpMode::lut();
+        for (ca, cb, cc) in [(4.0, 0.0, 4.0), (12.0, 5.0, 3.0), (0.6, -0.25, 2.0)] {
+            for opacity in [0.99f32, 0.35, 0.02] {
+                let cov = SymMat2::new(ca, cb, cc);
+                let mut p = proj(Vec2::new(21.4, 18.7), opacity);
+                p.cov2d = cov;
+                p.conic = cov.inverse().unwrap();
+                p.ln_opacity = opacity.ln();
+                for y in 0..40 {
+                    let (sx0, sx1) = effective_row_span(&p, y, 0, 48);
+                    for x in 0..48 {
+                        let a = gaussian_alpha(&p, x, y, &exact);
+                        let b = gaussian_alpha(&p, x, y, &lut);
+                        if a > 0.0 || b > 0.0 {
+                            assert!(
+                                (sx0..sx1).contains(&x),
+                                "α({x},{y}) = {a}/{b} outside span [{sx0},{sx1}) \
+                                 (cov ({ca},{cb},{cc}), ω {opacity})"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn effective_span_walker_covers_every_nonzero_alpha_pixel() {
+        // The forward-differenced walker must preserve the conservative
+        // guarantee of the direct per-row solve.
+        let exact = ExpMode::Exact;
+        for (ca, cb, cc) in [(4.0, 0.0, 4.0), (12.0, 5.0, 3.0), (0.6, -0.25, 2.0)] {
+            for opacity in [0.99f32, 0.35, 0.02] {
+                let cov = SymMat2::new(ca, cb, cc);
+                let mut p = proj(Vec2::new(21.4, 18.7), opacity);
+                p.cov2d = cov;
+                p.conic = cov.inverse().unwrap();
+                p.ln_opacity = opacity.ln();
+                let mut walker = EffectiveSpanWalker::new(&p, 0, 48, 0);
+                for y in 0..40 {
+                    let (sx0, sx1) = walker.next_span();
+                    let (dx0, dx1) = effective_row_span(&p, y, 0, 48);
+                    for x in 0..48 {
+                        if gaussian_alpha(&p, x, y, &exact) > 0.0 {
+                            assert!(
+                                (sx0..sx1).contains(&x),
+                                "α({x},{y}) outside walker span [{sx0},{sx1})"
+                            );
+                        }
+                    }
+                    // Walker and direct solve agree to ≤1 px at the edges
+                    // (identical algebra, different rounding paths).
+                    assert!(
+                        (sx0 - dx0).abs() <= 1 && (sx1 - dx1).abs() <= 1,
+                        "walker [{sx0},{sx1}) vs direct [{dx0},{dx1}) at row {y}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn effective_row_span_skips_far_rows_entirely() {
+        let p = proj(Vec2::new(10.0, 10.0), 0.9);
+        // A row 40σ away can contribute nothing.
+        let (sx0, sx1) = effective_row_span(&p, 90, 0, 64);
+        assert_eq!(sx0, sx1);
+        // Invisible opacity ⇒ empty everywhere.
+        let mut faint = proj(Vec2::new(10.0, 10.0), 0.003);
+        faint.ln_opacity = 0.003f32.ln();
+        let (fx0, fx1) = effective_row_span(&faint, 10, 0, 64);
+        assert_eq!(fx0, fx1);
+    }
+
+    #[test]
+    fn row_alpha_tracks_lut_mode_too() {
+        let lut = ExpMode::lut();
+        let p = proj(Vec2::new(10.5, 10.5), 0.7);
+        for y in 8..13 {
+            let mut row = RowAlpha::new(&p, 6, y);
+            for x in 6..15 {
+                let a = row.alpha(&lut);
+                let b = gaussian_alpha(&p, x, y, &lut);
+                assert!((a - b).abs() < 2e-3, "({x},{y}): {a} vs {b}");
+                row.advance();
             }
         }
     }

@@ -159,6 +159,100 @@ impl Obb {
         along <= self.half_major && across <= self.half_minor
     }
 
+    /// Half-open pixel-x interval of row `y`, clipped to `[x0, x1)`, whose
+    /// pixel centers lie inside the OBB — the analytic counterpart of
+    /// testing [`Self::contains`] per pixel. Both OBB coordinates are
+    /// linear in `x`, so containment is the intersection of two slabs:
+    /// two divisions per row replace two products and two comparisons per
+    /// pixel. The span is tight (boundary pixels may differ from the
+    /// per-pixel test by at most the last-ulp rounding of the slab edge),
+    /// deterministic, and identical across thread counts.
+    pub fn row_span(&self, x0: i32, x1: i32, y: i32) -> (i32, i32) {
+        // v(x) = s·(x + 0.5 − cx) + t0 with |v| ≤ h, for both coordinates.
+        fn slab(s: f64, t0: f64, h: f64, span: (f64, f64)) -> (f64, f64) {
+            if s == 0.0 {
+                if t0.abs() <= h {
+                    span
+                } else {
+                    // Properly inverted (lo > hi): a failed axis-aligned
+                    // gate excludes the whole row, not all-but-one pixel.
+                    (f64::INFINITY, f64::NEG_INFINITY)
+                }
+            } else {
+                let (a, b) = ((-h - t0) / s, (h - t0) / s);
+                let (lo, hi) = if s > 0.0 { (a, b) } else { (b, a) };
+                (span.0.max(lo), span.1.min(hi))
+            }
+        }
+        let dy = f64::from(y) + 0.5 - f64::from(self.center.y);
+        let ax = f64::from(self.axis_major.x);
+        let ay = f64::from(self.axis_major.y);
+        // Solve over u = x + 0.5 − cx: along = ax·u + ay·dy, across = ay·u − ax·dy.
+        let u0 = f64::from(x0) + 0.5 - f64::from(self.center.x);
+        let u1 = f64::from(x1 - 1) + 0.5 - f64::from(self.center.x);
+        let mut span = (u0, u1); // inclusive real interval over u
+        span = slab(ax, ay * dy, f64::from(self.half_major), span);
+        span = slab(ay, -ax * dy, f64::from(self.half_minor), span);
+        if span.0 > span.1 {
+            return (x0, x0);
+        }
+        let cx = f64::from(self.center.x);
+        let lo = (span.0 + cx - 0.5).ceil().max(f64::from(x0)) as i32;
+        let hi = ((span.1 + cx - 0.5).floor() + 1.0).min(f64::from(x1)) as i32;
+        if lo >= hi {
+            (x0, x0)
+        } else {
+            (lo, hi)
+        }
+    }
+
+    /// Builds a multi-row span walker starting at row `y0`: successive
+    /// [`ObbSpanWalker::next_span`] calls return the [`Self::row_span`]
+    /// result for `y0`, `y0 + 1`, … with the slab endpoints advanced by
+    /// forward differences (they are linear in `y`), replacing the
+    /// per-row divisions with adds. Endpoints are stepped in `f64`, so
+    /// the drift across a tile's ≤16 rows is far below the half-pixel
+    /// granularity of the span rounding.
+    pub fn span_walker(&self, x0: i32, x1: i32, y0: i32) -> ObbSpanWalker {
+        let dy = f64::from(y0) + 0.5 - f64::from(self.center.y);
+        let ax = f64::from(self.axis_major.x);
+        let ay = f64::from(self.axis_major.y);
+        // Slab i: |sᵢ·u + tᵢ(dy)| ≤ hᵢ over u = x + 0.5 − cx, with
+        // t₁ = ay·dy (along) and t₂ = −ax·dy (across). For sᵢ ≠ 0 the
+        // interval endpoints (±hᵢ − tᵢ)/sᵢ are linear in dy; an exactly
+        // axis-aligned slab (sᵢ = 0) constrains the row as a whole
+        // instead, via |tᵢ| ≤ hᵢ.
+        let mut slabs = [ObbSlab::default(); 2];
+        for (slab, (s, t0, dt, h)) in slabs.iter_mut().zip([
+            (ax, ay * dy, ay, f64::from(self.half_major)),
+            (ay, -ax * dy, -ax, f64::from(self.half_minor)),
+        ]) {
+            *slab = if s == 0.0 {
+                ObbSlab {
+                    lo: f64::NEG_INFINITY,
+                    hi: f64::INFINITY,
+                    step: 0.0,
+                    gate: Some((t0, dt, h)),
+                }
+            } else {
+                let (a, b) = ((-h - t0) / s, (h - t0) / s);
+                let (lo, hi) = if s > 0.0 { (a, b) } else { (b, a) };
+                ObbSlab {
+                    lo,
+                    hi,
+                    step: -dt / s,
+                    gate: None,
+                }
+            };
+        }
+        ObbSpanWalker {
+            slabs,
+            x0,
+            x1,
+            u_to_x: f64::from(self.center.x) - 0.5,
+        }
+    }
+
     /// Enclosing AABB, clipped to the screen.
     pub fn enclosing_rect(&self, width: u32, height: u32) -> PixelRect {
         let a = self.axis_major * self.half_major;
@@ -181,6 +275,61 @@ impl Obb {
     pub fn pixel_count(&self, width: u32, height: u32) -> u64 {
         let rect = self.enclosing_rect(width, height);
         rect.pixels().filter(|&(x, y)| self.contains(x, y)).count() as u64
+    }
+}
+
+/// One slab constraint of an [`ObbSpanWalker`], as a `u`-interval with a
+/// per-row forward-difference step. An exactly axis-aligned slab instead
+/// gates whole rows through `|t| ≤ h` with `t` stepping per row.
+#[derive(Debug, Clone, Copy, Default)]
+struct ObbSlab {
+    lo: f64,
+    hi: f64,
+    step: f64,
+    gate: Option<(f64, f64, f64)>,
+}
+
+/// Multi-row OBB span walker built by [`Obb::span_walker`]: yields the
+/// per-row pixel spans of consecutive rows with adds instead of divisions.
+#[derive(Debug, Clone, Copy)]
+pub struct ObbSpanWalker {
+    slabs: [ObbSlab; 2],
+    x0: i32,
+    x1: i32,
+    u_to_x: f64,
+}
+
+impl ObbSpanWalker {
+    /// Span of the current row (half-open, clipped to `[x0, x1)`), then
+    /// advances to the next row.
+    #[inline]
+    pub fn next_span(&mut self) -> (i32, i32) {
+        let mut lo = f64::from(self.x0) - self.u_to_x;
+        let mut hi = f64::from(self.x1 - 1) - self.u_to_x;
+        let mut gated_out = false;
+        for slab in &mut self.slabs {
+            if let Some((t, dt, h)) = slab.gate.as_mut() {
+                if t.abs() > *h {
+                    gated_out = true;
+                }
+                *t += *dt;
+            } else {
+                lo = lo.max(slab.lo);
+                hi = hi.min(slab.hi);
+                slab.lo += slab.step;
+                slab.hi += slab.step;
+            }
+        }
+        if gated_out || lo > hi {
+            return (self.x0, self.x0);
+        }
+        let px_lo = ((lo + self.u_to_x).ceil().max(f64::from(self.x0))) as i32;
+        let px_hi = (((hi + self.u_to_x).floor() + 1.0).min(f64::from(self.x1))) as i32;
+        if px_lo >= px_hi {
+            (self.x0, self.x0)
+        } else {
+            (px_lo, px_hi)
+        }
     }
 }
 
@@ -350,6 +499,91 @@ mod tests {
         .unwrap();
         assert!(obb.contains(50, 50));
         assert!(!obb.contains(80, 50));
+    }
+
+    #[test]
+    fn obb_row_span_matches_containment_away_from_edges() {
+        // The analytic span and the per-pixel test may disagree only for
+        // pixels within float rounding of the OBB edge; everything clearly
+        // inside must be in the span and everything clearly outside must
+        // not be.
+        for (ca, cb, cc) in [(30.0, 18.0, 20.0), (50.0, -35.0, 40.0), (9.0, 0.0, 4.0)] {
+            let obb = Obb::from_cov(
+                Vec2::new(40.3, 37.8),
+                SymMat2::new(ca, cb, cc),
+                BoundingLaw::ThreeSigma,
+                0.8,
+            )
+            .unwrap();
+            for y in 0..80 {
+                let (sx0, sx1) = obb.row_span(0, 80, y);
+                for x in 0..80 {
+                    let p = Vec2::new(x as f32 + 0.5, y as f32 + 0.5) - obb.center;
+                    let margin = (p.dot(obb.axis_major).abs() / obb.half_major)
+                        .max(p.cross(obb.axis_major).abs() / obb.half_minor);
+                    if margin < 1.0 - 1e-4 {
+                        assert!(
+                            (sx0..sx1).contains(&x),
+                            "inside pixel ({x},{y}) not in span [{sx0},{sx1}) for ({ca},{cb},{cc})"
+                        );
+                    } else if margin > 1.0 + 1e-4 {
+                        assert!(
+                            !(sx0..sx1).contains(&x),
+                            "outside pixel ({x},{y}) in span [{sx0},{sx1}) for ({ca},{cb},{cc})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn axis_aligned_obb_rows_outside_are_empty() {
+        // Regression: a failed axis-aligned slab gate must exclude the
+        // whole row — not collapse to a one-pixel point interval. This
+        // vertical-major OBB (half_major 30 along y) has no pixels on
+        // row 0, which sits ~49 px above it.
+        let obb = Obb::from_cov(
+            Vec2::new(8.0, 50.0),
+            SymMat2::new(16.0, 0.0, 100.0),
+            BoundingLaw::ThreeSigma,
+            0.8,
+        )
+        .unwrap();
+        assert!((0..16).all(|x| !obb.contains(x, 0)));
+        let (lo, hi) = obb.row_span(0, 16, 0);
+        assert_eq!(lo, hi, "row 0 must be empty, got [{lo},{hi})");
+        let mut walker = obb.span_walker(0, 16, 0);
+        let (wlo, whi) = walker.next_span();
+        assert_eq!(wlo, whi);
+    }
+
+    #[test]
+    fn obb_span_walker_matches_per_row_solve() {
+        // Rotated, near-axis-aligned, and exactly axis-aligned ellipses;
+        // the forward-differenced walker must reproduce row_span (the two
+        // only share algebra, not rounding — but over ≤80 rows the f64
+        // drift cannot move a span edge a full pixel).
+        for (ca, cb, cc) in [
+            (30.0, 18.0, 20.0),
+            (50.0, -35.0, 40.0),
+            (9.0, 0.0, 4.0),  // axis-aligned: a degenerate slab
+            (4.0, 0.0, 25.0), // axis-aligned, major axis vertical
+        ] {
+            let obb = Obb::from_cov(
+                Vec2::new(40.3, 37.8),
+                SymMat2::new(ca, cb, cc),
+                BoundingLaw::ThreeSigma,
+                0.8,
+            )
+            .unwrap();
+            let mut walker = obb.span_walker(0, 80, 0);
+            for y in 0..80 {
+                let direct = obb.row_span(0, 80, y);
+                let walked = walker.next_span();
+                assert_eq!(walked, direct, "row {y} for cov ({ca},{cb},{cc})");
+            }
+        }
     }
 
     #[test]

@@ -10,6 +10,25 @@
 /// Width of the hardware sorting network (GSCore/GCC: 16).
 pub const NETWORK_WIDTH: usize = 16;
 
+/// Monotone `u32` sort key of an `f32` depth: ascending key order is
+/// exactly ascending [`f32::total_cmp`] order (including `-0.0 < +0.0`,
+/// denormals, and infinities).
+///
+/// The transform is the classic sign-flip trick: negative floats have
+/// their bits inverted (reversing their descending bit order), positive
+/// floats get the sign bit set (placing them above all negatives). This is
+/// what lets the frame pipeline replace comparison sorts over depths with
+/// one LSD radix sort over keys.
+#[inline]
+pub fn depth_key(depth: f32) -> u32 {
+    let bits = depth.to_bits();
+    if bits & 0x8000_0000 != 0 {
+        !bits
+    } else {
+        bits | 0x8000_0000
+    }
+}
+
 /// A key-index pair flowing through the sorter (depth + Gaussian ID).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SortRecord {
@@ -93,34 +112,57 @@ pub fn bitonic16(chunk: &mut [SortRecord], stats: &mut SortStats) {
 /// Sorts an arbitrary-length record list the way the hardware does: cut
 /// into 16-element runs, sort each through the bitonic network, then
 /// 2-way-merge runs until one remains. Returns the work statistics.
+///
+/// The network passes run in place and the merge tree ping-pongs between
+/// the record buffer and one reused scratch buffer (the hardware's double
+/// buffer) — no per-run or per-merge-step allocations. The bottom-up
+/// width-doubling sweep visits runs in exactly the order the pairwise
+/// merge tree does (runs are contiguous, each round merges neighbors left
+/// to right, an odd tail run is carried unmerged), so the statistics are
+/// bit-identical to the allocating formulation — tests pin this.
 pub fn sort_group(records: &mut Vec<SortRecord>, stats: &mut SortStats) {
-    if records.len() <= 1 {
+    let n = records.len();
+    if n <= 1 {
         return;
     }
-    // Phase 1: network passes over 16-element runs.
-    let mut runs: Vec<Vec<SortRecord>> = Vec::new();
-    for chunk in records.chunks(NETWORK_WIDTH) {
-        let mut run = chunk.to_vec();
-        bitonic16(&mut run, stats);
-        runs.push(run);
+    // Phase 1: network passes over 16-element runs, in place.
+    for chunk in records.chunks_mut(NETWORK_WIDTH) {
+        bitonic16(chunk, stats);
     }
-    // Phase 2: binary merge tree.
-    while runs.len() > 1 {
-        let mut next = Vec::with_capacity(runs.len().div_ceil(2));
-        let mut it = runs.into_iter();
-        while let Some(a) = it.next() {
-            match it.next() {
-                Some(b) => next.push(merge(a, b, stats)),
-                None => next.push(a),
+    if n <= NETWORK_WIDTH {
+        return;
+    }
+    // Phase 2: binary merge tree, bottom-up over the flat buffer.
+    let mut src = std::mem::take(records);
+    let mut dst: Vec<SortRecord> = Vec::with_capacity(n);
+    let mut width = NETWORK_WIDTH;
+    while width < n {
+        dst.clear();
+        let mut start = 0;
+        while start < n {
+            let mid = (start + width).min(n);
+            let end = (start + 2 * width).min(n);
+            if mid < end {
+                merge_into(&src[start..mid], &src[mid..end], &mut dst, stats);
+            } else {
+                // Odd tail run: carried to the next round unmerged (no
+                // merge work, exactly as the pairwise tree carries it).
+                dst.extend_from_slice(&src[start..end]);
             }
+            start = end;
         }
-        runs = next;
+        std::mem::swap(&mut src, &mut dst);
+        width *= 2;
     }
-    *records = runs.pop().unwrap_or_default();
+    *records = src;
 }
 
-fn merge(a: Vec<SortRecord>, b: Vec<SortRecord>, stats: &mut SortStats) -> Vec<SortRecord> {
-    let mut out = Vec::with_capacity(a.len() + b.len());
+fn merge_into(
+    a: &[SortRecord],
+    b: &[SortRecord],
+    out: &mut Vec<SortRecord>,
+    stats: &mut SortStats,
+) {
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
         stats.merge_steps += 1;
@@ -135,7 +177,6 @@ fn merge(a: Vec<SortRecord>, b: Vec<SortRecord>, stats: &mut SortStats) -> Vec<S
     stats.merge_steps += (a.len() - i + b.len() - j) as u64;
     out.extend_from_slice(&a[i..]);
     out.extend_from_slice(&b[j..]);
-    out
 }
 
 /// Convenience: sorts a `(depth, id)` list and returns the IDs in
@@ -256,6 +297,120 @@ mod tests {
             implied_throughput > 0.15 && implied_throughput < 4.0,
             "implied throughput {implied_throughput} el/cycle"
         );
+    }
+
+    /// The pre-optimization formulation of [`sort_group`]: a `Vec` per
+    /// 16-run and per merge step. Kept as the behavioral reference the
+    /// buffer-reusing implementation is pinned against.
+    fn sort_group_reference(records: &mut Vec<SortRecord>, stats: &mut SortStats) {
+        fn merge(a: Vec<SortRecord>, b: Vec<SortRecord>, stats: &mut SortStats) -> Vec<SortRecord> {
+            let mut out = Vec::with_capacity(a.len() + b.len());
+            let (mut i, mut j) = (0, 0);
+            while i < a.len() && j < b.len() {
+                stats.merge_steps += 1;
+                if a[i].key <= b[j].key {
+                    out.push(a[i]);
+                    i += 1;
+                } else {
+                    out.push(b[j]);
+                    j += 1;
+                }
+            }
+            stats.merge_steps += (a.len() - i + b.len() - j) as u64;
+            out.extend_from_slice(&a[i..]);
+            out.extend_from_slice(&b[j..]);
+            out
+        }
+        if records.len() <= 1 {
+            return;
+        }
+        let mut runs: Vec<Vec<SortRecord>> = Vec::new();
+        for chunk in records.chunks(NETWORK_WIDTH) {
+            let mut run = chunk.to_vec();
+            bitonic16(&mut run, stats);
+            runs.push(run);
+        }
+        while runs.len() > 1 {
+            let mut next = Vec::with_capacity(runs.len().div_ceil(2));
+            let mut it = runs.into_iter();
+            while let Some(a) = it.next() {
+                match it.next() {
+                    Some(b) => next.push(merge(a, b, stats)),
+                    None => next.push(a),
+                }
+            }
+            runs = next;
+        }
+        *records = runs.pop().unwrap_or_default();
+    }
+
+    #[test]
+    fn ping_pong_sort_matches_allocating_reference_bit_for_bit() {
+        // Lengths straddling run boundaries and odd merge-tree shapes:
+        // the output order AND every statistic must match the reference.
+        for len in [
+            0usize, 1, 2, 15, 16, 17, 31, 32, 33, 48, 100, 256, 257, 1000,
+        ] {
+            let src: Vec<SortRecord> = (0..len)
+                .map(|i| SortRecord {
+                    key: (((i * 2654435761usize) % 1997) as f32) * 0.25 - 100.0,
+                    id: i as u32,
+                })
+                .collect();
+            let mut fast = src.clone();
+            let mut fast_stats = SortStats::default();
+            sort_group(&mut fast, &mut fast_stats);
+            let mut reference = src;
+            let mut ref_stats = SortStats::default();
+            sort_group_reference(&mut reference, &mut ref_stats);
+            assert_eq!(fast, reference, "order diverged at len {len}");
+            assert_eq!(fast_stats, ref_stats, "stats diverged at len {len}");
+        }
+    }
+
+    #[test]
+    fn depth_key_order_matches_total_cmp_on_edge_values() {
+        // ±0.0, denormals, near/far extremes, infinities — the exact value
+        // classes projected depths and sort keys can hit.
+        let values = [
+            f32::NEG_INFINITY,
+            f32::MIN,
+            -1.0e30,
+            -2.5,
+            -1.0e-40, // negative denormal
+            -f32::MIN_POSITIVE,
+            -0.0,
+            0.0,
+            f32::MIN_POSITIVE,
+            1.0e-40, // positive denormal
+            0.2,
+            1.0,
+            1.0e30,
+            f32::MAX,
+            f32::INFINITY,
+        ];
+        for &a in &values {
+            for &b in &values {
+                assert_eq!(
+                    depth_key(a).cmp(&depth_key(b)),
+                    a.total_cmp(&b),
+                    "key order diverges from total_cmp for {a} vs {b}"
+                );
+            }
+        }
+        // -0.0 and +0.0 map to distinct, ordered keys.
+        assert!(depth_key(-0.0) < depth_key(0.0));
+    }
+
+    #[test]
+    fn depth_key_is_monotone_on_sorted_sweep() {
+        let mut depths: Vec<f32> = (0..10_000)
+            .map(|i| (i as f32 - 5_000.0) * 0.37 + 0.01 * (i as f32).sin())
+            .collect();
+        depths.sort_by(f32::total_cmp);
+        for w in depths.windows(2) {
+            assert!(depth_key(w[0]) <= depth_key(w[1]), "{} vs {}", w[0], w[1]);
+        }
     }
 
     #[test]

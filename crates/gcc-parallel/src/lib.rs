@@ -79,8 +79,38 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
+    par_map_indexed_with(count, threads, || (), |(), i| f(i))
+}
+
+/// Maps `f` over a slice with `threads` workers, preserving input order.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_indexed(items.len(), threads, |i| f(&items[i]))
+}
+
+/// Like [`par_map_indexed`], but hands every worker its own reusable state
+/// built by `init` — the seam that lets batch drivers (e.g. the trajectory
+/// runner) thread a scratch allocation through a parallel map instead of
+/// reallocating per item.
+///
+/// With `threads <= 1` (or fewer than two items) a single state is built
+/// and the map runs inline — the sequential reference schedule. Results
+/// must not depend on the state's carried-over contents (states are
+/// caller-defined scratch, not accumulators): item-to-worker assignment is
+/// nondeterministic.
+pub fn par_map_indexed_with<S, R, G, F>(count: usize, threads: usize, init: G, f: F) -> Vec<R>
+where
+    R: Send,
+    G: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> R + Sync,
+{
     if threads <= 1 || count < 2 {
-        return (0..count).map(f).collect();
+        let mut state = init();
+        return (0..count).map(|i| f(&mut state, i)).collect();
     }
     let workers = threads.min(count);
     let cursor = AtomicUsize::new(0);
@@ -88,13 +118,14 @@ where
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
+                let mut state = init();
                 let mut local: Vec<(usize, R)> = Vec::new();
                 loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     if i >= count {
                         break;
                     }
-                    local.push((i, f(i)));
+                    local.push((i, f(&mut state, i)));
                 }
                 if !local.is_empty() {
                     collected
@@ -111,16 +142,6 @@ where
     pairs.sort_unstable_by_key(|(i, _)| *i);
     debug_assert_eq!(pairs.len(), count);
     pairs.into_iter().map(|(_, r)| r).collect()
-}
-
-/// Maps `f` over a slice with `threads` workers, preserving input order.
-pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    par_map_indexed(items.len(), threads, |i| f(&items[i]))
 }
 
 /// Chunked order-preserving map: one output element per input element,
@@ -171,6 +192,113 @@ where
         out.append(&mut m);
     }
     out
+}
+
+/// Radix base of the LSD sort: one byte per pass, four passes per `u32`.
+const RADIX_BUCKETS: usize = 256;
+
+/// Number of byte passes over a `u32` key.
+const RADIX_PASSES: usize = 4;
+
+/// In-place exclusive prefix sum over `counts`; returns the total. This is
+/// the histogram → bucket-offset step of counting/radix sort and of CSR
+/// bin construction (counts → row starts).
+pub fn exclusive_prefix_sum(counts: &mut [u32]) -> u32 {
+    let mut running = 0u32;
+    for c in counts {
+        let n = *c;
+        *c = running;
+        running += n;
+    }
+    running
+}
+
+/// All four per-byte histograms of `keys`, computed chunk-parallel: each
+/// worker histograms a contiguous chunk into a local `[[u32; 256]; 4]` and
+/// the partials are summed in chunk order (addition is commutative, so the
+/// result is independent of scheduling).
+pub fn par_radix_histograms(keys: &[u32], threads: usize) -> [[u32; RADIX_BUCKETS]; RADIX_PASSES] {
+    let chunk = keys.len().div_ceil(threads.max(1)).max(1);
+    let chunks: Vec<&[u32]> = keys.chunks(chunk).collect();
+    let partials = par_map(&chunks, threads, |c| {
+        let mut h = [[0u32; RADIX_BUCKETS]; RADIX_PASSES];
+        for &k in *c {
+            h[0][(k & 0xff) as usize] += 1;
+            h[1][((k >> 8) & 0xff) as usize] += 1;
+            h[2][((k >> 16) & 0xff) as usize] += 1;
+            h[3][((k >> 24) & 0xff) as usize] += 1;
+        }
+        h
+    });
+    let mut total = [[0u32; RADIX_BUCKETS]; RADIX_PASSES];
+    for h in &partials {
+        for (sum, buckets) in total.iter_mut().zip(h.iter()) {
+            for (s, &n) in sum.iter_mut().zip(buckets.iter()) {
+                *s += n;
+            }
+        }
+    }
+    total
+}
+
+/// Stable LSD radix sort of `0..keys.len()` by `keys[i]`, ascending, into
+/// caller-provided buffers (`order` receives the permutation; `scratch` is
+/// the ping-pong buffer). Equal keys keep their input order — exactly the
+/// tie behavior of a stable comparison sort — which is what makes the
+/// global depth ordering reproduce the per-tile `sort_by` ordering
+/// bit-for-bit.
+///
+/// Histogram construction is chunk-parallel ([`par_radix_histograms`]);
+/// byte passes whose keys all share one bucket value are skipped, so
+/// near-uniform key bytes (common for depth ranges) cost nothing. The
+/// scatter itself is sequential: it is a single streaming pass per
+/// non-degenerate byte, and its write order is what guarantees stability.
+///
+/// # Panics
+///
+/// Panics when `keys.len()` exceeds `u32::MAX` (keys are indexed by `u32`
+/// throughout the frame pipeline).
+pub fn radix_sort_indices_into(
+    keys: &[u32],
+    threads: usize,
+    order: &mut Vec<u32>,
+    scratch: &mut Vec<u32>,
+) {
+    assert!(
+        u32::try_from(keys.len()).is_ok(),
+        "key count {} exceeds u32 indexing",
+        keys.len()
+    );
+    order.clear();
+    order.extend(0..keys.len() as u32);
+    if keys.len() < 2 {
+        return;
+    }
+    scratch.clear();
+    scratch.resize(keys.len(), 0);
+    let histograms = par_radix_histograms(keys, threads);
+    for (pass, mut buckets) in histograms.into_iter().enumerate() {
+        // A pass where every key shares one byte value is the identity.
+        if buckets.iter().any(|&n| n as usize == keys.len()) {
+            continue;
+        }
+        let shift = 8 * pass as u32;
+        exclusive_prefix_sum(&mut buckets);
+        for &i in order.iter() {
+            let b = ((keys[i as usize] >> shift) & 0xff) as usize;
+            scratch[buckets[b] as usize] = i;
+            buckets[b] += 1;
+        }
+        std::mem::swap(order, scratch);
+    }
+}
+
+/// Convenience wrapper over [`radix_sort_indices_into`] with fresh buffers.
+pub fn radix_sort_indices(keys: &[u32], threads: usize) -> Vec<u32> {
+    let mut order = Vec::new();
+    let mut scratch = Vec::new();
+    radix_sort_indices_into(keys, threads, &mut order, &mut scratch);
+    order
 }
 
 #[cfg(test)]
@@ -227,6 +355,89 @@ mod tests {
         assert_eq!(Parallelism::fixed(1), Parallelism::Sequential);
         assert_eq!(Parallelism::fixed(6).threads(), 6);
         assert!(Parallelism::Auto.threads() >= 1);
+    }
+
+    #[test]
+    fn per_worker_state_map_matches_stateless_map() {
+        let seq: Vec<usize> = (0..311).map(|i| i * 3).collect();
+        for threads in [1, 2, 6] {
+            // The state is reused scratch; results must not depend on it.
+            let par = par_map_indexed_with(311, threads, Vec::<usize>::new, |scratch, i| {
+                scratch.push(i);
+                i * 3
+            });
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn exclusive_prefix_sum_offsets_and_total() {
+        let mut counts = [3u32, 0, 5, 1];
+        let total = exclusive_prefix_sum(&mut counts);
+        assert_eq!(counts, [0, 3, 3, 8]);
+        assert_eq!(total, 9);
+        assert_eq!(exclusive_prefix_sum(&mut []), 0);
+    }
+
+    #[test]
+    fn radix_histograms_count_every_byte_lane() {
+        let keys: Vec<u32> = (0..2000)
+            .map(|i| (i as u32).wrapping_mul(2654435761))
+            .collect();
+        for threads in [1, 3, 8] {
+            let h = par_radix_histograms(&keys, threads);
+            for (pass, buckets) in h.iter().enumerate() {
+                let total: u32 = buckets.iter().sum();
+                assert_eq!(total as usize, keys.len(), "pass {pass} threads {threads}");
+            }
+            // Spot-check pass 0 against a direct count.
+            let direct = keys.iter().filter(|&&k| k & 0xff == 0x11).count() as u32;
+            assert_eq!(h[0][0x11], direct);
+        }
+    }
+
+    #[test]
+    fn radix_sort_matches_stable_sort_by_key() {
+        // Adversarial key set: duplicates, extremes, single-byte spreads.
+        let keys: Vec<u32> = (0..4097)
+            .map(|i| match i % 7 {
+                0 => 0,
+                1 => u32::MAX,
+                2 => (i as u32).wrapping_mul(0x9E3779B9),
+                3 => 42,
+                4 => (i as u32) << 24,
+                5 => i as u32 & 0xff,
+                _ => i as u32,
+            })
+            .collect();
+        let mut expect: Vec<u32> = (0..keys.len() as u32).collect();
+        expect.sort_by_key(|&i| keys[i as usize]); // std stable sort
+        for threads in [1, 2, 5] {
+            let got = radix_sort_indices(&keys, threads);
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn radix_sort_is_stable_on_equal_keys() {
+        let keys = vec![7u32; 100];
+        let order = radix_sort_indices(&keys, 4);
+        assert_eq!(order, (0..100).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn radix_sort_reuses_buffers_across_calls() {
+        let mut order = Vec::new();
+        let mut scratch = Vec::new();
+        radix_sort_indices_into(&[5, 1, 9, 1], 1, &mut order, &mut scratch);
+        assert_eq!(order, vec![1, 3, 0, 2]);
+        // Second call on different-length input must fully reset state.
+        radix_sort_indices_into(&[2, 1], 1, &mut order, &mut scratch);
+        assert_eq!(order, vec![1, 0]);
+        radix_sort_indices_into(&[], 1, &mut order, &mut scratch);
+        assert!(order.is_empty());
+        radix_sort_indices_into(&[3], 1, &mut order, &mut scratch);
+        assert_eq!(order, vec![0]);
     }
 
     #[test]

@@ -28,7 +28,7 @@
 //! ([`render_gaussian_wise_with`]) with per-window [`FrameStats`] partials
 //! merged in window order — bit-identical to the sequential schedule.
 
-use gcc_core::alpha::{gaussian_alpha, ExpMode};
+use gcc_core::alpha::{ExpMode, RowAlpha};
 use gcc_core::boundary::{BlockGrid, BlockTracer, MaskMode, TMask};
 use gcc_core::bounds::{BoundingLaw, EffectiveTest};
 use gcc_core::grouping::{group_by_depth, DepthGroups, GroupingConfig};
@@ -37,7 +37,7 @@ use gcc_math::{Vec2, Vec3};
 use gcc_parallel::{par_map_chunked, par_map_indexed, Parallelism};
 
 use crate::pipeline::stages::{self, PixelPatch};
-use crate::pipeline::FrameStats;
+use crate::pipeline::{FrameScratch, FrameStats};
 use crate::Image;
 
 /// Configuration of the Gaussian-wise renderer.
@@ -225,13 +225,18 @@ fn render_window(ctx: &WindowContext<'_>, win: (u32, u32, u32, u32)) -> WindowOu
                 let (bx0, by0, bx1, by1) = grid.block_rect(b);
                 let mut all_terminated = true;
                 for y in by0..by1 {
+                    // Row-incremental alpha across the 8-px block row: the
+                    // conic quadratic form runs once, then two adds/pixel.
+                    let mut alpha_row = RowAlpha::new(p, bx0, y);
+                    let row = patch.row_mut(y as u32);
                     for x in bx0..bx1 {
-                        let st = patch.state_mut(x as u32, y as u32);
+                        let st = &mut row[x as usize];
                         if st.terminated() {
+                            alpha_row.advance();
                             continue;
                         }
                         stats.alpha_lane_evals += 1;
-                        let a = gaussian_alpha(p, x, y, &cfg.exp);
+                        let a = alpha_row.alpha(&cfg.exp);
                         if a > 0.0 {
                             st.blend(a, p.color);
                             stats.pixels_blended += 1;
@@ -240,6 +245,7 @@ fn render_window(ctx: &WindowContext<'_>, win: (u32, u32, u32, u32)) -> WindowOu
                         if !st.terminated() {
                             all_terminated = false;
                         }
+                        alpha_row.advance();
                     }
                 }
                 if all_terminated && !tmask.is_set(b) {
@@ -283,15 +289,29 @@ pub fn render_gaussian_wise_with(
     cfg: &GaussianWiseConfig,
     parallelism: Parallelism,
 ) -> GaussianWiseOutput {
+    render_gaussian_wise_scratch(gaussians, cam, cfg, parallelism, &mut FrameScratch::new())
+}
+
+/// [`render_gaussian_wise_with`] reusing caller-owned scratch (the Stage I
+/// depth buffer) — the batch-render entry point. Output is bit-identical
+/// whatever the scratch previously held.
+pub fn render_gaussian_wise_scratch(
+    gaussians: &[Gaussian3D],
+    cam: &Camera,
+    cfg: &GaussianWiseConfig,
+    parallelism: Parallelism,
+    scratch: &mut FrameScratch,
+) -> GaussianWiseOutput {
     let threads = parallelism.threads();
     let (w, h) = (cam.width, cam.height);
 
     // ---- Stage I: depths + grouping (global, once per frame). ----
-    let depths = stages::view_depths(gaussians, cam, threads);
+    stages::view_depths_into(gaussians, cam, threads, &mut scratch.depths);
+    let depths = &scratch.depths;
     let grouping = cfg
         .grouping
         .unwrap_or_else(|| GroupingConfig::for_count(gaussians.len()));
-    let groups: DepthGroups = group_by_depth(&depths, &grouping);
+    let groups: DepthGroups = group_by_depth(depths, &grouping);
     let group_sizes: Vec<u32> = groups
         .groups
         .iter()

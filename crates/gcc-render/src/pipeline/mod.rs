@@ -23,16 +23,18 @@
 //! new `Renderer` implementation over the same stages — no new stats
 //! plumbing, no simulator changes.
 
+mod scratch;
 pub mod stages;
 mod stats;
 
 pub use gcc_parallel::Parallelism;
+pub use scratch::FrameScratch;
 pub use stats::FrameStats;
 
 use gcc_core::{Camera, Gaussian3D};
 
-use crate::gaussian_wise::{render_gaussian_wise_with, GaussianWiseConfig};
-use crate::standard::{render_standard_with, StandardConfig};
+use crate::gaussian_wise::{render_gaussian_wise_scratch, GaussianWiseConfig};
+use crate::standard::{render_standard_scratch, StandardConfig};
 use crate::Image;
 
 /// One rendered frame: the image plus the unified workload statistics.
@@ -55,6 +57,23 @@ pub trait Renderer: Sync {
 
     /// Renders one frame.
     fn render_frame(&self, gaussians: &[Gaussian3D], cam: &Camera) -> Frame;
+
+    /// Renders one frame reusing `scratch` for the hot-path buffers. The
+    /// output is bit-identical to [`Self::render_frame`] regardless of
+    /// what earlier frames left in the scratch; batch drivers keep one
+    /// scratch per worker to stop reallocating per frame.
+    ///
+    /// The default implementation ignores the scratch, so renderers that
+    /// carry no reusable state only implement [`Self::render_frame`].
+    fn render_frame_reusing(
+        &self,
+        gaussians: &[Gaussian3D],
+        cam: &Camera,
+        scratch: &mut FrameScratch,
+    ) -> Frame {
+        let _ = scratch;
+        self.render_frame(gaussians, cam)
+    }
 }
 
 /// The standard two-stage tile-wise schedule behind the [`Renderer`]
@@ -107,7 +126,16 @@ impl Renderer for StandardRenderer {
     }
 
     fn render_frame(&self, gaussians: &[Gaussian3D], cam: &Camera) -> Frame {
-        let out = render_standard_with(gaussians, cam, &self.cfg, self.parallelism);
+        self.render_frame_reusing(gaussians, cam, &mut FrameScratch::new())
+    }
+
+    fn render_frame_reusing(
+        &self,
+        gaussians: &[Gaussian3D],
+        cam: &Camera,
+        scratch: &mut FrameScratch,
+    ) -> Frame {
+        let out = render_standard_scratch(gaussians, cam, &self.cfg, self.parallelism, scratch);
         Frame {
             image: out.image,
             stats: out.stats,
@@ -162,7 +190,17 @@ impl Renderer for GaussianWiseRenderer {
     }
 
     fn render_frame(&self, gaussians: &[Gaussian3D], cam: &Camera) -> Frame {
-        let out = render_gaussian_wise_with(gaussians, cam, &self.cfg, self.parallelism);
+        self.render_frame_reusing(gaussians, cam, &mut FrameScratch::new())
+    }
+
+    fn render_frame_reusing(
+        &self,
+        gaussians: &[Gaussian3D],
+        cam: &Camera,
+        scratch: &mut FrameScratch,
+    ) -> Frame {
+        let out =
+            render_gaussian_wise_scratch(gaussians, cam, &self.cfg, self.parallelism, scratch);
         Frame {
             image: out.image,
             stats: out.stats,

@@ -1,0 +1,43 @@
+//! Reusable per-frame working memory for the hot path.
+//!
+//! A frame render needs several transient buffers — depth keys, the radix
+//! ping-pong arrays, footprint rectangles, CSR tile bins, Stage I depths.
+//! Allocating them per frame is pure overhead in batch workloads (a
+//! trajectory render re-creates them hundreds of times), so they live in
+//! one [`FrameScratch`] that callers thread through
+//! [`crate::pipeline::Renderer::render_frame_reusing`]. The trajectory
+//! runner keeps one scratch per worker thread.
+//!
+//! A scratch is *pure capacity*: every buffer is rebuilt from scratch each
+//! frame, so render output never depends on what a previous frame left
+//! behind — reusing a scratch is bit-identical to using a fresh one
+//! (tests pin this).
+
+use gcc_core::bounds::PixelRect;
+
+use super::stages::TileBins;
+
+/// Reusable working memory for one frame render. See the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct FrameScratch {
+    /// Monotone depth keys of the projected survivors.
+    pub(crate) keys: Vec<u32>,
+    /// Global front-to-back survivor order.
+    pub(crate) order: Vec<u32>,
+    /// Radix-sort ping-pong buffer.
+    pub(crate) radix: Vec<u32>,
+    /// Screen-clipped AABB footprints, scene order.
+    pub(crate) rects: Vec<PixelRect>,
+    /// CSR tile bins.
+    pub(crate) bins: TileBins,
+    /// Stage I view depths (Gaussian-wise schedule).
+    pub(crate) depths: Vec<f32>,
+}
+
+impl FrameScratch {
+    /// Empty scratch; buffers grow to steady-state capacity on the first
+    /// frame and are reused afterwards.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}

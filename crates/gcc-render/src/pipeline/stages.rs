@@ -24,11 +24,14 @@
 //! to the sequential schedules.
 
 use gcc_core::alpha::PixelState;
-use gcc_core::bounds::BoundingLaw;
+use gcc_core::bounds::{BoundingLaw, PixelRect};
 use gcc_core::projection::{map_color, project_gaussian};
+use gcc_core::sort::depth_key;
 use gcc_core::{Camera, Gaussian3D, ProjectedGaussian};
 use gcc_math::Vec3;
-use gcc_parallel::{par_filter_map_chunked, par_map_chunked};
+use gcc_parallel::{
+    exclusive_prefix_sum, par_filter_map_chunked, par_map_chunked, radix_sort_indices_into,
+};
 
 use crate::Image;
 
@@ -72,19 +75,170 @@ pub fn view_depths(gaussians: &[Gaussian3D], cam: &Camera, threads: usize) -> Ve
     par_map_chunked(gaussians, threads, |_, g| cam.view_depth(g.mean))
 }
 
+/// [`view_depths`] into a reusable buffer: the sequential path fills
+/// `out` in place (no allocation once warm); the chunk-parallel path
+/// replaces it.
+pub fn view_depths_into(
+    gaussians: &[Gaussian3D],
+    cam: &Camera,
+    threads: usize,
+    out: &mut Vec<f32>,
+) {
+    if threads <= 1 {
+        out.clear();
+        out.extend(gaussians.iter().map(|g| cam.view_depth(g.mean)));
+    } else {
+        *out = view_depths(gaussians, cam, threads);
+    }
+}
+
 /// Depth-sort stage over projected survivors (front to back).
 pub fn sort_by_depth(survivors: &mut [ProjectedGaussian]) {
     survivors.sort_by(|a, b| a.depth.total_cmp(&b.depth));
 }
 
-/// Depth-sort stage over an index list into a projected array (the
-/// standard schedule's per-tile sort).
+/// Depth-sort stage over an index list into a projected array — the
+/// standard schedule's *historical* per-tile sort, kept as the reference
+/// ordering that [`global_depth_order_into`] + [`TileBins`] are pinned
+/// against (equal depths keep scene order in both formulations).
 pub fn sort_indices_by_depth(indices: &mut [u32], projected: &[ProjectedGaussian]) {
     indices.sort_by(|&a, &b| {
         projected[a as usize]
             .depth
             .total_cmp(&projected[b as usize].depth)
     });
+}
+
+/// The global depth-ordering stage: one monotone `u32` key per projected
+/// survivor ([`depth_key`], chunk-parallel) and one stable LSD radix sort
+/// over all of them. `order` receives the survivor indices front to back;
+/// equal depths keep scene order, so any subsequence of `order` (e.g. a
+/// tile bin filled in this order) is exactly what a stable per-tile
+/// `total_cmp` sort would have produced. `keys` and `radix` are reusable
+/// scratch.
+pub fn global_depth_order_into(
+    projected: &[ProjectedGaussian],
+    threads: usize,
+    keys: &mut Vec<u32>,
+    order: &mut Vec<u32>,
+    radix: &mut Vec<u32>,
+) {
+    if threads <= 1 {
+        keys.clear();
+        keys.extend(projected.iter().map(|p| depth_key(p.depth)));
+    } else {
+        *keys = par_map_chunked(projected, threads, |_, p| depth_key(p.depth));
+    }
+    radix_sort_indices_into(keys, threads, order, radix);
+}
+
+/// Screen-clipped AABB footprints of all projected survivors, in scene
+/// order, into a reusable buffer — computed once per frame and shared by
+/// binning and tile rendering.
+pub fn footprint_rects_into(
+    projected: &[ProjectedGaussian],
+    width: u32,
+    height: u32,
+    threads: usize,
+    rects: &mut Vec<PixelRect>,
+) {
+    if threads <= 1 {
+        rects.clear();
+        rects.extend(
+            projected
+                .iter()
+                .map(|p| PixelRect::from_circle(p.mean2d, p.radius, width, height)),
+        );
+    } else {
+        *rects = par_map_chunked(projected, threads, |_, p| {
+            PixelRect::from_circle(p.mean2d, p.radius, width, height)
+        });
+    }
+}
+
+/// Flat CSR tile bins: every Gaussian→tile key-value pair lives in one
+/// `entries` array, with per-tile extents tracked in `ends` — no
+/// per-tile `Vec`s, no per-frame allocation once the buffers are warm.
+///
+/// Built in two passes (counts → exclusive prefix sum → fill). The fill
+/// iterates survivors in **global depth order**, so every bin is *born*
+/// front-to-back sorted and the per-tile sort stage disappears.
+#[derive(Debug, Clone, Default)]
+pub struct TileBins {
+    /// After the fill, `ends[t]` is the exclusive end of tile `t`'s slice
+    /// in `entries` (its start is `ends[t - 1]`, or 0 for tile 0).
+    ends: Vec<u32>,
+    entries: Vec<u32>,
+}
+
+impl TileBins {
+    /// Empty bins (buffers grow on first build).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rebuilds the bins for `n_tiles` tiles of edge `tile_size` on a grid
+    /// `tiles_x` wide, from per-survivor footprints and the global depth
+    /// order. Returns the number of key-value pairs created.
+    pub fn build(
+        &mut self,
+        rects: &[PixelRect],
+        order: &[u32],
+        tile_size: u32,
+        tiles_x: u32,
+        n_tiles: usize,
+    ) -> u64 {
+        self.ends.clear();
+        self.ends.resize(n_tiles, 0);
+        for rect in rects {
+            if rect.is_empty() {
+                continue;
+            }
+            let (tx0, ty0, tx1, ty1) = rect.tile_range(tile_size);
+            for ty in ty0..ty1 {
+                for tx in tx0..tx1 {
+                    self.ends[(ty * tiles_x + tx) as usize] += 1;
+                }
+            }
+        }
+        let total = exclusive_prefix_sum(&mut self.ends);
+        self.entries.clear();
+        self.entries.resize(total as usize, 0);
+        // Fill in global depth order; `ends[t]` walks from tile t's start
+        // to its end, leaving exactly the CSR extents behind.
+        for &idx in order {
+            let rect = &rects[idx as usize];
+            if rect.is_empty() {
+                continue;
+            }
+            let (tx0, ty0, tx1, ty1) = rect.tile_range(tile_size);
+            for ty in ty0..ty1 {
+                for tx in tx0..tx1 {
+                    let t = (ty * tiles_x + tx) as usize;
+                    self.entries[self.ends[t] as usize] = idx;
+                    self.ends[t] += 1;
+                }
+            }
+        }
+        u64::from(total)
+    }
+
+    /// Number of tiles the bins were built for.
+    pub fn tiles(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// Tile `t`'s bin: survivor indices front to back.
+    pub fn bin(&self, t: usize) -> &[u32] {
+        let start = if t == 0 { 0 } else { self.ends[t - 1] as usize };
+        &self.entries[start..self.ends[t] as usize]
+    }
+
+    /// Number of Gaussians binned to tile `t`.
+    pub fn count(&self, t: usize) -> u32 {
+        let start = if t == 0 { 0 } else { self.ends[t - 1] };
+        self.ends[t] - start
+    }
 }
 
 /// Splits a `w × h` image into `subview × subview` windows `(x, y, w, h)`
@@ -169,20 +323,48 @@ impl PixelPatch {
         &self.states[(y * self.w + x) as usize]
     }
 
+    /// Mutable view of one patch-local pixel row — the blend loops' bulk
+    /// accessor: one bounds check per row instead of an asserting
+    /// per-pixel [`Self::state_mut`] call.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `y` is outside the patch.
+    pub fn row_mut(&mut self, y: u32) -> &mut [PixelState] {
+        assert!(y < self.h, "row {y} outside patch");
+        let w = self.w as usize;
+        &mut self.states[y as usize * w..(y as usize + 1) * w]
+    }
+
     /// Resolves every pixel against `background` and writes the patch into
-    /// its frame-space rectangle of `image`.
+    /// its frame-space rectangle of `image`, walking the `states` buffer
+    /// row by row (one offset computation per row — this runs for every
+    /// pixel of every tile/window merge).
     ///
     /// # Panics
     ///
     /// Panics when the patch extends past the image.
     pub fn resolve_into(&self, image: &mut Image, background: Vec3) {
-        for y in 0..self.h {
-            for x in 0..self.w {
-                image.set(
-                    self.x0 + x,
-                    self.y0 + y,
-                    self.state(x, y).resolve(background),
-                );
+        assert!(
+            self.x0 + self.w <= image.width() && self.y0 + self.h <= image.height(),
+            "patch {}x{}@({},{}) exceeds image {}x{}",
+            self.w,
+            self.h,
+            self.x0,
+            self.y0,
+            image.width(),
+            image.height()
+        );
+        if self.w == 0 || self.h == 0 {
+            return;
+        }
+        let iw = image.width() as usize;
+        let (x0, y0, w) = (self.x0 as usize, self.y0 as usize, self.w as usize);
+        let pixels = image.pixels_mut();
+        for (y, row) in self.states.chunks_exact(w).enumerate() {
+            let dst = &mut pixels[(y0 + y) * iw + x0..][..w];
+            for (d, s) in dst.iter_mut().zip(row) {
+                *d = s.resolve(background);
             }
         }
     }
@@ -276,5 +458,89 @@ mod tests {
         for pair in idx.windows(2) {
             assert!(projected[pair[0] as usize].depth <= projected[pair[1] as usize].depth);
         }
+    }
+
+    #[test]
+    fn global_depth_order_equals_stable_comparison_sort() {
+        let cam = cam();
+        let mut g = cloud(400);
+        // Duplicate a slab of Gaussians so equal depths exercise the
+        // stability requirement.
+        let dup: Vec<Gaussian3D> = g.iter().take(40).cloned().collect();
+        g.extend(dup);
+        let projected = project_and_shade_all(&g, &cam, BoundingLaw::ThreeSigma, 1);
+        let mut expect: Vec<u32> = (0..projected.len() as u32).collect();
+        sort_indices_by_depth(&mut expect, &projected); // stable total_cmp sort
+        let (mut keys, mut order, mut radix) = (Vec::new(), Vec::new(), Vec::new());
+        for threads in [1, 4] {
+            global_depth_order_into(&projected, threads, &mut keys, &mut order, &mut radix);
+            assert_eq!(order, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn csr_bins_match_nested_vec_binning() {
+        let cam = cam();
+        let g = cloud(300);
+        let projected = project_and_shade_all(&g, &cam, BoundingLaw::ThreeSigma, 1);
+        let (w, h, ts) = (64u32, 48u32, 16u32);
+        let tiles_x = w.div_ceil(ts);
+        let n_tiles = (tiles_x * h.div_ceil(ts)) as usize;
+
+        // Reference: the historical nested-Vec binning + per-tile sort.
+        let mut nested: Vec<Vec<u32>> = vec![Vec::new(); n_tiles];
+        for (idx, p) in projected.iter().enumerate() {
+            let rect = PixelRect::from_circle(p.mean2d, p.radius, w, h);
+            if rect.is_empty() {
+                continue;
+            }
+            let (tx0, ty0, tx1, ty1) = rect.tile_range(ts);
+            for ty in ty0..ty1 {
+                for tx in tx0..tx1 {
+                    nested[(ty * tiles_x + tx) as usize].push(idx as u32);
+                }
+            }
+        }
+        for bin in &mut nested {
+            sort_indices_by_depth(bin, &projected);
+        }
+
+        let mut rects = Vec::new();
+        footprint_rects_into(&projected, w, h, 1, &mut rects);
+        let (mut keys, mut order, mut radix) = (Vec::new(), Vec::new(), Vec::new());
+        global_depth_order_into(&projected, 1, &mut keys, &mut order, &mut radix);
+        let mut bins = TileBins::new();
+        let kv = bins.build(&rects, &order, ts, tiles_x, n_tiles);
+
+        assert_eq!(kv, nested.iter().map(|b| b.len() as u64).sum::<u64>());
+        assert_eq!(bins.tiles(), n_tiles);
+        for (t, reference) in nested.iter().enumerate() {
+            assert_eq!(bins.bin(t), reference.as_slice(), "tile {t}");
+            assert_eq!(bins.count(t) as usize, reference.len(), "tile {t}");
+        }
+    }
+
+    #[test]
+    fn tile_bins_rebuild_resets_previous_state() {
+        let rects = vec![
+            PixelRect::from_circle(gcc_math::Vec2::new(8.0, 8.0), 4.0, 32, 32),
+            PixelRect::from_circle(gcc_math::Vec2::new(24.0, 24.0), 4.0, 32, 32),
+        ];
+        let mut bins = TileBins::new();
+        let kv1 = bins.build(&rects, &[0, 1], 16, 2, 4);
+        assert_eq!(kv1, 2);
+        // Rebuild on a smaller problem must fully reset extents.
+        let kv2 = bins.build(&rects[..1], &[0], 16, 2, 4);
+        assert_eq!(kv2, 1);
+        assert_eq!(bins.bin(0), &[0]);
+        assert!(bins.bin(3).is_empty());
+    }
+
+    #[test]
+    fn patch_row_mut_aliases_state_mut() {
+        let mut patch = PixelPatch::new(0, 0, 4, 3);
+        patch.row_mut(1)[2].blend(0.5, Vec3::new(1.0, 0.0, 0.0));
+        assert!(patch.state(2, 1).color.x > 0.4);
+        assert_eq!(patch.row_mut(2).len(), 4);
     }
 }

@@ -8,11 +8,16 @@
 //! 1. **Preprocess**: every Gaussian is frustum-culled, projected (Eq. 1)
 //!    and SH-colored (Eq. 2) — regardless of whether rendering will use it
 //!    ([`stages::project_and_shade_all`]).
-//! 2. **Render**: projected Gaussians are binned to 16×16 tiles by their
-//!    footprint, each tile's list is depth-sorted
-//!    ([`stages::sort_indices_by_depth`]), and pixels are blended
-//!    front-to-back with early termination. A Gaussian overlapping `k`
-//!    tiles is loaded `k` times (the Fig. 2(b) redundancy).
+//! 2. **Render**: survivors are ordered front-to-back **once globally**
+//!    ([`stages::global_depth_order_into`]: monotone depth keys + one
+//!    stable LSD radix sort) and binned to 16×16 tiles in that order into
+//!    a flat CSR layout ([`stages::TileBins`]), so every tile bin is born
+//!    depth-sorted — the GSCore-shaped "ordering is one global key sort"
+//!    formulation, replacing the historical per-tile comparison sorts.
+//!    Pixels are blended front-to-back with early termination and
+//!    row-incremental alpha evaluation ([`RowAlpha`]). A Gaussian
+//!    overlapping `k` tiles is loaded `k` times (the Fig. 2(b)
+//!    redundancy).
 //!
 //! Tiles own disjoint pixel rectangles, so the frame engine renders them
 //! in parallel ([`render_standard_with`]): each worker blends into its own
@@ -23,15 +28,19 @@
 //! The renderer is instrumented to produce every statistic the paper's
 //! motivation section and evaluation need (Fig. 2, Table 1, Fig. 11/12
 //! traffic inputs), reported through the unified [`FrameStats`] view.
+//! `sort_elements` keeps its historical meaning — elements through the
+//! per-tile depth-ordering stage (= KV pairs) — even though the ordering
+//! work now happens once globally; the simulator's sort-cost models are
+//! calibrated against that definition.
 
-use gcc_core::alpha::{gaussian_alpha, ExpMode};
+use gcc_core::alpha::{EffectiveSpanWalker, ExpMode, RowAlpha};
 use gcc_core::bounds::{BoundingLaw, Obb, PixelRect};
 use gcc_core::{Camera, Gaussian3D, ProjectedGaussian};
 use gcc_math::Vec3;
 use gcc_parallel::{par_map_chunked, par_map_indexed, Parallelism};
 
 use crate::pipeline::stages::{self, PixelPatch};
-use crate::pipeline::FrameStats;
+use crate::pipeline::{FrameScratch, FrameStats};
 use crate::Image;
 
 /// Which footprint limits per-pixel alpha evaluation inside a tile.
@@ -100,6 +109,7 @@ struct TileContext<'a> {
     cfg: &'a StandardConfig,
     projected: &'a [ProjectedGaussian],
     obbs: &'a [Option<Obb>],
+    rects: &'a [PixelRect],
     width: u32,
     height: u32,
     tiles_x: u32,
@@ -114,9 +124,10 @@ struct TileOutcome {
     rendered: Vec<u32>,
 }
 
-/// Renders one tile: depth-sort its bin, then blend front-to-back with
-/// per-tile early termination. Pure function of its inputs — the unit of
-/// parallelism of the standard schedule.
+/// Renders one tile: its bin arrives depth-sorted (born that way from the
+/// global ordering + CSR fill), so the worker goes straight to blending
+/// front-to-back with per-tile early termination. Pure function of its
+/// inputs — the unit of parallelism of the standard schedule.
 fn render_tile(ctx: &TileContext<'_>, tile: usize, bin: &[u32]) -> TileOutcome {
     let ts = ctx.cfg.tile_size;
     let tx = (tile as u32) % ctx.tiles_x;
@@ -128,14 +139,16 @@ fn render_tile(ctx: &TileContext<'_>, tile: usize, bin: &[u32]) -> TileOutcome {
     let mut patch = PixelPatch::new(x0 as u32, y0 as u32, (x1 - x0) as u32, (y1 - y0) as u32);
 
     let mut stats = FrameStats::default();
-    let mut order: Vec<u32> = bin.to_vec();
-    stats.sort_elements += order.len() as u64;
-    stages::sort_indices_by_depth(&mut order, ctx.projected);
+    // Elements through the depth-ordering stage for this tile. The
+    // ordering now happens once globally, but the per-tile sort workload
+    // definition (= this tile's KV pairs) is what the simulator's
+    // sort-cost models consume, so it is preserved verbatim.
+    stats.sort_elements += bin.len() as u64;
 
     let mut loaded = Vec::new();
     let mut rendered = Vec::new();
     let mut active = ((x1 - x0) * (y1 - y0)) as i64;
-    for &idx in &order {
+    for &idx in bin {
         if active <= 0 {
             // Tile fully terminated: the remaining KV pairs are never
             // loaded (GSCore's per-tile early termination).
@@ -145,7 +158,7 @@ fn render_tile(ctx: &TileContext<'_>, tile: usize, bin: &[u32]) -> TileOutcome {
         stats.tile_loads += 1;
         loaded.push(idx);
 
-        let rect = PixelRect::from_circle(p.mean2d, p.radius, ctx.width, ctx.height);
+        let rect = &ctx.rects[idx as usize];
         let rx0 = rect.x0.max(x0);
         let ry0 = rect.y0.max(y0);
         let rx1 = rect.x1.min(x1);
@@ -153,36 +166,54 @@ fn render_tile(ctx: &TileContext<'_>, tile: usize, bin: &[u32]) -> TileOutcome {
         if rx0 >= rx1 || ry0 >= ry1 {
             continue;
         }
-        let obb = ctx.obbs[idx as usize];
+        let obb = ctx.obbs[idx as usize].as_ref();
+        let mut obb_walker = obb.map(|o| o.span_walker(rx0, rx1, ry0));
+        let mut alpha_spans = EffectiveSpanWalker::new(p, rx0, rx1, ry0);
         let mut contributed = false;
         for y in ry0..ry1 {
-            for x in rx0..rx1 {
-                stats.pixels_tested_aabb += 1;
-                let in_obb = obb.map(|o| o.contains(x, y)).unwrap_or(false);
-                if in_obb {
-                    stats.pixels_tested_obb += 1;
+            // Row-analytic work restriction: the footprint tests and the
+            // alpha cutoff are solved per row by forward-differenced span
+            // walkers (adds per row, no divisions), so the pixel loop
+            // walks only the span that can contribute. Counters keep
+            // their per-pixel semantics via bulk adds; pixels inside the
+            // span still run the exact incremental evaluation.
+            stats.pixels_tested_aabb += (rx1 - rx0) as u64;
+            let obb_span = obb_walker.as_mut().map(|w| w.next_span());
+            if let Some((ox0, ox1)) = obb_span {
+                stats.pixels_tested_obb += (ox1 - ox0) as u64;
+            }
+            let (ex0, ex1) = alpha_spans.next_span();
+            let (sx0, sx1) = match ctx.cfg.footprint {
+                Footprint::Aabb => {
+                    stats.pixels_tested += (rx1 - rx0) as u64;
+                    (ex0, ex1)
                 }
-                let evaluate = match ctx.cfg.footprint {
-                    Footprint::Aabb => true,
-                    Footprint::Obb => in_obb,
-                };
-                if !evaluate {
-                    continue;
+                Footprint::Obb => {
+                    let (ox0, ox1) = obb_span.unwrap_or((rx0, rx0));
+                    stats.pixels_tested += (ox1 - ox0) as u64;
+                    (ex0.max(ox0), ex1.min(ox1))
                 }
-                stats.pixels_tested += 1;
-                let st = patch.state_mut((x - x0) as u32, (y - y0) as u32);
-                if st.terminated() {
-                    continue;
-                }
-                let a = gaussian_alpha(p, x, y, &ctx.cfg.exp);
-                if a > 0.0 {
-                    st.blend(a, p.color);
-                    stats.pixels_blended += 1;
-                    contributed = true;
-                    if st.terminated() {
-                        active -= 1;
+            };
+            if sx0 >= sx1 {
+                continue;
+            }
+            // Row-incremental evaluation inside the span: the conic
+            // quadratic form runs once, then two adds per pixel.
+            let mut alpha_row = RowAlpha::new(p, sx0, y);
+            let row = patch.row_mut((y - y0) as u32);
+            for st in &mut row[(sx0 - x0) as usize..(sx1 - x0) as usize] {
+                if !st.terminated() {
+                    let a = alpha_row.alpha(&ctx.cfg.exp);
+                    if a > 0.0 {
+                        st.blend(a, p.color);
+                        stats.pixels_blended += 1;
+                        contributed = true;
+                        if st.terminated() {
+                            active -= 1;
+                        }
                     }
                 }
+                alpha_row.advance();
             }
         }
         if contributed {
@@ -218,6 +249,19 @@ pub fn render_standard_with(
     cfg: &StandardConfig,
     parallelism: Parallelism,
 ) -> StandardOutput {
+    render_standard_scratch(gaussians, cam, cfg, parallelism, &mut FrameScratch::new())
+}
+
+/// [`render_standard_with`] reusing caller-owned scratch buffers (depth
+/// keys, radix ping-pong, footprints, CSR bins) — the batch-render entry
+/// point. Output is bit-identical whatever the scratch previously held.
+pub fn render_standard_scratch(
+    gaussians: &[Gaussian3D],
+    cam: &Camera,
+    cfg: &StandardConfig,
+    parallelism: Parallelism,
+    scratch: &mut FrameScratch,
+) -> StandardOutput {
     let threads = parallelism.threads();
     let (w, h) = (cam.width, cam.height);
     let ts = cfg.tile_size;
@@ -246,36 +290,37 @@ pub fn render_standard_with(
         Obb::from_cov(p.mean2d, p.cov2d, cfg.law, p.opacity)
     });
 
-    // ---- Binning: Gaussian → tile key-value pairs. ----
-    let mut bins: Vec<Vec<u32>> = vec![Vec::new(); n_tiles];
-    for (idx, p) in projected.iter().enumerate() {
-        let rect = PixelRect::from_circle(p.mean2d, p.radius, w, h);
-        if rect.is_empty() {
-            continue;
-        }
-        let (tx0, ty0, tx1, ty1) = rect.tile_range(ts);
-        for ty in ty0..ty1 {
-            for tx in tx0..tx1 {
-                bins[(ty * tiles_x + tx) as usize].push(idx as u32);
-                stats.kv_pairs += 1;
-            }
-        }
-    }
-    let tile_gaussian_counts: Vec<u32> = bins.iter().map(|b| b.len() as u32).collect();
+    // ---- Global depth ordering: one radix sort over monotone keys. ----
+    stages::footprint_rects_into(&projected, w, h, threads, &mut scratch.rects);
+    stages::global_depth_order_into(
+        &projected,
+        threads,
+        &mut scratch.keys,
+        &mut scratch.order,
+        &mut scratch.radix,
+    );
+
+    // ---- Binning: Gaussian → tile KV pairs, CSR, born depth-sorted. ----
+    stats.kv_pairs = scratch
+        .bins
+        .build(&scratch.rects, &scratch.order, ts, tiles_x, n_tiles);
+    let tile_gaussian_counts: Vec<u32> = (0..n_tiles).map(|t| scratch.bins.count(t)).collect();
 
     // ---- Stage 2: tile-wise rendering, parallel over tiles. ----
     let ctx = TileContext {
         cfg,
         projected: &projected,
         obbs: &obbs,
+        rects: &scratch.rects,
         width: w,
         height: h,
         tiles_x,
     };
-    let occupied: Vec<usize> = (0..n_tiles).filter(|&t| !bins[t].is_empty()).collect();
+    let bins = &scratch.bins;
+    let occupied: Vec<usize> = (0..n_tiles).filter(|&t| bins.count(t) > 0).collect();
     let outcomes = par_map_indexed(occupied.len(), threads, |k| {
         let t = occupied[k];
-        render_tile(&ctx, t, &bins[t])
+        render_tile(&ctx, t, bins.bin(t))
     });
 
     // ---- Merge in tile order: patches are disjoint, counters additive,

@@ -13,10 +13,17 @@
 //! the renderer's intra-frame parallelism. For throughput over a long
 //! trajectory, prefer a sequential renderer inside a parallel runner (one
 //! frame per core); for latency on a single frame, prefer the reverse.
+//!
+//! Each worker keeps one [`FrameScratch`] for its whole share of the
+//! batch (`gcc_parallel::par_map_indexed_with`), so the hot-path buffers
+//! — depth keys, radix ping-pong, footprints, CSR bins — are allocated
+//! once per worker instead of once per frame. Renders are bit-identical
+//! to fresh-scratch renders, so frame results stay independent of which
+//! worker rendered them.
 
 use gcc_core::Camera;
-use gcc_parallel::{par_map_indexed, Parallelism};
-use gcc_render::pipeline::{Frame, FrameStats, Renderer};
+use gcc_parallel::{par_map_indexed_with, Parallelism};
+use gcc_render::pipeline::{Frame, FrameScratch, FrameStats, Renderer};
 
 use crate::Scene;
 
@@ -70,9 +77,12 @@ impl TrajectoryRunner {
     /// count.
     pub fn run(&self, scene: &Scene, renderer: &dyn Renderer) -> TrajectoryResult {
         let cameras = self.cameras(scene);
-        let frames = par_map_indexed(cameras.len(), self.parallelism.threads(), |i| {
-            renderer.render_frame(&scene.gaussians, &cameras[i])
-        });
+        let frames = par_map_indexed_with(
+            cameras.len(),
+            self.parallelism.threads(),
+            FrameScratch::new,
+            |scratch, i| renderer.render_frame_reusing(&scene.gaussians, &cameras[i], scratch),
+        );
         TrajectoryResult { frames }
     }
 }

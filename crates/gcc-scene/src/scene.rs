@@ -8,7 +8,7 @@ use gcc_core::{Camera, Gaussian3D};
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SceneConfig {
     /// Multiplies the preset's base Gaussian count. `1.0` is the default
-    /// repro scale documented in `DESIGN.md` §6; tests typically run at
+    /// repro scale documented in `DESIGN.md` §7; tests typically run at
     /// `0.02`–`0.1`.
     pub scale: f32,
     /// Optional seed override (defaults to the preset's own seed).

@@ -10,7 +10,7 @@
 //! * per-pixel quantities (alpha evaluations, blends, blocks, tiles,
 //!   windows) scale with the pixel factor,
 //! * the per-Gaussian *tile/block multiplicity* is scale-invariant at
-//!   matched density (DESIGN.md §6), so mixed quantities use the
+//!   matched density (DESIGN.md §7), so mixed quantities use the
 //!   geometric pairing above rather than a product.
 //!
 //! This is an estimate, not a simulation — Table 3's caption marks the
