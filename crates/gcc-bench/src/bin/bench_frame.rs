@@ -15,9 +15,12 @@
 //!
 //! Flags: `--smoke` (tiny scene set, 1 rep — CI), `--reps N` (timed
 //! repetitions per case, best-of; default 3), `--out PATH` (default
-//! `BENCH_frame.json` in the working directory). The binary re-parses the
-//! JSON it wrote and exits non-zero if the file is invalid, so CI can
-//! treat a zero exit as "valid perf record produced".
+//! `BENCH_frame.json` at the repository root, resolved via
+//! [`gcc_bench::default_artifact_path`] so a run from any subdirectory
+//! doesn't scatter artifacts). The binary re-parses the JSON it wrote and
+//! exits non-zero if the file is invalid, so CI can treat a zero exit as
+//! "valid perf record produced". CI compares the record against
+//! `ci/bench_baseline.json` with the `perf_gate` binary.
 
 use std::time::Instant;
 
@@ -98,7 +101,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let mut reps = if smoke { 1 } else { 3 };
-    let mut out_path = String::from("BENCH_frame.json");
+    let mut out_path = gcc_bench::default_artifact_path("BENCH_frame.json");
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -109,7 +112,7 @@ fn main() {
                     .expect("--reps needs a positive integer");
             }
             "--out" => {
-                out_path = it.next().expect("--out needs a path").clone();
+                out_path = it.next().expect("--out needs a path").into();
             }
             "--smoke" => {}
             other => panic!("unknown flag {other} (expected --smoke, --reps N, --out PATH)"),
@@ -205,8 +208,8 @@ fn main() {
         std::process::exit(1);
     }
     if let Err(e) = std::fs::write(&out_path, &json) {
-        eprintln!("bench_frame could not write {out_path}: {e}");
+        eprintln!("bench_frame could not write {}: {e}", out_path.display());
         std::process::exit(1);
     }
-    println!("wrote {out_path} ({} results)", rows.len());
+    println!("wrote {} ({} results)", out_path.display(), rows.len());
 }

@@ -1,0 +1,444 @@
+//! `bench_serve` — the machine-readable serving-layer harness behind
+//! `BENCH_serve.json`.
+//!
+//! Drives `gcc_serve::RenderService` with a deterministic synthetic
+//! workload: a mixed scene set written to on-disk binary/JSON files
+//! (loads go through `gcc_scene::io`, like production residency misses
+//! would), skewed scene popularity drawn from the in-tree PRNG, and
+//! several closed-loop client threads. The same request streams run
+//! against two configurations:
+//!
+//! * `batched_lru` — cache budget fits the whole scene set, requests
+//!   coalesce into batches (`max_batch > 1`);
+//! * `naive_evict` — zero cache budget and `max_batch = 1`, i.e. the
+//!   load-render-evict-per-request regime a serverless renderer would be
+//!   stuck in.
+//!
+//! The record includes throughput, p50/p95 request latency, cache hit
+//! rate and the batched/naive speedup. In full (non-smoke) mode the
+//! binary *enforces* `speedup_vs_naive ≥ 2`, and in every mode it checks
+//! a sample of served frames bit-identical against direct
+//! `Renderer::render_frame` output and re-parses the JSON it wrote —
+//! exit 0 means "valid record, parity held".
+//!
+//! ```text
+//! cargo run --release -p gcc-bench --bin bench_serve            # full
+//! cargo run --release -p gcc-bench --bin bench_serve -- --smoke # CI
+//! ```
+//!
+//! Flags: `--smoke` (tiny scenes, short workload — CI), `--clients N`,
+//! `--requests N` (per client), `--out PATH` (default `BENCH_serve.json`
+//! at the repository root).
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use gcc_bench::TablePrinter;
+use gcc_render::pipeline::{Renderer, StandardRenderer};
+use gcc_scene::rng::StdRng;
+use gcc_scene::{io, Scene, SceneConfig, ScenePreset};
+use gcc_serve::{RenderRequest, RenderService, SceneSource, ServeConfig, ServeStats};
+
+/// One scene of the benchmark set.
+struct BenchScene {
+    id: &'static str,
+    preset: ScenePreset,
+    scale: f32,
+    /// Write the scene as JSON (slow loads) instead of binary.
+    json: bool,
+    /// Relative popularity in the skewed workload.
+    weight: f32,
+}
+
+fn scene_set(smoke: bool) -> Vec<BenchScene> {
+    if smoke {
+        vec![
+            BenchScene {
+                id: "lego",
+                preset: ScenePreset::Lego,
+                scale: 0.05,
+                json: false,
+                weight: 0.5,
+            },
+            BenchScene {
+                id: "palace",
+                preset: ScenePreset::Palace,
+                scale: 0.05,
+                json: true,
+                weight: 0.3,
+            },
+            BenchScene {
+                id: "train",
+                preset: ScenePreset::Train,
+                scale: 0.02,
+                json: false,
+                weight: 0.2,
+            },
+        ]
+    } else {
+        vec![
+            BenchScene {
+                id: "train",
+                preset: ScenePreset::Train,
+                scale: 0.10,
+                json: true,
+                weight: 0.40,
+            },
+            BenchScene {
+                id: "lego",
+                preset: ScenePreset::Lego,
+                scale: 0.50,
+                json: true,
+                weight: 0.25,
+            },
+            BenchScene {
+                id: "palace",
+                preset: ScenePreset::Palace,
+                scale: 0.50,
+                json: false,
+                weight: 0.15,
+            },
+            BenchScene {
+                id: "truck",
+                preset: ScenePreset::Truck,
+                scale: 0.05,
+                json: false,
+                weight: 0.12,
+            },
+            BenchScene {
+                id: "drjohnson",
+                preset: ScenePreset::Drjohnson,
+                scale: 0.02,
+                json: false,
+                weight: 0.08,
+            },
+        ]
+    }
+}
+
+/// Registry entries plus direct copies of the scenes behind them.
+type RegistryAndScenes = (Vec<(String, SceneSource)>, Vec<(String, Arc<Scene>)>);
+
+/// Builds the scene files and the service registry; returns the registry
+/// plus each scene loaded directly (for parity checks and size totals).
+fn build_registry(scenes: &[BenchScene], dir: &PathBuf) -> RegistryAndScenes {
+    std::fs::create_dir_all(dir).expect("create scene dir");
+    let mut registry = Vec::new();
+    let mut loaded = Vec::new();
+    for s in scenes {
+        let scene = s.preset.build(&SceneConfig::with_scale(s.scale));
+        let path = dir.join(format!("{}.{}", s.id, if s.json { "json" } else { "bin" }));
+        if s.json {
+            io::write_json_file(&scene, &path).expect("write scene json");
+        } else {
+            io::write_binary_file(&scene, &path).expect("write scene binary");
+        }
+        registry.push((s.id.to_string(), SceneSource::File(path)));
+        loaded.push((s.id.to_string(), Arc::new(scene)));
+    }
+    (registry, loaded)
+}
+
+/// Deterministic skewed request streams, one per client. The streams are
+/// a pure function of `(scene set, clients, per_client, seed)` — both
+/// service configurations replay exactly the same requests.
+fn workload(
+    scenes: &[BenchScene],
+    clients: usize,
+    per_client: usize,
+    seed: u64,
+) -> Vec<Vec<RenderRequest>> {
+    let total_w: f32 = scenes.iter().map(|s| s.weight).sum();
+    (0..clients)
+        .map(|c| {
+            let mut rng =
+                StdRng::seed_from_u64(seed ^ (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            (0..per_client)
+                .map(|_| {
+                    let mut pick = rng.gen::<f32>() * total_w;
+                    let mut id = scenes.last().expect("non-empty scene set").id;
+                    for s in scenes {
+                        if pick < s.weight {
+                            id = s.id;
+                            break;
+                        }
+                        pick -= s.weight;
+                    }
+                    RenderRequest {
+                        scene: id.into(),
+                        t: rng.gen::<f32>(),
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// One measured service configuration.
+struct ConfigRow {
+    name: &'static str,
+    cache_budget_bytes: usize,
+    max_batch: usize,
+    workers: usize,
+    wall_ms: f64,
+    throughput_rps: f64,
+    stats: ServeStats,
+}
+
+/// Replays the workload through a fresh service with `cfg`.
+fn run_config(
+    name: &'static str,
+    cfg: ServeConfig,
+    registry: &[(String, SceneSource)],
+    streams: &[Vec<RenderRequest>],
+) -> ConfigRow {
+    let service = RenderService::new(
+        cfg.clone(),
+        registry.to_vec(),
+        Box::new(StandardRenderer::reference()),
+    );
+    let workers = service.workers();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for stream in streams {
+            let service = &service;
+            scope.spawn(move || {
+                for req in stream {
+                    service
+                        .render_blocking(req.clone())
+                        .expect("serve request failed");
+                }
+            });
+        }
+    });
+    let wall = start.elapsed().as_secs_f64();
+    let total: usize = streams.iter().map(Vec::len).sum();
+    let stats = service.shutdown();
+    assert_eq!(stats.frames as usize, total, "lost frames in {name}");
+    ConfigRow {
+        name,
+        cache_budget_bytes: cfg.cache_budget_bytes,
+        max_batch: cfg.max_batch,
+        workers,
+        wall_ms: wall * 1e3,
+        throughput_rps: total as f64 / wall,
+        stats,
+    }
+}
+
+/// Serve-path determinism: a sample of requests rendered through the
+/// service must be bit-identical to direct renders of the file-loaded
+/// scenes. Returns the number of frames checked.
+fn parity_check(
+    registry: &[(String, SceneSource)],
+    loaded: &[(String, Arc<Scene>)],
+    streams: &[Vec<RenderRequest>],
+) -> usize {
+    let service = RenderService::new(
+        ServeConfig::default(),
+        registry.to_vec(),
+        Box::new(StandardRenderer::reference()),
+    );
+    let direct = StandardRenderer::reference();
+    // One request per scene id plus the head of the first stream.
+    let mut samples: Vec<RenderRequest> = loaded
+        .iter()
+        .map(|(id, _)| RenderRequest {
+            scene: id.clone(),
+            t: 0.37,
+        })
+        .collect();
+    samples.extend(streams[0].iter().take(3).cloned());
+    let n = samples.len();
+    for req in samples {
+        let served = service
+            .render_blocking(req.clone())
+            .expect("parity request");
+        let scene = &loaded
+            .iter()
+            .find(|(id, _)| *id == req.scene)
+            .expect("sample scene registered")
+            .1;
+        let want = direct.render_frame(&scene.gaussians, &scene.camera(req.t));
+        assert_eq!(
+            served.image, want.image,
+            "serve path diverged on {}",
+            req.scene
+        );
+        assert_eq!(
+            served.stats, want.stats,
+            "serve stats diverged on {}",
+            req.scene
+        );
+    }
+    n
+}
+
+fn json_escape_free(s: &str) -> &str {
+    // Ids/names here are ASCII identifiers; keep the writer simple.
+    assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+    s
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut clients = if smoke { 3 } else { 6 };
+    let mut per_client = if smoke { 6 } else { 20 };
+    let mut out_path = gcc_bench::default_artifact_path("BENCH_serve.json");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--clients" => {
+                clients = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--clients needs a positive integer");
+            }
+            "--requests" => {
+                per_client = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--requests needs a positive integer");
+            }
+            "--out" => {
+                out_path = it.next().expect("--out needs a path").into();
+            }
+            "--smoke" => {}
+            other => panic!(
+                "unknown flag {other} (expected --smoke, --clients N, --requests N, --out PATH)"
+            ),
+        }
+    }
+    assert!(clients > 0 && per_client > 0, "workload must be non-empty");
+
+    let scenes = scene_set(smoke);
+    let dir = std::env::temp_dir().join(format!("gcc_bench_serve_{}", std::process::id()));
+    let (registry, loaded) = build_registry(&scenes, &dir);
+    let scene_bytes: usize = loaded.iter().map(|(_, s)| s.approx_bytes()).sum();
+    let streams = workload(&scenes, clients, per_client, 0x5EC7_E5E5);
+    let total_requests = clients * per_client;
+
+    let parity_frames = parity_check(&registry, &loaded, &streams);
+
+    let batched = run_config(
+        "batched_lru",
+        ServeConfig {
+            workers: 0,
+            cache_budget_bytes: scene_bytes * 2,
+            max_batch: 8,
+        },
+        &registry,
+        &streams,
+    );
+    let naive = run_config(
+        "naive_evict",
+        ServeConfig {
+            workers: 0,
+            cache_budget_bytes: 0,
+            max_batch: 1,
+        },
+        &registry,
+        &streams,
+    );
+    let speedup = batched.throughput_rps / naive.throughput_rps;
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut table = TablePrinter::new();
+    table.row([
+        "config",
+        "req/s",
+        "p50 ms",
+        "p95 ms",
+        "hit rate",
+        "loads",
+        "frames/batch",
+    ]);
+    for row in [&batched, &naive] {
+        table.row([
+            row.name.to_string(),
+            format!("{:.1}", row.throughput_rps),
+            format!("{:.2}", row.stats.latency_p50_ms),
+            format!("{:.2}", row.stats.latency_p95_ms),
+            format!("{:.2}", row.stats.hit_rate()),
+            format!("{}", row.stats.loads()),
+            format!("{:.2}", row.stats.frames_per_batch()),
+        ]);
+    }
+    table.print();
+    println!("speedup vs naive: {speedup:.2}x (parity: {parity_frames} frames bit-identical)");
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"bench_serve/v1\",\n");
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!("  \"clients\": {clients},\n"));
+    json.push_str(&format!("  \"requests_per_client\": {per_client},\n"));
+    json.push_str(&format!("  \"total_requests\": {total_requests},\n"));
+    json.push_str(&format!("  \"workers\": {},\n", batched.workers));
+    json.push_str(&format!("  \"parity_checked_frames\": {parity_frames},\n"));
+    json.push_str("  \"parity_ok\": true,\n");
+    json.push_str("  \"scenes\": [\n");
+    for (i, (id, scene)) in loaded.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"id\": \"{}\", \"gaussians\": {}, \"bytes\": {}, \"format\": \"{}\"}}{}\n",
+            json_escape_free(id),
+            scene.len(),
+            scene.approx_bytes(),
+            if scenes[i].json { "json" } else { "binary" },
+            if i + 1 == loaded.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"configs\": [\n");
+    for (i, row) in [&batched, &naive].into_iter().enumerate() {
+        let s = &row.stats;
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"cache_budget_bytes\": {}, \"max_batch\": {}, \
+             \"wall_ms\": {:.2}, \"throughput_rps\": {:.3}, \
+             \"latency_p50_ms\": {:.3}, \"latency_p95_ms\": {:.3}, \
+             \"hit_rate\": {:.4}, \"hits\": {}, \"misses\": {}, \"loads\": {}, \
+             \"evictions\": {}, \"frames\": {}, \"batches\": {}, \
+             \"frames_per_batch\": {:.3}, \"max_queue_depth\": {}}}{}\n",
+            row.name,
+            row.cache_budget_bytes,
+            row.max_batch,
+            row.wall_ms,
+            row.throughput_rps,
+            s.latency_p50_ms,
+            s.latency_p95_ms,
+            s.hit_rate(),
+            s.hits(),
+            s.misses(),
+            s.loads(),
+            s.evictions(),
+            s.frames,
+            s.batches,
+            s.frames_per_batch(),
+            s.max_queue_depth,
+            if i == 1 { "" } else { "," },
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"speedup_vs_naive\": {speedup:.3}\n"));
+    json.push_str("}\n");
+
+    // Self-validate before declaring success: CI keys off the exit code.
+    if let Err(e) = gcc_scene::json::parse(&json) {
+        eprintln!("bench_serve produced invalid JSON: {e}");
+        std::process::exit(1);
+    }
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("bench_serve could not write {}: {e}", out_path.display());
+        std::process::exit(1);
+    }
+    println!("wrote {}", out_path.display());
+
+    // Full mode is the acceptance run: the cache-hit batched service must
+    // at least double naive load-render-evict throughput.
+    if !smoke && speedup < 2.0 {
+        eprintln!("bench_serve: speedup {speedup:.2}x below the 2x acceptance threshold");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,72 @@
+//! `perf_gate` — the CI perf-regression gate.
+//!
+//! Compares a freshly produced `BENCH_frame.json` against the committed
+//! `ci/bench_baseline.json` cell-by-cell and exits non-zero when any
+//! `(scene, scale, engine, parallelism)` cell slowed down beyond the
+//! tolerance, or when baseline coverage is missing from the current run.
+//! The comparison logic itself lives in `gcc_bench::perf_gate`, where
+//! unit tests pin that an inflated timing record fails the gate.
+//!
+//! ```text
+//! cargo run --release -p gcc-bench --bin perf_gate -- \
+//!     --baseline ci/bench_baseline.json --current BENCH_frame.json \
+//!     [--tolerance 0.25]
+//! ```
+//!
+//! Refreshing the baseline (documented in README "Perf gate"): rerun
+//! `bench_frame --smoke` on the reference machine class and copy the
+//! record over `ci/bench_baseline.json` in the same PR that explains the
+//! intentional change.
+
+use gcc_bench::perf_gate::compare;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline_path = None;
+    let mut current_path = None;
+    let mut tolerance = 0.25f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--baseline" => {
+                baseline_path = Some(it.next().expect("--baseline needs a path").clone())
+            }
+            "--current" => current_path = Some(it.next().expect("--current needs a path").clone()),
+            "--tolerance" => {
+                tolerance = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--tolerance needs a number");
+            }
+            other => {
+                eprintln!("unknown flag {other} (expected --baseline, --current, --tolerance)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let baseline_path = baseline_path.expect("--baseline is required");
+    let current_path = current_path.expect("--current is required");
+
+    let read = |path: &str| -> String {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("perf_gate: cannot read {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let report = match compare(&read(&baseline_path), &read(&current_path), tolerance) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("perf_gate: {e}");
+            std::process::exit(2);
+        }
+    };
+    print!("{}", report.render());
+    if !report.passed() {
+        eprintln!(
+            "perf_gate: regression beyond +{:.0}% against {baseline_path} — \
+             if intentional, refresh the baseline (see README \"Perf gate\")",
+            tolerance * 100.0
+        );
+        std::process::exit(1);
+    }
+}

@@ -7,6 +7,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod perf_gate;
+
 use gcc_scene::{Scene, SceneConfig, ScenePreset};
 
 /// Default scene scale for the bench binaries (relative to the presets'
@@ -22,6 +24,22 @@ pub fn bench_scene(preset: ScenePreset) -> Scene {
 /// Builds a preset scene at an explicit default scale (env still wins).
 pub fn bench_scene_scaled(preset: ScenePreset, default_scale: f32) -> Scene {
     preset.build(&SceneConfig::from_env(default_scale))
+}
+
+/// Default output path for a bench artifact (`BENCH_frame.json`,
+/// `BENCH_serve.json`, …): the repository root, resolved from this
+/// crate's compile-time manifest directory, so the harnesses write the
+/// same file no matter which subdirectory they are launched from. Falls
+/// back to the working directory when the build tree no longer exists
+/// (e.g. a binary copied to another machine) — CI and scripts that need
+/// full control pass `--out` instead.
+pub fn default_artifact_path(file_name: &str) -> std::path::PathBuf {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    if root.join("Cargo.toml").is_file() {
+        root.canonicalize().unwrap_or(root).join(file_name)
+    } else {
+        std::path::PathBuf::from(file_name)
+    }
 }
 
 /// Simple fixed-width table printer for bench output.
@@ -126,6 +144,16 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn geomean_rejects_zero() {
         let _ = geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn artifact_path_is_anchored_at_the_workspace_root() {
+        // In the build tree the path must resolve to the workspace root
+        // (where ROADMAP.md lives), independent of the working directory.
+        let p = default_artifact_path("BENCH_test.json");
+        assert!(p.is_absolute(), "{p:?} not anchored");
+        assert!(p.parent().unwrap().join("ROADMAP.md").is_file());
+        assert_eq!(p.file_name().unwrap(), "BENCH_test.json");
     }
 
     #[test]

@@ -1,0 +1,359 @@
+//! Comparison logic of the CI perf gate: `BENCH_frame.json` (current run)
+//! vs `ci/bench_baseline.json` (committed reference), cell by cell.
+//!
+//! A *cell* is one `(scene, scale, engine, parallelism)` combination; the
+//! gate fails when any cell's `ms_per_frame` exceeds its baseline by more
+//! than the tolerance, or when a baseline cell is missing from the
+//! current run (coverage must not silently shrink). Cells new in the
+//! current run are reported but do not fail the gate, so adding sweep
+//! points doesn't require touching the baseline in the same PR.
+//!
+//! The logic lives in the library (not the `perf_gate` binary) so the
+//! gate's fail-on-regression behavior is pinned by unit tests — CI runs
+//! the same code the tests cover.
+
+use gcc_scene::json::{self, Value};
+
+/// One measured cell of a `bench_frame` record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchCell {
+    /// Scene name.
+    pub scene: String,
+    /// Scene count scale.
+    pub scale: f32,
+    /// Engine id.
+    pub engine: String,
+    /// Parallelism label (`sequential` / `auto`).
+    pub parallelism: String,
+    /// Measured milliseconds per frame.
+    pub ms_per_frame: f64,
+}
+
+impl BenchCell {
+    /// Stable identity of the cell across runs.
+    pub fn key(&self) -> String {
+        format!(
+            "{}@{}/{}/{}",
+            self.scene, self.scale, self.engine, self.parallelism
+        )
+    }
+}
+
+/// Parses the `bench_frame/v1` schema into its cells.
+///
+/// # Errors
+///
+/// Returns a message for malformed JSON or a record missing required
+/// fields.
+pub fn parse_bench_cells(text: &str) -> Result<Vec<BenchCell>, String> {
+    let doc = json::parse(text)?;
+    let schema = doc
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("missing 'schema'")?;
+    if schema != "bench_frame/v1" {
+        return Err(format!("unexpected schema '{schema}'"));
+    }
+    let results = doc
+        .get("results")
+        .and_then(Value::as_arr)
+        .ok_or("missing 'results' array")?;
+    let mut cells = Vec::with_capacity(results.len());
+    for (i, r) in results.iter().enumerate() {
+        let str_field = |k: &str| -> Result<String, String> {
+            r.get(k)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or(format!("result {i}: missing string '{k}'"))
+        };
+        let num_field = |k: &str| -> Result<f32, String> {
+            r.get(k)
+                .and_then(Value::as_f32)
+                .ok_or(format!("result {i}: missing number '{k}'"))
+        };
+        let cell = BenchCell {
+            scene: str_field("scene")?,
+            scale: num_field("scale")?,
+            engine: str_field("engine")?,
+            parallelism: str_field("parallelism")?,
+            ms_per_frame: f64::from(num_field("ms_per_frame")?),
+        };
+        if !(cell.ms_per_frame.is_finite() && cell.ms_per_frame > 0.0) {
+            return Err(format!(
+                "result {i}: non-positive ms_per_frame {}",
+                cell.ms_per_frame
+            ));
+        }
+        cells.push(cell);
+    }
+    if cells.is_empty() {
+        return Err("empty 'results' array".into());
+    }
+    Ok(cells)
+}
+
+/// One baseline-vs-current cell comparison.
+#[derive(Debug, Clone)]
+pub struct CellComparison {
+    /// Cell identity ([`BenchCell::key`]).
+    pub key: String,
+    /// Baseline milliseconds per frame.
+    pub baseline_ms: f64,
+    /// Current milliseconds per frame.
+    pub current_ms: f64,
+    /// `current / baseline` (> 1 is slower).
+    pub ratio: f64,
+    /// `true` when the slowdown exceeds the tolerance.
+    pub regressed: bool,
+}
+
+/// Full gate outcome.
+#[derive(Debug, Clone)]
+pub struct GateReport {
+    /// Relative tolerance the gate ran with (0.25 = fail beyond +25%).
+    pub tolerance: f64,
+    /// Matched cells, in baseline order.
+    pub cells: Vec<CellComparison>,
+    /// Baseline cells absent from the current run (fails the gate).
+    pub missing_in_current: Vec<String>,
+    /// Current cells absent from the baseline (informational).
+    pub new_in_current: Vec<String>,
+}
+
+impl GateReport {
+    /// `true` when no cell regressed and no baseline coverage was lost.
+    pub fn passed(&self) -> bool {
+        self.missing_in_current.is_empty() && self.cells.iter().all(|c| !c.regressed)
+    }
+
+    /// Human-readable per-cell report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for c in &self.cells {
+            out.push_str(&format!(
+                "{} {:>10.4} ms -> {:>10.4} ms  ({:+.1}%){}\n",
+                c.key,
+                c.baseline_ms,
+                c.current_ms,
+                (c.ratio - 1.0) * 100.0,
+                if c.regressed { "  REGRESSION" } else { "" },
+            ));
+        }
+        for k in &self.missing_in_current {
+            out.push_str(&format!("{k}  MISSING from current run\n"));
+        }
+        for k in &self.new_in_current {
+            out.push_str(&format!("{k}  new (not in baseline)\n"));
+        }
+        out.push_str(&format!(
+            "perf gate: {} (tolerance +{:.0}%)\n",
+            if self.passed() { "PASS" } else { "FAIL" },
+            self.tolerance * 100.0
+        ));
+        out
+    }
+}
+
+/// Compares two `bench_frame` records cell-by-cell.
+///
+/// # Errors
+///
+/// Propagates parse errors from either record and rejects a non-finite
+/// or negative tolerance.
+pub fn compare(
+    baseline_text: &str,
+    current_text: &str,
+    tolerance: f64,
+) -> Result<GateReport, String> {
+    if !(tolerance.is_finite() && tolerance >= 0.0) {
+        return Err(format!("invalid tolerance {tolerance}"));
+    }
+    let baseline = parse_bench_cells(baseline_text).map_err(|e| format!("baseline: {e}"))?;
+    let current = parse_bench_cells(current_text).map_err(|e| format!("current: {e}"))?;
+    let mut cells = Vec::new();
+    let mut missing = Vec::new();
+    for b in &baseline {
+        match current.iter().find(|c| c.key() == b.key()) {
+            Some(c) => {
+                let ratio = c.ms_per_frame / b.ms_per_frame;
+                cells.push(CellComparison {
+                    key: b.key(),
+                    baseline_ms: b.ms_per_frame,
+                    current_ms: c.ms_per_frame,
+                    ratio,
+                    regressed: ratio > 1.0 + tolerance,
+                });
+            }
+            None => missing.push(b.key()),
+        }
+    }
+    let new_in_current = current
+        .iter()
+        .filter(|c| !baseline.iter().any(|b| b.key() == c.key()))
+        .map(BenchCell::key)
+        .collect();
+    Ok(GateReport {
+        tolerance,
+        cells,
+        missing_in_current: missing,
+        new_in_current,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(cells: &[(&str, f32, &str, &str, f64)]) -> String {
+        let mut out = String::from(
+            "{\"schema\": \"bench_frame/v1\", \"smoke\": true, \"reps\": 1, \
+             \"host_threads\": 1, \"results\": [\n",
+        );
+        for (i, (scene, scale, engine, par, ms)) in cells.iter().enumerate() {
+            out.push_str(&format!(
+                "{{\"scene\": \"{scene}\", \"scale\": {scale}, \"gaussians\": 10, \
+                 \"width\": 8, \"height\": 8, \"engine\": \"{engine}\", \
+                 \"parallelism\": \"{par}\", \"threads\": 1, \"ms_per_frame\": {ms}}}{}",
+                if i + 1 == cells.len() { "\n" } else { ",\n" }
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    fn baseline() -> String {
+        record(&[
+            ("Lego", 0.05, "standard_frame_engine", "sequential", 10.0),
+            ("Lego", 0.05, "standard_frame_engine", "auto", 4.0),
+            (
+                "Train",
+                0.02,
+                "gaussian_wise_frame_engine",
+                "sequential",
+                20.0,
+            ),
+        ])
+    }
+
+    #[test]
+    fn identical_records_pass() {
+        let report = compare(&baseline(), &baseline(), 0.25).unwrap();
+        assert!(report.passed());
+        assert_eq!(report.cells.len(), 3);
+        assert!(report.missing_in_current.is_empty());
+        assert!(report.new_in_current.is_empty());
+        assert!(report.render().contains("PASS"));
+    }
+
+    #[test]
+    fn inflated_timing_fails_the_gate_and_names_the_cell() {
+        // The acceptance check: an artificially inflated record must trip
+        // the gate.
+        let current = record(&[
+            ("Lego", 0.05, "standard_frame_engine", "sequential", 10.0),
+            ("Lego", 0.05, "standard_frame_engine", "auto", 4.0),
+            (
+                "Train",
+                0.02,
+                "gaussian_wise_frame_engine",
+                "sequential",
+                31.0,
+            ),
+        ]);
+        let report = compare(&baseline(), &current, 0.25).unwrap();
+        assert!(!report.passed());
+        let bad: Vec<&CellComparison> = report.cells.iter().filter(|c| c.regressed).collect();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(
+            bad[0].key,
+            "Train@0.02/gaussian_wise_frame_engine/sequential"
+        );
+        assert!((bad[0].ratio - 1.55).abs() < 1e-9);
+        assert!(report.render().contains("REGRESSION"));
+        assert!(report.render().contains("FAIL"));
+    }
+
+    #[test]
+    fn slowdown_within_tolerance_passes() {
+        let current = record(&[
+            ("Lego", 0.05, "standard_frame_engine", "sequential", 12.4),
+            ("Lego", 0.05, "standard_frame_engine", "auto", 4.9),
+            (
+                "Train",
+                0.02,
+                "gaussian_wise_frame_engine",
+                "sequential",
+                24.9,
+            ),
+        ]);
+        assert!(compare(&baseline(), &current, 0.25).unwrap().passed());
+        // The same run fails under a tighter tolerance.
+        assert!(!compare(&baseline(), &current, 0.10).unwrap().passed());
+    }
+
+    #[test]
+    fn speedups_always_pass() {
+        let current = record(&[
+            ("Lego", 0.05, "standard_frame_engine", "sequential", 1.0),
+            ("Lego", 0.05, "standard_frame_engine", "auto", 0.4),
+            (
+                "Train",
+                0.02,
+                "gaussian_wise_frame_engine",
+                "sequential",
+                2.0,
+            ),
+        ]);
+        let report = compare(&baseline(), &current, 0.0).unwrap();
+        assert!(report.passed());
+        assert!(report.cells.iter().all(|c| c.ratio < 1.0 + 1e-12));
+    }
+
+    #[test]
+    fn missing_baseline_cell_fails_new_cell_does_not() {
+        let current = record(&[
+            ("Lego", 0.05, "standard_frame_engine", "sequential", 10.0),
+            ("Lego", 0.05, "standard_frame_engine", "auto", 4.0),
+        ]);
+        let report = compare(&baseline(), &current, 0.25).unwrap();
+        assert!(!report.passed());
+        assert_eq!(report.missing_in_current.len(), 1);
+
+        let current = record(&[
+            ("Lego", 0.05, "standard_frame_engine", "sequential", 10.0),
+            ("Lego", 0.05, "standard_frame_engine", "auto", 4.0),
+            (
+                "Train",
+                0.02,
+                "gaussian_wise_frame_engine",
+                "sequential",
+                20.0,
+            ),
+            ("Truck", 0.02, "standard_frame_engine", "sequential", 9.0),
+        ]);
+        let report = compare(&baseline(), &current, 0.25).unwrap();
+        assert!(report.passed());
+        assert_eq!(
+            report.new_in_current,
+            vec!["Truck@0.02/standard_frame_engine/sequential".to_string()]
+        );
+    }
+
+    #[test]
+    fn malformed_records_are_errors() {
+        assert!(compare("not json", &baseline(), 0.25).is_err());
+        assert!(compare(&baseline(), "{\"schema\": \"bench_frame/v1\"}", 0.25).is_err());
+        let wrong_schema = baseline().replace("bench_frame/v1", "bench_frame/v9");
+        assert!(compare(&wrong_schema, &baseline(), 0.25).is_err());
+        let empty = record(&[]).replace("[\n]", "[]");
+        assert!(parse_bench_cells(&empty).is_err());
+        assert!(compare(&baseline(), &baseline(), f64::NAN).is_err());
+        assert!(compare(&baseline(), &baseline(), -0.1).is_err());
+    }
+
+    #[test]
+    fn zero_ms_cells_are_rejected_at_parse() {
+        let zero = record(&[("Lego", 0.05, "standard_frame_engine", "sequential", 0.0)]);
+        assert!(parse_bench_cells(&zero).is_err());
+    }
+}

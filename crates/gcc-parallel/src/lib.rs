@@ -21,6 +21,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod pool;
+
+pub use pool::{WorkerPool, WorkerStep};
+
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;

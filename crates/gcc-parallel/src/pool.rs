@@ -1,0 +1,231 @@
+//! Long-lived worker pools — the seam that generalizes this crate beyond
+//! scoped one-shot maps.
+//!
+//! [`par_map_indexed_with`](crate::par_map_indexed_with) spawns workers
+//! for one map and joins them before returning; a serving layer instead
+//! needs workers that outlive any single batch, keep their per-worker
+//! state (e.g. a render scratch) across *requests*, and block on a shared
+//! queue between them. [`WorkerPool`] is that primitive: `threads`
+//! detached-from-scope (but joined-on-drop) workers, each owning one
+//! state value built by `init`, each repeatedly calling `step(worker_id,
+//! &mut state)` until `step` returns [`WorkerStep::Stop`].
+//!
+//! The pool itself has no queue — `step` closes over whatever shared
+//! structure (mutex + condvar, channel, …) the caller schedules with, and
+//! is responsible for blocking when there is no work. This keeps the pool
+//! policy-free: batching, fairness and shutdown signalling live with the
+//! caller, the pool only owns thread lifetime and per-worker state.
+//!
+//! Determinism note: like the scoped maps, which worker runs which piece
+//! of work is scheduling-dependent; callers that need reproducible
+//! *results* must make `step`'s output independent of the worker id and
+//! of the state's carried-over contents (states are reusable scratch,
+//! not accumulators).
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// What a [`WorkerPool`] worker should do after one `step` call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerStep {
+    /// Call `step` again.
+    Continue,
+    /// Exit this worker's loop; the thread terminates.
+    Stop,
+}
+
+/// A pool of long-lived worker threads with per-worker state.
+///
+/// Dropping the pool joins every worker, so the caller **must** arrange
+/// for `step` to observe a stop condition (and any blocked workers to be
+/// woken) before the pool is dropped — otherwise the drop blocks forever.
+/// [`WorkerPool::join`] is the explicit form of the same wait.
+#[derive(Debug)]
+pub struct WorkerPool {
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `threads` workers (at least one). Worker `i ∈ 0..threads`
+    /// builds its own state once with `init`, then loops `step(i, &mut
+    /// state)` until it returns [`WorkerStep::Stop`].
+    pub fn spawn<S, I, F>(threads: usize, init: I, step: F) -> Self
+    where
+        S: 'static,
+        I: Fn() -> S + Send + Sync + 'static,
+        F: Fn(usize, &mut S) -> WorkerStep + Send + Sync + 'static,
+    {
+        let shared = Arc::new((init, step));
+        let handles = (0..threads.max(1))
+            .map(|worker| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("gcc-pool-{worker}"))
+                    .spawn(move || {
+                        let (init, step) = &*shared;
+                        let mut state = init();
+                        while step(worker, &mut state) == WorkerStep::Continue {}
+                    })
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        Self { handles }
+    }
+
+    /// Number of worker threads.
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// `true` when the pool has no workers (never, post-construction —
+    /// provided for API completeness alongside [`Self::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+
+    /// Waits for every worker to observe its stop condition and exit.
+    /// Panics from worker threads are surfaced as a panic here.
+    pub fn join(mut self) {
+        self.join_all();
+    }
+
+    fn join_all(&mut self) {
+        let mut panicked = false;
+        for h in self.handles.drain(..) {
+            if h.join().is_err() {
+                panicked = true;
+            }
+        }
+        // Surface worker panics, but never panic while already unwinding
+        // (Drop during a panic must not abort the process).
+        if panicked && !std::thread::panicking() {
+            panic!("a worker-pool thread panicked");
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.join_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Condvar, Mutex};
+
+    #[test]
+    fn workers_run_until_stop_and_keep_state() {
+        // Each worker counts its own steps in per-worker state; the sum of
+        // all steps is observed through a shared counter.
+        let total = Arc::new(AtomicUsize::new(0));
+        let t = Arc::clone(&total);
+        let pool = WorkerPool::spawn(
+            4,
+            || 0usize,
+            move |_, local| {
+                *local += 1;
+                t.fetch_add(1, Ordering::Relaxed);
+                if *local < 25 {
+                    WorkerStep::Continue
+                } else {
+                    WorkerStep::Stop
+                }
+            },
+        );
+        assert_eq!(pool.len(), 4);
+        assert!(!pool.is_empty());
+        pool.join();
+        assert_eq!(total.load(Ordering::Relaxed), 4 * 25);
+    }
+
+    #[test]
+    fn blocked_workers_drain_a_shared_queue_then_stop() {
+        // The serve-shaped usage: a mutex+condvar queue, workers block
+        // between items, a stop flag wakes and stops everyone.
+        struct Q {
+            items: Vec<u64>,
+            stop: bool,
+        }
+        let shared = Arc::new((
+            Mutex::new(Q {
+                items: (1..=100).collect(),
+                stop: false,
+            }),
+            Condvar::new(),
+        ));
+        let sum = Arc::new(AtomicUsize::new(0));
+        let (s, m) = (Arc::clone(&shared), Arc::clone(&sum));
+        let pool = WorkerPool::spawn(
+            3,
+            || (),
+            move |_, ()| {
+                let (lock, cv) = &*s;
+                let mut q = lock.lock().unwrap();
+                loop {
+                    if let Some(v) = q.items.pop() {
+                        drop(q);
+                        m.fetch_add(v as usize, Ordering::Relaxed);
+                        return WorkerStep::Continue;
+                    }
+                    if q.stop {
+                        return WorkerStep::Stop;
+                    }
+                    q = cv.wait(q).unwrap();
+                }
+            },
+        );
+        // Let the queue drain, then signal stop.
+        loop {
+            let (lock, cv) = &*shared;
+            let mut q = lock.lock().unwrap();
+            if q.items.is_empty() {
+                q.stop = true;
+                cv.notify_all();
+                break;
+            }
+            drop(q);
+            std::thread::yield_now();
+        }
+        pool.join();
+        assert_eq!(
+            sum.load(Ordering::Relaxed),
+            (1..=100u64).sum::<u64>() as usize
+        );
+    }
+
+    #[test]
+    fn zero_thread_request_still_gets_one_worker() {
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r = Arc::clone(&ran);
+        let pool = WorkerPool::spawn(
+            0,
+            || (),
+            move |_, ()| {
+                r.fetch_add(1, Ordering::Relaxed);
+                WorkerStep::Stop
+            },
+        );
+        assert_eq!(pool.len(), 1);
+        pool.join();
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker-pool thread panicked")]
+    fn worker_panics_surface_on_join() {
+        let pool = WorkerPool::spawn(
+            2,
+            || (),
+            |w, ()| {
+                if w == 0 {
+                    panic!("boom");
+                }
+                WorkerStep::Stop
+            },
+        );
+        pool.join();
+    }
+}

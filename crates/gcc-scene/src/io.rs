@@ -10,7 +10,8 @@ use crate::{OrbitRig, Scene};
 use gcc_core::{Gaussian3D, PARAM_FLOATS};
 use gcc_math::Vec3;
 use std::fmt::Write as _;
-use std::io::{self, Read, Write};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
 
 /// Magic bytes of the binary format.
 const MAGIC: &[u8; 8] = b"GCC3DGS\0";
@@ -271,26 +272,31 @@ pub fn read_binary<R: Read>(mut r: R) -> Result<Scene, SceneIoError> {
     if &magic != MAGIC {
         return Err(SceneIoError::Format("bad magic".into()));
     }
-    let name_len = read_u32(&mut r)? as usize;
+    read_binary_after_magic(&mut r)
+}
+
+/// Body of the binary format, after the 8 magic bytes were consumed.
+fn read_binary_after_magic<R: Read>(r: &mut R) -> Result<Scene, SceneIoError> {
+    let name_len = read_u32(r)? as usize;
     if name_len > 4096 {
         return Err(SceneIoError::Format(format!("name length {name_len}")));
     }
     let mut name = vec![0u8; name_len];
     r.read_exact(&mut name)?;
     let name = String::from_utf8(name).map_err(|_| SceneIoError::Format("non-UTF8 name".into()))?;
-    let width = read_u32(&mut r)?;
-    let height = read_u32(&mut r)?;
-    let fov_y_deg = read_f32(&mut r)?;
+    let width = read_u32(r)?;
+    let height = read_u32(r)?;
+    let fov_y_deg = read_f32(r)?;
     let mut rig = [0.0f32; 10];
     for v in &mut rig {
-        *v = read_f32(&mut r)?;
+        *v = read_f32(r)?;
     }
-    let count = read_u64(&mut r)? as usize;
+    let count = read_u64(r)? as usize;
     let mut gaussians = Vec::with_capacity(count.min(1 << 24));
     let mut rec = [0.0f32; PARAM_FLOATS];
     for _ in 0..count {
         for v in &mut rec {
-            *v = read_f32(&mut r)?;
+            *v = read_f32(r)?;
         }
         gaussians.push(Gaussian3D::from_floats(&rec));
     }
@@ -308,6 +314,71 @@ pub fn read_binary<R: Read>(mut r: R) -> Result<Scene, SceneIoError> {
             phase: rig[9],
         },
     })
+}
+
+/// Writes `scene` to `path` in the binary DRAM-image format (buffered).
+///
+/// # Errors
+///
+/// Propagates file-creation and write failures.
+pub fn write_binary_file(scene: &Scene, path: &Path) -> Result<(), SceneIoError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    write_binary(scene, &mut w)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes `scene` to `path` as (compact) JSON.
+///
+/// # Errors
+///
+/// Propagates serialization and write failures.
+pub fn write_json_file(scene: &Scene, path: &Path) -> Result<(), SceneIoError> {
+    let s = to_json(scene, false)?;
+    std::fs::write(path, s)?;
+    Ok(())
+}
+
+/// Loads a scene from `path`, sniffing the format: files starting with the
+/// binary magic parse as the DRAM-image format, everything else as JSON.
+/// This is the loader handle the serving layer's cache uses for on-demand
+/// residency, so it must accept both interchange formats by content, not
+/// by extension.
+///
+/// # Errors
+///
+/// Returns [`SceneIoError::Io`] for filesystem failures and
+/// [`SceneIoError::Format`] for malformed contents in either format.
+pub fn load_scene_file(path: &Path) -> Result<Scene, SceneIoError> {
+    let file = std::fs::File::open(path)?;
+    let mut r = BufReader::new(file);
+    let mut head = [0u8; 8];
+    let got = {
+        // Read up to 8 bytes without failing on shorter (JSON) files;
+        // retry EINTR like `read_exact` would.
+        let mut filled = 0;
+        while filled < head.len() {
+            match r.read(&mut head[filled..]) {
+                Ok(0) => break,
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        filled
+    };
+    if got == head.len() && &head == MAGIC {
+        return read_binary_after_magic(&mut r);
+    }
+    // Not the binary format: treat the whole file as JSON. UTF-8 is
+    // validated over the full contents (a multi-byte character may span
+    // the sniffed head's boundary).
+    let mut bytes = head[..got].to_vec();
+    r.read_to_end(&mut bytes)?;
+    let text = String::from_utf8(bytes)
+        .map_err(|_| SceneIoError::Format("neither binary magic nor UTF-8 JSON".into()))?;
+    from_json(&text)
 }
 
 fn read_u32<R: Read>(r: &mut R) -> Result<u32, SceneIoError> {
@@ -394,6 +465,54 @@ mod tests {
         // Header: magic 8 + name_len 4 + name + res 8 + fov 4 + rig 40 + count 8.
         let header = 8 + 4 + scene.name.len() + 8 + 4 + 40 + 8;
         assert_eq!(buf.len(), header + payload);
+    }
+
+    #[test]
+    fn file_loader_sniffs_both_formats() {
+        let scene = small_scene();
+        let dir = std::env::temp_dir().join(format!("gcc_io_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let bin = dir.join("scene.bin");
+        let json = dir.join("scene.json");
+        write_binary_file(&scene, &bin).unwrap();
+        write_json_file(&scene, &json).unwrap();
+        for path in [&bin, &json] {
+            let back = load_scene_file(path).unwrap();
+            assert_eq!(scene.name, back.name);
+            assert_eq!(scene.gaussians, back.gaussians);
+            assert_eq!(scene.resolution, back.resolution);
+        }
+        // A short garbage file is a format error, not a panic.
+        let junk = dir.join("junk");
+        std::fs::write(&junk, b"no").unwrap();
+        assert!(matches!(
+            load_scene_file(&junk).unwrap_err(),
+            SceneIoError::Format(_)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn json_sniff_survives_multibyte_char_across_the_head_boundary() {
+        // A multi-byte UTF-8 character spanning the 8-byte sniff head
+        // must not break format detection: validation is whole-file.
+        let scene = small_scene();
+        let orig = to_json(&scene, false).unwrap();
+        let doc = format!("{{\"xy\":\"é\",{}", &orig[1..]);
+        assert_eq!(doc.as_bytes()[7], 0xC3, "é must straddle bytes 7..9");
+        let dir = std::env::temp_dir().join(format!("gcc_io_mb_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("scene.json");
+        std::fs::write(&path, &doc).unwrap();
+        let back = load_scene_file(&path).unwrap();
+        assert_eq!(scene.gaussians, back.gaussians);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = load_scene_file(Path::new("/nonexistent/gcc-no-such-scene")).unwrap_err();
+        assert!(matches!(err, SceneIoError::Io(_)));
     }
 
     #[test]

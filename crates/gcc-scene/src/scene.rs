@@ -87,6 +87,16 @@ impl Scene {
         self.gaussians.is_empty()
     }
 
+    /// Resident heap+inline size of this scene in bytes — the accounting
+    /// unit of the serving layer's byte-budgeted scene cache. Dominated by
+    /// the Gaussian records; the container and name are included so empty
+    /// scenes still have a non-zero cost.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.name.capacity()
+            + self.gaussians.capacity() * std::mem::size_of::<Gaussian3D>()
+    }
+
     /// Aggregate statistics of the Gaussian population.
     pub fn stats(&self) -> SceneStats {
         let n = self.gaussians.len().max(1);
@@ -161,6 +171,14 @@ mod tests {
         assert!(s.opacity_p10 <= s.opacity_p50 && s.opacity_p50 <= s.opacity_p90);
         assert!(s.opacity_mean > 0.0 && s.opacity_mean < 1.0);
         assert!(s.scale_p50 <= s.scale_p90);
+    }
+
+    #[test]
+    fn approx_bytes_tracks_population() {
+        let small = ScenePreset::Lego.build(&SceneConfig::with_scale(0.02));
+        let large = ScenePreset::Lego.build(&SceneConfig::with_scale(0.08));
+        assert!(small.approx_bytes() > small.len() * std::mem::size_of::<Gaussian3D>());
+        assert!(large.approx_bytes() > 2 * small.approx_bytes());
     }
 
     #[test]

@@ -1,0 +1,282 @@
+//! The byte-budgeted LRU scene cache.
+//!
+//! Residency is the serving layer's unit of conditional work: a request
+//! for a resident scene is a cheap batch-drain, a request for a cold one
+//! pays a load. The cache keeps total resident bytes (as accounted by
+//! [`Scene::approx_bytes`]) at or under a fixed budget by evicting the
+//! least-recently-*used* scene first — `get` and re-`insert` both count
+//! as use. A scene larger than the whole budget is admitted transiently
+//! (callers hold an `Arc` for the in-flight batch) but evicted before
+//! `insert` returns, so the budget invariant `resident_bytes ≤ budget`
+//! holds after every operation. A zero budget therefore degenerates to
+//! the naive load-render-evict-per-request regime the serve bench uses
+//! as its comparison baseline.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use gcc_scene::Scene;
+
+#[derive(Debug)]
+struct CacheEntry {
+    scene: Arc<Scene>,
+    bytes: usize,
+    last_used: u64,
+}
+
+/// Byte-budgeted LRU map from scene id to a resident [`Scene`].
+#[derive(Debug)]
+pub struct LruSceneCache {
+    budget: usize,
+    tick: u64,
+    resident_bytes: usize,
+    evictions: u64,
+    entries: HashMap<String, CacheEntry>,
+}
+
+impl LruSceneCache {
+    /// Empty cache with the given byte budget.
+    pub fn new(budget_bytes: usize) -> Self {
+        Self {
+            budget: budget_bytes,
+            tick: 0,
+            resident_bytes: 0,
+            evictions: 0,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget
+    }
+
+    /// Total bytes of the resident scenes (≤ budget, always).
+    pub fn resident_bytes(&self) -> usize {
+        self.resident_bytes
+    }
+
+    /// Number of resident scenes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Evictions performed over the cache's lifetime.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// `true` when `id` is resident (does not touch recency).
+    pub fn contains(&self, id: &str) -> bool {
+        self.entries.contains_key(id)
+    }
+
+    /// Resident scene ids, most recently used first.
+    pub fn resident_ids(&self) -> Vec<String> {
+        let mut ids: Vec<(&String, u64)> = self
+            .entries
+            .iter()
+            .map(|(id, e)| (id, e.last_used))
+            .collect();
+        ids.sort_by_key(|&(_, tick)| std::cmp::Reverse(tick));
+        ids.into_iter().map(|(id, _)| id.clone()).collect()
+    }
+
+    /// Looks up a resident scene, marking it most recently used.
+    pub fn get(&mut self, id: &str) -> Option<Arc<Scene>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(id).map(|e| {
+            e.last_used = tick;
+            Arc::clone(&e.scene)
+        })
+    }
+
+    /// Inserts (or refreshes) a scene as most recently used, then evicts
+    /// least-recently-used entries until the byte budget holds again.
+    /// Returns the evicted ids in eviction order — possibly including
+    /// `id` itself when the scene alone exceeds the whole budget.
+    pub fn insert(&mut self, id: &str, scene: Arc<Scene>) -> Vec<String> {
+        self.tick += 1;
+        let bytes = scene.approx_bytes();
+        if let Some(old) = self.entries.remove(id) {
+            self.resident_bytes -= old.bytes;
+        }
+        self.resident_bytes += bytes;
+        self.entries.insert(
+            id.to_string(),
+            CacheEntry {
+                scene,
+                bytes,
+                last_used: self.tick,
+            },
+        );
+        let mut evicted = Vec::new();
+        while self.resident_bytes > self.budget {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(id, _)| id.clone())
+                .expect("resident_bytes > 0 implies a resident entry");
+            let entry = self.entries.remove(&victim).expect("victim is resident");
+            self.resident_bytes -= entry.bytes;
+            self.evictions += 1;
+            evicted.push(victim);
+        }
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcc_scene::rng::StdRng;
+    use gcc_scene::{SceneConfig, ScenePreset};
+
+    /// A scene whose `approx_bytes` is predictable enough for budget math
+    /// (count scales linearly with `scale`).
+    fn scene(scale: f32) -> Arc<Scene> {
+        Arc::new(ScenePreset::Lego.build(&SceneConfig::with_scale(scale)))
+    }
+
+    #[test]
+    fn get_touches_and_changes_the_victim() {
+        let s = scene(0.02);
+        let bytes = s.approx_bytes();
+        // Budget fits exactly two of the three equal-size scenes.
+        let mut cache = LruSceneCache::new(2 * bytes);
+        assert!(cache.insert("a", Arc::clone(&s)).is_empty());
+        assert!(cache.insert("b", Arc::clone(&s)).is_empty());
+        // Touch `a`, so inserting `c` must evict `b`.
+        assert!(cache.get("a").is_some());
+        assert_eq!(cache.insert("c", Arc::clone(&s)), vec!["b".to_string()]);
+        assert!(cache.contains("a") && cache.contains("c") && !cache.contains("b"));
+        assert_eq!(cache.resident_ids(), vec!["c".to_string(), "a".to_string()]);
+        assert_eq!(cache.evictions(), 1);
+    }
+
+    #[test]
+    fn oversized_scene_is_evicted_immediately() {
+        let s = scene(0.02);
+        let mut cache = LruSceneCache::new(s.approx_bytes() - 1);
+        let evicted = cache.insert("big", Arc::clone(&s));
+        assert_eq!(evicted, vec!["big".to_string()]);
+        assert!(cache.is_empty());
+        assert_eq!(cache.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn zero_budget_caches_nothing() {
+        let s = scene(0.02);
+        let mut cache = LruSceneCache::new(0);
+        assert_eq!(cache.insert("x", Arc::clone(&s)), vec!["x".to_string()]);
+        assert!(cache.get("x").is_none());
+    }
+
+    #[test]
+    fn reinsert_replaces_without_double_counting() {
+        let s = scene(0.02);
+        let bytes = s.approx_bytes();
+        let mut cache = LruSceneCache::new(3 * bytes);
+        cache.insert("a", Arc::clone(&s));
+        cache.insert("a", Arc::clone(&s));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.resident_bytes(), bytes);
+    }
+
+    /// Reference model: a Vec in recency order (front = LRU).
+    struct Model {
+        budget: usize,
+        entries: Vec<(String, usize)>,
+    }
+
+    impl Model {
+        fn touch(&mut self, id: &str) -> bool {
+            if let Some(pos) = self.entries.iter().position(|(e, _)| e == id) {
+                let e = self.entries.remove(pos);
+                self.entries.push(e);
+                true
+            } else {
+                false
+            }
+        }
+
+        fn insert(&mut self, id: &str, bytes: usize) -> Vec<String> {
+            self.entries.retain(|(e, _)| e != id);
+            self.entries.push((id.to_string(), bytes));
+            let mut evicted = Vec::new();
+            while self.entries.iter().map(|(_, b)| b).sum::<usize>() > self.budget {
+                let (victim, _) = self.entries.remove(0);
+                evicted.push(victim);
+            }
+            evicted
+        }
+    }
+
+    #[test]
+    fn random_op_sequences_match_the_reference_model() {
+        // Property test (seeded loops stand in for proptest, as
+        // everywhere in this workspace): under random insert/get
+        // sequences over scenes of different sizes, the cache matches a
+        // straightforward recency-list model and never exceeds its byte
+        // budget.
+        let scenes: Vec<Arc<Scene>> = [0.02f32, 0.03, 0.05, 0.08]
+            .iter()
+            .map(|&s| scene(s))
+            .collect();
+        let ids = ["a", "b", "c", "d", "e", "f"];
+        for seed in 0..8u64 {
+            let mut rng = StdRng::seed_from_u64(0xCAC4E + seed);
+            let budget = match seed % 4 {
+                0 => 0,
+                1 => scenes[0].approx_bytes() * 2,
+                2 => scenes[3].approx_bytes() + scenes[1].approx_bytes(),
+                _ => usize::MAX / 2,
+            };
+            let mut cache = LruSceneCache::new(budget);
+            let mut model = Model {
+                budget,
+                entries: Vec::new(),
+            };
+            let mut model_evictions = 0u64;
+            for _ in 0..300 {
+                let id = ids[rng.gen_range(0..ids.len())];
+                if rng.gen::<f32>() < 0.45 {
+                    let s = &scenes[rng.gen_range(0..scenes.len())];
+                    let got = cache.insert(id, Arc::clone(s));
+                    let want = model.insert(id, s.approx_bytes());
+                    assert_eq!(got, want, "eviction order diverged (seed {seed})");
+                    model_evictions += want.len() as u64;
+                } else {
+                    let got = cache.get(id).is_some();
+                    let want = model.touch(id);
+                    assert_eq!(got, want, "presence diverged (seed {seed})");
+                }
+                // Invariants after every operation.
+                assert!(
+                    cache.resident_bytes() <= budget,
+                    "budget violated: {} > {budget} (seed {seed})",
+                    cache.resident_bytes()
+                );
+                assert_eq!(cache.len(), model.entries.len());
+                let model_bytes: usize = model.entries.iter().map(|(_, b)| b).sum();
+                assert_eq!(cache.resident_bytes(), model_bytes);
+                let mut want_ids: Vec<String> =
+                    model.entries.iter().map(|(e, _)| e.clone()).collect();
+                want_ids.reverse(); // model front = LRU; resident_ids() is MRU-first
+                assert_eq!(
+                    cache.resident_ids(),
+                    want_ids,
+                    "recency diverged (seed {seed})"
+                );
+            }
+            assert_eq!(cache.evictions(), model_evictions);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! `gcc-serve` — the multi-scene render service of the GCC reproduction.
+//!
+//! The renderers turn `(scene, camera)` into a frame; this crate turns
+//! that into a *service*: many scenes, many concurrent clients, bounded
+//! memory. It is the paper's cross-stage conditional-scheduling idea
+//! lifted one level up — the schedulable unit is a whole frame request,
+//! and what gets processed when is conditioned on which scenes are
+//! resident:
+//!
+//! * [`LruSceneCache`] — scenes load on demand through [`SceneSource`]
+//!   handles (presets, binary/JSON files via `gcc_scene::io`) and stay
+//!   resident under a byte budget with least-recently-used eviction.
+//! * [`RenderService`] — a long-lived worker pool
+//!   ([`gcc_parallel::WorkerPool`]) over a per-scene batching queue:
+//!   requests for the same resident scene are coalesced into batches so a
+//!   worker renders them back-to-back through one reusable
+//!   [`FrameScratch`](gcc_render::pipeline::FrameScratch) (the
+//!   trajectory-runner reuse discipline, extended from one batch to the
+//!   whole worker lifetime); requests for a cold scene trigger an
+//!   asynchronous load on one worker which then drains the waiting batch
+//!   itself (load-then-drain), while other workers keep serving resident
+//!   scenes.
+//! * [`ServeStats`] — the introspection surface: per-scene hit / miss /
+//!   eviction / batch counters, queue depth watermarks, p50/p95 request
+//!   latency, and the folded
+//!   [`FrameStats`](gcc_render::pipeline::FrameStats) of everything
+//!   rendered.
+//!
+//! Determinism contract: a served frame is bit-identical to calling
+//! [`Renderer::render_frame`](gcc_render::pipeline::Renderer::render_frame)
+//! directly with the same scene and camera — scratch reuse, batching and
+//! scheduling order never leak into pixels (`tests/serve_parity.rs` pins
+//! this at the workspace level).
+//!
+//! ```
+//! use gcc_render::pipeline::StandardRenderer;
+//! use gcc_scene::{SceneConfig, ScenePreset};
+//! use gcc_serve::{RenderRequest, RenderService, SceneSource, ServeConfig};
+//!
+//! let service = RenderService::new(
+//!     ServeConfig { workers: 2, ..ServeConfig::default() },
+//!     [(
+//!         "lego".to_string(),
+//!         SceneSource::Preset { preset: ScenePreset::Lego, scale: 0.02 },
+//!     )],
+//!     Box::new(StandardRenderer::reference()),
+//! );
+//! let frame = service
+//!     .submit(RenderRequest { scene: "lego".into(), t: 0.25 })
+//!     .unwrap()
+//!     .wait()
+//!     .unwrap();
+//! assert!(frame.image.width() > 0);
+//! assert_eq!(service.stats().completed, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod service;
+mod source;
+mod stats;
+
+pub use cache::LruSceneCache;
+pub use service::{RenderHandle, RenderRequest, RenderService, ServeConfig};
+pub use source::SceneSource;
+pub use stats::{percentile_us, SceneCounters, ServeStats};
+
+/// Errors surfaced by the serving layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The request named a scene id absent from the registry.
+    UnknownScene(String),
+    /// The scene's source failed to load (message carries the I/O or
+    /// format error; it is a string so one failure can fan out to every
+    /// request waiting on the load).
+    Load {
+        /// Scene id whose load failed.
+        scene: String,
+        /// Human-readable cause.
+        message: String,
+    },
+    /// The service is shutting down and accepts no new requests.
+    ShuttingDown,
+    /// The worker rendering this request's batch panicked. The waiter is
+    /// failed instead of stranded; the panic itself resurfaces when the
+    /// service joins its pool (shutdown/drop).
+    WorkerPanicked,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnknownScene(id) => write!(f, "unknown scene '{id}'"),
+            Self::Load { scene, message } => write!(f, "loading scene '{scene}' failed: {message}"),
+            Self::ShuttingDown => write!(f, "service is shutting down"),
+            Self::WorkerPanicked => write!(f, "a render worker panicked on this batch"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

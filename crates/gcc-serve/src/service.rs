@@ -1,0 +1,943 @@
+//! The render service: a long-lived worker pool over a per-scene
+//! batching queue and the LRU scene cache.
+//!
+//! # Scheduling
+//!
+//! All coordination state lives in one mutex (`State`) with one condvar.
+//! A worker's step either *plans* a job under the lock — drain a batch
+//! for a resident scene, or claim a cold scene's load — and executes it
+//! with the lock released, or blocks on the condvar when every pending
+//! scene is already being loaded by someone else. Scenes take turns in
+//! FIFO order (`order` rotates a drained-but-nonempty scene to the back),
+//! so a hot scene cannot starve cold ones; within a scene, requests are
+//! served in submission order.
+//!
+//! A cold scene is loaded by exactly one worker (the `loading` guard),
+//! which then drains the first waiting batch itself — *load-then-drain* —
+//! while the insert makes the scene resident for every other worker to
+//! batch from in parallel. With a zero cache budget the insert evicts
+//! immediately and every request degenerates to load-render-evict: the
+//! naive configuration `bench_serve` compares against.
+//!
+//! # Scratch lifetime
+//!
+//! Each pool worker owns one [`FrameScratch`] for its entire lifetime —
+//! across batches, scenes and cache generations — so steady-state serving
+//! allocates no per-frame hot-path buffers. Served frames are
+//! bit-identical to fresh-scratch direct renders (the scratch-reuse
+//! contract of [`Renderer::render_frame_reusing`]).
+
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use gcc_parallel::{available_threads, WorkerPool, WorkerStep};
+use gcc_render::pipeline::{Frame, FrameScratch, FrameStats, Renderer};
+use gcc_scene::Scene;
+
+use crate::cache::LruSceneCache;
+use crate::source::SceneSource;
+use crate::stats::{percentile_us, SceneCounters, ServeStats};
+use crate::ServeError;
+
+/// Service sizing and policy knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads; `0` means one per available hardware thread.
+    pub workers: usize,
+    /// Byte budget of the scene cache ([`Scene::approx_bytes`] units).
+    /// `0` disables residency entirely (naive load-render-evict).
+    pub cache_budget_bytes: usize,
+    /// Most requests drained into one batch (≥ 1). `1` disables
+    /// coalescing.
+    pub max_batch: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            cache_budget_bytes: 256 << 20,
+            max_batch: 8,
+        }
+    }
+}
+
+/// One frame request: a registered scene id and the trajectory parameter
+/// `t ∈ [0, 1)` selecting the camera on that scene's rig.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RenderRequest {
+    /// Registered scene id.
+    pub scene: String,
+    /// Trajectory parameter of the camera ([`Scene::camera`]).
+    pub t: f32,
+}
+
+/// The one-shot response cell a request's waiter blocks on.
+#[derive(Debug, Default)]
+struct Slot {
+    cell: Mutex<Option<Result<Frame, ServeError>>>,
+    ready: Condvar,
+}
+
+fn fulfill(slot: &Slot, result: Result<Frame, ServeError>) {
+    *slot.cell.lock().expect("response slot poisoned") = Some(result);
+    slot.ready.notify_all();
+}
+
+/// Waiter side of a submitted request.
+#[derive(Debug)]
+pub struct RenderHandle {
+    slot: Arc<Slot>,
+}
+
+impl RenderHandle {
+    /// Blocks until the frame is rendered (or the request failed).
+    pub fn wait(self) -> Result<Frame, ServeError> {
+        let mut cell = self.slot.cell.lock().expect("response slot poisoned");
+        loop {
+            if let Some(result) = cell.take() {
+                return result;
+            }
+            cell = self.slot.ready.wait(cell).expect("response slot poisoned");
+        }
+    }
+
+    /// `true` once the result is available ([`Self::wait`] won't block).
+    pub fn is_ready(&self) -> bool {
+        self.slot
+            .cell
+            .lock()
+            .expect("response slot poisoned")
+            .is_some()
+    }
+}
+
+/// A queued request.
+#[derive(Debug)]
+struct Pending {
+    t: f32,
+    submitted: Instant,
+    slot: Arc<Slot>,
+}
+
+/// Most latency samples retained for the percentile window. A long-lived
+/// service must not accumulate per-request state without bound, and
+/// `stats()` sorts a copy of this buffer — so it is a ring over the most
+/// recent completions, not the full history.
+const LATENCY_WINDOW: usize = 1 << 16;
+
+/// Mutable aggregate statistics (folded under the service lock).
+#[derive(Debug, Default)]
+struct StatsInner {
+    per_scene: BTreeMap<String, SceneCounters>,
+    /// Ring buffer of recent request latencies (µs); see
+    /// [`LATENCY_WINDOW`].
+    latencies_us: Vec<u64>,
+    /// Next overwrite position once the ring is full.
+    latency_cursor: usize,
+    frame_stats: FrameStats,
+    completed: u64,
+    batches: u64,
+    frames: u64,
+    max_queue_depth: usize,
+}
+
+impl StatsInner {
+    fn scene(&mut self, id: &str) -> &mut SceneCounters {
+        self.per_scene.entry(id.to_string()).or_default()
+    }
+
+    fn record_latency(&mut self, us: u64) {
+        if self.latencies_us.len() < LATENCY_WINDOW {
+            self.latencies_us.push(us);
+        } else {
+            self.latencies_us[self.latency_cursor] = us;
+            self.latency_cursor = (self.latency_cursor + 1) % LATENCY_WINDOW;
+        }
+    }
+}
+
+/// All coordination state, behind the one service mutex.
+#[derive(Debug)]
+struct State {
+    cache: LruSceneCache,
+    /// Per-scene FIFO of pending requests. Invariant: a key exists here
+    /// iff the id is in `order` (queues are removed when drained empty).
+    queues: HashMap<String, VecDeque<Pending>>,
+    /// Scene ids with pending requests, in round-robin turn order.
+    order: VecDeque<String>,
+    /// Scenes currently being loaded by some worker.
+    loading: HashSet<String>,
+    /// Requests submitted but not yet drained into a batch.
+    pending: usize,
+    shutdown: bool,
+    stats: StatsInner,
+}
+
+/// What a worker decided to do while holding the lock.
+enum Job {
+    Render {
+        id: String,
+        scene: Arc<Scene>,
+        batch: Vec<Pending>,
+    },
+    Load {
+        id: String,
+    },
+}
+
+/// Pops up to `max` requests for `id` and repairs the `order`/`queues`
+/// invariant (remove when drained empty, rotate to the back otherwise).
+fn take_batch(st: &mut State, id: &str, max: usize) -> Vec<Pending> {
+    let mut batch = Vec::new();
+    let emptied = match st.queues.get_mut(id) {
+        Some(q) => {
+            while batch.len() < max {
+                match q.pop_front() {
+                    Some(p) => batch.push(p),
+                    None => break,
+                }
+            }
+            q.is_empty()
+        }
+        None => return batch,
+    };
+    st.pending -= batch.len();
+    st.order.retain(|o| o != id);
+    if emptied {
+        st.queues.remove(id);
+    } else {
+        st.order.push_back(id.to_string());
+    }
+    batch
+}
+
+/// Picks the next job: the first scene in turn order that is resident
+/// (drain a batch) or cold and unclaimed (load it). Returns `None` when
+/// every pending scene is being loaded elsewhere.
+fn plan(st: &mut State, max_batch: usize) -> Option<Job> {
+    for _ in 0..st.order.len() {
+        let id = st.order.front().cloned()?;
+        if let Some(scene) = st.cache.get(&id) {
+            let batch = take_batch(st, &id, max_batch);
+            return Some(Job::Render { id, scene, batch });
+        }
+        if !st.loading.contains(&id) {
+            st.loading.insert(id.clone());
+            st.order.rotate_left(1);
+            return Some(Job::Load { id });
+        }
+        st.order.rotate_left(1);
+    }
+    None
+}
+
+struct Shared {
+    registry: HashMap<String, SceneSource>,
+    renderer: Box<dyn Renderer + Send + Sync>,
+    max_batch: usize,
+    state: Mutex<State>,
+    work: Condvar,
+}
+
+impl Shared {
+    fn step(&self, scratch: &mut FrameScratch) -> WorkerStep {
+        let mut st = self.state.lock().expect("service state poisoned");
+        loop {
+            if let Some(job) = plan(&mut st, self.max_batch) {
+                drop(st);
+                match job {
+                    Job::Render { id, scene, batch } => {
+                        self.render_batch(&id, &scene, batch, scratch);
+                    }
+                    Job::Load { id } => self.load_then_drain(&id, scratch),
+                }
+                return WorkerStep::Continue;
+            }
+            if st.shutdown && st.pending == 0 && st.loading.is_empty() {
+                // Wake siblings so they observe the drained shutdown too.
+                self.work.notify_all();
+                return WorkerStep::Stop;
+            }
+            st = self.work.wait(st).expect("service state poisoned");
+        }
+    }
+
+    /// Renders a drained batch back-to-back through this worker's
+    /// scratch. Statistics are folded in *before* any waiter is released,
+    /// so a completed `wait()` is always visible in the next `stats()`
+    /// snapshot. A renderer panic must not strand waiters: a drop guard
+    /// fails every not-yet-fulfilled slot of the batch before the panic
+    /// unwinds the worker.
+    fn render_batch(
+        &self,
+        id: &str,
+        scene: &Scene,
+        batch: Vec<Pending>,
+        scratch: &mut FrameScratch,
+    ) {
+        /// Fails the batch's remaining slots when dropped mid-panic, so
+        /// `RenderHandle::wait` callers get an error instead of hanging,
+        /// and best-effort counts them as completed (`try_lock`: the
+        /// panic may have happened with the state lock held, and a
+        /// blocking re-lock from the same thread would deadlock).
+        struct PanicGuard<'a> {
+            shared: &'a Shared,
+            slots: Vec<Arc<Slot>>,
+        }
+        impl Drop for PanicGuard<'_> {
+            fn drop(&mut self) {
+                if !std::thread::panicking() || self.slots.is_empty() {
+                    return;
+                }
+                if let Ok(mut st) = self.shared.state.try_lock() {
+                    st.stats.completed += self.slots.len() as u64;
+                }
+                for slot in self.slots.drain(..) {
+                    fulfill(&slot, Err(ServeError::WorkerPanicked));
+                }
+            }
+        }
+
+        let mut guard = PanicGuard {
+            shared: self,
+            slots: batch.iter().map(|p| Arc::clone(&p.slot)).collect(),
+        };
+        // Each frame is delivered (and its latency sampled) as soon as it
+        // renders — a waiter never sits behind the rest of its batch, and
+        // the published latency is submit-to-delivery. Its stats are
+        // folded under a brief lock *before* the slot is fulfilled, so a
+        // completed `wait()` is always visible in the next `stats()`
+        // snapshot.
+        for (i, p) in batch.into_iter().enumerate() {
+            let cam = scene.camera(p.t);
+            let frame = self
+                .renderer
+                .render_frame_reusing(&scene.gaussians, &cam, scratch);
+            let us = p.submitted.elapsed().as_micros() as u64;
+            let mut st = self.state.lock().expect("service state poisoned");
+            st.stats.frame_stats.merge_add(&frame.stats);
+            st.stats.frames += 1;
+            st.stats.completed += 1;
+            st.stats.record_latency(us);
+            if i == 0 {
+                st.stats.batches += 1;
+            }
+            let sc = st.stats.scene(id);
+            sc.frames += 1;
+            if i == 0 {
+                sc.batches += 1;
+            }
+            drop(st);
+            guard.slots.remove(0);
+            fulfill(&p.slot, Ok(frame));
+        }
+    }
+
+    /// Loads a claimed cold scene with no lock held, inserts it (evicting
+    /// under the budget), then drains the first waiting batch itself.
+    fn load_then_drain(&self, id: &str, scratch: &mut FrameScratch) {
+        /// A panic inside `SceneSource::load` must not wedge the service:
+        /// the claimed `loading` entry would otherwise never clear, making
+        /// the shutdown condition unsatisfiable and stranding every waiter
+        /// for this scene. Armed only around the lock-free load call, so
+        /// the blocking re-lock in `drop` cannot self-deadlock.
+        struct LoadGuard<'a> {
+            shared: &'a Shared,
+            id: &'a str,
+            armed: bool,
+        }
+        impl Drop for LoadGuard<'_> {
+            fn drop(&mut self) {
+                if !self.armed || !std::thread::panicking() {
+                    return;
+                }
+                if let Ok(mut st) = self.shared.state.lock() {
+                    st.loading.remove(self.id);
+                    let failed = take_batch(&mut st, self.id, usize::MAX);
+                    st.stats.completed += failed.len() as u64;
+                    drop(st);
+                    self.shared.work.notify_all();
+                    for p in failed {
+                        fulfill(&p.slot, Err(ServeError::WorkerPanicked));
+                    }
+                }
+            }
+        }
+
+        let source = self
+            .registry
+            .get(id)
+            .expect("submit validated the scene id");
+        let mut guard = LoadGuard {
+            shared: self,
+            id,
+            armed: true,
+        };
+        let loaded = source.load();
+        guard.armed = false;
+        let mut st = self.state.lock().expect("service state poisoned");
+        st.loading.remove(id);
+        match loaded {
+            Ok(scene) => {
+                st.stats.scene(id).loads += 1;
+                let evicted = st.cache.insert(id, Arc::clone(&scene));
+                for victim in evicted {
+                    st.stats.scene(&victim).evictions += 1;
+                }
+                let batch = take_batch(&mut st, id, self.max_batch);
+                drop(st);
+                // The scene may now be resident and the queue changed —
+                // wake everyone blocked on "all pending scenes loading".
+                self.work.notify_all();
+                if !batch.is_empty() {
+                    self.render_batch(id, &scene, batch, scratch);
+                }
+            }
+            Err(message) => {
+                let err = ServeError::Load {
+                    scene: id.to_string(),
+                    message,
+                };
+                let failed = take_batch(&mut st, id, usize::MAX);
+                st.stats.completed += failed.len() as u64;
+                drop(st);
+                self.work.notify_all();
+                for p in failed {
+                    fulfill(&p.slot, Err(err.clone()));
+                }
+            }
+        }
+    }
+}
+
+/// The multi-scene render service. See the [crate docs](crate) and the
+/// [module docs](self) for the scheduling model.
+pub struct RenderService {
+    shared: Arc<Shared>,
+    workers: usize,
+    pool: Option<WorkerPool>,
+}
+
+impl std::fmt::Debug for RenderService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RenderService")
+            .field("workers", &self.workers)
+            .field("scenes", &self.shared.registry.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl RenderService {
+    /// Starts the worker pool over `registry` (scene id → source),
+    /// rendering through `renderer`.
+    ///
+    /// For throughput prefer a sequential renderer (one frame per worker,
+    /// the trajectory-runner composition rule); pass a parallel renderer
+    /// when single-request latency matters more than aggregate rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cfg.max_batch` is zero.
+    pub fn new(
+        cfg: ServeConfig,
+        registry: impl IntoIterator<Item = (String, SceneSource)>,
+        renderer: Box<dyn Renderer + Send + Sync>,
+    ) -> Self {
+        assert!(cfg.max_batch >= 1, "max_batch must be at least 1");
+        let workers = if cfg.workers == 0 {
+            available_threads()
+        } else {
+            cfg.workers
+        };
+        let shared = Arc::new(Shared {
+            registry: registry.into_iter().collect(),
+            renderer,
+            max_batch: cfg.max_batch,
+            state: Mutex::new(State {
+                cache: LruSceneCache::new(cfg.cache_budget_bytes),
+                queues: HashMap::new(),
+                order: VecDeque::new(),
+                loading: HashSet::new(),
+                pending: 0,
+                shutdown: false,
+                stats: StatsInner::default(),
+            }),
+            work: Condvar::new(),
+        });
+        let pool_shared = Arc::clone(&shared);
+        let pool = WorkerPool::spawn(workers, FrameScratch::new, move |_, scratch| {
+            pool_shared.step(scratch)
+        });
+        Self {
+            shared,
+            workers,
+            pool: Some(pool),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Scene ids this service can render, sorted.
+    pub fn scene_ids(&self) -> Vec<String> {
+        let mut ids: Vec<String> = self.shared.registry.keys().cloned().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Enqueues a request; the returned handle blocks until its frame.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownScene`] for an unregistered id and
+    /// [`ServeError::ShuttingDown`] after [`Self::shutdown`] began.
+    pub fn submit(&self, req: RenderRequest) -> Result<RenderHandle, ServeError> {
+        if !self.shared.registry.contains_key(&req.scene) {
+            return Err(ServeError::UnknownScene(req.scene));
+        }
+        let slot = Arc::new(Slot::default());
+        let mut st = self.shared.state.lock().expect("service state poisoned");
+        if st.shutdown {
+            return Err(ServeError::ShuttingDown);
+        }
+        let resident = st.cache.contains(&req.scene);
+        let sc = st.stats.scene(&req.scene);
+        sc.requests += 1;
+        if resident {
+            sc.hits += 1;
+        } else {
+            sc.misses += 1;
+        }
+        if !st.queues.contains_key(&req.scene) {
+            st.order.push_back(req.scene.clone());
+        }
+        st.queues.entry(req.scene).or_default().push_back(Pending {
+            t: req.t,
+            submitted: Instant::now(),
+            slot: Arc::clone(&slot),
+        });
+        st.pending += 1;
+        st.stats.max_queue_depth = st.stats.max_queue_depth.max(st.pending);
+        drop(st);
+        self.shared.work.notify_one();
+        Ok(RenderHandle { slot })
+    }
+
+    /// Convenience: submit and block for the frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::submit`] and load errors.
+    pub fn render_blocking(&self, req: RenderRequest) -> Result<Frame, ServeError> {
+        self.submit(req)?.wait()
+    }
+
+    /// Snapshot of the serving statistics. The percentile sort (up to
+    /// the full latency window) runs *after* the service lock is
+    /// released, so a periodic metrics poll doesn't stall the scheduler.
+    pub fn stats(&self) -> ServeStats {
+        let st = self.shared.state.lock().expect("service state poisoned");
+        let mut lat = st.stats.latencies_us.clone();
+        let mut out = ServeStats {
+            per_scene: st.stats.per_scene.clone(),
+            completed: st.stats.completed,
+            queue_depth: st.pending,
+            max_queue_depth: st.stats.max_queue_depth,
+            batches: st.stats.batches,
+            frames: st.stats.frames,
+            latency_p50_ms: 0.0,
+            latency_p95_ms: 0.0,
+            frame_stats: st.stats.frame_stats,
+            resident_bytes: st.cache.resident_bytes(),
+            resident_scenes: st.cache.len(),
+        };
+        drop(st);
+        lat.sort_unstable();
+        out.latency_p50_ms = percentile_us(&lat, 0.50);
+        out.latency_p95_ms = percentile_us(&lat, 0.95);
+        out
+    }
+
+    /// Graceful shutdown: stops accepting new requests, drains every
+    /// pending one, joins the workers, and returns the final statistics.
+    pub fn shutdown(mut self) -> ServeStats {
+        self.finish();
+        self.stats()
+    }
+
+    fn finish(&mut self) {
+        if let Some(pool) = self.pool.take() {
+            self.shared
+                .state
+                .lock()
+                .expect("service state poisoned")
+                .shutdown = true;
+            self.shared.work.notify_all();
+            pool.join();
+        }
+    }
+}
+
+impl Drop for RenderService {
+    /// Dropping the service performs the same graceful drain as
+    /// [`Self::shutdown`].
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcc_render::pipeline::StandardRenderer;
+    use gcc_scene::{SceneConfig, ScenePreset};
+
+    fn mem_source(preset: ScenePreset, scale: f32) -> (Arc<Scene>, SceneSource) {
+        let scene = Arc::new(preset.build(&SceneConfig::with_scale(scale)));
+        (Arc::clone(&scene), SceneSource::Memory(scene))
+    }
+
+    fn registry(scale: f32) -> (Vec<Arc<Scene>>, Vec<(String, SceneSource)>) {
+        let mut scenes = Vec::new();
+        let mut reg = Vec::new();
+        for (id, preset) in [("lego", ScenePreset::Lego), ("palace", ScenePreset::Palace)] {
+            let (scene, src) = mem_source(preset, scale);
+            scenes.push(scene);
+            reg.push((id.to_string(), src));
+        }
+        (scenes, reg)
+    }
+
+    #[test]
+    fn served_frames_match_direct_renders() {
+        let (scenes, reg) = registry(0.02);
+        let service = RenderService::new(
+            ServeConfig {
+                workers: 3,
+                ..ServeConfig::default()
+            },
+            reg,
+            Box::new(StandardRenderer::reference()),
+        );
+        let reqs: Vec<RenderRequest> = (0..6)
+            .map(|i| RenderRequest {
+                scene: if i % 2 == 0 { "lego" } else { "palace" }.into(),
+                t: i as f32 / 6.0,
+            })
+            .collect();
+        let handles: Vec<RenderHandle> = reqs
+            .iter()
+            .map(|r| service.submit(r.clone()).unwrap())
+            .collect();
+        let direct = StandardRenderer::reference();
+        for (req, handle) in reqs.iter().zip(handles) {
+            let frame = handle.wait().unwrap();
+            let scene = if req.scene == "lego" {
+                &scenes[0]
+            } else {
+                &scenes[1]
+            };
+            let want = direct.render_frame(&scene.gaussians, &scene.camera(req.t));
+            assert_eq!(frame.image, want.image, "scene {} t {}", req.scene, req.t);
+            assert_eq!(frame.stats, want.stats);
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.completed, 6);
+        assert_eq!(stats.frames, 6);
+        assert_eq!(stats.queue_depth, 0);
+        assert!(stats.max_queue_depth >= 1);
+        assert!(stats.latency_p95_ms >= stats.latency_p50_ms);
+        assert_eq!(
+            stats.frame_stats.total_gaussians,
+            3 * (scenes[0].len() as u64 + scenes[1].len() as u64)
+        );
+    }
+
+    #[test]
+    fn resident_scene_loads_once_and_hits_after_warmup() {
+        let (_, reg) = registry(0.02);
+        let service = RenderService::new(
+            ServeConfig {
+                workers: 1,
+                ..ServeConfig::default()
+            },
+            reg,
+            Box::new(StandardRenderer::reference()),
+        );
+        // Warm the scene, then issue classified-at-submit hits.
+        service
+            .render_blocking(RenderRequest {
+                scene: "lego".into(),
+                t: 0.0,
+            })
+            .unwrap();
+        for i in 0..4 {
+            service
+                .render_blocking(RenderRequest {
+                    scene: "lego".into(),
+                    t: i as f32 / 4.0,
+                })
+                .unwrap();
+        }
+        let stats = service.shutdown();
+        let lego = &stats.per_scene["lego"];
+        assert_eq!(lego.loads, 1, "resident scene must not reload");
+        assert_eq!(lego.misses, 1);
+        assert_eq!(lego.hits, 4);
+        assert_eq!(lego.frames, 5);
+        assert_eq!(stats.resident_scenes, 1);
+        assert!(stats.hit_rate() > 0.7);
+    }
+
+    #[test]
+    fn zero_budget_is_load_render_evict_per_request() {
+        let (_, reg) = registry(0.02);
+        let service = RenderService::new(
+            ServeConfig {
+                workers: 1,
+                cache_budget_bytes: 0,
+                max_batch: 1,
+            },
+            reg,
+            Box::new(StandardRenderer::reference()),
+        );
+        for i in 0..3 {
+            service
+                .render_blocking(RenderRequest {
+                    scene: "palace".into(),
+                    t: i as f32 / 3.0,
+                })
+                .unwrap();
+        }
+        let stats = service.shutdown();
+        let palace = &stats.per_scene["palace"];
+        assert_eq!(palace.loads, 3, "naive mode reloads per request");
+        assert_eq!(palace.hits, 0);
+        assert_eq!(palace.evictions, 3);
+        assert_eq!(stats.batches, 3);
+        assert_eq!(stats.resident_scenes, 0);
+    }
+
+    #[test]
+    fn unknown_scene_is_rejected_at_submit() {
+        let (_, reg) = registry(0.02);
+        let service = RenderService::new(
+            ServeConfig {
+                workers: 1,
+                ..ServeConfig::default()
+            },
+            reg,
+            Box::new(StandardRenderer::reference()),
+        );
+        let err = service
+            .submit(RenderRequest {
+                scene: "nope".into(),
+                t: 0.0,
+            })
+            .unwrap_err();
+        assert_eq!(err, ServeError::UnknownScene("nope".into()));
+    }
+
+    #[test]
+    fn load_failure_fans_out_to_every_waiter() {
+        let service = RenderService::new(
+            ServeConfig {
+                workers: 2,
+                ..ServeConfig::default()
+            },
+            [(
+                "ghost".to_string(),
+                SceneSource::File("/nonexistent/ghost.bin".into()),
+            )],
+            Box::new(StandardRenderer::reference()),
+        );
+        let handles: Vec<RenderHandle> = (0..3)
+            .map(|i| {
+                service
+                    .submit(RenderRequest {
+                        scene: "ghost".into(),
+                        t: i as f32 / 3.0,
+                    })
+                    .unwrap()
+            })
+            .collect();
+        for h in handles {
+            match h.wait() {
+                Err(ServeError::Load { scene, .. }) => assert_eq!(scene, "ghost"),
+                other => panic!("expected load error, got {other:?}"),
+            }
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.completed, 3);
+        assert_eq!(stats.frames, 0);
+    }
+
+    #[test]
+    fn shutdown_drains_pending_requests() {
+        let (_, reg) = registry(0.02);
+        let service = RenderService::new(
+            ServeConfig {
+                workers: 2,
+                ..ServeConfig::default()
+            },
+            reg,
+            Box::new(StandardRenderer::reference()),
+        );
+        let handles: Vec<RenderHandle> = (0..8)
+            .map(|i| {
+                service
+                    .submit(RenderRequest {
+                        scene: if i % 2 == 0 { "lego" } else { "palace" }.into(),
+                        t: i as f32 / 8.0,
+                    })
+                    .unwrap()
+            })
+            .collect();
+        let stats = service.shutdown();
+        assert_eq!(stats.completed, 8);
+        assert_eq!(stats.queue_depth, 0);
+        for h in handles {
+            assert!(h.is_ready());
+            h.wait().unwrap();
+        }
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_rejected() {
+        let (_, reg) = registry(0.02);
+        let service = RenderService::new(
+            ServeConfig {
+                workers: 1,
+                ..ServeConfig::default()
+            },
+            reg,
+            Box::new(StandardRenderer::reference()),
+        );
+        // Mark shutdown through the public path while keeping a clone of
+        // shared state alive: emulate by dropping into shutdown and then
+        // checking a fresh service rejects — instead, flip the flag via a
+        // second service is impossible; use the internal contract:
+        service.shared.state.lock().unwrap().shutdown = true;
+        let err = service
+            .submit(RenderRequest {
+                scene: "lego".into(),
+                t: 0.0,
+            })
+            .unwrap_err();
+        assert_eq!(err, ServeError::ShuttingDown);
+        // Undo so the drop-drain terminates normally.
+        service.shared.state.lock().unwrap().shutdown = false;
+    }
+
+    #[test]
+    fn latency_window_is_a_bounded_ring() {
+        let mut s = StatsInner::default();
+        for i in 0..(LATENCY_WINDOW as u64 + 10) {
+            s.record_latency(i);
+        }
+        assert_eq!(s.latencies_us.len(), LATENCY_WINDOW);
+        // The 10 oldest samples were overwritten by the newest 10.
+        assert!(!s.latencies_us.contains(&9));
+        assert!(s.latencies_us.contains(&(LATENCY_WINDOW as u64 + 9)));
+        assert!(s.latencies_us.contains(&10));
+    }
+
+    #[test]
+    fn renderer_panic_fails_waiters_instead_of_stranding_them() {
+        struct AlwaysPanics;
+        impl Renderer for AlwaysPanics {
+            fn name(&self) -> &str {
+                "always-panics"
+            }
+            fn render_frame(&self, _: &[gcc_core::Gaussian3D], _: &gcc_core::Camera) -> Frame {
+                panic!("render blew up");
+            }
+        }
+
+        let (_, reg) = registry(0.02);
+        let service = RenderService::new(
+            ServeConfig {
+                workers: 1,
+                ..ServeConfig::default()
+            },
+            reg,
+            Box::new(AlwaysPanics),
+        );
+        let handle = service
+            .submit(RenderRequest {
+                scene: "lego".into(),
+                t: 0.0,
+            })
+            .unwrap();
+        // The waiter must be released with an error, not hang.
+        assert_eq!(handle.wait().unwrap_err(), ServeError::WorkerPanicked);
+        // The worker's panic resurfaces when the pool is joined.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            service.shutdown();
+        }));
+        assert!(outcome.is_err(), "pool join must surface the worker panic");
+    }
+
+    #[test]
+    fn load_panic_fails_waiters_and_does_not_wedge_shutdown() {
+        let service = RenderService::new(
+            ServeConfig {
+                workers: 2,
+                ..ServeConfig::default()
+            },
+            [("boom".to_string(), SceneSource::PanicsOnLoad)],
+            Box::new(StandardRenderer::reference()),
+        );
+        // One request: each load panic kills one worker, so a multi-shot
+        // submit could strand a late request with no workers left — the
+        // guard's contract is per-panic containment, not worker revival.
+        let handle = service
+            .submit(RenderRequest {
+                scene: "boom".into(),
+                t: 0.5,
+            })
+            .unwrap();
+        assert_eq!(handle.wait().unwrap_err(), ServeError::WorkerPanicked);
+        // `completed` counts the failed request, and shutdown terminates
+        // (surfacing the worker panic) instead of hanging on `loading`.
+        assert_eq!(service.stats().completed, 1);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            service.shutdown();
+        }));
+        assert!(outcome.is_err(), "pool join must surface the load panic");
+    }
+
+    #[test]
+    fn max_batch_one_never_coalesces() {
+        let (_, reg) = registry(0.02);
+        let service = RenderService::new(
+            ServeConfig {
+                workers: 2,
+                max_batch: 1,
+                ..ServeConfig::default()
+            },
+            reg,
+            Box::new(StandardRenderer::reference()),
+        );
+        let handles: Vec<RenderHandle> = (0..6)
+            .map(|i| {
+                service
+                    .submit(RenderRequest {
+                        scene: "lego".into(),
+                        t: i as f32 / 6.0,
+                    })
+                    .unwrap()
+            })
+            .collect();
+        for h in handles {
+            h.wait().unwrap();
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.batches, stats.frames, "max_batch=1 must not coalesce");
+        assert_eq!(stats.frames, 6);
+    }
+}

@@ -1,0 +1,93 @@
+//! Scene loader handles: where a scene id's data comes from.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use gcc_scene::{Scene, SceneConfig, ScenePreset};
+
+/// A loadable scene: the registry value behind a scene id. Loading is
+/// performed by cache-miss workers with no service lock held, so sources
+/// must be usable from any thread (`Sync` via shared references only).
+#[derive(Debug, Clone)]
+pub enum SceneSource {
+    /// Synthesize an in-tree preset at a count scale (deterministic —
+    /// a pure function of `(preset, scale)`).
+    Preset {
+        /// The paper scene preset.
+        preset: ScenePreset,
+        /// Count scale in `(0, 100]` (see [`SceneConfig::with_scale`]).
+        scale: f32,
+    },
+    /// Load from a scene file, sniffing the binary DRAM-image format vs
+    /// JSON by content ([`gcc_scene::io::load_scene_file`]).
+    File(PathBuf),
+    /// An already-built scene (embedders, tests). Loading is a cheap
+    /// `Arc` clone — note the cache still accounts its full byte size.
+    Memory(Arc<Scene>),
+    /// Test-only: panics when loaded, exercising the service's
+    /// load-panic containment.
+    #[cfg(test)]
+    PanicsOnLoad,
+}
+
+impl SceneSource {
+    /// Loads the scene. Errors are stringified so they can fan out to
+    /// every request waiting on this load.
+    pub fn load(&self) -> Result<Arc<Scene>, String> {
+        match self {
+            Self::Preset { preset, scale } => {
+                if !(*scale > 0.0 && *scale <= 100.0) {
+                    return Err(format!("preset scale {scale} out of range (0, 100]"));
+                }
+                Ok(Arc::new(preset.build(&SceneConfig::with_scale(*scale))))
+            }
+            Self::File(path) => gcc_scene::io::load_scene_file(path)
+                .map(Arc::new)
+                .map_err(|e| e.to_string()),
+            Self::Memory(scene) => Ok(Arc::clone(scene)),
+            #[cfg(test)]
+            Self::PanicsOnLoad => panic!("scene load blew up"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_source_loads_deterministically() {
+        let src = SceneSource::Preset {
+            preset: ScenePreset::Lego,
+            scale: 0.02,
+        };
+        let a = src.load().unwrap();
+        let b = src.load().unwrap();
+        assert_eq!(a.gaussians, b.gaussians);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn bad_scale_is_an_error_not_a_panic() {
+        let src = SceneSource::Preset {
+            preset: ScenePreset::Lego,
+            scale: 0.0,
+        };
+        assert!(src.load().is_err());
+    }
+
+    #[test]
+    fn missing_file_reports_io_error() {
+        let src = SceneSource::File(PathBuf::from("/nonexistent/scene.bin"));
+        let err = src.load().unwrap_err();
+        assert!(err.contains("i/o error"), "{err}");
+    }
+
+    #[test]
+    fn memory_source_shares_the_same_scene() {
+        let scene = Arc::new(ScenePreset::Palace.build(&SceneConfig::with_scale(0.02)));
+        let src = SceneSource::Memory(Arc::clone(&scene));
+        let loaded = src.load().unwrap();
+        assert!(Arc::ptr_eq(&scene, &loaded));
+    }
+}

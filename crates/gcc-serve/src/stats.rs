@@ -1,0 +1,167 @@
+//! The service's introspection surface: counters, latency percentiles,
+//! and the folded render statistics.
+
+use std::collections::BTreeMap;
+
+use gcc_render::pipeline::FrameStats;
+
+/// Per-scene serving counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SceneCounters {
+    /// Requests submitted for this scene.
+    pub requests: u64,
+    /// Requests whose scene was resident at submit time.
+    pub hits: u64,
+    /// Requests whose scene was cold at submit time.
+    pub misses: u64,
+    /// Times this scene was loaded from its source.
+    pub loads: u64,
+    /// Times this scene was evicted from the cache.
+    pub evictions: u64,
+    /// Frames rendered for this scene.
+    pub frames: u64,
+    /// Batches this scene's frames were drained in.
+    pub batches: u64,
+}
+
+/// Linear-interpolated percentile over *sorted* microsecond samples,
+/// returned in milliseconds. Empty input yields 0.
+pub fn percentile_us(sorted_us: &[u64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let rank = p.clamp(0.0, 1.0) * (sorted_us.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    let us = sorted_us[lo] as f64 * (1.0 - frac) + sorted_us[hi] as f64 * frac;
+    us / 1e3
+}
+
+/// A point-in-time snapshot of the service's statistics.
+#[derive(Debug, Clone, Default)]
+pub struct ServeStats {
+    /// Per-scene counters (scene id → counters).
+    pub per_scene: BTreeMap<String, SceneCounters>,
+    /// Requests completed (fulfilled or failed).
+    pub completed: u64,
+    /// Requests submitted but not yet drained into a batch at snapshot
+    /// time (requests already in flight on a worker are not counted).
+    pub queue_depth: usize,
+    /// High-water mark of [`Self::queue_depth`] over the service's life.
+    pub max_queue_depth: usize,
+    /// Batches drained.
+    pub batches: u64,
+    /// Frames rendered (success path only).
+    pub frames: u64,
+    /// Median request latency, submit → frame, milliseconds. Percentiles
+    /// are computed over a sliding window of the most recent completions
+    /// (the service caps retained samples so a long-lived process does
+    /// not grow without bound).
+    pub latency_p50_ms: f64,
+    /// 95th-percentile request latency over the same window, ms.
+    pub latency_p95_ms: f64,
+    /// Sum of the per-frame [`FrameStats`] of every rendered frame.
+    pub frame_stats: FrameStats,
+    /// Bytes resident in the scene cache at snapshot time.
+    pub resident_bytes: usize,
+    /// Scenes resident at snapshot time.
+    pub resident_scenes: usize,
+}
+
+impl ServeStats {
+    /// Total cache hits across scenes.
+    pub fn hits(&self) -> u64 {
+        self.per_scene.values().map(|c| c.hits).sum()
+    }
+
+    /// Total cache misses across scenes.
+    pub fn misses(&self) -> u64 {
+        self.per_scene.values().map(|c| c.misses).sum()
+    }
+
+    /// Total evictions across scenes.
+    pub fn evictions(&self) -> u64 {
+        self.per_scene.values().map(|c| c.evictions).sum()
+    }
+
+    /// Total scene loads across scenes.
+    pub fn loads(&self) -> u64 {
+        self.per_scene.values().map(|c| c.loads).sum()
+    }
+
+    /// Hit fraction of all classified requests (0 when none yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits() + self.misses();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / total as f64
+        }
+    }
+
+    /// Mean frames per drained batch (the coalescing factor; 0 before the
+    /// first batch).
+    pub fn frames_per_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.frames as f64 / self.batches as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_interpolate() {
+        let us: Vec<u64> = vec![1000, 2000, 3000, 4000];
+        assert!((percentile_us(&us, 0.0) - 1.0).abs() < 1e-9);
+        assert!((percentile_us(&us, 1.0) - 4.0).abs() < 1e-9);
+        assert!((percentile_us(&us, 0.5) - 2.5).abs() < 1e-9);
+        assert!((percentile_us(&us, 0.95) - 3.85).abs() < 1e-9);
+        assert_eq!(percentile_us(&[], 0.5), 0.0);
+        assert!((percentile_us(&[7000], 0.95) - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn derived_rates_aggregate_per_scene_counters() {
+        let mut stats = ServeStats::default();
+        stats.per_scene.insert(
+            "a".into(),
+            SceneCounters {
+                requests: 10,
+                hits: 8,
+                misses: 2,
+                loads: 2,
+                evictions: 1,
+                frames: 10,
+                batches: 4,
+            },
+        );
+        stats.per_scene.insert(
+            "b".into(),
+            SceneCounters {
+                requests: 2,
+                hits: 0,
+                misses: 2,
+                loads: 2,
+                evictions: 2,
+                frames: 2,
+                batches: 2,
+            },
+        );
+        stats.frames = 12;
+        stats.batches = 6;
+        assert_eq!(stats.hits(), 8);
+        assert_eq!(stats.misses(), 4);
+        assert_eq!(stats.evictions(), 3);
+        assert_eq!(stats.loads(), 4);
+        assert!((stats.hit_rate() - 8.0 / 12.0).abs() < 1e-12);
+        assert!((stats.frames_per_batch() - 2.0).abs() < 1e-12);
+        assert_eq!(ServeStats::default().hit_rate(), 0.0);
+        assert_eq!(ServeStats::default().frames_per_batch(), 0.0);
+    }
+}

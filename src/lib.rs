@@ -24,4 +24,5 @@ pub use gcc_math as math;
 pub use gcc_parallel as parallel;
 pub use gcc_render as render;
 pub use gcc_scene as scene;
+pub use gcc_serve as serve;
 pub use gcc_sim as sim;

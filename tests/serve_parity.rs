@@ -1,0 +1,171 @@
+//! Serving-layer determinism and end-to-end residency behavior, driven
+//! through the full stack: file-backed scene sources (`gcc_scene::io`),
+//! the LRU scene cache, the batching worker pool, and both renderer
+//! schedules.
+//!
+//! The load-bearing contract: a frame served by `RenderService` is
+//! bit-identical to a direct `Renderer::render_frame` call with the same
+//! scene and camera — batching, scratch reuse across requests, cache
+//! evictions and scheduling order never leak into pixels or counters.
+
+use std::sync::Arc;
+
+use gcc_render::{GaussianWiseRenderer, Renderer, StandardRenderer};
+use gcc_scene::{io, Scene, SceneConfig, ScenePreset};
+use gcc_serve::{RenderRequest, RenderService, SceneSource, ServeConfig};
+
+fn small(preset: ScenePreset, scale: f32) -> Scene {
+    preset.build(&SceneConfig::with_scale(scale))
+}
+
+/// Registry entries plus direct copies of the scenes behind them.
+type RegistryAndScenes = (Vec<(String, SceneSource)>, Vec<(String, Arc<Scene>)>);
+
+/// Writes the scenes as on-disk files (binary and JSON alternating) and
+/// returns the registry plus direct copies for reference renders.
+fn file_registry(dir: &std::path::Path) -> RegistryAndScenes {
+    std::fs::create_dir_all(dir).unwrap();
+    let mut registry = Vec::new();
+    let mut direct = Vec::new();
+    for (i, (id, preset, scale)) in [
+        ("lego", ScenePreset::Lego, 0.04),
+        ("palace", ScenePreset::Palace, 0.04),
+        ("train", ScenePreset::Train, 0.015),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let scene = small(preset, scale);
+        let path = dir.join(format!("{id}.scene"));
+        if i % 2 == 0 {
+            io::write_binary_file(&scene, &path).unwrap();
+        } else {
+            io::write_json_file(&scene, &path).unwrap();
+        }
+        registry.push((id.to_string(), SceneSource::File(path)));
+        direct.push((id.to_string(), Arc::new(scene)));
+    }
+    (registry, direct)
+}
+
+#[test]
+fn served_frames_are_bit_identical_to_direct_renders_for_both_schedules() {
+    let dir = std::env::temp_dir().join(format!("gcc_serve_parity_{}", std::process::id()));
+    let (registry, direct) = file_registry(&dir);
+
+    let schedules: Vec<Box<dyn Renderer + Send + Sync>> = vec![
+        Box::new(StandardRenderer::reference()),
+        Box::new(GaussianWiseRenderer::default()),
+    ];
+    for renderer in schedules {
+        let reference: Box<dyn Renderer> = match renderer.name() {
+            "standard" => Box::new(StandardRenderer::reference()),
+            _ => Box::new(GaussianWiseRenderer::default()),
+        };
+        let service = RenderService::new(
+            ServeConfig {
+                workers: 3,
+                max_batch: 4,
+                ..ServeConfig::default()
+            },
+            registry.clone(),
+            renderer,
+        );
+        // Interleave scenes and viewpoints so batches mix, then verify
+        // every frame against a fresh direct render.
+        let reqs: Vec<RenderRequest> = (0..9)
+            .map(|i| RenderRequest {
+                scene: ["lego", "palace", "train"][i % 3].to_string(),
+                t: i as f32 / 9.0,
+            })
+            .collect();
+        let handles: Vec<_> = reqs
+            .iter()
+            .map(|r| service.submit(r.clone()).unwrap())
+            .collect();
+        for (req, handle) in reqs.iter().zip(handles) {
+            let frame = handle.wait().unwrap();
+            let scene = &direct.iter().find(|(id, _)| *id == req.scene).unwrap().1;
+            let want = reference.render_frame(&scene.gaussians, &scene.camera(req.t));
+            assert_eq!(
+                frame.image,
+                want.image,
+                "{} diverged on {}",
+                reference.name(),
+                req.scene
+            );
+            assert_eq!(frame.stats, want.stats);
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.frames, 9);
+        assert_eq!(stats.queue_depth, 0);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn eviction_churn_preserves_determinism() {
+    // A budget that fits only one scene forces constant eviction between
+    // interleaved requests; frames must still be bit-identical to direct
+    // renders, and evictions must actually happen.
+    let dir = std::env::temp_dir().join(format!("gcc_serve_churn_{}", std::process::id()));
+    let (registry, direct) = file_registry(&dir);
+    let max_scene_bytes = direct.iter().map(|(_, s)| s.approx_bytes()).max().unwrap();
+    let service = RenderService::new(
+        ServeConfig {
+            workers: 2,
+            cache_budget_bytes: max_scene_bytes + max_scene_bytes / 4,
+            max_batch: 2,
+        },
+        registry,
+        Box::new(StandardRenderer::reference()),
+    );
+    let reference = StandardRenderer::reference();
+    for i in 0..8 {
+        let id = ["lego", "palace", "train"][i % 3];
+        let t = i as f32 / 8.0;
+        let frame = service
+            .render_blocking(RenderRequest {
+                scene: id.into(),
+                t,
+            })
+            .unwrap();
+        let scene = &direct.iter().find(|(s, _)| s == id).unwrap().1;
+        let want = reference.render_frame(&scene.gaussians, &scene.camera(t));
+        assert_eq!(frame.image, want.image, "churn diverged on {id} t {t}");
+    }
+    let stats = service.shutdown();
+    assert!(
+        stats.evictions() >= 4,
+        "expected churn, got {} evictions",
+        stats.evictions()
+    );
+    assert!(stats.resident_bytes <= max_scene_bytes + max_scene_bytes / 4);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn umbrella_crate_reexports_the_serving_layer() {
+    // The umbrella path must compose with the rest of the re-exports.
+    let scene = Arc::new(small(ScenePreset::Lego, 0.02));
+    let service = gcc_repro::serve::RenderService::new(
+        gcc_repro::serve::ServeConfig {
+            workers: 1,
+            ..Default::default()
+        },
+        [(
+            "lego".to_string(),
+            gcc_repro::serve::SceneSource::Memory(Arc::clone(&scene)),
+        )],
+        Box::new(gcc_repro::render::StandardRenderer::reference()),
+    );
+    let frame = service
+        .render_blocking(gcc_repro::serve::RenderRequest {
+            scene: "lego".into(),
+            t: 0.5,
+        })
+        .unwrap();
+    let want = StandardRenderer::reference().render_frame(&scene.gaussians, &scene.camera(0.5));
+    assert_eq!(frame.image, want.image);
+    assert!(service.shutdown().hit_rate() < 1.0);
+}
