@@ -2,23 +2,28 @@
 //! `BENCH_serve.json`.
 //!
 //! Drives `gcc_serve::RenderService` with a deterministic synthetic
-//! workload: a mixed scene set written to on-disk binary/JSON files
-//! (loads go through `gcc_scene::io`, like production residency misses
-//! would), skewed scene popularity drawn from the in-tree PRNG, and
-//! several closed-loop client threads. The same request streams run
-//! against two configurations:
+//! workload over the *full request space* of the redesigned API: a mixed
+//! scene set written to on-disk binary/JSON files (loads go through
+//! `gcc_scene::io`, like production residency misses would), skewed scene
+//! popularity drawn from the in-tree PRNG, heterogeneous per-request
+//! schedules (`Schedule::{Reference, Gscore, GaussianWise, GccHardware}`),
+//! a mix of trajectory / orbit / explicit-pose views, resolution
+//! overrides and regions of interest, and several closed-loop client
+//! threads. The same request streams run against two configurations:
 //!
 //! * `batched_lru` — cache budget fits the whole scene set, requests
-//!   coalesce into batches (`max_batch > 1`);
+//!   coalesce into `(scene, schedule, resolution)` batches
+//!   (`max_batch > 1`);
 //! * `naive_evict` — zero cache budget and `max_batch = 1`, i.e. the
 //!   load-render-evict-per-request regime a serverless renderer would be
 //!   stuck in.
 //!
 //! The record includes throughput, p50/p95 request latency, cache hit
-//! rate and the batched/naive speedup. In full (non-smoke) mode the
-//! binary *enforces* `speedup_vs_naive ≥ 2`, and in every mode it checks
-//! a sample of served frames bit-identical against direct
-//! `Renderer::render_frame` output and re-parses the JSON it wrote —
+//! rate, the per-schedule breakdown and the batched/naive speedup. In
+//! full (non-smoke) mode the binary *enforces* `speedup_vs_naive ≥ 2`,
+//! and in every mode it checks a sample of served frames — including
+//! posed, ROI'd and resolution-overridden ones — bit-identical against
+//! direct `Renderer::render_job` output and re-parses the JSON it wrote —
 //! exit 0 means "valid record, parity held".
 //!
 //! ```text
@@ -35,9 +40,11 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use gcc_bench::TablePrinter;
-use gcc_render::pipeline::{Renderer, StandardRenderer};
+use gcc_math::Vec3;
+use gcc_render::pipeline::FrameScratch;
+use gcc_render::{RenderJob, RenderOptions, Roi, Schedule};
 use gcc_scene::rng::StdRng;
-use gcc_scene::{io, Scene, SceneConfig, ScenePreset};
+use gcc_scene::{io, Scene, SceneConfig, ScenePreset, ViewSpec};
 use gcc_serve::{RenderRequest, RenderService, SceneSource, ServeConfig, ServeStats};
 
 /// One scene of the benchmark set.
@@ -140,36 +147,86 @@ fn build_registry(scenes: &[BenchScene], dir: &PathBuf) -> RegistryAndScenes {
     (registry, loaded)
 }
 
-/// Deterministic skewed request streams, one per client. The streams are
-/// a pure function of `(scene set, clients, per_client, seed)` — both
-/// service configurations replay exactly the same requests.
+/// Schedule mix of the heterogeneous workload, skewed toward the cheap
+/// standard-family schedules so the acceptance speedup stays load-bound.
+const SCHEDULE_MIX: [(Schedule, f32); 4] = [
+    (Schedule::Reference, 0.45),
+    (Schedule::Gscore, 0.20),
+    (Schedule::GccHardware, 0.20),
+    (Schedule::GaussianWise, 0.15),
+];
+
+/// Resolution overrides the workload samples (besides native).
+const RESOLUTIONS: [(u32, u32); 2] = [(320, 180), (256, 192)];
+
+fn pick_weighted<T: Copy>(rng: &mut StdRng, choices: &[(T, f32)]) -> T {
+    let total: f32 = choices.iter().map(|(_, w)| w).sum();
+    let mut pick = rng.gen::<f32>() * total;
+    for (v, w) in choices {
+        if pick < *w {
+            return *v;
+        }
+        pick -= w;
+    }
+    choices.last().expect("non-empty choices").0
+}
+
+/// One deterministic heterogeneous request: skewed scene, mixed schedule,
+/// mixed view kind, occasional resolution override and ROI.
+fn random_request(rng: &mut StdRng, scenes: &[BenchScene]) -> RenderRequest {
+    let scene_mix: Vec<(&str, f32)> = scenes.iter().map(|s| (s.id, s.weight)).collect();
+    let id = pick_weighted(rng, &scene_mix);
+
+    let view = match rng.gen::<f32>() {
+        v if v < 0.70 => ViewSpec::trajectory(rng.gen::<f32>().min(1.0)),
+        v if v < 0.90 => ViewSpec::Orbit {
+            angle: rng.gen::<f32>() * std::f32::consts::TAU,
+            radius_scale: 0.8 + 0.6 * rng.gen::<f32>(),
+            height_offset: rng.gen::<f32>() - 0.5,
+        },
+        _ => ViewSpec::look_at(
+            Vec3::new(
+                2.0 + 2.0 * rng.gen::<f32>(),
+                0.5 + rng.gen::<f32>(),
+                -4.0 + rng.gen::<f32>(),
+            ),
+            Vec3::ZERO,
+        ),
+    };
+
+    let mut options = RenderOptions::default().with_schedule(pick_weighted(rng, &SCHEDULE_MIX));
+    // 35% of requests override the resolution; half of those also ask for
+    // an ROI (bounds are known at submit for overridden resolutions, so
+    // the whole request validates up front).
+    if rng.gen::<f32>() < 0.35 {
+        let (w, h) = RESOLUTIONS[(rng.gen::<u64>() % RESOLUTIONS.len() as u64) as usize];
+        options = options.at_resolution(w, h);
+        if rng.gen::<f32>() < 0.5 {
+            let rw = w / 4 + (rng.gen::<u64>() % u64::from(w / 4)) as u32;
+            let rh = h / 4 + (rng.gen::<u64>() % u64::from(h / 4)) as u32;
+            let rx = (rng.gen::<u64>() % u64::from(w - rw + 1)) as u32;
+            let ry = (rng.gen::<u64>() % u64::from(h - rh + 1)) as u32;
+            options = options.with_roi(Roi::new(rx, ry, rw, rh));
+        }
+    }
+    RenderRequest::new(id, view).with_options(options)
+}
+
+/// Deterministic heterogeneous request streams, one per client. The
+/// streams are a pure function of `(scene set, clients, per_client,
+/// seed)` — both service configurations replay exactly the same requests.
 fn workload(
     scenes: &[BenchScene],
     clients: usize,
     per_client: usize,
     seed: u64,
 ) -> Vec<Vec<RenderRequest>> {
-    let total_w: f32 = scenes.iter().map(|s| s.weight).sum();
     (0..clients)
         .map(|c| {
             let mut rng =
                 StdRng::seed_from_u64(seed ^ (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
             (0..per_client)
-                .map(|_| {
-                    let mut pick = rng.gen::<f32>() * total_w;
-                    let mut id = scenes.last().expect("non-empty scene set").id;
-                    for s in scenes {
-                        if pick < s.weight {
-                            id = s.id;
-                            break;
-                        }
-                        pick -= s.weight;
-                    }
-                    RenderRequest {
-                        scene: id.into(),
-                        t: rng.gen::<f32>(),
-                    }
-                })
+                .map(|_| random_request(&mut rng, scenes))
                 .collect()
         })
         .collect()
@@ -193,11 +250,7 @@ fn run_config(
     registry: &[(String, SceneSource)],
     streams: &[Vec<RenderRequest>],
 ) -> ConfigRow {
-    let service = RenderService::new(
-        cfg.clone(),
-        registry.to_vec(),
-        Box::new(StandardRenderer::reference()),
-    );
+    let service = RenderService::new(cfg.clone(), registry.to_vec());
     let workers = service.workers();
     let start = Instant::now();
     std::thread::scope(|scope| {
@@ -228,28 +281,30 @@ fn run_config(
 }
 
 /// Serve-path determinism: a sample of requests rendered through the
-/// service must be bit-identical to direct renders of the file-loaded
-/// scenes. Returns the number of frames checked.
+/// service must be bit-identical to direct `render_job` calls on the
+/// file-loaded scenes — including the posed / overridden / ROI'd ones.
+/// Returns the number of frames checked.
 fn parity_check(
     registry: &[(String, SceneSource)],
     loaded: &[(String, Arc<Scene>)],
     streams: &[Vec<RenderRequest>],
 ) -> usize {
-    let service = RenderService::new(
-        ServeConfig::default(),
-        registry.to_vec(),
-        Box::new(StandardRenderer::reference()),
-    );
-    let direct = StandardRenderer::reference();
-    // One request per scene id plus the head of the first stream.
-    let mut samples: Vec<RenderRequest> = loaded
-        .iter()
-        .map(|(id, _)| RenderRequest {
-            scene: id.clone(),
-            t: 0.37,
-        })
-        .collect();
-    samples.extend(streams[0].iter().take(3).cloned());
+    let service = RenderService::new(ServeConfig::default(), registry.to_vec());
+    // One plain request per scene id, one heterogeneous request per scene,
+    // plus the head of the first stream.
+    let mut samples: Vec<RenderRequest> = Vec::new();
+    for (id, _) in loaded {
+        samples.push(RenderRequest::trajectory(id.clone(), 0.37));
+        samples.push(
+            RenderRequest::new(id.clone(), ViewSpec::orbit(1.2)).with_options(
+                RenderOptions::default()
+                    .with_schedule(Schedule::Gscore)
+                    .at_resolution(256, 192)
+                    .with_roi(Roi::new(32, 24, 128, 96)),
+            ),
+        );
+    }
+    samples.extend(streams[0].iter().take(4).cloned());
     let n = samples.len();
     for req in samples {
         let served = service
@@ -260,11 +315,17 @@ fn parity_check(
             .find(|(id, _)| *id == req.scene)
             .expect("sample scene registered")
             .1;
-        let want = direct.render_frame(&scene.gaussians, &scene.camera(req.t));
+        let cam = scene
+            .resolve_view(&req.view, &req.options)
+            .expect("parity request resolves");
+        let want = req.options.schedule.renderer().render_job(
+            &RenderJob::with_options(&scene.gaussians, &cam, req.options.clone()),
+            &mut FrameScratch::new(),
+        );
         assert_eq!(
             served.image, want.image,
-            "serve path diverged on {}",
-            req.scene
+            "serve path diverged on {} ({:?})",
+            req.scene, req.options
         );
         assert_eq!(
             served.stats, want.stats,
@@ -367,11 +428,22 @@ fn main() {
         ]);
     }
     table.print();
+    let mut sched_table = TablePrinter::new();
+    sched_table.row(["schedule", "requests", "frames", "batches"]);
+    for (schedule, c) in &batched.stats.per_schedule {
+        sched_table.row([
+            schedule.name().to_string(),
+            c.requests.to_string(),
+            c.frames.to_string(),
+            c.batches.to_string(),
+        ]);
+    }
+    sched_table.print();
     println!("speedup vs naive: {speedup:.2}x (parity: {parity_frames} frames bit-identical)");
 
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"bench_serve/v1\",\n");
+    json.push_str("  \"schema\": \"bench_serve/v2\",\n");
     json.push_str(&format!("  \"smoke\": {smoke},\n"));
     json.push_str(&format!("  \"clients\": {clients},\n"));
     json.push_str(&format!("  \"requests_per_client\": {per_client},\n"));
@@ -400,7 +472,7 @@ fn main() {
              \"latency_p50_ms\": {:.3}, \"latency_p95_ms\": {:.3}, \
              \"hit_rate\": {:.4}, \"hits\": {}, \"misses\": {}, \"loads\": {}, \
              \"evictions\": {}, \"frames\": {}, \"batches\": {}, \
-             \"frames_per_batch\": {:.3}, \"max_queue_depth\": {}}}{}\n",
+             \"frames_per_batch\": {:.3}, \"max_queue_depth\": {},\n",
             row.name,
             row.cache_budget_bytes,
             row.max_batch,
@@ -417,8 +489,20 @@ fn main() {
             s.batches,
             s.frames_per_batch(),
             s.max_queue_depth,
-            if i == 1 { "" } else { "," },
         ));
+        json.push_str("     \"per_schedule\": [");
+        for (j, (schedule, c)) in s.per_schedule.iter().enumerate() {
+            json.push_str(&format!(
+                "{}{{\"schedule\": \"{}\", \"requests\": {}, \"frames\": {}, \"batches\": {}}}",
+                if j == 0 { "" } else { ", " },
+                json_escape_free(schedule.name()),
+                c.requests,
+                c.frames,
+                c.batches,
+            ));
+        }
+        json.push_str("]}");
+        json.push_str(if i == 1 { "\n" } else { ",\n" });
     }
     json.push_str("  ],\n");
     json.push_str(&format!("  \"speedup_vs_naive\": {speedup:.3}\n"));
@@ -436,7 +520,8 @@ fn main() {
     println!("wrote {}", out_path.display());
 
     // Full mode is the acceptance run: the cache-hit batched service must
-    // at least double naive load-render-evict throughput.
+    // at least double naive load-render-evict throughput even on the
+    // heterogeneous workload.
     if !smoke && speedup < 2.0 {
         eprintln!("bench_serve: speedup {speedup:.2}x below the 2x acceptance threshold");
         std::process::exit(1);

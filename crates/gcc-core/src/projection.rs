@@ -129,6 +129,13 @@ pub fn map_color(p: &mut ProjectedGaussian, g: &Gaussian3D, cam: &Camera) {
     p.color = crate::sh::eval_color(&g.sh, cam.view_dir(g.mean));
 }
 
+/// [`map_color`] with the SH evaluation truncated to bands `l ≤ degree`
+/// ([`crate::sh::eval_color_deg`]) — the per-request SH degree clamp.
+/// `degree = 3` is bit-identical to [`map_color`].
+pub fn map_color_deg(p: &mut ProjectedGaussian, g: &Gaussian3D, cam: &Camera, degree: u8) {
+    p.color = crate::sh::eval_color_deg(&g.sh, cam.view_dir(g.mean), degree);
+}
+
 /// FMA cost of one position+shape projection in the cycle model
 /// (view transform, quaternion expansion, two 3×3 covariance products,
 /// Jacobian application, conic inversion).

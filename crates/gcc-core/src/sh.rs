@@ -74,12 +74,23 @@ pub fn basis(d: Vec3) -> [f32; SH_COEFFS_PER_CHANNEL] {
 /// reproducing the 3DGS convention `color = Σ c·f + 0.5`, clamped to be
 /// non-negative.
 pub fn eval_color(sh: &[f32; SH_FLOATS], dir: Vec3) -> Vec3 {
+    eval_color_deg(sh, dir, 3)
+}
+
+/// [`eval_color`] truncated to SH bands `l ≤ degree`: only the leading
+/// `(degree + 1)²` coefficients per channel contribute, in the same
+/// accumulation order as the full evaluation — at `degree = 3` the result
+/// is bit-identical to [`eval_color`]. Degrees above 3 clamp to 3. This is
+/// the arithmetic behind the per-request SH degree clamp quality knob.
+pub fn eval_color_deg(sh: &[f32; SH_FLOATS], dir: Vec3, degree: u8) -> Vec3 {
     let b = basis(dir);
+    let n =
+        ((degree.min(3) as usize + 1) * (degree.min(3) as usize + 1)).min(SH_COEFFS_PER_CHANNEL);
     let mut rgb = [0.0f32; 3];
     for (c, out) in rgb.iter_mut().enumerate() {
         let coeffs = &sh[c * SH_COEFFS_PER_CHANNEL..(c + 1) * SH_COEFFS_PER_CHANNEL];
         let mut acc = 0.0f32;
-        for (cf, bf) in coeffs.iter().zip(b.iter()) {
+        for (cf, bf) in coeffs[..n].iter().zip(b.iter()) {
             acc += cf * bf;
         }
         *out = (acc + 0.5).max(0.0);
@@ -191,6 +202,39 @@ mod tests {
         let full = eval_color(&sh, d);
         let dc = eval_color_dc(&sh, d);
         assert!((full - dc).norm() < 1e-6);
+    }
+
+    #[test]
+    fn degree3_clamp_is_bit_identical_to_full_eval() {
+        let mut sh = [0.0f32; SH_FLOATS];
+        for (i, v) in sh.iter_mut().enumerate() {
+            *v = ((i as f32) * 0.37).sin() * 0.4;
+        }
+        let d = unit(Vec3::new(0.2, -0.5, 0.8));
+        let full = eval_color(&sh, d);
+        let clamped = eval_color_deg(&sh, d, 3);
+        assert_eq!(full.x.to_bits(), clamped.x.to_bits());
+        assert_eq!(full.y.to_bits(), clamped.y.to_bits());
+        assert_eq!(full.z.to_bits(), clamped.z.to_bits());
+        // Degrees above 3 clamp to 3.
+        assert_eq!(eval_color_deg(&sh, d, 7), clamped);
+    }
+
+    #[test]
+    fn degree0_clamp_matches_dc_eval() {
+        let mut sh = [0.0f32; SH_FLOATS];
+        for (i, v) in sh.iter_mut().enumerate() {
+            *v = ((i as f32) * 0.61).cos() * 0.3;
+        }
+        let d = unit(Vec3::new(-0.4, 0.9, 0.1));
+        let dc = eval_color_dc(&sh, d);
+        let deg0 = eval_color_deg(&sh, d, 0);
+        assert!((dc - deg0).norm() < 1e-6);
+        // Lower degrees drop view dependence monotonically: degree 1 uses
+        // strictly fewer coefficients than degree 2.
+        let d1 = eval_color_deg(&sh, d, 1);
+        let d2 = eval_color_deg(&sh, d, 2);
+        assert_ne!(d1, d2);
     }
 
     #[test]

@@ -61,6 +61,12 @@ pub struct GaussianWiseConfig {
     pub grouping: Option<GroupingConfig>,
     /// Background color.
     pub background: Vec3,
+    /// Minimum alpha a contribution needs to be blended. `0.0` keeps the
+    /// pipeline's intrinsic `1/255` cutoff; higher values skip faint
+    /// contributions (per-request quality knob).
+    pub alpha_min: f32,
+    /// SH degree clamp for color evaluation (`0..=3`; 3 = full SH).
+    pub sh_degree: u8,
 }
 
 impl Default for GaussianWiseConfig {
@@ -74,6 +80,8 @@ impl Default for GaussianWiseConfig {
             subview: None,
             grouping: None,
             background: Vec3::ZERO,
+            alpha_min: 0.0,
+            sh_degree: 3,
         }
     }
 }
@@ -95,6 +103,23 @@ impl GaussianWiseConfig {
             cross_stage: false,
             ..Self::default()
         }
+    }
+
+    /// This configuration with a request's overrides applied (background,
+    /// alpha threshold, SH degree clamp). All-`None` options return an
+    /// identical configuration.
+    pub fn with_options(&self, options: &crate::pipeline::RenderOptions) -> Self {
+        let mut cfg = self.clone();
+        if let Some(bg) = options.background {
+            cfg.background = bg;
+        }
+        if let Some(a) = options.alpha_min {
+            cfg.alpha_min = a;
+        }
+        if let Some(d) = options.sh_degree {
+            cfg.sh_degree = d;
+        }
+        cfg
     }
 }
 
@@ -124,6 +149,12 @@ struct WindowContext<'a> {
     gaussians: &'a [Gaussian3D],
     groups: &'a DepthGroups,
     bounds: &'a [Option<ScreenBound>],
+    /// Region of interest in frame coordinates; blending (and the
+    /// cross-stage termination condition) is restricted to the 8×8 blocks
+    /// intersecting it. Only set under [`MaskMode::Traverse`], where block
+    /// dispatch is per-block local — under `SkipAndBlock` the driver falls
+    /// back to a full render + crop instead.
+    roi: Option<crate::pipeline::Roi>,
 }
 
 /// What one window render produces: its pixel patch, additive stats, and
@@ -154,7 +185,25 @@ fn render_window(ctx: &WindowContext<'_>, win: (u32, u32, u32, u32)) -> WindowOu
     let grid = BlockGrid::new(cfg.block, win.2, win.3);
     let mut tracer = BlockTracer::new(grid);
     let mut tmask = TMask::new(&grid);
-    let mut live_blocks = grid.block_count();
+    // Block-level ROI restriction: block rects are window-local, the ROI
+    // is frame-global.
+    let block_in_roi = |b: usize| match &ctx.roi {
+        None => true,
+        Some(r) => {
+            let (bx0, by0, bx1, by1) = grid.block_rect(b);
+            r.intersects(
+                i64::from(win.0) + i64::from(bx0),
+                i64::from(win.1) + i64::from(by0),
+                i64::from(win.0) + i64::from(bx1),
+                i64::from(win.1) + i64::from(by1),
+            )
+        }
+    };
+    // The rendering-termination condition counts only ROI blocks: once
+    // they all terminate, deeper groups can no longer change an ROI pixel
+    // (a terminated block's pixels reject every blend), so the
+    // cross-stage skip stays crop-exact.
+    let mut live_blocks = (0..grid.block_count()).filter(|&b| block_in_roi(b)).count();
     let mut patch = PixelPatch::new(win.0, win.1, win.2, win.3);
     let mut stats = FrameStats::default();
     let mut rendered = Vec::new();
@@ -211,6 +260,12 @@ fn render_window(ctx: &WindowContext<'_>, win: (u32, u32, u32, u32)) -> WindowOu
             stats.blocks_dispatched += tr.blocks_dispatched;
             stats.blocks_masked_skips += tr.blocks_masked;
             stats.pixels_evaluated += tr.pixels_evaluated;
+            // ROI restriction: blend only blocks that overlap the region
+            // (a no-op without one). Blocks are blended independently, so
+            // skipping the rest cannot change an ROI pixel.
+            if ctx.roi.is_some() {
+                blocks_buf.retain(|&b| block_in_roi(b));
+            }
 
             if cfg.cross_stage {
                 if blocks_buf.is_empty() {
@@ -218,7 +273,7 @@ fn render_window(ctx: &WindowContext<'_>, win: (u32, u32, u32, u32)) -> WindowOu
                 }
                 stats.sh_loads += 1;
             }
-            stages::shade_one(p, &ctx.gaussians[p.id as usize], &subcam);
+            stages::shade_one_deg(p, &ctx.gaussians[p.id as usize], &subcam, cfg.sh_degree);
 
             let mut contributed = false;
             for &b in &blocks_buf {
@@ -237,7 +292,7 @@ fn render_window(ctx: &WindowContext<'_>, win: (u32, u32, u32, u32)) -> WindowOu
                         }
                         stats.alpha_lane_evals += 1;
                         let a = alpha_row.alpha(&cfg.exp);
-                        if a > 0.0 {
+                        if a > cfg.alpha_min {
                             st.blend(a, p.color);
                             stats.pixels_blended += 1;
                             contributed = true;
@@ -302,6 +357,34 @@ pub fn render_gaussian_wise_scratch(
     parallelism: Parallelism,
     scratch: &mut FrameScratch,
 ) -> GaussianWiseOutput {
+    render_gaussian_wise_job(gaussians, cam, cfg, None, parallelism, scratch)
+}
+
+/// The request-model entry point: [`render_gaussian_wise_scratch`] with an
+/// optional region of interest, bit-identical to cropping the full-frame
+/// render. Under [`MaskMode::Traverse`] (the default) the restriction is
+/// real work reduction: only the Cmode windows and 8×8 blocks intersecting
+/// the ROI are blended, and the cross-stage termination condition counts
+/// only ROI blocks. Under [`MaskMode::SkipAndBlock`] the T-mask gates
+/// traversal *reachability*, so a pre-masked ROI would change which blocks
+/// a Gaussian reaches — the render falls back to the full frame plus a
+/// crop to preserve the bit-identity contract.
+pub fn render_gaussian_wise_job(
+    gaussians: &[Gaussian3D],
+    cam: &Camera,
+    cfg: &GaussianWiseConfig,
+    roi: Option<crate::pipeline::Roi>,
+    parallelism: Parallelism,
+    scratch: &mut FrameScratch,
+) -> GaussianWiseOutput {
+    if let (Some(r), MaskMode::SkipAndBlock) = (&roi, cfg.mask_mode) {
+        let full = render_gaussian_wise_job(gaussians, cam, cfg, None, parallelism, scratch);
+        return GaussianWiseOutput {
+            image: crate::pipeline::crop_image(&full.image, r),
+            stats: full.stats,
+            group_sizes: full.group_sizes,
+        };
+    }
     let threads = parallelism.threads();
     let (w, h) = (cam.width, cam.height);
 
@@ -319,7 +402,19 @@ pub fn render_gaussian_wise_scratch(
         .collect();
 
     // ---- Cmode window partition + conservative screen bounds. ----
-    let windows = stages::partition_windows(w, h, cfg.subview);
+    // ROI restriction at window granularity: windows are independent, so
+    // only those overlapping the region run at all.
+    let mut windows = stages::partition_windows(w, h, cfg.subview);
+    if let Some(r) = &roi {
+        windows.retain(|&(x, y, ww, wh)| {
+            r.intersects(
+                i64::from(x),
+                i64::from(y),
+                i64::from(x) + i64::from(ww),
+                i64::from(y) + i64::from(wh),
+            )
+        });
+    }
     let focal = cam.fx.max(cam.fy);
     let bounds: Vec<Option<ScreenBound>> = par_map_chunked(gaussians, threads, |i, g| {
         let z = depths[i];
@@ -346,6 +441,7 @@ pub fn render_gaussian_wise_scratch(
         gaussians,
         groups: &groups,
         bounds: &bounds,
+        roi,
     };
     let outcomes = par_map_indexed(windows.len(), threads, |wi| {
         render_window(&ctx, windows[wi])
@@ -356,11 +452,17 @@ pub fn render_gaussian_wise_scratch(
     // A fresh PixelState resolves to exactly the background (T = 1, no
     // color), so the frame is pre-filled directly (windows tile the whole
     // image; the fill is only visible if a window produces no patch).
-    let mut image = Image::filled(w, h, cfg.background);
+    let (out_w, out_h, origin_x, origin_y) = match &roi {
+        Some(r) => (r.width, r.height, r.x0, r.y0),
+        None => (w, h, 0, 0),
+    };
+    let mut image = Image::filled(out_w, out_h, cfg.background);
     let mut rendered_anywhere = vec![false; gaussians.len()];
     for outcome in &outcomes {
         stats.merge_add(&outcome.stats);
-        outcome.patch.resolve_into(&mut image, cfg.background);
+        outcome
+            .patch
+            .resolve_into_clipped(&mut image, cfg.background, origin_x, origin_y);
         for &id in &outcome.rendered {
             rendered_anywhere[id as usize] = true;
         }

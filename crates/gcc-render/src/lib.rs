@@ -36,4 +36,7 @@ pub mod quality;
 pub mod standard;
 
 pub use image::Image;
-pub use pipeline::{Frame, FrameStats, GaussianWiseRenderer, Renderer, StandardRenderer};
+pub use pipeline::{
+    Frame, FrameStats, GaussianWiseRenderer, JobError, RenderJob, RenderOptions, Renderer, Roi,
+    Schedule, StandardRenderer,
+};

@@ -22,19 +22,29 @@
 //! A third schedule (e.g. GSCore's hierarchical tile sorting) becomes a
 //! new `Renderer` implementation over the same stages — no new stats
 //! plumbing, no simulator changes.
+//!
+//! Since the request-model redesign, the primary entry point is
+//! [`Renderer::render_job`]: a [`RenderJob`] carries the cloud, a resolved
+//! [`Camera`], and per-request [`RenderOptions`] (schedule selection via
+//! [`Schedule`], region-of-interest [`Roi`], background and quality
+//! knobs). `render_frame` / `render_frame_reusing` are thin shims over a
+//! default-options job.
 
+mod job;
 mod scratch;
 pub mod stages;
 mod stats;
 
 pub use gcc_parallel::Parallelism;
+pub(crate) use job::crop_image;
+pub use job::{JobError, RenderJob, RenderOptions, Roi, Schedule};
 pub use scratch::FrameScratch;
 pub use stats::FrameStats;
 
 use gcc_core::{Camera, Gaussian3D};
 
-use crate::gaussian_wise::{render_gaussian_wise_scratch, GaussianWiseConfig};
-use crate::standard::{render_standard_scratch, StandardConfig};
+use crate::gaussian_wise::{render_gaussian_wise_job, GaussianWiseConfig};
+use crate::standard::{render_standard_job, StandardConfig};
 use crate::Image;
 
 /// One rendered frame: the image plus the unified workload statistics.
@@ -73,6 +83,33 @@ pub trait Renderer: Sync {
     ) -> Frame {
         let _ = scratch;
         self.render_frame(gaussians, cam)
+    }
+
+    /// Renders one fully specified request — the primary entry point of
+    /// the request-model API. A default-options job is identical to
+    /// [`Self::render_frame_reusing`]; an ROI job's image is bit-identical
+    /// to the crop of the full-frame render (see
+    /// [`RenderOptions`]).
+    ///
+    /// The default implementation renders the full frame and crops the
+    /// ROI; it ignores schedule-cooperative options (background override,
+    /// quality knobs), which the in-tree schedules honor through their own
+    /// overrides. `options.schedule` never changes which renderer runs —
+    /// dispatch on it with [`Schedule::renderer`] or the serving layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the job fails [`RenderJob::validate`] (serving-layer
+    /// callers validate at submit and return typed errors instead).
+    fn render_job(&self, job: &RenderJob<'_>, scratch: &mut FrameScratch) -> Frame {
+        if let Err(e) = job.validate() {
+            panic!("invalid render job: {e}");
+        }
+        let mut frame = self.render_frame_reusing(job.gaussians, job.camera, scratch);
+        if let Some(roi) = &job.options.roi {
+            frame.image = job::crop_image(&frame.image, roi);
+        }
+        frame
     }
 }
 
@@ -135,7 +172,22 @@ impl Renderer for StandardRenderer {
         cam: &Camera,
         scratch: &mut FrameScratch,
     ) -> Frame {
-        let out = render_standard_scratch(gaussians, cam, &self.cfg, self.parallelism, scratch);
+        self.render_job(&RenderJob::new(gaussians, cam), scratch)
+    }
+
+    fn render_job(&self, job: &RenderJob<'_>, scratch: &mut FrameScratch) -> Frame {
+        if let Err(e) = job.validate() {
+            panic!("invalid render job: {e}");
+        }
+        let cfg = self.cfg.with_options(&job.options);
+        let out = render_standard_job(
+            job.gaussians,
+            job.camera,
+            &cfg,
+            job.options.roi,
+            self.parallelism,
+            scratch,
+        );
         Frame {
             image: out.image,
             stats: out.stats,
@@ -199,8 +251,22 @@ impl Renderer for GaussianWiseRenderer {
         cam: &Camera,
         scratch: &mut FrameScratch,
     ) -> Frame {
-        let out =
-            render_gaussian_wise_scratch(gaussians, cam, &self.cfg, self.parallelism, scratch);
+        self.render_job(&RenderJob::new(gaussians, cam), scratch)
+    }
+
+    fn render_job(&self, job: &RenderJob<'_>, scratch: &mut FrameScratch) -> Frame {
+        if let Err(e) = job.validate() {
+            panic!("invalid render job: {e}");
+        }
+        let cfg = self.cfg.with_options(&job.options);
+        let out = render_gaussian_wise_job(
+            job.gaussians,
+            job.camera,
+            &cfg,
+            job.options.roi,
+            self.parallelism,
+            scratch,
+        );
         Frame {
             image: out.image,
             stats: out.stats,

@@ -25,7 +25,7 @@
 
 use gcc_core::alpha::PixelState;
 use gcc_core::bounds::{BoundingLaw, PixelRect};
-use gcc_core::projection::{map_color, project_gaussian};
+use gcc_core::projection::{map_color, map_color_deg, project_gaussian};
 use gcc_core::sort::depth_key;
 use gcc_core::{Camera, Gaussian3D, ProjectedGaussian};
 use gcc_math::Vec3;
@@ -51,6 +51,13 @@ pub fn shade_one(p: &mut ProjectedGaussian, g: &Gaussian3D, cam: &Camera) {
     map_color(p, g, cam);
 }
 
+/// [`shade_one`] with the SH evaluation clamped to bands `l ≤ degree` —
+/// the per-request SH degree quality knob. `degree = 3` is bit-identical
+/// to [`shade_one`].
+pub fn shade_one_deg(p: &mut ProjectedGaussian, g: &Gaussian3D, cam: &Camera, degree: u8) {
+    map_color_deg(p, g, cam, degree);
+}
+
 /// The standard schedule's eager preprocessing: every Gaussian through
 /// cull + project + SH. Survivors come back in scene order regardless of
 /// `threads`, so downstream binning and sorting see the exact sequential
@@ -61,9 +68,21 @@ pub fn project_and_shade_all(
     law: BoundingLaw,
     threads: usize,
 ) -> Vec<ProjectedGaussian> {
+    project_and_shade_all_deg(gaussians, cam, law, 3, threads)
+}
+
+/// [`project_and_shade_all`] with the SH degree clamp of
+/// [`shade_one_deg`]; `degree = 3` is bit-identical.
+pub fn project_and_shade_all_deg(
+    gaussians: &[Gaussian3D],
+    cam: &Camera,
+    law: BoundingLaw,
+    degree: u8,
+    threads: usize,
+) -> Vec<ProjectedGaussian> {
     par_filter_map_chunked(gaussians, threads, |i, g| {
         project_one(g, i as u32, cam, law).map(|mut p| {
-            shade_one(&mut p, g, cam);
+            shade_one_deg(&mut p, g, cam, degree);
             p
         })
     })
@@ -368,6 +387,40 @@ impl PixelPatch {
             }
         }
     }
+
+    /// [`Self::resolve_into`] for an image covering only the frame-space
+    /// window starting at `(origin_x, origin_y)` (e.g. a region-of-interest
+    /// output): writes the intersection of the patch with the window,
+    /// silently clipping the rest. With origin `(0, 0)` and a full-frame
+    /// image this resolves exactly the patch rectangle.
+    pub fn resolve_into_clipped(
+        &self,
+        image: &mut Image,
+        background: Vec3,
+        origin_x: u32,
+        origin_y: u32,
+    ) {
+        // Frame-space overlap of patch and window.
+        let ox0 = self.x0.max(origin_x);
+        let oy0 = self.y0.max(origin_y);
+        let ox1 = (self.x0 + self.w).min(origin_x + image.width());
+        let oy1 = (self.y0 + self.h).min(origin_y + image.height());
+        if ox0 >= ox1 || oy0 >= oy1 {
+            return;
+        }
+        let w = (ox1 - ox0) as usize;
+        let iw = image.width() as usize;
+        let pixels = image.pixels_mut();
+        for y in oy0..oy1 {
+            let src_off = ((y - self.y0) as usize) * self.w as usize + (ox0 - self.x0) as usize;
+            let dst_off = ((y - origin_y) as usize) * iw + (ox0 - origin_x) as usize;
+            let src = &self.states[src_off..src_off + w];
+            let dst = &mut pixels[dst_off..dst_off + w];
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d = s.resolve(background);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -446,6 +499,56 @@ mod tests {
         assert_eq!(img.get(3, 1), Vec3::splat(0.5));
         // …and pixels outside the patch stay black.
         assert_eq!(img.get(0, 0), Vec3::ZERO);
+    }
+
+    #[test]
+    fn clipped_resolve_matches_full_resolve_on_the_overlap() {
+        let mut patch = PixelPatch::new(4, 2, 6, 5);
+        patch.state_mut(1, 1).blend(0.8, Vec3::new(0.0, 1.0, 0.0));
+        patch.state_mut(5, 4).blend(0.6, Vec3::new(1.0, 0.0, 0.0));
+        let bg = Vec3::splat(0.25);
+        // Full-frame reference.
+        let mut full = Image::new(16, 12);
+        patch.resolve_into(&mut full, bg);
+        // Window covering frame rect [6, 14) x [3, 8): overlaps the patch
+        // partially on the left/top.
+        let mut win = Image::filled(8, 5, Vec3::ZERO);
+        patch.resolve_into_clipped(&mut win, bg, 6, 3);
+        for y in 0..5u32 {
+            for x in 0..8u32 {
+                let (fx, fy) = (6 + x, 3 + y);
+                let inside_patch = (4..10).contains(&fx) && (2..7).contains(&fy);
+                if inside_patch {
+                    assert_eq!(win.get(x, y), full.get(fx, fy), "({fx},{fy})");
+                } else {
+                    assert_eq!(win.get(x, y), Vec3::ZERO, "({fx},{fy}) must be clipped");
+                }
+            }
+        }
+        // Disjoint window: nothing written.
+        let mut far = Image::filled(4, 4, Vec3::splat(0.9));
+        patch.resolve_into_clipped(&mut far, bg, 12, 10);
+        assert_eq!(far.get(0, 0), Vec3::splat(0.9));
+    }
+
+    #[test]
+    fn degree_clamped_preprocess_matches_full_at_degree_3() {
+        let cam = cam();
+        let mut g = cloud(120);
+        // `isotropic` clouds are DC-only; add a degree-1 band so the clamp
+        // has view-dependent terms to drop.
+        for (i, gauss) in g.iter_mut().enumerate() {
+            gauss.sh[2] = 0.3 + (i as f32) * 0.001;
+        }
+        let full = project_and_shade_all(&g, &cam, BoundingLaw::ThreeSigma, 1);
+        let deg3 = project_and_shade_all_deg(&g, &cam, BoundingLaw::ThreeSigma, 3, 1);
+        assert_eq!(full.len(), deg3.len());
+        for (a, b) in full.iter().zip(&deg3) {
+            assert_eq!(a.color, b.color);
+        }
+        // Degree 0 drops view dependence: colors differ somewhere.
+        let deg0 = project_and_shade_all_deg(&g, &cam, BoundingLaw::ThreeSigma, 0, 1);
+        assert!(full.iter().zip(&deg0).any(|(a, b)| a.color != b.color));
     }
 
     #[test]

@@ -65,6 +65,12 @@ pub struct StandardConfig {
     pub exp: ExpMode,
     /// Background color composited behind the splats.
     pub background: Vec3,
+    /// Minimum alpha a contribution needs to be blended. `0.0` keeps the
+    /// pipeline's intrinsic `1/255` cutoff; higher values skip faint
+    /// contributions (per-request quality knob).
+    pub alpha_min: f32,
+    /// SH degree clamp for color evaluation (`0..=3`; 3 = full SH).
+    pub sh_degree: u8,
 }
 
 impl Default for StandardConfig {
@@ -75,6 +81,8 @@ impl Default for StandardConfig {
             footprint: Footprint::Aabb,
             exp: ExpMode::Exact,
             background: Vec3::ZERO,
+            alpha_min: 0.0,
+            sh_degree: 3,
         }
     }
 }
@@ -87,6 +95,23 @@ impl StandardConfig {
             footprint: Footprint::Obb,
             ..Self::default()
         }
+    }
+
+    /// This configuration with a request's overrides applied (background,
+    /// alpha threshold, SH degree clamp). All-`None` options return an
+    /// identical configuration.
+    pub fn with_options(&self, options: &crate::pipeline::RenderOptions) -> Self {
+        let mut cfg = self.clone();
+        if let Some(bg) = options.background {
+            cfg.background = bg;
+        }
+        if let Some(a) = options.alpha_min {
+            cfg.alpha_min = a;
+        }
+        if let Some(d) = options.sh_degree {
+            cfg.sh_degree = d;
+        }
+        cfg
     }
 }
 
@@ -204,7 +229,7 @@ fn render_tile(ctx: &TileContext<'_>, tile: usize, bin: &[u32]) -> TileOutcome {
             for st in &mut row[(sx0 - x0) as usize..(sx1 - x0) as usize] {
                 if !st.terminated() {
                     let a = alpha_row.alpha(&ctx.cfg.exp);
-                    if a > 0.0 {
+                    if a > ctx.cfg.alpha_min {
                         st.blend(a, p.color);
                         stats.pixels_blended += 1;
                         contributed = true;
@@ -262,6 +287,25 @@ pub fn render_standard_scratch(
     parallelism: Parallelism,
     scratch: &mut FrameScratch,
 ) -> StandardOutput {
+    render_standard_job(gaussians, cam, cfg, None, parallelism, scratch)
+}
+
+/// The request-model entry point: [`render_standard_scratch`] with an
+/// optional region of interest. An ROI render keeps full-frame arithmetic
+/// (projection, global ordering, binning are unchanged) and renders only
+/// the tiles intersecting the ROI — every tile is a pure function of the
+/// global depth order, so the output is bit-identical to cropping the
+/// full-frame render. Work counters cover only the processed tiles;
+/// grid-level fields (`tiles`, `kv_pairs`, the per-tile counts) keep their
+/// full-frame definitions.
+pub fn render_standard_job(
+    gaussians: &[Gaussian3D],
+    cam: &Camera,
+    cfg: &StandardConfig,
+    roi: Option<crate::pipeline::Roi>,
+    parallelism: Parallelism,
+    scratch: &mut FrameScratch,
+) -> StandardOutput {
     let threads = parallelism.threads();
     let (w, h) = (cam.width, cam.height);
     let ts = cfg.tile_size;
@@ -270,7 +314,8 @@ pub fn render_standard_scratch(
     let n_tiles = (tiles_x * tiles_y) as usize;
 
     // ---- Stage 1: preprocess everything (the paper's Challenge 1). ----
-    let projected = stages::project_and_shade_all(gaussians, cam, cfg.law, threads);
+    let projected =
+        stages::project_and_shade_all_deg(gaussians, cam, cfg.law, cfg.sh_degree, threads);
 
     let mut stats = FrameStats {
         total_gaussians: gaussians.len() as u64,
@@ -317,7 +362,25 @@ pub fn render_standard_scratch(
         tiles_x,
     };
     let bins = &scratch.bins;
-    let occupied: Vec<usize> = (0..n_tiles).filter(|&t| bins.count(t) > 0).collect();
+    // ROI restriction: only tiles whose pixel rectangle intersects the
+    // region run (each tile is pure, so skipping the rest cannot change
+    // the ROI pixels).
+    let in_roi = |t: usize| match &roi {
+        None => true,
+        Some(r) => {
+            let tx = (t as u32) % tiles_x;
+            let ty = (t as u32) / tiles_x;
+            r.intersects(
+                i64::from(tx * ts),
+                i64::from(ty * ts),
+                i64::from(((tx + 1) * ts).min(w)),
+                i64::from(((ty + 1) * ts).min(h)),
+            )
+        }
+    };
+    let occupied: Vec<usize> = (0..n_tiles)
+        .filter(|&t| bins.count(t) > 0 && in_roi(t))
+        .collect();
     let outcomes = par_map_indexed(occupied.len(), threads, |k| {
         let t = occupied[k];
         render_tile(&ctx, t, bins.bin(t))
@@ -328,12 +391,18 @@ pub fn render_standard_scratch(
     // merge reproduces the sequential render exactly. ----
     // A fresh PixelState resolves to exactly the background (T = 1, no
     // color), so unoccupied tiles are pre-filled directly.
-    let mut image = Image::filled(w, h, cfg.background);
+    let (out_w, out_h, origin_x, origin_y) = match &roi {
+        Some(r) => (r.width, r.height, r.x0, r.y0),
+        None => (w, h, 0, 0),
+    };
+    let mut image = Image::filled(out_w, out_h, cfg.background);
     let mut loaded = vec![false; projected.len()];
     let mut rendered = vec![false; projected.len()];
     for outcome in &outcomes {
         stats.merge_add(&outcome.stats);
-        outcome.patch.resolve_into(&mut image, cfg.background);
+        outcome
+            .patch
+            .resolve_into_clipped(&mut image, cfg.background, origin_x, origin_y);
         for &idx in &outcome.loaded {
             loaded[idx as usize] = true;
         }

@@ -40,8 +40,10 @@ pub mod rng;
 mod runner;
 mod scene;
 mod trajectory;
+mod view;
 
 pub use preset::{PresetParams, SceneKind, ScenePreset, ALL_PRESETS};
 pub use runner::{TrajectoryResult, TrajectoryRunner};
 pub use scene::{Scene, SceneConfig, SceneStats};
 pub use trajectory::OrbitRig;
+pub use view::{ViewError, ViewSpec};

@@ -23,9 +23,9 @@
 
 use gcc_core::Camera;
 use gcc_parallel::{par_map_indexed_with, Parallelism};
-use gcc_render::pipeline::{Frame, FrameScratch, FrameStats, Renderer};
+use gcc_render::pipeline::{Frame, FrameScratch, FrameStats, RenderJob, RenderOptions, Renderer};
 
-use crate::Scene;
+use crate::{Scene, ViewSpec};
 
 /// Renders a scene's camera trajectory as a batch through any renderer.
 #[derive(Debug, Clone)]
@@ -65,6 +65,16 @@ impl TrajectoryRunner {
         self
     }
 
+    /// The view requests this runner emits, in trajectory order:
+    /// [`ViewSpec::Trajectory`] at `t = i / frames`. This is the runner's
+    /// half of the request-model API — pair each view with
+    /// [`RenderOptions`] and any scene to get concrete render jobs.
+    pub fn views(&self) -> Vec<ViewSpec> {
+        (0..self.frames)
+            .map(|i| ViewSpec::trajectory(i as f32 / self.frames as f32))
+            .collect()
+    }
+
     /// The cameras this runner samples, in trajectory order.
     pub fn cameras(&self, scene: &Scene) -> Vec<Camera> {
         (0..self.frames)
@@ -72,16 +82,47 @@ impl TrajectoryRunner {
             .collect()
     }
 
-    /// Renders the whole trajectory through `renderer`. Frame `i` of the
-    /// result is viewpoint `t = i / frames`, independent of the thread
-    /// count.
+    /// Renders the whole trajectory through `renderer` with default
+    /// options. Frame `i` of the result is viewpoint `t = i / frames`,
+    /// independent of the thread count.
     pub fn run(&self, scene: &Scene, renderer: &dyn Renderer) -> TrajectoryResult {
-        let cameras = self.cameras(scene);
+        self.run_with_options(scene, renderer, &RenderOptions::default())
+    }
+
+    /// Renders the whole trajectory with per-request [`RenderOptions`]
+    /// applied to every frame (resolution override, ROI, background and
+    /// quality knobs). With default options this is exactly [`Self::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the options are invalid for this scene (direct callers
+    /// get the typed error from [`Scene::resolve_view`]; the serving layer
+    /// validates at submit).
+    pub fn run_with_options(
+        &self,
+        scene: &Scene,
+        renderer: &dyn Renderer,
+        options: &RenderOptions,
+    ) -> TrajectoryResult {
+        let views = self.views();
+        let cameras: Vec<Camera> = views
+            .iter()
+            .map(|v| {
+                scene
+                    .resolve_view(v, options)
+                    .expect("trajectory views are valid by construction")
+            })
+            .collect();
         let frames = par_map_indexed_with(
             cameras.len(),
             self.parallelism.threads(),
             FrameScratch::new,
-            |scratch, i| renderer.render_frame_reusing(&scene.gaussians, &cameras[i], scratch),
+            |scratch, i| {
+                renderer.render_job(
+                    &RenderJob::with_options(&scene.gaussians, &cameras[i], options.clone()),
+                    scratch,
+                )
+            },
         );
         TrajectoryResult { frames }
     }

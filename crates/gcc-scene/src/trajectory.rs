@@ -26,12 +26,36 @@ pub struct OrbitRig {
 impl OrbitRig {
     /// Camera at parameter `t ∈ [0, 1)`.
     pub fn camera(&self, t: f32, fov_y_deg: f32, width: u32, height: u32) -> Camera {
-        let angle = self.phase + t * self.arc * std::f32::consts::TAU;
+        self.camera_at_angle(
+            t * self.arc * std::f32::consts::TAU,
+            1.0,
+            0.0,
+            fov_y_deg,
+            width,
+            height,
+        )
+    }
+
+    /// Camera at an absolute orbit `angle` (radians past [`Self::phase`]),
+    /// with the radius scaled by `radius_scale` and the eye height shifted
+    /// by `height_offset` — the resolution target of
+    /// [`ViewSpec::Orbit`](crate::ViewSpec::Orbit). `camera_at_angle(t ·
+    /// arc · τ, 1.0, 0.0, …)` is exactly [`Self::camera`] at `t`.
+    pub fn camera_at_angle(
+        &self,
+        angle: f32,
+        radius_scale: f32,
+        height_offset: f32,
+        fov_y_deg: f32,
+        width: u32,
+        height: u32,
+    ) -> Camera {
+        let a = self.phase + angle;
         let eye = self.center
             + Vec3::new(
-                self.radius * angle.cos(),
-                self.height,
-                self.radius * angle.sin(),
+                self.radius * radius_scale * a.cos(),
+                self.height + height_offset,
+                self.radius * radius_scale * a.sin(),
             );
         Camera::look_at(
             eye,

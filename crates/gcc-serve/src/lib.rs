@@ -11,9 +11,10 @@
 //!   handles (presets, binary/JSON files via `gcc_scene::io`) and stay
 //!   resident under a byte budget with least-recently-used eviction.
 //! * [`RenderService`] — a long-lived worker pool
-//!   ([`gcc_parallel::WorkerPool`]) over a per-scene batching queue:
-//!   requests for the same resident scene are coalesced into batches so a
-//!   worker renders them back-to-back through one reusable
+//!   ([`gcc_parallel::WorkerPool`]) over a batching queue keyed by
+//!   `(scene, schedule, resolution)`: requests that agree on those three
+//!   are coalesced into batches so a worker renders them back-to-back
+//!   through one reusable
 //!   [`FrameScratch`](gcc_render::pipeline::FrameScratch) (the
 //!   trajectory-runner reuse discipline, extended from one batch to the
 //!   whole worker lifetime); requests for a cold scene trigger an
@@ -21,20 +22,30 @@
 //!   itself (load-then-drain), while other workers keep serving resident
 //!   scenes.
 //! * [`ServeStats`] — the introspection surface: per-scene hit / miss /
-//!   eviction / batch counters, queue depth watermarks, p50/p95 request
-//!   latency, and the folded
+//!   eviction / batch counters, per-schedule request/frame breakdowns,
+//!   queue depth watermarks, p50/p95 request latency, and the folded
 //!   [`FrameStats`](gcc_render::pipeline::FrameStats) of everything
 //!   rendered.
 //!
+//! Since the request-model redesign a request is a full view description:
+//! a [`ViewSpec`](gcc_scene::ViewSpec) (trajectory parameter, explicit
+//! pose, or orbit angle) plus [`RenderOptions`](gcc_render::RenderOptions)
+//! (schedule selection, resolution override, region of interest,
+//! background and quality knobs). Requests are validated at
+//! [`RenderService::submit`]: NaN parameters, out-of-range trajectory
+//! values, zero-sized ROIs and unknown scene ids come back as typed
+//! [`ServeError`]s instead of reaching a render worker.
+//!
 //! Determinism contract: a served frame is bit-identical to calling
-//! [`Renderer::render_frame`](gcc_render::pipeline::Renderer::render_frame)
-//! directly with the same scene and camera — scratch reuse, batching and
-//! scheduling order never leak into pixels (`tests/serve_parity.rs` pins
-//! this at the workspace level).
+//! [`Renderer::render_job`](gcc_render::pipeline::Renderer::render_job)
+//! directly with the same scene, resolved camera and options — scratch
+//! reuse, batching and scheduling order never leak into pixels
+//! (`tests/serve_parity.rs` pins this at the workspace level, across
+//! schedules, resolutions, ROIs and explicit poses).
 //!
 //! ```
-//! use gcc_render::pipeline::StandardRenderer;
-//! use gcc_scene::{SceneConfig, ScenePreset};
+//! use gcc_render::{RenderOptions, Schedule};
+//! use gcc_scene::{ScenePreset, ViewSpec};
 //! use gcc_serve::{RenderRequest, RenderService, SceneSource, ServeConfig};
 //!
 //! let service = RenderService::new(
@@ -43,15 +54,27 @@
 //!         "lego".to_string(),
 //!         SceneSource::Preset { preset: ScenePreset::Lego, scale: 0.02 },
 //!     )],
-//!     Box::new(StandardRenderer::reference()),
 //! );
+//! // The historical surface: trajectory parameter, default options.
 //! let frame = service
-//!     .submit(RenderRequest { scene: "lego".into(), t: 0.25 })
+//!     .submit(RenderRequest::trajectory("lego", 0.25))
 //!     .unwrap()
 //!     .wait()
 //!     .unwrap();
 //! assert!(frame.image.width() > 0);
-//! assert_eq!(service.stats().completed, 1);
+//! // The full request model: explicit pose, schedule and resolution.
+//! let posed = RenderRequest::new(
+//!     "lego",
+//!     ViewSpec::look_at(gcc_math::Vec3::new(0.0, 1.0, -4.0), gcc_math::Vec3::ZERO),
+//! )
+//! .with_options(
+//!     RenderOptions::default()
+//!         .with_schedule(Schedule::GccHardware)
+//!         .at_resolution(160, 120),
+//! );
+//! let small = service.render_blocking(posed).unwrap();
+//! assert_eq!((small.image.width(), small.image.height()), (160, 120));
+//! assert_eq!(service.stats().completed, 2);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -63,15 +86,21 @@ mod source;
 mod stats;
 
 pub use cache::LruSceneCache;
-pub use service::{RenderHandle, RenderRequest, RenderService, ServeConfig};
+pub use service::{RenderHandle, RenderRequest, RenderService, ScheduleRenderers, ServeConfig};
 pub use source::SceneSource;
-pub use stats::{percentile_us, SceneCounters, ServeStats};
+pub use stats::{percentile_us, SceneCounters, ScheduleCounters, ServeStats};
+
+use gcc_scene::ViewError;
 
 /// Errors surfaced by the serving layer.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ServeError {
     /// The request named a scene id absent from the registry.
     UnknownScene(String),
+    /// The request's view or options failed validation (NaN / out-of-range
+    /// trajectory parameter, degenerate pose, zero-sized or out-of-bounds
+    /// ROI, bad quality knobs).
+    InvalidRequest(ViewError),
     /// The scene's source failed to load (message carries the I/O or
     /// format error; it is a string so one failure can fan out to every
     /// request waiting on the load).
@@ -81,7 +110,9 @@ pub enum ServeError {
         /// Human-readable cause.
         message: String,
     },
-    /// The service is shutting down and accepts no new requests.
+    /// The service is shutting down and accepts no new requests; also the
+    /// resolution of any handle still queued when the service shut down
+    /// (no [`RenderHandle::wait`] blocks past shutdown).
     ShuttingDown,
     /// The worker rendering this request's batch panicked. The waiter is
     /// failed instead of stranded; the panic itself resurfaces when the
@@ -93,6 +124,7 @@ impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::UnknownScene(id) => write!(f, "unknown scene '{id}'"),
+            Self::InvalidRequest(e) => write!(f, "invalid request: {e}"),
             Self::Load { scene, message } => write!(f, "loading scene '{scene}' failed: {message}"),
             Self::ShuttingDown => write!(f, "service is shutting down"),
             Self::WorkerPanicked => write!(f, "a render worker panicked on this batch"),
@@ -100,4 +132,11 @@ impl std::fmt::Display for ServeError {
     }
 }
 
-impl std::error::Error for ServeError {}
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::InvalidRequest(e) => Some(e),
+            _ => None,
+        }
+    }
+}

@@ -1,16 +1,33 @@
-//! The render service: a long-lived worker pool over a per-scene
-//! batching queue and the LRU scene cache.
+//! The render service: a long-lived worker pool over a batching queue
+//! keyed by `(scene, schedule, resolution)`, and the LRU scene cache.
+//!
+//! # Request model
+//!
+//! A [`RenderRequest`] is a scene id, a [`ViewSpec`] (trajectory
+//! parameter, explicit pose, or orbit angle) and [`RenderOptions`]
+//! (schedule selection, resolution override, region of interest,
+//! background and quality knobs). [`RenderService::submit`] validates the
+//! request — unknown scene ids, NaN / out-of-range parameters and
+//! zero-sized ROIs fail with typed [`ServeError`]s before any worker sees
+//! them; ROI bounds against a scene's *native* resolution can only be
+//! checked once the scene is known, so that case resolves through the
+//! handle instead of panicking a worker.
 //!
 //! # Scheduling
 //!
 //! All coordination state lives in one mutex (`State`) with one condvar.
-//! A worker's step either *plans* a job under the lock — drain a batch
-//! for a resident scene, or claim a cold scene's load — and executes it
-//! with the lock released, or blocks on the condvar when every pending
-//! scene is already being loaded by someone else. Scenes take turns in
-//! FIFO order (`order` rotates a drained-but-nonempty scene to the back),
-//! so a hot scene cannot starve cold ones; within a scene, requests are
-//! served in submission order.
+//! Queues are keyed by [`BatchKey`] — scene, schedule, resolution — so a
+//! drained batch is renderable back-to-back on one worker with one
+//! renderer; heterogeneous options *within* a key (different views, ROIs,
+//! backgrounds, quality knobs) still coalesce because every frame carries
+//! its own options through [`Renderer::render_job`]. A worker's step
+//! either *plans* a job under the lock — drain a batch for a resident
+//! scene, or claim a cold scene's load — and executes it with the lock
+//! released, or blocks on the condvar when every pending scene is already
+//! being loaded by someone else. Keys take turns in FIFO order (`order`
+//! rotates a drained-but-nonempty key to the back), so a hot scene or
+//! schedule cannot starve others; within a key, requests are served in
+//! submission order.
 //!
 //! A cold scene is loaded by exactly one worker (the `loading` guard),
 //! which then drains the first waiting batch itself — *load-then-drain* —
@@ -22,22 +39,24 @@
 //! # Scratch lifetime
 //!
 //! Each pool worker owns one [`FrameScratch`] for its entire lifetime —
-//! across batches, scenes and cache generations — so steady-state serving
-//! allocates no per-frame hot-path buffers. Served frames are
-//! bit-identical to fresh-scratch direct renders (the scratch-reuse
-//! contract of [`Renderer::render_frame_reusing`]).
+//! across batches, scenes, schedules and cache generations — so
+//! steady-state serving allocates no per-frame hot-path buffers. Served
+//! frames are bit-identical to fresh-scratch direct renders (the
+//! scratch-reuse contract of [`Renderer::render_job`]).
 
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use gcc_parallel::{available_threads, WorkerPool, WorkerStep};
-use gcc_render::pipeline::{Frame, FrameScratch, FrameStats, Renderer};
-use gcc_scene::Scene;
+use gcc_render::pipeline::{
+    Frame, FrameScratch, FrameStats, RenderJob, RenderOptions, Renderer, Schedule,
+};
+use gcc_scene::{Scene, ViewError, ViewSpec};
 
 use crate::cache::LruSceneCache;
 use crate::source::SceneSource;
-use crate::stats::{percentile_us, SceneCounters, ServeStats};
+use crate::stats::{percentile_us, SceneCounters, ScheduleCounters, ServeStats};
 use crate::ServeError;
 
 /// Service sizing and policy knobs.
@@ -63,14 +82,83 @@ impl Default for ServeConfig {
     }
 }
 
-/// One frame request: a registered scene id and the trajectory parameter
-/// `t ∈ [0, 1)` selecting the camera on that scene's rig.
+/// One frame request: a registered scene id, the view to render, and the
+/// per-request options. [`RenderRequest::trajectory`] reproduces the
+/// historical `(scene, t)` surface.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RenderRequest {
     /// Registered scene id.
     pub scene: String,
-    /// Trajectory parameter of the camera ([`Scene::camera`]).
-    pub t: f32,
+    /// The viewpoint, resolved against the scene's rig at render time.
+    pub view: ViewSpec,
+    /// Per-request options (schedule, resolution, ROI, quality knobs).
+    pub options: RenderOptions,
+}
+
+impl RenderRequest {
+    /// A request with default options.
+    pub fn new(scene: impl Into<String>, view: ViewSpec) -> Self {
+        Self {
+            scene: scene.into(),
+            view,
+            options: RenderOptions::default(),
+        }
+    }
+
+    /// The historical surface: trajectory parameter `t` on the scene's
+    /// rig, default options.
+    pub fn trajectory(scene: impl Into<String>, t: f32) -> Self {
+        Self::new(scene, ViewSpec::trajectory(t))
+    }
+
+    /// Attaches options to the request.
+    pub fn with_options(mut self, options: RenderOptions) -> Self {
+        self.options = options;
+        self
+    }
+}
+
+/// The renderer table the service dispatches [`Schedule`]s through: one
+/// long-lived renderer per schedule, each sequential by default (the
+/// service parallelizes across requests, not inside frames).
+pub struct ScheduleRenderers {
+    /// Indexed in [`Schedule::ALL`] order.
+    renderers: Vec<Box<dyn Renderer + Send + Sync>>,
+}
+
+impl Default for ScheduleRenderers {
+    fn default() -> Self {
+        Self {
+            renderers: Schedule::ALL.iter().map(|s| s.renderer()).collect(),
+        }
+    }
+}
+
+impl std::fmt::Debug for ScheduleRenderers {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScheduleRenderers")
+            .field("schedules", &Schedule::ALL)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ScheduleRenderers {
+    /// Replaces one schedule's renderer (custom configurations, tests).
+    pub fn with(mut self, schedule: Schedule, renderer: Box<dyn Renderer + Send + Sync>) -> Self {
+        self.renderers[Self::index(schedule)] = renderer;
+        self
+    }
+
+    fn index(schedule: Schedule) -> usize {
+        Schedule::ALL
+            .iter()
+            .position(|s| *s == schedule)
+            .expect("Schedule::ALL covers every variant")
+    }
+
+    fn get(&self, schedule: Schedule) -> &(dyn Renderer + Send + Sync) {
+        self.renderers[Self::index(schedule)].as_ref()
+    }
 }
 
 /// The one-shot response cell a request's waiter blocks on.
@@ -92,7 +180,10 @@ pub struct RenderHandle {
 }
 
 impl RenderHandle {
-    /// Blocks until the frame is rendered (or the request failed).
+    /// Blocks until the frame is rendered (or the request failed). A
+    /// handle never blocks past the service's shutdown: requests still
+    /// queued when the drain finishes resolve with
+    /// [`ServeError::ShuttingDown`].
     pub fn wait(self) -> Result<Frame, ServeError> {
         let mut cell = self.slot.cell.lock().expect("response slot poisoned");
         loop {
@@ -113,10 +204,23 @@ impl RenderHandle {
     }
 }
 
+/// What a batch coalesces on: requests agreeing on all three render
+/// back-to-back through one renderer and one scratch. The `resolution` is
+/// the *override* (`None` = the scene's native size), so native-resolution
+/// requests coalesce without knowing the scene's actual dimensions at
+/// submit time.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct BatchKey {
+    scene: String,
+    schedule: Schedule,
+    resolution: Option<(u32, u32)>,
+}
+
 /// A queued request.
 #[derive(Debug)]
 struct Pending {
-    t: f32,
+    view: ViewSpec,
+    options: RenderOptions,
     submitted: Instant,
     slot: Arc<Slot>,
 }
@@ -131,6 +235,7 @@ const LATENCY_WINDOW: usize = 1 << 16;
 #[derive(Debug, Default)]
 struct StatsInner {
     per_scene: BTreeMap<String, SceneCounters>,
+    per_schedule: BTreeMap<Schedule, ScheduleCounters>,
     /// Ring buffer of recent request latencies (µs); see
     /// [`LATENCY_WINDOW`].
     latencies_us: Vec<u64>,
@@ -148,6 +253,10 @@ impl StatsInner {
         self.per_scene.entry(id.to_string()).or_default()
     }
 
+    fn schedule(&mut self, s: Schedule) -> &mut ScheduleCounters {
+        self.per_schedule.entry(s).or_default()
+    }
+
     fn record_latency(&mut self, us: u64) {
         if self.latencies_us.len() < LATENCY_WINDOW {
             self.latencies_us.push(us);
@@ -162,11 +271,11 @@ impl StatsInner {
 #[derive(Debug)]
 struct State {
     cache: LruSceneCache,
-    /// Per-scene FIFO of pending requests. Invariant: a key exists here
-    /// iff the id is in `order` (queues are removed when drained empty).
-    queues: HashMap<String, VecDeque<Pending>>,
-    /// Scene ids with pending requests, in round-robin turn order.
-    order: VecDeque<String>,
+    /// Per-key FIFO of pending requests. Invariant: a key exists here
+    /// iff it is in `order` (queues are removed when drained empty).
+    queues: HashMap<BatchKey, VecDeque<Pending>>,
+    /// Batch keys with pending requests, in round-robin turn order.
+    order: VecDeque<BatchKey>,
     /// Scenes currently being loaded by some worker.
     loading: HashSet<String>,
     /// Requests submitted but not yet drained into a batch.
@@ -178,7 +287,7 @@ struct State {
 /// What a worker decided to do while holding the lock.
 enum Job {
     Render {
-        id: String,
+        key: BatchKey,
         scene: Arc<Scene>,
         batch: Vec<Pending>,
     },
@@ -187,11 +296,11 @@ enum Job {
     },
 }
 
-/// Pops up to `max` requests for `id` and repairs the `order`/`queues`
+/// Pops up to `max` requests for `key` and repairs the `order`/`queues`
 /// invariant (remove when drained empty, rotate to the back otherwise).
-fn take_batch(st: &mut State, id: &str, max: usize) -> Vec<Pending> {
+fn take_batch(st: &mut State, key: &BatchKey, max: usize) -> Vec<Pending> {
     let mut batch = Vec::new();
-    let emptied = match st.queues.get_mut(id) {
+    let emptied = match st.queues.get_mut(key) {
         Some(q) => {
             while batch.len() < max {
                 match q.pop_front() {
@@ -204,29 +313,45 @@ fn take_batch(st: &mut State, id: &str, max: usize) -> Vec<Pending> {
         None => return batch,
     };
     st.pending -= batch.len();
-    st.order.retain(|o| o != id);
+    st.order.retain(|o| o != key);
     if emptied {
-        st.queues.remove(id);
+        st.queues.remove(key);
     } else {
-        st.order.push_back(id.to_string());
+        st.order.push_back(key.clone());
     }
     batch
 }
 
-/// Picks the next job: the first scene in turn order that is resident
+/// Drains *every* queue for `id`, across schedules and resolutions — the
+/// load-failure and load-panic fan-out path.
+fn take_all_for_scene(st: &mut State, id: &str) -> Vec<Pending> {
+    let keys: Vec<BatchKey> = st
+        .queues
+        .keys()
+        .filter(|k| k.scene == id)
+        .cloned()
+        .collect();
+    let mut all = Vec::new();
+    for key in keys {
+        all.extend(take_batch(st, &key, usize::MAX));
+    }
+    all
+}
+
+/// Picks the next job: the first key in turn order whose scene is resident
 /// (drain a batch) or cold and unclaimed (load it). Returns `None` when
 /// every pending scene is being loaded elsewhere.
 fn plan(st: &mut State, max_batch: usize) -> Option<Job> {
     for _ in 0..st.order.len() {
-        let id = st.order.front().cloned()?;
-        if let Some(scene) = st.cache.get(&id) {
-            let batch = take_batch(st, &id, max_batch);
-            return Some(Job::Render { id, scene, batch });
+        let key = st.order.front().cloned()?;
+        if let Some(scene) = st.cache.get(&key.scene) {
+            let batch = take_batch(st, &key, max_batch);
+            return Some(Job::Render { key, scene, batch });
         }
-        if !st.loading.contains(&id) {
-            st.loading.insert(id.clone());
+        if !st.loading.contains(&key.scene) {
+            st.loading.insert(key.scene.clone());
             st.order.rotate_left(1);
-            return Some(Job::Load { id });
+            return Some(Job::Load { id: key.scene });
         }
         st.order.rotate_left(1);
     }
@@ -235,7 +360,7 @@ fn plan(st: &mut State, max_batch: usize) -> Option<Job> {
 
 struct Shared {
     registry: HashMap<String, SceneSource>,
-    renderer: Box<dyn Renderer + Send + Sync>,
+    renderers: ScheduleRenderers,
     max_batch: usize,
     state: Mutex<State>,
     work: Condvar,
@@ -248,8 +373,8 @@ impl Shared {
             if let Some(job) = plan(&mut st, self.max_batch) {
                 drop(st);
                 match job {
-                    Job::Render { id, scene, batch } => {
-                        self.render_batch(&id, &scene, batch, scratch);
+                    Job::Render { key, scene, batch } => {
+                        self.render_batch(&key, &scene, batch, scratch);
                     }
                     Job::Load { id } => self.load_then_drain(&id, scratch),
                 }
@@ -265,14 +390,14 @@ impl Shared {
     }
 
     /// Renders a drained batch back-to-back through this worker's
-    /// scratch. Statistics are folded in *before* any waiter is released,
-    /// so a completed `wait()` is always visible in the next `stats()`
-    /// snapshot. A renderer panic must not strand waiters: a drop guard
-    /// fails every not-yet-fulfilled slot of the batch before the panic
-    /// unwinds the worker.
+    /// scratch, with the key's schedule renderer. Statistics are folded
+    /// in *before* any waiter is released, so a completed `wait()` is
+    /// always visible in the next `stats()` snapshot. A renderer panic
+    /// must not strand waiters: a drop guard fails every not-yet-fulfilled
+    /// slot of the batch before the panic unwinds the worker.
     fn render_batch(
         &self,
-        id: &str,
+        key: &BatchKey,
         scene: &Scene,
         batch: Vec<Pending>,
         scratch: &mut FrameScratch,
@@ -300,35 +425,48 @@ impl Shared {
             }
         }
 
+        let renderer = self.renderers.get(key.schedule);
         let mut guard = PanicGuard {
             shared: self,
             slots: batch.iter().map(|p| Arc::clone(&p.slot)).collect(),
         };
+        {
+            let mut st = self.state.lock().expect("service state poisoned");
+            st.stats.batches += 1;
+            st.stats.scene(&key.scene).batches += 1;
+            st.stats.schedule(key.schedule).batches += 1;
+        }
         // Each frame is delivered (and its latency sampled) as soon as it
         // renders — a waiter never sits behind the rest of its batch, and
         // the published latency is submit-to-delivery. Its stats are
         // folded under a brief lock *before* the slot is fulfilled, so a
         // completed `wait()` is always visible in the next `stats()`
         // snapshot.
-        for (i, p) in batch.into_iter().enumerate() {
-            let cam = scene.camera(p.t);
-            let frame = self
-                .renderer
-                .render_frame_reusing(&scene.gaussians, &cam, scratch);
+        for p in batch {
+            // Residual validation that needed the scene: ROI bounds
+            // against the native resolution. Fails the one request with a
+            // typed error instead of poisoning the worker.
+            let cam = match scene.resolve_view(&p.view, &p.options) {
+                Ok(cam) => cam,
+                Err(e) => {
+                    let mut st = self.state.lock().expect("service state poisoned");
+                    st.stats.completed += 1;
+                    drop(st);
+                    guard.slots.remove(0);
+                    fulfill(&p.slot, Err(ServeError::InvalidRequest(e)));
+                    continue;
+                }
+            };
+            let job = RenderJob::with_options(&scene.gaussians, &cam, p.options.clone());
+            let frame = renderer.render_job(&job, scratch);
             let us = p.submitted.elapsed().as_micros() as u64;
             let mut st = self.state.lock().expect("service state poisoned");
             st.stats.frame_stats.merge_add(&frame.stats);
             st.stats.frames += 1;
             st.stats.completed += 1;
             st.stats.record_latency(us);
-            if i == 0 {
-                st.stats.batches += 1;
-            }
-            let sc = st.stats.scene(id);
-            sc.frames += 1;
-            if i == 0 {
-                sc.batches += 1;
-            }
+            st.stats.scene(&key.scene).frames += 1;
+            st.stats.schedule(key.schedule).frames += 1;
             drop(st);
             guard.slots.remove(0);
             fulfill(&p.slot, Ok(frame));
@@ -355,7 +493,7 @@ impl Shared {
                 }
                 if let Ok(mut st) = self.shared.state.lock() {
                     st.loading.remove(self.id);
-                    let failed = take_batch(&mut st, self.id, usize::MAX);
+                    let failed = take_all_for_scene(&mut st, self.id);
                     st.stats.completed += failed.len() as u64;
                     drop(st);
                     self.shared.work.notify_all();
@@ -386,13 +524,20 @@ impl Shared {
                 for victim in evicted {
                     st.stats.scene(&victim).evictions += 1;
                 }
-                let batch = take_batch(&mut st, id, self.max_batch);
+                // Drain the first waiting batch for this scene (any
+                // schedule/resolution key) ourselves; the residency makes
+                // the remaining keys drainable by every worker.
+                let first_key = st.order.iter().find(|k| k.scene == id).cloned();
+                let batch = match &first_key {
+                    Some(key) => take_batch(&mut st, key, self.max_batch),
+                    None => Vec::new(),
+                };
                 drop(st);
                 // The scene may now be resident and the queue changed —
                 // wake everyone blocked on "all pending scenes loading".
                 self.work.notify_all();
-                if !batch.is_empty() {
-                    self.render_batch(id, &scene, batch, scratch);
+                if let (Some(key), false) = (first_key, batch.is_empty()) {
+                    self.render_batch(&key, &scene, batch, scratch);
                 }
             }
             Err(message) => {
@@ -400,7 +545,7 @@ impl Shared {
                     scene: id.to_string(),
                     message,
                 };
-                let failed = take_batch(&mut st, id, usize::MAX);
+                let failed = take_all_for_scene(&mut st, id);
                 st.stats.completed += failed.len() as u64;
                 drop(st);
                 self.work.notify_all();
@@ -413,7 +558,7 @@ impl Shared {
 }
 
 /// The multi-scene render service. See the [crate docs](crate) and the
-/// [module docs](self) for the scheduling model.
+/// [module docs](self) for the request model and the scheduling model.
 pub struct RenderService {
     shared: Arc<Shared>,
     workers: usize,
@@ -430,12 +575,9 @@ impl std::fmt::Debug for RenderService {
 }
 
 impl RenderService {
-    /// Starts the worker pool over `registry` (scene id → source),
-    /// rendering through `renderer`.
-    ///
-    /// For throughput prefer a sequential renderer (one frame per worker,
-    /// the trajectory-runner composition rule); pass a parallel renderer
-    /// when single-request latency matters more than aggregate rate.
+    /// Starts the worker pool over `registry` (scene id → source) with
+    /// the default per-[`Schedule`] renderer table
+    /// ([`ScheduleRenderers::default`]: every schedule, sequential).
     ///
     /// # Panics
     ///
@@ -443,7 +585,21 @@ impl RenderService {
     pub fn new(
         cfg: ServeConfig,
         registry: impl IntoIterator<Item = (String, SceneSource)>,
-        renderer: Box<dyn Renderer + Send + Sync>,
+    ) -> Self {
+        Self::with_renderers(cfg, registry, ScheduleRenderers::default())
+    }
+
+    /// [`Self::new`] with an explicit renderer table — swap in parallel
+    /// renderers when single-request latency matters more than aggregate
+    /// rate, or custom configurations.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cfg.max_batch` is zero.
+    pub fn with_renderers(
+        cfg: ServeConfig,
+        registry: impl IntoIterator<Item = (String, SceneSource)>,
+        renderers: ScheduleRenderers,
     ) -> Self {
         assert!(cfg.max_batch >= 1, "max_batch must be at least 1");
         let workers = if cfg.workers == 0 {
@@ -453,7 +609,7 @@ impl RenderService {
         };
         let shared = Arc::new(Shared {
             registry: registry.into_iter().collect(),
-            renderer,
+            renderers,
             max_batch: cfg.max_batch,
             state: Mutex::new(State {
                 cache: LruSceneCache::new(cfg.cache_budget_bytes),
@@ -493,30 +649,49 @@ impl RenderService {
     ///
     /// # Errors
     ///
-    /// [`ServeError::UnknownScene`] for an unregistered id and
-    /// [`ServeError::ShuttingDown`] after [`Self::shutdown`] began.
+    /// [`ServeError::UnknownScene`] for an unregistered id,
+    /// [`ServeError::InvalidRequest`] for a view or options that fail
+    /// validation (NaN / out-of-range trajectory `t`, degenerate pose,
+    /// zero-sized ROI, out-of-range quality knobs — and, when a resolution
+    /// override is present, ROI bounds), and [`ServeError::ShuttingDown`]
+    /// after [`Self::shutdown`] began.
     pub fn submit(&self, req: RenderRequest) -> Result<RenderHandle, ServeError> {
         if !self.shared.registry.contains_key(&req.scene) {
             return Err(ServeError::UnknownScene(req.scene));
         }
+        req.view.validate().map_err(ServeError::InvalidRequest)?;
+        let full_check = match req.options.resolution {
+            // Resolution known at submit: ROI bounds are checkable now.
+            Some((w, h)) => req.options.validate_for(w, h),
+            // Native resolution: bounds defer to render; the rest do not.
+            None => req.options.validate(),
+        };
+        full_check.map_err(|e| ServeError::InvalidRequest(ViewError::Options(e)))?;
+        let key = BatchKey {
+            scene: req.scene,
+            schedule: req.options.schedule,
+            resolution: req.options.resolution,
+        };
         let slot = Arc::new(Slot::default());
         let mut st = self.shared.state.lock().expect("service state poisoned");
         if st.shutdown {
             return Err(ServeError::ShuttingDown);
         }
-        let resident = st.cache.contains(&req.scene);
-        let sc = st.stats.scene(&req.scene);
+        let resident = st.cache.contains(&key.scene);
+        let sc = st.stats.scene(&key.scene);
         sc.requests += 1;
         if resident {
             sc.hits += 1;
         } else {
             sc.misses += 1;
         }
-        if !st.queues.contains_key(&req.scene) {
-            st.order.push_back(req.scene.clone());
+        st.stats.schedule(key.schedule).requests += 1;
+        if !st.queues.contains_key(&key) {
+            st.order.push_back(key.clone());
         }
-        st.queues.entry(req.scene).or_default().push_back(Pending {
-            t: req.t,
+        st.queues.entry(key).or_default().push_back(Pending {
+            view: req.view,
+            options: req.options,
             submitted: Instant::now(),
             slot: Arc::clone(&slot),
         });
@@ -544,6 +719,7 @@ impl RenderService {
         let mut lat = st.stats.latencies_us.clone();
         let mut out = ServeStats {
             per_scene: st.stats.per_scene.clone(),
+            per_schedule: st.stats.per_schedule.clone(),
             completed: st.stats.completed,
             queue_depth: st.pending,
             max_queue_depth: st.stats.max_queue_depth,
@@ -564,20 +740,47 @@ impl RenderService {
 
     /// Graceful shutdown: stops accepting new requests, drains every
     /// pending one, joins the workers, and returns the final statistics.
+    /// Any request the workers could no longer serve (e.g. because a
+    /// worker panicked earlier) resolves with [`ServeError::ShuttingDown`]
+    /// rather than leaving its handle blocked forever.
     pub fn shutdown(mut self) -> ServeStats {
         self.finish();
         self.stats()
     }
 
     fn finish(&mut self) {
-        if let Some(pool) = self.pool.take() {
-            self.shared
-                .state
-                .lock()
-                .expect("service state poisoned")
-                .shutdown = true;
-            self.shared.work.notify_all();
-            pool.join();
+        let Some(pool) = self.pool.take() else {
+            return;
+        };
+        self.shared
+            .state
+            .lock()
+            .expect("service state poisoned")
+            .shutdown = true;
+        self.shared.work.notify_all();
+        // A worker that panicked earlier re-raises here; catch it so the
+        // leftover sweep below always runs, then re-raise.
+        let join = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pool.join()));
+        // The drain-to-zero shutdown path leaves nothing behind, but dead
+        // workers do: fail every request still queued so no
+        // `RenderHandle::wait` blocks past shutdown.
+        let leftovers: Vec<Pending> = {
+            let mut st = self.shared.state.lock().expect("service state poisoned");
+            let mut out = Vec::new();
+            for (_, q) in st.queues.drain() {
+                out.extend(q);
+            }
+            st.order.clear();
+            st.loading.clear();
+            st.pending = 0;
+            st.stats.completed += out.len() as u64;
+            out
+        };
+        for p in leftovers {
+            fulfill(&p.slot, Err(ServeError::ShuttingDown));
+        }
+        if let Err(payload) = join {
+            std::panic::resume_unwind(payload);
         }
     }
 }
@@ -593,7 +796,7 @@ impl Drop for RenderService {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gcc_render::pipeline::StandardRenderer;
+    use gcc_render::pipeline::{Roi, StandardRenderer};
     use gcc_scene::{SceneConfig, ScenePreset};
 
     fn mem_source(preset: ScenePreset, scale: f32) -> (Arc<Scene>, SceneSource) {
@@ -621,12 +824,13 @@ mod tests {
                 ..ServeConfig::default()
             },
             reg,
-            Box::new(StandardRenderer::reference()),
         );
         let reqs: Vec<RenderRequest> = (0..6)
-            .map(|i| RenderRequest {
-                scene: if i % 2 == 0 { "lego" } else { "palace" }.into(),
-                t: i as f32 / 6.0,
+            .map(|i| {
+                RenderRequest::trajectory(
+                    if i % 2 == 0 { "lego" } else { "palace" },
+                    i as f32 / 6.0,
+                )
             })
             .collect();
         let handles: Vec<RenderHandle> = reqs
@@ -641,8 +845,13 @@ mod tests {
             } else {
                 &scenes[1]
             };
-            let want = direct.render_frame(&scene.gaussians, &scene.camera(req.t));
-            assert_eq!(frame.image, want.image, "scene {} t {}", req.scene, req.t);
+            let cam = scene.resolve_view(&req.view, &req.options).unwrap();
+            let want = direct.render_frame(&scene.gaussians, &cam);
+            assert_eq!(
+                frame.image, want.image,
+                "scene {} view {:?}",
+                req.scene, req.view
+            );
             assert_eq!(frame.stats, want.stats);
         }
         let stats = service.shutdown();
@@ -655,6 +864,9 @@ mod tests {
             stats.frame_stats.total_gaussians,
             3 * (scenes[0].len() as u64 + scenes[1].len() as u64)
         );
+        // Everything ran through the default schedule.
+        assert_eq!(stats.per_schedule[&Schedule::Reference].frames, 6);
+        assert_eq!(stats.per_schedule[&Schedule::Reference].requests, 6);
     }
 
     #[test]
@@ -666,21 +878,14 @@ mod tests {
                 ..ServeConfig::default()
             },
             reg,
-            Box::new(StandardRenderer::reference()),
         );
         // Warm the scene, then issue classified-at-submit hits.
         service
-            .render_blocking(RenderRequest {
-                scene: "lego".into(),
-                t: 0.0,
-            })
+            .render_blocking(RenderRequest::trajectory("lego", 0.0))
             .unwrap();
         for i in 0..4 {
             service
-                .render_blocking(RenderRequest {
-                    scene: "lego".into(),
-                    t: i as f32 / 4.0,
-                })
+                .render_blocking(RenderRequest::trajectory("lego", i as f32 / 4.0))
                 .unwrap();
         }
         let stats = service.shutdown();
@@ -703,14 +908,10 @@ mod tests {
                 max_batch: 1,
             },
             reg,
-            Box::new(StandardRenderer::reference()),
         );
         for i in 0..3 {
             service
-                .render_blocking(RenderRequest {
-                    scene: "palace".into(),
-                    t: i as f32 / 3.0,
-                })
+                .render_blocking(RenderRequest::trajectory("palace", i as f32 / 3.0))
                 .unwrap();
         }
         let stats = service.shutdown();
@@ -731,15 +932,194 @@ mod tests {
                 ..ServeConfig::default()
             },
             reg,
-            Box::new(StandardRenderer::reference()),
         );
         let err = service
-            .submit(RenderRequest {
-                scene: "nope".into(),
-                t: 0.0,
-            })
+            .submit(RenderRequest::trajectory("nope", 0.0))
             .unwrap_err();
         assert_eq!(err, ServeError::UnknownScene("nope".into()));
+    }
+
+    #[test]
+    fn invalid_views_and_options_are_rejected_at_submit() {
+        let (_, reg) = registry(0.02);
+        let service = RenderService::new(
+            ServeConfig {
+                workers: 1,
+                ..ServeConfig::default()
+            },
+            reg,
+        );
+        // NaN trajectory parameter.
+        let err = service
+            .submit(RenderRequest::trajectory("lego", f32::NAN))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::InvalidRequest(ViewError::NonFinite { field: "t" })
+        ));
+        // Out-of-range trajectory parameter.
+        let err = service
+            .submit(RenderRequest::trajectory("lego", 2.5))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::InvalidRequest(ViewError::TrajectoryOutOfRange { .. })
+        ));
+        // Zero-sized ROI.
+        let err = service
+            .submit(
+                RenderRequest::trajectory("lego", 0.5)
+                    .with_options(RenderOptions::default().with_roi(Roi::new(0, 0, 0, 8))),
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::InvalidRequest(ViewError::Options(gcc_render::JobError::EmptyRoi))
+        ));
+        // ROI out of bounds of an explicit resolution: caught at submit.
+        let err = service
+            .submit(
+                RenderRequest::trajectory("lego", 0.5).with_options(
+                    RenderOptions::default()
+                        .at_resolution(64, 64)
+                        .with_roi(Roi::new(32, 32, 64, 64)),
+                ),
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::InvalidRequest(ViewError::Options(
+                gcc_render::JobError::RoiOutOfBounds { .. }
+            ))
+        ));
+        // Degenerate pose.
+        let eye = gcc_math::Vec3::new(1.0, 1.0, 1.0);
+        let err = service
+            .submit(RenderRequest::new("lego", ViewSpec::look_at(eye, eye)))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::InvalidRequest(ViewError::DegeneratePose)
+        ));
+        // Nothing reached a worker.
+        let stats = service.shutdown();
+        assert_eq!(stats.completed, 0);
+        assert_eq!(stats.frames, 0);
+    }
+
+    #[test]
+    fn roi_against_native_resolution_resolves_through_the_handle() {
+        // The scene's native size is unknown at submit; an ROI outside it
+        // must come back as a typed error from wait(), not a worker panic.
+        let (scenes, reg) = registry(0.02);
+        let (w, h) = scenes[0].resolution;
+        let service = RenderService::new(
+            ServeConfig {
+                workers: 1,
+                ..ServeConfig::default()
+            },
+            reg,
+        );
+        let err = service
+            .render_blocking(
+                RenderRequest::trajectory("lego", 0.2)
+                    .with_options(RenderOptions::default().with_roi(Roi::new(w - 1, h - 1, 8, 8))),
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::InvalidRequest(ViewError::Options(
+                gcc_render::JobError::RoiOutOfBounds { .. }
+            ))
+        ));
+        let stats = service.shutdown();
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.frames, 0, "no frame was rendered");
+    }
+
+    #[test]
+    fn heterogeneous_schedules_split_batches_and_stats() {
+        let (_, reg) = registry(0.02);
+        let service = RenderService::new(
+            ServeConfig {
+                workers: 2,
+                ..ServeConfig::default()
+            },
+            reg,
+        );
+        let mut handles = Vec::new();
+        for i in 0..4 {
+            handles.push(
+                service
+                    .submit(
+                        RenderRequest::trajectory("lego", i as f32 / 4.0)
+                            .with_options(RenderOptions::default().with_schedule(Schedule::Gscore)),
+                    )
+                    .unwrap(),
+            );
+            handles.push(
+                service
+                    .submit(
+                        RenderRequest::trajectory("lego", i as f32 / 4.0).with_options(
+                            RenderOptions::default().with_schedule(Schedule::GccHardware),
+                        ),
+                    )
+                    .unwrap(),
+            );
+        }
+        for h in handles {
+            h.wait().unwrap();
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.frames, 8);
+        assert_eq!(stats.per_schedule[&Schedule::Gscore].frames, 4);
+        assert_eq!(stats.per_schedule[&Schedule::GccHardware].frames, 4);
+        assert_eq!(stats.per_schedule[&Schedule::Gscore].requests, 4);
+        assert!(stats.per_schedule[&Schedule::Gscore].batches >= 1);
+        assert!(!stats.per_schedule.contains_key(&Schedule::Reference));
+    }
+
+    #[test]
+    fn mixed_resolutions_coalesce_per_key() {
+        // Same scene + schedule, two resolutions: batches never mix them
+        // (each drained batch renders back-to-back at one size).
+        let (_, reg) = registry(0.02);
+        let service = RenderService::new(
+            ServeConfig {
+                workers: 1,
+                ..ServeConfig::default()
+            },
+            reg,
+        );
+        let mut handles = Vec::new();
+        for i in 0..3 {
+            let t = i as f32 / 3.0;
+            handles.push(
+                service
+                    .submit(RenderRequest::trajectory("lego", t))
+                    .unwrap(),
+            );
+            handles.push(
+                service
+                    .submit(
+                        RenderRequest::trajectory("lego", t)
+                            .with_options(RenderOptions::default().at_resolution(64, 48)),
+                    )
+                    .unwrap(),
+            );
+        }
+        let mut native = 0;
+        let mut small = 0;
+        for h in handles {
+            let frame = h.wait().unwrap();
+            if frame.image.width() == 64 {
+                small += 1;
+            } else {
+                native += 1;
+            }
+        }
+        assert_eq!((native, small), (3, 3));
+        service.shutdown();
     }
 
     #[test]
@@ -753,15 +1133,11 @@ mod tests {
                 "ghost".to_string(),
                 SceneSource::File("/nonexistent/ghost.bin".into()),
             )],
-            Box::new(StandardRenderer::reference()),
         );
         let handles: Vec<RenderHandle> = (0..3)
             .map(|i| {
                 service
-                    .submit(RenderRequest {
-                        scene: "ghost".into(),
-                        t: i as f32 / 3.0,
-                    })
+                    .submit(RenderRequest::trajectory("ghost", i as f32 / 3.0))
                     .unwrap()
             })
             .collect();
@@ -777,6 +1153,38 @@ mod tests {
     }
 
     #[test]
+    fn load_failure_fans_out_across_schedule_keys_too() {
+        // Requests for the same dead scene under different schedules live
+        // in different queues; the load failure must fail all of them.
+        let service = RenderService::new(
+            ServeConfig {
+                workers: 1,
+                ..ServeConfig::default()
+            },
+            [(
+                "ghost".to_string(),
+                SceneSource::File("/nonexistent/ghost.bin".into()),
+            )],
+        );
+        let handles: Vec<RenderHandle> =
+            [Schedule::Reference, Schedule::Gscore, Schedule::GccHardware]
+                .into_iter()
+                .map(|s| {
+                    service
+                        .submit(
+                            RenderRequest::trajectory("ghost", 0.1)
+                                .with_options(RenderOptions::default().with_schedule(s)),
+                        )
+                        .unwrap()
+                })
+                .collect();
+        for h in handles {
+            assert!(matches!(h.wait(), Err(ServeError::Load { .. })));
+        }
+        assert_eq!(service.shutdown().completed, 3);
+    }
+
+    #[test]
     fn shutdown_drains_pending_requests() {
         let (_, reg) = registry(0.02);
         let service = RenderService::new(
@@ -785,15 +1193,14 @@ mod tests {
                 ..ServeConfig::default()
             },
             reg,
-            Box::new(StandardRenderer::reference()),
         );
         let handles: Vec<RenderHandle> = (0..8)
             .map(|i| {
                 service
-                    .submit(RenderRequest {
-                        scene: if i % 2 == 0 { "lego" } else { "palace" }.into(),
-                        t: i as f32 / 8.0,
-                    })
+                    .submit(RenderRequest::trajectory(
+                        if i % 2 == 0 { "lego" } else { "palace" },
+                        i as f32 / 8.0,
+                    ))
                     .unwrap()
             })
             .collect();
@@ -815,18 +1222,11 @@ mod tests {
                 ..ServeConfig::default()
             },
             reg,
-            Box::new(StandardRenderer::reference()),
         );
-        // Mark shutdown through the public path while keeping a clone of
-        // shared state alive: emulate by dropping into shutdown and then
-        // checking a fresh service rejects — instead, flip the flag via a
-        // second service is impossible; use the internal contract:
+        // Flip the internal flag to emulate a shutdown in progress.
         service.shared.state.lock().unwrap().shutdown = true;
         let err = service
-            .submit(RenderRequest {
-                scene: "lego".into(),
-                t: 0.0,
-            })
+            .submit(RenderRequest::trajectory("lego", 0.0))
             .unwrap_err();
         assert_eq!(err, ServeError::ShuttingDown);
         // Undo so the drop-drain terminates normally.
@@ -846,32 +1246,29 @@ mod tests {
         assert!(s.latencies_us.contains(&10));
     }
 
+    struct AlwaysPanics;
+    impl Renderer for AlwaysPanics {
+        fn name(&self) -> &str {
+            "always-panics"
+        }
+        fn render_frame(&self, _: &[gcc_core::Gaussian3D], _: &gcc_core::Camera) -> Frame {
+            panic!("render blew up");
+        }
+    }
+
     #[test]
     fn renderer_panic_fails_waiters_instead_of_stranding_them() {
-        struct AlwaysPanics;
-        impl Renderer for AlwaysPanics {
-            fn name(&self) -> &str {
-                "always-panics"
-            }
-            fn render_frame(&self, _: &[gcc_core::Gaussian3D], _: &gcc_core::Camera) -> Frame {
-                panic!("render blew up");
-            }
-        }
-
         let (_, reg) = registry(0.02);
-        let service = RenderService::new(
+        let service = RenderService::with_renderers(
             ServeConfig {
                 workers: 1,
                 ..ServeConfig::default()
             },
             reg,
-            Box::new(AlwaysPanics),
+            ScheduleRenderers::default().with(Schedule::Reference, Box::new(AlwaysPanics)),
         );
         let handle = service
-            .submit(RenderRequest {
-                scene: "lego".into(),
-                t: 0.0,
-            })
+            .submit(RenderRequest::trajectory("lego", 0.0))
             .unwrap();
         // The waiter must be released with an error, not hang.
         assert_eq!(handle.wait().unwrap_err(), ServeError::WorkerPanicked);
@@ -883,6 +1280,41 @@ mod tests {
     }
 
     #[test]
+    fn wait_after_shutdown_resolves_stranded_handles() {
+        // Regression: a request queued behind a worker-killing one used to
+        // leave its handle blocked forever once the (dead) pool was
+        // joined. The shutdown sweep must fail it instead.
+        let (_, mut reg) = registry(0.02);
+        reg.push(("boom".to_string(), SceneSource::PanicsOnLoad));
+        let service = RenderService::new(
+            ServeConfig {
+                workers: 1,
+                max_batch: 1,
+                ..ServeConfig::default()
+            },
+            reg,
+        );
+        // First request kills the only worker during its scene load…
+        let doomed = service
+            .submit(RenderRequest::trajectory("boom", 0.1))
+            .unwrap();
+        assert_eq!(doomed.wait().unwrap_err(), ServeError::WorkerPanicked);
+        // …so this one can never be served.
+        let stranded = service
+            .submit(RenderRequest::trajectory("lego", 0.5))
+            .unwrap();
+        assert!(!stranded.is_ready());
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            service.shutdown();
+        }));
+        assert!(outcome.is_err(), "the load panic must resurface at join");
+        // The sweep resolved the stranded handle: wait() returns, with a
+        // typed error.
+        assert!(stranded.is_ready(), "handle must be resolved by shutdown");
+        assert_eq!(stranded.wait().unwrap_err(), ServeError::ShuttingDown);
+    }
+
+    #[test]
     fn load_panic_fails_waiters_and_does_not_wedge_shutdown() {
         let service = RenderService::new(
             ServeConfig {
@@ -890,16 +1322,12 @@ mod tests {
                 ..ServeConfig::default()
             },
             [("boom".to_string(), SceneSource::PanicsOnLoad)],
-            Box::new(StandardRenderer::reference()),
         );
         // One request: each load panic kills one worker, so a multi-shot
         // submit could strand a late request with no workers left — the
         // guard's contract is per-panic containment, not worker revival.
         let handle = service
-            .submit(RenderRequest {
-                scene: "boom".into(),
-                t: 0.5,
-            })
+            .submit(RenderRequest::trajectory("boom", 0.5))
             .unwrap();
         assert_eq!(handle.wait().unwrap_err(), ServeError::WorkerPanicked);
         // `completed` counts the failed request, and shutdown terminates
@@ -921,15 +1349,11 @@ mod tests {
                 ..ServeConfig::default()
             },
             reg,
-            Box::new(StandardRenderer::reference()),
         );
         let handles: Vec<RenderHandle> = (0..6)
             .map(|i| {
                 service
-                    .submit(RenderRequest {
-                        scene: "lego".into(),
-                        t: i as f32 / 6.0,
-                    })
+                    .submit(RenderRequest::trajectory("lego", i as f32 / 6.0))
                     .unwrap()
             })
             .collect();

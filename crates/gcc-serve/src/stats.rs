@@ -3,7 +3,7 @@
 
 use std::collections::BTreeMap;
 
-use gcc_render::pipeline::FrameStats;
+use gcc_render::pipeline::{FrameStats, Schedule};
 
 /// Per-scene serving counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -21,6 +21,18 @@ pub struct SceneCounters {
     /// Frames rendered for this scene.
     pub frames: u64,
     /// Batches this scene's frames were drained in.
+    pub batches: u64,
+}
+
+/// Per-schedule serving counters — the breakdown of a heterogeneous
+/// workload by [`Schedule`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScheduleCounters {
+    /// Requests submitted selecting this schedule.
+    pub requests: u64,
+    /// Frames rendered through this schedule.
+    pub frames: u64,
+    /// Batches drained for this schedule.
     pub batches: u64,
 }
 
@@ -43,6 +55,8 @@ pub fn percentile_us(sorted_us: &[u64], p: f64) -> f64 {
 pub struct ServeStats {
     /// Per-scene counters (scene id → counters).
     pub per_scene: BTreeMap<String, SceneCounters>,
+    /// Per-schedule counters (only schedules that saw requests appear).
+    pub per_schedule: BTreeMap<Schedule, ScheduleCounters>,
     /// Requests completed (fulfilled or failed).
     pub completed: u64,
     /// Requests submitted but not yet drained into a batch at snapshot

@@ -2,39 +2,50 @@
 //! accelerator sustains the 90 FPS immersion target the paper's intro
 //! demands — frame by frame, against the GSCore baseline.
 //!
-//! The orbit runs as a batch through the `TrajectoryRunner` and the
-//! stage-based `Renderer` interface; each accelerator report is then
-//! derived from the frames' unified `FrameStats`, which is exactly the
-//! seam the simulators consume.
+//! The orbit is expressed through the request-model API: the
+//! `TrajectoryRunner` emits `ViewSpec`s, and `run_with_options` renders
+//! them as `RenderJob`s (here with a resolution override, as a headset
+//! would request its panel size). Each accelerator report is then derived
+//! from the frames' unified `FrameStats`, which is exactly the seam the
+//! simulators consume.
 //!
 //! Run with: `cargo run --release --example headset_orbit`
 
 use gcc_parallel::Parallelism;
-use gcc_render::{GaussianWiseRenderer, StandardRenderer};
-use gcc_scene::{SceneConfig, ScenePreset, TrajectoryRunner};
+use gcc_render::{GaussianWiseRenderer, RenderOptions, StandardRenderer};
+use gcc_scene::{SceneConfig, ScenePreset, TrajectoryRunner, ViewSpec};
 use gcc_sim::gcc::GccSimConfig;
 use gcc_sim::gscore::GscoreConfig;
 
 fn main() {
     let scene = ScenePreset::Palace.build(&SceneConfig::with_scale(0.5));
+    let runner = TrajectoryRunner::new(8).with_parallelism(Parallelism::Auto);
+    let views = runner.views();
     println!(
-        "orbiting '{}' ({} Gaussians), 8 viewpoints\n",
+        "orbiting '{}' ({} Gaussians), {} viewpoints: {:?} …\n",
         scene.name,
-        scene.len()
+        scene.len(),
+        views.len(),
+        &views[..2.min(views.len())]
     );
 
-    let cam = scene.default_camera();
+    // The headset asks for its own panel size; every frame of the batch
+    // carries the override. A per-eye client could add an ROI per frame.
+    let options = RenderOptions::default().at_resolution(960, 540);
+    let cam = scene
+        .resolve_view(&ViewSpec::trajectory(0.0), &options)
+        .expect("valid view");
     let pixels = f64::from(cam.width) * f64::from(cam.height);
     let gs_cfg = GscoreConfig::default();
     let gc_cfg = GccSimConfig::default();
 
     // Render the whole orbit as a batch through each schedule; frames run
     // across threads, one functional render per viewpoint.
-    let runner = TrajectoryRunner::new(8).with_parallelism(Parallelism::Auto);
-    let gs_run = runner.run(&scene, &StandardRenderer::gscore());
-    let gc_run = runner.run(
+    let gs_run = runner.run_with_options(&scene, &StandardRenderer::gscore(), &options);
+    let gc_run = runner.run_with_options(
         &scene,
         &GaussianWiseRenderer::new(gc_cfg.renderer_config(&cam)),
+        &options,
     );
 
     println!(

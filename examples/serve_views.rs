@@ -1,0 +1,130 @@
+//! Heterogeneous serving: one `RenderService`, many kinds of clients —
+//! trajectory browsers, posed headsets, thumbnail generators asking for
+//! small resolutions, magnifiers asking for regions of interest, and
+//! clients picking different schedules per request. The service batches by
+//! `(scene, schedule, resolution)` and reports a per-schedule breakdown.
+//!
+//! Run with: `cargo run --release --example serve_views`
+
+use gcc_math::Vec3;
+use gcc_render::{RenderOptions, Roi, Schedule};
+use gcc_scene::{ScenePreset, ViewSpec};
+use gcc_serve::{RenderRequest, RenderService, SceneSource, ServeConfig, ServeError};
+
+fn main() {
+    let service = RenderService::new(
+        ServeConfig {
+            workers: 4,
+            ..ServeConfig::default()
+        },
+        [
+            (
+                "lego".to_string(),
+                SceneSource::Preset {
+                    preset: ScenePreset::Lego,
+                    scale: 0.1,
+                },
+            ),
+            (
+                "palace".to_string(),
+                SceneSource::Preset {
+                    preset: ScenePreset::Palace,
+                    scale: 0.1,
+                },
+            ),
+        ],
+    );
+    println!(
+        "serving scenes {:?} on {} workers",
+        service.scene_ids(),
+        service.workers()
+    );
+
+    // A browser scrubbing the trajectory.
+    let mut handles = Vec::new();
+    for i in 0..4 {
+        handles.push((
+            format!("scrub t={:.2}", i as f32 / 4.0),
+            service
+                .submit(RenderRequest::trajectory("lego", i as f32 / 4.0))
+                .unwrap(),
+        ));
+    }
+    // A headset with an explicit pose, rendered by the GCC hardware
+    // schedule at its panel resolution.
+    handles.push((
+        "headset pose".to_string(),
+        service
+            .submit(
+                RenderRequest::new(
+                    "palace",
+                    ViewSpec::look_at(Vec3::new(4.0, 1.5, -6.0), Vec3::ZERO),
+                )
+                .with_options(
+                    RenderOptions::default()
+                        .with_schedule(Schedule::GccHardware)
+                        .at_resolution(256, 144),
+                ),
+            )
+            .unwrap(),
+    ));
+    // A magnifier asking for the center of the frame only.
+    handles.push((
+        "magnifier ROI".to_string(),
+        service
+            .submit(
+                RenderRequest::trajectory("lego", 0.5)
+                    .with_options(RenderOptions::default().with_roi(Roi::new(40, 30, 80, 60))),
+            )
+            .unwrap(),
+    ));
+    // A turntable client driving the orbit directly.
+    handles.push((
+        "turntable".to_string(),
+        service
+            .submit(RenderRequest::new(
+                "palace",
+                ViewSpec::Orbit {
+                    angle: 1.8,
+                    radius_scale: 1.2,
+                    height_offset: 0.3,
+                },
+            ))
+            .unwrap(),
+    ));
+
+    for (label, handle) in handles {
+        let frame = handle.wait().expect("request served");
+        println!(
+            "{label:>14}: {}x{} px, {} Gaussians rendered",
+            frame.image.width(),
+            frame.image.height(),
+            frame.stats.rendered
+        );
+    }
+
+    // Bad requests fail fast with typed errors instead of reaching a
+    // worker.
+    match service.submit(RenderRequest::trajectory("lego", f32::NAN)) {
+        Err(ServeError::InvalidRequest(e)) => println!("rejected as expected: {e}"),
+        other => panic!("expected a typed rejection, got {other:?}"),
+    }
+
+    let stats = service.shutdown();
+    println!(
+        "\nserved {} frames in {} batches (hit rate {:.2}), p95 {:.2} ms",
+        stats.frames,
+        stats.batches,
+        stats.hit_rate(),
+        stats.latency_p95_ms
+    );
+    for (schedule, c) in &stats.per_schedule {
+        println!(
+            "  {:>13}: {} requests, {} frames, {} batches",
+            schedule.name(),
+            c.requests,
+            c.frames,
+            c.batches
+        );
+    }
+}

@@ -1,17 +1,21 @@
 //! Serving-layer determinism and end-to-end residency behavior, driven
 //! through the full stack: file-backed scene sources (`gcc_scene::io`),
-//! the LRU scene cache, the batching worker pool, and both renderer
-//! schedules.
+//! the LRU scene cache, the batching worker pool, and the full request
+//! space of the redesigned API — per-request schedules, explicit-pose
+//! cameras, resolution overrides and regions of interest.
 //!
 //! The load-bearing contract: a frame served by `RenderService` is
-//! bit-identical to a direct `Renderer::render_frame` call with the same
-//! scene and camera — batching, scratch reuse across requests, cache
-//! evictions and scheduling order never leak into pixels or counters.
+//! bit-identical to a direct `Renderer::render_job` call with the same
+//! scene, resolved camera and options — batching, scratch reuse across
+//! requests, cache evictions and scheduling order never leak into pixels
+//! or counters.
 
 use std::sync::Arc;
 
-use gcc_render::{GaussianWiseRenderer, Renderer, StandardRenderer};
-use gcc_scene::{io, Scene, SceneConfig, ScenePreset};
+use gcc_math::Vec3;
+use gcc_render::pipeline::FrameScratch;
+use gcc_render::{RenderJob, RenderOptions, Renderer, Roi, Schedule, StandardRenderer};
+use gcc_scene::{io, Scene, SceneConfig, ScenePreset, ViewSpec};
 use gcc_serve::{RenderRequest, RenderService, SceneSource, ServeConfig};
 
 fn small(preset: ScenePreset, scale: f32) -> Scene {
@@ -48,20 +52,25 @@ fn file_registry(dir: &std::path::Path) -> RegistryAndScenes {
     (registry, direct)
 }
 
+/// Renders `req` directly (fresh renderer + scratch), bypassing the
+/// service — the parity reference for a served frame.
+fn direct_render(scene: &Scene, req: &RenderRequest) -> gcc_render::Frame {
+    let cam = scene
+        .resolve_view(&req.view, &req.options)
+        .expect("parity requests are valid");
+    let renderer = req.options.schedule.renderer();
+    renderer.render_job(
+        &RenderJob::with_options(&scene.gaussians, &cam, req.options.clone()),
+        &mut FrameScratch::new(),
+    )
+}
+
 #[test]
 fn served_frames_are_bit_identical_to_direct_renders_for_both_schedules() {
     let dir = std::env::temp_dir().join(format!("gcc_serve_parity_{}", std::process::id()));
     let (registry, direct) = file_registry(&dir);
 
-    let schedules: Vec<Box<dyn Renderer + Send + Sync>> = vec![
-        Box::new(StandardRenderer::reference()),
-        Box::new(GaussianWiseRenderer::default()),
-    ];
-    for renderer in schedules {
-        let reference: Box<dyn Renderer> = match renderer.name() {
-            "standard" => Box::new(StandardRenderer::reference()),
-            _ => Box::new(GaussianWiseRenderer::default()),
-        };
+    for schedule in [Schedule::Reference, Schedule::GaussianWise] {
         let service = RenderService::new(
             ServeConfig {
                 workers: 3,
@@ -69,14 +78,13 @@ fn served_frames_are_bit_identical_to_direct_renders_for_both_schedules() {
                 ..ServeConfig::default()
             },
             registry.clone(),
-            renderer,
         );
         // Interleave scenes and viewpoints so batches mix, then verify
         // every frame against a fresh direct render.
         let reqs: Vec<RenderRequest> = (0..9)
-            .map(|i| RenderRequest {
-                scene: ["lego", "palace", "train"][i % 3].to_string(),
-                t: i as f32 / 9.0,
+            .map(|i| {
+                RenderRequest::trajectory(["lego", "palace", "train"][i % 3], i as f32 / 9.0)
+                    .with_options(RenderOptions::default().with_schedule(schedule))
             })
             .collect();
         let handles: Vec<_> = reqs
@@ -86,12 +94,10 @@ fn served_frames_are_bit_identical_to_direct_renders_for_both_schedules() {
         for (req, handle) in reqs.iter().zip(handles) {
             let frame = handle.wait().unwrap();
             let scene = &direct.iter().find(|(id, _)| *id == req.scene).unwrap().1;
-            let want = reference.render_frame(&scene.gaussians, &scene.camera(req.t));
+            let want = direct_render(scene, req);
             assert_eq!(
-                frame.image,
-                want.image,
-                "{} diverged on {}",
-                reference.name(),
+                frame.image, want.image,
+                "{schedule} diverged on {}",
                 req.scene
             );
             assert_eq!(frame.stats, want.stats);
@@ -99,7 +105,93 @@ fn served_frames_are_bit_identical_to_direct_renders_for_both_schedules() {
         let stats = service.shutdown();
         assert_eq!(stats.frames, 9);
         assert_eq!(stats.queue_depth, 0);
+        assert_eq!(stats.per_schedule[&schedule].frames, 9);
     }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn heterogeneous_request_space_is_bit_identical_to_direct_renders() {
+    // The redesigned request space end-to-end: explicit poses, orbit
+    // angles, non-default resolutions, ROIs, per-request schedules,
+    // background overrides and quality knobs — all through one service,
+    // all bit-identical to direct renders.
+    let dir = std::env::temp_dir().join(format!("gcc_serve_hetero_{}", std::process::id()));
+    let (registry, direct) = file_registry(&dir);
+    let service = RenderService::new(
+        ServeConfig {
+            workers: 3,
+            max_batch: 4,
+            ..ServeConfig::default()
+        },
+        registry,
+    );
+
+    let reqs: Vec<RenderRequest> = vec![
+        // Trajectory + non-default schedule.
+        RenderRequest::trajectory("lego", 0.3)
+            .with_options(RenderOptions::default().with_schedule(Schedule::Gscore)),
+        // Explicit pose at a non-default resolution.
+        RenderRequest::new(
+            "palace",
+            ViewSpec::look_at(Vec3::new(3.0, 2.0, -5.0), Vec3::ZERO),
+        )
+        .with_options(RenderOptions::default().at_resolution(192, 108)),
+        // Orbit view through the GCC hardware schedule.
+        RenderRequest::new(
+            "train",
+            ViewSpec::Orbit {
+                angle: 2.1,
+                radius_scale: 1.3,
+                height_offset: 0.4,
+            },
+        )
+        .with_options(RenderOptions::default().with_schedule(Schedule::GccHardware)),
+        // ROI at native resolution, Gaussian-wise.
+        RenderRequest::trajectory("lego", 0.6).with_options(
+            RenderOptions::default()
+                .with_schedule(Schedule::GaussianWise)
+                .with_roi(Roi::new(30, 20, 70, 50)),
+        ),
+        // ROI at an overridden resolution, standard.
+        RenderRequest::trajectory("palace", 0.8).with_options(
+            RenderOptions::default()
+                .at_resolution(160, 120)
+                .with_roi(Roi::new(40, 24, 64, 48)),
+        ),
+        // Background override + quality knobs.
+        RenderRequest::trajectory("train", 0.1).with_options(
+            RenderOptions::default()
+                .on_background(Vec3::new(0.1, 0.2, 0.3))
+                .with_alpha_min(0.02)
+                .with_sh_degree(1),
+        ),
+    ];
+    let handles: Vec<_> = reqs
+        .iter()
+        .map(|r| service.submit(r.clone()).unwrap())
+        .collect();
+    for (req, handle) in reqs.iter().zip(handles) {
+        let frame = handle.wait().unwrap();
+        let scene = &direct.iter().find(|(id, _)| *id == req.scene).unwrap().1;
+        let want = direct_render(scene, req);
+        assert_eq!(
+            frame.image, want.image,
+            "served {:?} on {} diverged from the direct render",
+            req.options, req.scene
+        );
+        assert_eq!(frame.stats, want.stats);
+        // Output shaping actually happened.
+        if let Some(roi) = &req.options.roi {
+            assert_eq!(frame.image.width(), roi.width);
+            assert_eq!(frame.image.height(), roi.height);
+        } else if let Some((w, h)) = req.options.resolution {
+            assert_eq!((frame.image.width(), frame.image.height()), (w, h));
+        }
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.frames, 6);
+    assert_eq!(stats.per_schedule.len(), 4, "four schedules saw traffic");
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -118,17 +210,13 @@ fn eviction_churn_preserves_determinism() {
             max_batch: 2,
         },
         registry,
-        Box::new(StandardRenderer::reference()),
     );
     let reference = StandardRenderer::reference();
     for i in 0..8 {
         let id = ["lego", "palace", "train"][i % 3];
         let t = i as f32 / 8.0;
         let frame = service
-            .render_blocking(RenderRequest {
-                scene: id.into(),
-                t,
-            })
+            .render_blocking(RenderRequest::trajectory(id, t))
             .unwrap();
         let scene = &direct.iter().find(|(s, _)| s == id).unwrap().1;
         let want = reference.render_frame(&scene.gaussians, &scene.camera(t));
@@ -157,13 +245,9 @@ fn umbrella_crate_reexports_the_serving_layer() {
             "lego".to_string(),
             gcc_repro::serve::SceneSource::Memory(Arc::clone(&scene)),
         )],
-        Box::new(gcc_repro::render::StandardRenderer::reference()),
     );
     let frame = service
-        .render_blocking(gcc_repro::serve::RenderRequest {
-            scene: "lego".into(),
-            t: 0.5,
-        })
+        .render_blocking(gcc_repro::serve::RenderRequest::trajectory("lego", 0.5))
         .unwrap();
     let want = StandardRenderer::reference().render_frame(&scene.gaussians, &scene.camera(0.5));
     assert_eq!(frame.image, want.image);
