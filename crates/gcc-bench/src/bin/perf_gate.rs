@@ -1,16 +1,27 @@
 //! `perf_gate` — the CI perf-regression gate.
 //!
-//! Compares a freshly produced `BENCH_frame.json` against the committed
-//! `ci/bench_baseline.json` cell-by-cell and exits non-zero when any
-//! `(scene, scale, engine, parallelism)` cell slowed down beyond the
-//! tolerance, or when baseline coverage is missing from the current run.
+//! Two independent checks, either or both per invocation:
+//!
+//! * **Frame gate** (`--baseline` + `--current`): compares a freshly
+//!   produced `BENCH_frame.json` against the committed
+//!   `ci/bench_baseline.json` cell-by-cell and fails when any
+//!   `(scene, scale, engine, parallelism)` cell slowed down beyond the
+//!   tolerance, or when baseline coverage is missing from the current
+//!   run.
+//! * **Serve gate** (`--serve`): checks a `bench_serve/v3` record —
+//!   committed or freshly measured — against a throughput floor: the
+//!   batched/naive `speedup_vs_naive` must be at least `--serve-floor`
+//!   (default 2.0, the acceptance threshold) and the record's own
+//!   serve-vs-direct parity pass must have succeeded.
+//!
 //! The comparison logic itself lives in `gcc_bench::perf_gate`, where
-//! unit tests pin that an inflated timing record fails the gate.
+//! unit tests pin that an inflated timing record and a collapsed serve
+//! speedup both fail the gate.
 //!
 //! ```text
 //! cargo run --release -p gcc-bench --bin perf_gate -- \
-//!     --baseline ci/bench_baseline.json --current BENCH_frame.json \
-//!     [--tolerance 0.25]
+//!     --baseline ci/bench_baseline.json --current BENCH_gate.json \
+//!     [--tolerance 0.25] [--serve BENCH_serve.json] [--serve-floor 2.0]
 //! ```
 //!
 //! Refreshing the baseline (documented in README "Perf gate"): rerun
@@ -18,13 +29,15 @@
 //! record over `ci/bench_baseline.json` in the same PR that explains the
 //! intentional change.
 
-use gcc_bench::perf_gate::compare;
+use gcc_bench::perf_gate::{check_serve_record, compare};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut baseline_path = None;
     let mut current_path = None;
+    let mut serve_path = None;
     let mut tolerance = 0.25f64;
+    let mut serve_floor = 2.0f64;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -32,20 +45,33 @@ fn main() {
                 baseline_path = Some(it.next().expect("--baseline needs a path").clone())
             }
             "--current" => current_path = Some(it.next().expect("--current needs a path").clone()),
+            "--serve" => serve_path = Some(it.next().expect("--serve needs a path").clone()),
             "--tolerance" => {
                 tolerance = it
                     .next()
                     .and_then(|v| v.parse().ok())
                     .expect("--tolerance needs a number");
             }
+            "--serve-floor" => {
+                serve_floor = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--serve-floor needs a number");
+            }
             other => {
-                eprintln!("unknown flag {other} (expected --baseline, --current, --tolerance)");
+                eprintln!(
+                    "unknown flag {other} (expected --baseline, --current, --tolerance, \
+                     --serve, --serve-floor)"
+                );
                 std::process::exit(2);
             }
         }
     }
-    let baseline_path = baseline_path.expect("--baseline is required");
-    let current_path = current_path.expect("--current is required");
+    let frame_gate = baseline_path.is_some() || current_path.is_some();
+    if !frame_gate && serve_path.is_none() {
+        eprintln!("perf_gate: nothing to do (pass --baseline/--current and/or --serve)");
+        std::process::exit(2);
+    }
 
     let read = |path: &str| -> String {
         std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -53,20 +79,49 @@ fn main() {
             std::process::exit(2);
         })
     };
-    let report = match compare(&read(&baseline_path), &read(&current_path), tolerance) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("perf_gate: {e}");
+
+    let mut failed = false;
+    if frame_gate {
+        let (Some(baseline_path), Some(current_path)) = (baseline_path, current_path) else {
+            eprintln!("perf_gate: the frame gate needs both --baseline and --current");
             std::process::exit(2);
+        };
+        let report = match compare(&read(&baseline_path), &read(&current_path), tolerance) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("perf_gate: {e}");
+                std::process::exit(2);
+            }
+        };
+        print!("{}", report.render());
+        if !report.passed() {
+            eprintln!(
+                "perf_gate: regression beyond +{:.0}% against {baseline_path} — \
+                 if intentional, refresh the baseline (see README \"Perf gate\")",
+                tolerance * 100.0
+            );
+            failed = true;
         }
-    };
-    print!("{}", report.render());
-    if !report.passed() {
-        eprintln!(
-            "perf_gate: regression beyond +{:.0}% against {baseline_path} — \
-             if intentional, refresh the baseline (see README \"Perf gate\")",
-            tolerance * 100.0
-        );
+    }
+    if let Some(serve_path) = serve_path {
+        let report = match check_serve_record(&read(&serve_path), serve_floor) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("perf_gate: serve record {serve_path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        print!("{}", report.render());
+        if !report.passed() {
+            eprintln!(
+                "perf_gate: serve throughput floor ({serve_floor:.2}x) not held by \
+                 {serve_path} — if intentional, refresh the record (see README \
+                 \"Serving layer\")"
+            );
+            failed = true;
+        }
+    }
+    if failed {
         std::process::exit(1);
     }
 }

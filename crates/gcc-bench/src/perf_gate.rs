@@ -200,6 +200,124 @@ pub fn compare(
     })
 }
 
+/// Outcome of the serve-throughput floor check against a
+/// `bench_serve/v3` record: the speedup over the naive
+/// load-render-evict configuration must hold a floor, and the record's
+/// own serve-vs-direct parity pass must have succeeded. The per-priority
+/// p95 latencies of the batched configuration are carried along for the
+/// report (the Interactive-beats-Bulk ordering is enforced by
+/// `bench_serve` itself in full mode, where the workload is heavy enough
+/// for the comparison to be meaningful).
+#[derive(Debug, Clone)]
+pub struct ServeGateReport {
+    /// Minimum acceptable `speedup_vs_naive`.
+    pub floor: f64,
+    /// Measured batched/naive throughput ratio.
+    pub speedup_vs_naive: f64,
+    /// Whether the record's serve-vs-direct parity check passed.
+    pub parity_ok: bool,
+    /// Batched-config Interactive p95 latency, ms (absent when the
+    /// workload had no interactive traffic).
+    pub interactive_p95_ms: Option<f64>,
+    /// Batched-config Bulk p95 latency, ms (absent when the workload had
+    /// no bulk traffic).
+    pub bulk_p95_ms: Option<f64>,
+}
+
+impl ServeGateReport {
+    /// `true` when parity held and the speedup clears the floor.
+    pub fn passed(&self) -> bool {
+        self.parity_ok && self.speedup_vs_naive >= self.floor
+    }
+
+    /// Human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "serve speedup vs naive: {:.2}x (floor {:.2}x){}\n",
+            self.speedup_vs_naive,
+            self.floor,
+            if self.speedup_vs_naive >= self.floor {
+                ""
+            } else {
+                "  BELOW FLOOR"
+            },
+        );
+        out.push_str(&format!(
+            "serve parity: {}\n",
+            if self.parity_ok { "ok" } else { "FAILED" }
+        ));
+        if let (Some(i), Some(b)) = (self.interactive_p95_ms, self.bulk_p95_ms) {
+            out.push_str(&format!(
+                "batched p95: interactive {i:.2} ms vs bulk {b:.2} ms\n"
+            ));
+        }
+        out.push_str(&format!(
+            "serve gate: {}\n",
+            if self.passed() { "PASS" } else { "FAIL" }
+        ));
+        out
+    }
+}
+
+/// Checks a `bench_serve/v3` record against a throughput floor.
+///
+/// # Errors
+///
+/// Returns a message for malformed JSON, a record of the wrong schema,
+/// missing fields, or an invalid floor.
+pub fn check_serve_record(text: &str, floor: f64) -> Result<ServeGateReport, String> {
+    if !(floor.is_finite() && floor >= 0.0) {
+        return Err(format!("invalid serve floor {floor}"));
+    }
+    let doc = json::parse(text)?;
+    let schema = doc
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("missing 'schema'")?;
+    if schema != "bench_serve/v3" {
+        return Err(format!("unexpected schema '{schema}'"));
+    }
+    let speedup = doc
+        .get("speedup_vs_naive")
+        .and_then(Value::as_f32)
+        .ok_or("missing number 'speedup_vs_naive'")?;
+    let parity_ok = match doc.get("parity_ok") {
+        Some(Value::Bool(b)) => *b,
+        _ => return Err("missing bool 'parity_ok'".into()),
+    };
+    // Per-priority p95s of the batched config, if present.
+    let mut interactive_p95_ms = None;
+    let mut bulk_p95_ms = None;
+    if let Some(configs) = doc.get("configs").and_then(Value::as_arr) {
+        let batched = configs
+            .iter()
+            .find(|c| c.get("name").and_then(Value::as_str) == Some("batched_lru"));
+        if let Some(prios) = batched
+            .and_then(|c| c.get("per_priority"))
+            .and_then(Value::as_arr)
+        {
+            for p in prios {
+                let p95 = p
+                    .get("latency_p95_ms")
+                    .and_then(Value::as_f32)
+                    .map(f64::from);
+                match p.get("priority").and_then(Value::as_str) {
+                    Some("interactive") => interactive_p95_ms = p95,
+                    Some("bulk") => bulk_p95_ms = p95,
+                    _ => {}
+                }
+            }
+        }
+    }
+    Ok(ServeGateReport {
+        floor,
+        speedup_vs_naive: f64::from(speedup),
+        parity_ok,
+        interactive_p95_ms,
+        bulk_p95_ms,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -355,5 +473,60 @@ mod tests {
     fn zero_ms_cells_are_rejected_at_parse() {
         let zero = record(&[("Lego", 0.05, "standard_frame_engine", "sequential", 0.0)]);
         assert!(parse_bench_cells(&zero).is_err());
+    }
+
+    fn serve_record(speedup: f64, parity_ok: bool) -> String {
+        format!(
+            "{{\"schema\": \"bench_serve/v3\", \"parity_ok\": {parity_ok}, \
+             \"configs\": [\
+             {{\"name\": \"batched_lru\", \"per_priority\": [\
+             {{\"priority\": \"interactive\", \"latency_p95_ms\": 12.5}}, \
+             {{\"priority\": \"bulk\", \"latency_p95_ms\": 80.0}}]}}, \
+             {{\"name\": \"naive_evict\", \"per_priority\": []}}], \
+             \"speedup_vs_naive\": {speedup}}}"
+        )
+    }
+
+    #[test]
+    fn serve_gate_passes_above_the_floor_and_reads_p95s() {
+        let report = check_serve_record(&serve_record(3.2, true), 2.0).unwrap();
+        assert!(report.passed());
+        assert!((report.speedup_vs_naive - 3.2).abs() < 1e-6);
+        assert_eq!(report.interactive_p95_ms, Some(12.5));
+        assert_eq!(report.bulk_p95_ms, Some(80.0));
+        assert!(report.render().contains("PASS"));
+    }
+
+    #[test]
+    fn serve_gate_fails_below_the_floor() {
+        // The acceptance check: a throughput collapse must trip the gate.
+        let report = check_serve_record(&serve_record(1.4, true), 2.0).unwrap();
+        assert!(!report.passed());
+        assert!(report.render().contains("BELOW FLOOR"));
+        assert!(report.render().contains("FAIL"));
+        // Exactly at the floor passes.
+        assert!(check_serve_record(&serve_record(2.0, true), 2.0)
+            .unwrap()
+            .passed());
+    }
+
+    #[test]
+    fn serve_gate_fails_on_broken_parity_regardless_of_speedup() {
+        let report = check_serve_record(&serve_record(9.0, false), 2.0).unwrap();
+        assert!(!report.passed());
+        assert!(report.render().contains("parity: FAILED"));
+    }
+
+    #[test]
+    fn serve_gate_rejects_malformed_records() {
+        assert!(check_serve_record("not json", 2.0).is_err());
+        assert!(check_serve_record("{\"schema\": \"bench_serve/v2\"}", 2.0).is_err());
+        assert!(
+            check_serve_record("{\"schema\": \"bench_serve/v3\", \"parity_ok\": true}", 2.0)
+                .is_err(),
+            "missing speedup must be an error"
+        );
+        assert!(check_serve_record(&serve_record(3.0, true), f64::NAN).is_err());
+        assert!(check_serve_record(&serve_record(3.0, true), -1.0).is_err());
     }
 }

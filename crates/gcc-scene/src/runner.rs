@@ -75,6 +75,45 @@ impl TrajectoryRunner {
             .collect()
     }
 
+    /// An endpoint-inclusive trajectory sweep: `frames` views evenly
+    /// spaced from `t0` to `t1` (a single frame sits at `t0`; the last
+    /// frame is exactly `t1`, and intermediate samples are clamped into
+    /// `[min(t0,t1), max(t0,t1)]` so valid endpoints can never round a
+    /// sample out of range). `t1 < t0` sweeps backwards. This is the
+    /// view-list behind `gcc_serve`'s `TrajectorySweep` streams; unlike
+    /// [`Self::views`] it hits both endpoints, which is what a playback
+    /// client scrubbing a sub-range wants.
+    pub fn sweep_views(t0: f32, t1: f32, frames: usize) -> Vec<ViewSpec> {
+        let (lo, hi) = (t0.min(t1), t0.max(t1));
+        (0..frames)
+            .map(|i| {
+                let t = if i == 0 {
+                    t0
+                } else if i + 1 == frames {
+                    t1
+                } else {
+                    (t0 + (t1 - t0) * (i as f32 / (frames - 1) as f32)).clamp(lo, hi)
+                };
+                ViewSpec::trajectory(t)
+            })
+            .collect()
+    }
+
+    /// One full orbit loop as absolute-angle [`ViewSpec::Orbit`] views:
+    /// `frames` evenly spaced angles over `[0, 2π)` (endpoint-exclusive,
+    /// like [`Self::views`], so consecutive loops tile seamlessly) at a
+    /// common radius scale and height offset. The view-list behind
+    /// `gcc_serve`'s `OrbitLoop` streams.
+    pub fn orbit_views(frames: usize, radius_scale: f32, height_offset: f32) -> Vec<ViewSpec> {
+        (0..frames)
+            .map(|i| ViewSpec::Orbit {
+                angle: std::f32::consts::TAU * i as f32 / frames as f32,
+                radius_scale,
+                height_offset,
+            })
+            .collect()
+    }
+
     /// The cameras this runner samples, in trajectory order.
     pub fn cameras(&self, scene: &Scene) -> Vec<Camera> {
         (0..self.frames)
@@ -218,5 +257,47 @@ mod tests {
     #[should_panic(expected = "at least one frame")]
     fn zero_frames_rejected() {
         let _ = TrajectoryRunner::new(0);
+    }
+
+    #[test]
+    fn sweep_views_hit_both_endpoints_and_stay_in_range() {
+        let views = TrajectoryRunner::sweep_views(0.2, 1.0, 5);
+        assert_eq!(views.len(), 5);
+        assert_eq!(views[0], ViewSpec::trajectory(0.2));
+        assert_eq!(views[4], ViewSpec::trajectory(1.0));
+        for v in &views {
+            assert!(v.validate().is_ok(), "{v:?}");
+        }
+        // Backwards sweep and the single-frame degenerate case.
+        let back = TrajectoryRunner::sweep_views(0.9, 0.1, 3);
+        assert_eq!(back[0], ViewSpec::trajectory(0.9));
+        assert_eq!(back[2], ViewSpec::trajectory(0.1));
+        assert_eq!(
+            TrajectoryRunner::sweep_views(0.4, 0.8, 1),
+            vec![ViewSpec::trajectory(0.4)]
+        );
+        assert!(TrajectoryRunner::sweep_views(0.0, 1.0, 0).is_empty());
+    }
+
+    #[test]
+    fn orbit_views_tile_the_circle_endpoint_exclusive() {
+        let views = TrajectoryRunner::orbit_views(4, 1.5, -0.2);
+        assert_eq!(views.len(), 4);
+        for (i, v) in views.iter().enumerate() {
+            match v {
+                ViewSpec::Orbit {
+                    angle,
+                    radius_scale,
+                    height_offset,
+                } => {
+                    let want = std::f32::consts::TAU * i as f32 / 4.0;
+                    assert!((angle - want).abs() < 1e-6);
+                    assert_eq!(*radius_scale, 1.5);
+                    assert_eq!(*height_offset, -0.2);
+                }
+                other => panic!("expected orbit view, got {other:?}"),
+            }
+            assert!(v.validate().is_ok());
+        }
     }
 }

@@ -2,51 +2,65 @@
 //!
 //! The renderers turn `(scene, camera)` into a frame; this crate turns
 //! that into a *service*: many scenes, many concurrent clients, bounded
-//! memory. It is the paper's cross-stage conditional-scheduling idea
-//! lifted one level up — the schedulable unit is a whole frame request,
-//! and what gets processed when is conditioned on which scenes are
-//! resident:
+//! memory, and — since the session redesign — *streams* of correlated
+//! views with backpressure, cancellation and latency classes. It is the
+//! paper's cross-stage conditional-scheduling idea lifted one level up:
+//! the schedulable unit is a frame of a stream, and what gets processed
+//! when is conditioned on scene residency, priority class and deadlines:
 //!
+//! * [`Session`] / [`FrameStream`] (the [`session`] module) — a client
+//!   opens a session per scene (with shared [`RenderOptions`] defaults)
+//!   and streams view sequences through it: trajectory sweeps, orbit
+//!   loops, or explicit view lists ([`StreamSpec`]). Streams deliver
+//!   in order, materialize at most [`StreamConfig::window`] undelivered
+//!   frames at a time (backpressure), can be cancelled mid-flight
+//!   (releasing their queued work), and carry a [`Priority`] —
+//!   `Interactive` preempts `Bulk` at every dispatch decision — plus an
+//!   optional per-frame deadline whose misses are counted.
 //! * [`LruSceneCache`] — scenes load on demand through [`SceneSource`]
 //!   handles (presets, binary/JSON files via `gcc_scene::io`) and stay
 //!   resident under a byte budget with least-recently-used eviction.
+//!   Frames of one stream share one batch key, so correlated views stay
+//!   co-scheduled on one worker's warm scratch while their scene stays
+//!   hot in the cache.
 //! * [`RenderService`] — a long-lived worker pool
-//!   ([`gcc_parallel::WorkerPool`]) over a batching queue keyed by
-//!   `(scene, schedule, resolution)`: requests that agree on those three
-//!   are coalesced into batches so a worker renders them back-to-back
-//!   through one reusable
-//!   [`FrameScratch`](gcc_render::pipeline::FrameScratch) (the
-//!   trajectory-runner reuse discipline, extended from one batch to the
-//!   whole worker lifetime); requests for a cold scene trigger an
-//!   asynchronous load on one worker which then drains the waiting batch
-//!   itself (load-then-drain), while other workers keep serving resident
-//!   scenes.
+//!   ([`gcc_parallel::WorkerPool`]) over priority-aware batching queues
+//!   keyed by `(scene, schedule, resolution, priority)`; requests that
+//!   agree on the key coalesce into batches a worker renders
+//!   back-to-back through one reusable
+//!   [`FrameScratch`](gcc_render::pipeline::FrameScratch); requests for
+//!   a cold scene trigger an asynchronous load on one worker which then
+//!   drains the waiting batch itself (load-then-drain), while other
+//!   workers keep serving resident scenes. [`RenderService::submit`] and
+//!   [`RenderService::render_blocking`] are thin shims over single-frame
+//!   interactive streams.
 //! * [`ServeStats`] — the introspection surface: per-scene hit / miss /
-//!   eviction / batch counters, per-schedule request/frame breakdowns,
-//!   queue depth watermarks, p50/p95 request latency, and the folded
+//!   eviction / batch counters, per-schedule and per-priority
+//!   request/frame breakdowns (separate Interactive vs Bulk latency
+//!   percentiles and deadline-miss counts), stream lifecycle counters,
+//!   queue depth watermarks, and the folded
 //!   [`FrameStats`](gcc_render::pipeline::FrameStats) of everything
 //!   rendered.
 //!
-//! Since the request-model redesign a request is a full view description:
-//! a [`ViewSpec`](gcc_scene::ViewSpec) (trajectory parameter, explicit
-//! pose, or orbit angle) plus [`RenderOptions`](gcc_render::RenderOptions)
-//! (schedule selection, resolution override, region of interest,
-//! background and quality knobs). Requests are validated at
-//! [`RenderService::submit`]: NaN parameters, out-of-range trajectory
-//! values, zero-sized ROIs and unknown scene ids come back as typed
-//! [`ServeError`]s instead of reaching a render worker.
+//! Requests are validated at submit/open: NaN parameters, out-of-range
+//! trajectory values, zero-sized ROIs, empty streams and unknown scene
+//! ids come back as typed [`ServeError`]s instead of reaching a render
+//! worker.
 //!
-//! Determinism contract: a served frame is bit-identical to calling
+//! Determinism contract: a served frame — streamed or submitted — is
+//! bit-identical to calling
 //! [`Renderer::render_job`](gcc_render::pipeline::Renderer::render_job)
 //! directly with the same scene, resolved camera and options — scratch
-//! reuse, batching and scheduling order never leak into pixels
-//! (`tests/serve_parity.rs` pins this at the workspace level, across
-//! schedules, resolutions, ROIs and explicit poses).
+//! reuse, batching, priorities and scheduling order never leak into
+//! pixels (`tests/serve_parity.rs` pins this at the workspace level,
+//! across schedules, priorities, thread counts and stream shapes).
 //!
 //! ```
 //! use gcc_render::{RenderOptions, Schedule};
 //! use gcc_scene::{ScenePreset, ViewSpec};
-//! use gcc_serve::{RenderRequest, RenderService, SceneSource, ServeConfig};
+//! use gcc_serve::{
+//!     RenderRequest, RenderService, SceneSource, ServeConfig, StreamConfig, StreamSpec,
+//! };
 //!
 //! let service = RenderService::new(
 //!     ServeConfig { workers: 2, ..ServeConfig::default() },
@@ -55,26 +69,34 @@
 //!         SceneSource::Preset { preset: ScenePreset::Lego, scale: 0.02 },
 //!     )],
 //! );
-//! // The historical surface: trajectory parameter, default options.
+//! // The single-frame surface: a thin shim over a one-frame stream.
 //! let frame = service
 //!     .submit(RenderRequest::trajectory("lego", 0.25))
 //!     .unwrap()
 //!     .wait()
 //!     .unwrap();
 //! assert!(frame.image.width() > 0);
-//! // The full request model: explicit pose, schedule and resolution.
-//! let posed = RenderRequest::new(
-//!     "lego",
-//!     ViewSpec::look_at(gcc_math::Vec3::new(0.0, 1.0, -4.0), gcc_math::Vec3::ZERO),
-//! )
-//! .with_options(
-//!     RenderOptions::default()
-//!         .with_schedule(Schedule::GccHardware)
-//!         .at_resolution(160, 120),
-//! );
-//! let small = service.render_blocking(posed).unwrap();
-//! assert_eq!((small.image.width(), small.image.height()), (160, 120));
-//! assert_eq!(service.stats().completed, 2);
+//! // The session surface: open once, stream a whole sweep through it.
+//! let session = service
+//!     .session("lego", RenderOptions::default().with_schedule(Schedule::GccHardware))
+//!     .unwrap();
+//! let stream = session
+//!     .stream_with(
+//!         StreamSpec::TrajectorySweep { t0: 0.0, t1: 0.5, frames: 3 },
+//!         StreamConfig::bulk().with_window(2),
+//!     )
+//!     .unwrap();
+//! let frames: Vec<_> = stream.map(|r| r.unwrap()).collect();
+//! assert_eq!(frames.len(), 3);
+//! // And posed single frames through the same session.
+//! let posed = session
+//!     .render_blocking(ViewSpec::look_at(
+//!         gcc_math::Vec3::new(0.0, 1.0, -4.0),
+//!         gcc_math::Vec3::ZERO,
+//!     ))
+//!     .unwrap();
+//! assert!(posed.image.width() > 0);
+//! assert_eq!(service.stats().completed, 5);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -82,13 +104,17 @@
 
 mod cache;
 mod service;
+pub mod session;
 mod source;
 mod stats;
 
 pub use cache::LruSceneCache;
 pub use service::{RenderHandle, RenderRequest, RenderService, ScheduleRenderers, ServeConfig};
+pub use session::{FrameStream, Priority, Session, StreamConfig, StreamPoll, StreamSpec};
 pub use source::SceneSource;
-pub use stats::{percentile_us, SceneCounters, ScheduleCounters, ServeStats};
+pub use stats::{
+    percentile_us, PriorityCounters, SceneCounters, ScheduleCounters, ServeStats, StreamCounters,
+};
 
 use gcc_scene::ViewError;
 
@@ -101,9 +127,11 @@ pub enum ServeError {
     /// trajectory parameter, degenerate pose, zero-sized or out-of-bounds
     /// ROI, bad quality knobs).
     InvalidRequest(ViewError),
+    /// A stream spec describing zero frames was rejected at open.
+    EmptyStream,
     /// The scene's source failed to load (message carries the I/O or
     /// format error; it is a string so one failure can fan out to every
-    /// request waiting on the load).
+    /// stream waiting on the load).
     Load {
         /// Scene id whose load failed.
         scene: String,
@@ -111,10 +139,12 @@ pub enum ServeError {
         message: String,
     },
     /// The service is shutting down and accepts no new requests; also the
-    /// resolution of any handle still queued when the service shut down
-    /// (no [`RenderHandle::wait`] blocks past shutdown).
+    /// resolution of any frame still queued — and of any stream's
+    /// unissued remainder — when the service shut down (no
+    /// [`RenderHandle::wait`] or [`FrameStream`] consumer blocks past
+    /// shutdown).
     ShuttingDown,
-    /// The worker rendering this request's batch panicked. The waiter is
+    /// The worker rendering this request's batch panicked. The stream is
     /// failed instead of stranded; the panic itself resurfaces when the
     /// service joins its pool (shutdown/drop).
     WorkerPanicked,
@@ -125,6 +155,7 @@ impl std::fmt::Display for ServeError {
         match self {
             Self::UnknownScene(id) => write!(f, "unknown scene '{id}'"),
             Self::InvalidRequest(e) => write!(f, "invalid request: {e}"),
+            Self::EmptyStream => write!(f, "stream spec describes zero frames"),
             Self::Load { scene, message } => write!(f, "loading scene '{scene}' failed: {message}"),
             Self::ShuttingDown => write!(f, "service is shutting down"),
             Self::WorkerPanicked => write!(f, "a render worker panicked on this batch"),

@@ -1,37 +1,52 @@
-//! The render service: a long-lived worker pool over a batching queue
-//! keyed by `(scene, schedule, resolution)`, and the LRU scene cache.
+//! The render service: a long-lived worker pool over priority-aware
+//! stream queues keyed by `(scene, schedule, resolution, priority)`, and
+//! the LRU scene cache.
 //!
 //! # Request model
 //!
-//! A [`RenderRequest`] is a scene id, a [`ViewSpec`] (trajectory
-//! parameter, explicit pose, or orbit angle) and [`RenderOptions`]
-//! (schedule selection, resolution override, region of interest,
-//! background and quality knobs). [`RenderService::submit`] validates the
+//! Since the session redesign *everything is a stream*: a client opens a
+//! [`Session`] per scene and streams view sequences through it
+//! ([`Session::stream_with`]); [`RenderService::submit`] is a thin shim
+//! that opens a single-frame interactive stream and wraps it in a
+//! [`RenderHandle`]. A [`RenderRequest`] is a scene id, a [`ViewSpec`]
+//! and [`RenderOptions`]; validation happens before any worker sees the
 //! request — unknown scene ids, NaN / out-of-range parameters and
-//! zero-sized ROIs fail with typed [`ServeError`]s before any worker sees
-//! them; ROI bounds against a scene's *native* resolution can only be
-//! checked once the scene is known, so that case resolves through the
-//! handle instead of panicking a worker.
+//! zero-sized ROIs fail with typed [`ServeError`]s at submit/open; ROI
+//! bounds against a scene's *native* resolution can only be checked once
+//! the scene is known, so that case resolves through the stream instead
+//! of panicking a worker.
 //!
 //! # Scheduling
 //!
 //! All coordination state lives in one mutex (`State`) with one condvar.
-//! Queues are keyed by [`BatchKey`] — scene, schedule, resolution — so a
-//! drained batch is renderable back-to-back on one worker with one
-//! renderer; heterogeneous options *within* a key (different views, ROIs,
-//! backgrounds, quality knobs) still coalesce because every frame carries
-//! its own options through [`Renderer::render_job`]. A worker's step
-//! either *plans* a job under the lock — drain a batch for a resident
-//! scene, or claim a cold scene's load — and executes it with the lock
-//! released, or blocks on the condvar when every pending scene is already
-//! being loaded by someone else. Keys take turns in FIFO order (`order`
-//! rotates a drained-but-nonempty key to the back), so a hot scene or
-//! schedule cannot starve others; within a key, requests are served in
-//! submission order.
+//! Queues are keyed by [`BatchKey`] — scene, schedule, resolution,
+//! priority — so a drained batch is renderable back-to-back on one
+//! worker with one renderer, and batches are priority-pure (interactive
+//! frames never wait behind bulk frames inside one queue). A worker's
+//! step either *plans* a job under the lock — drain a batch for a
+//! resident scene, or claim a cold scene's load — and executes it with
+//! the lock released, or blocks on the condvar when every pending scene
+//! is already being loaded by someone else.
+//!
+//! Dispatch order replaced the old plain round-robin: the planner picks
+//! the best actionable key by `(priority, earliest head deadline, FIFO
+//! turn)` — `Interactive` preempts `Bulk` at every decision; within a
+//! class, earliest-deadline-first, with *any* deadline outranking
+//! deadline-free work (a deadline is a claim of urgency — latency
+//! promises are ordered ahead of best-effort traffic, which saturating
+//! deadline-carrying load can therefore starve, exactly as interactive
+//! can starve bulk); the FIFO turn (a drained-but-nonempty key rotates
+//! to the back) keeps keys of equal priority and deadline standing
+//! fair. Within a key, frames are served in issue order.
+//!
+//! Frames enter the queues *lazily*: a stream materializes at most
+//! `window` undelivered frames at a time (see
+//! [`crate::session`]), refilled when the client consumes — the
+//! backpressure that bounds queue space per client.
 //!
 //! A cold scene is loaded by exactly one worker (the `loading` guard),
-//! which then drains the first waiting batch itself — *load-then-drain* —
-//! while the insert makes the scene resident for every other worker to
+//! which then drains the first waiting batch itself — *load-then-drain*
+//! — while the insert makes the scene resident for every other worker to
 //! batch from in parallel. With a zero cache budget the insert evicts
 //! immediately and every request degenerates to load-render-evict: the
 //! naive configuration `bench_serve` compares against.
@@ -39,14 +54,14 @@
 //! # Scratch lifetime
 //!
 //! Each pool worker owns one [`FrameScratch`] for its entire lifetime —
-//! across batches, scenes, schedules and cache generations — so
+//! across batches, scenes, schedules, streams and cache generations — so
 //! steady-state serving allocates no per-frame hot-path buffers. Served
 //! frames are bit-identical to fresh-scratch direct renders (the
 //! scratch-reuse contract of [`Renderer::render_job`]).
 
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use gcc_parallel::{available_threads, WorkerPool, WorkerStep};
 use gcc_render::pipeline::{
@@ -55,8 +70,11 @@ use gcc_render::pipeline::{
 use gcc_scene::{Scene, ViewError, ViewSpec};
 
 use crate::cache::LruSceneCache;
+use crate::session::{FrameStream, Inbox, Priority, Session, StreamConfig, StreamPoll};
 use crate::source::SceneSource;
-use crate::stats::{percentile_us, SceneCounters, ScheduleCounters, ServeStats};
+use crate::stats::{
+    percentile_us, PriorityCounters, SceneCounters, ScheduleCounters, ServeStats, StreamCounters,
+};
 use crate::ServeError;
 
 /// Service sizing and policy knobs.
@@ -161,86 +179,138 @@ impl ScheduleRenderers {
     }
 }
 
-/// The one-shot response cell a request's waiter blocks on.
-#[derive(Debug, Default)]
-struct Slot {
-    cell: Mutex<Option<Result<Frame, ServeError>>>,
-    ready: Condvar,
-}
-
-fn fulfill(slot: &Slot, result: Result<Frame, ServeError>) {
-    *slot.cell.lock().expect("response slot poisoned") = Some(result);
-    slot.ready.notify_all();
-}
-
-/// Waiter side of a submitted request.
+/// Waiter side of a submitted single-frame request: a handle over a
+/// one-frame interactive stream. Dropping the handle without waiting
+/// cancels the request (an abandoned frame releases its queue slot).
 #[derive(Debug)]
 pub struct RenderHandle {
-    slot: Arc<Slot>,
+    stream: FrameStream,
 }
 
 impl RenderHandle {
+    pub(crate) fn from_stream(stream: FrameStream) -> Self {
+        Self { stream }
+    }
+
     /// Blocks until the frame is rendered (or the request failed). A
     /// handle never blocks past the service's shutdown: requests still
     /// queued when the drain finishes resolve with
     /// [`ServeError::ShuttingDown`].
-    pub fn wait(self) -> Result<Frame, ServeError> {
-        let mut cell = self.slot.cell.lock().expect("response slot poisoned");
-        loop {
-            if let Some(result) = cell.take() {
-                return result;
-            }
-            cell = self.slot.ready.wait(cell).expect("response slot poisoned");
+    pub fn wait(mut self) -> Result<Frame, ServeError> {
+        self.stream
+            .next_frame()
+            .unwrap_or(Err(ServeError::ShuttingDown))
+    }
+
+    /// Bounded-wait variant of [`Self::wait`]: blocks up to `timeout`.
+    /// `Ok` carries the request's result; `Err` returns the handle on
+    /// timeout so the caller can keep polling without losing the frame.
+    ///
+    /// # Errors
+    ///
+    /// `Err(self)` when the frame was not ready within `timeout`.
+    pub fn wait_timeout(mut self, timeout: Duration) -> Result<Result<Frame, ServeError>, Self> {
+        match self.stream.next_timeout(timeout) {
+            StreamPoll::Ready(result) => Ok(result),
+            StreamPoll::Done => Ok(Err(ServeError::ShuttingDown)),
+            StreamPoll::Pending => Err(self),
         }
     }
 
     /// `true` once the result is available ([`Self::wait`] won't block).
+    /// A pure poll: takes no part in the scheduler's condvar protocol, so
+    /// spinning on it cannot stall workers (though [`Self::wait_timeout`]
+    /// is the cheaper way to poll).
     pub fn is_ready(&self) -> bool {
-        self.slot
-            .cell
-            .lock()
-            .expect("response slot poisoned")
-            .is_some()
+        self.stream.is_ready()
     }
 }
 
-/// What a batch coalesces on: requests agreeing on all three render
-/// back-to-back through one renderer and one scratch. The `resolution` is
-/// the *override* (`None` = the scene's native size), so native-resolution
-/// requests coalesce without knowing the scene's actual dimensions at
-/// submit time.
+/// What a batch coalesces on: requests agreeing on all four render
+/// back-to-back through one renderer and one scratch, at one priority.
+/// The `resolution` is the *override* (`None` = the scene's native
+/// size), so native-resolution requests coalesce without knowing the
+/// scene's actual dimensions at submit time. Priority is part of the key
+/// so batches are priority-pure: an interactive frame never waits behind
+/// bulk frames inside one queue.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct BatchKey {
     scene: String,
     schedule: Schedule,
     resolution: Option<(u32, u32)>,
+    priority: Priority,
 }
 
-/// A queued request.
+/// A queued (issued) stream frame.
 #[derive(Debug)]
 struct Pending {
     view: ViewSpec,
-    options: RenderOptions,
+    options: Arc<RenderOptions>,
+    /// When the frame was issued into the scheduler (latency origin).
     submitted: Instant,
-    slot: Arc<Slot>,
+    /// Absolute deadline (issue time + the stream's deadline), if any.
+    deadline: Option<Instant>,
+    priority: Priority,
+    stream: u64,
+    index: usize,
+    inbox: Arc<Inbox>,
 }
 
-/// Most latency samples retained for the percentile window. A long-lived
+/// Scheduler-side state of one open stream.
+#[derive(Debug)]
+struct StreamSched {
+    key: BatchKey,
+    views: Vec<ViewSpec>,
+    options: Arc<RenderOptions>,
+    deadline: Option<Duration>,
+    window: usize,
+    /// Frames materialized into the queues so far.
+    issued: usize,
+    /// Frames the client has consumed (reported by refills).
+    delivered: usize,
+    inbox: Arc<Inbox>,
+}
+
+/// Most latency samples retained per priority class. A long-lived
 /// service must not accumulate per-request state without bound, and
-/// `stats()` sorts a copy of this buffer — so it is a ring over the most
-/// recent completions, not the full history.
-const LATENCY_WINDOW: usize = 1 << 16;
+/// `stats()` sorts a copy of these buffers — so each is a ring over the
+/// most recent completions, not the full history.
+const LATENCY_WINDOW: usize = 1 << 15;
+
+/// Per-priority mutable statistics (folded under the service lock).
+#[derive(Debug, Default)]
+struct PriorityInner {
+    requests: u64,
+    frames: u64,
+    completed: u64,
+    max_queued: usize,
+    with_deadline: u64,
+    deadline_misses: u64,
+    /// Ring buffer of recent frame latencies (µs); see
+    /// [`LATENCY_WINDOW`].
+    latencies_us: Vec<u64>,
+    /// Next overwrite position once the ring is full.
+    latency_cursor: usize,
+}
+
+impl PriorityInner {
+    fn record_latency(&mut self, us: u64) {
+        if self.latencies_us.len() < LATENCY_WINDOW {
+            self.latencies_us.push(us);
+        } else {
+            self.latencies_us[self.latency_cursor] = us;
+            self.latency_cursor = (self.latency_cursor + 1) % LATENCY_WINDOW;
+        }
+    }
+}
 
 /// Mutable aggregate statistics (folded under the service lock).
 #[derive(Debug, Default)]
 struct StatsInner {
     per_scene: BTreeMap<String, SceneCounters>,
     per_schedule: BTreeMap<Schedule, ScheduleCounters>,
-    /// Ring buffer of recent request latencies (µs); see
-    /// [`LATENCY_WINDOW`].
-    latencies_us: Vec<u64>,
-    /// Next overwrite position once the ring is full.
-    latency_cursor: usize,
+    per_priority: [PriorityInner; 2],
+    streams: StreamCounters,
     frame_stats: FrameStats,
     completed: u64,
     batches: u64,
@@ -257,13 +327,8 @@ impl StatsInner {
         self.per_schedule.entry(s).or_default()
     }
 
-    fn record_latency(&mut self, us: u64) {
-        if self.latencies_us.len() < LATENCY_WINDOW {
-            self.latencies_us.push(us);
-        } else {
-            self.latencies_us[self.latency_cursor] = us;
-            self.latency_cursor = (self.latency_cursor + 1) % LATENCY_WINDOW;
-        }
+    fn priority(&mut self, p: Priority) -> &mut PriorityInner {
+        &mut self.per_priority[p.index()]
     }
 }
 
@@ -271,15 +336,21 @@ impl StatsInner {
 #[derive(Debug)]
 struct State {
     cache: LruSceneCache,
-    /// Per-key FIFO of pending requests. Invariant: a key exists here
-    /// iff it is in `order` (queues are removed when drained empty).
+    /// Per-key FIFO of issued frames. Invariant: a key exists here iff
+    /// it is in `order` (queues are removed when drained empty).
     queues: HashMap<BatchKey, VecDeque<Pending>>,
-    /// Batch keys with pending requests, in round-robin turn order.
+    /// Batch keys with pending frames, in FIFO turn order (the
+    /// within-class fairness tiebreaker).
     order: VecDeque<BatchKey>,
+    /// Open streams by id (removed on completion / cancel / failure).
+    streams: HashMap<u64, StreamSched>,
     /// Scenes currently being loaded by some worker.
     loading: HashSet<String>,
-    /// Requests submitted but not yet drained into a batch.
+    /// Frames issued but not yet drained into a batch.
     pending: usize,
+    /// [`Self::pending`] split by priority class.
+    pending_by_priority: [usize; 2],
+    next_stream_id: u64,
     shutdown: bool,
     stats: StatsInner,
 }
@@ -296,7 +367,7 @@ enum Job {
     },
 }
 
-/// Pops up to `max` requests for `key` and repairs the `order`/`queues`
+/// Pops up to `max` frames for `key` and repairs the `order`/`queues`
 /// invariant (remove when drained empty, rotate to the back otherwise).
 fn take_batch(st: &mut State, key: &BatchKey, max: usize) -> Vec<Pending> {
     let mut batch = Vec::new();
@@ -313,6 +384,7 @@ fn take_batch(st: &mut State, key: &BatchKey, max: usize) -> Vec<Pending> {
         None => return batch,
     };
     st.pending -= batch.len();
+    st.pending_by_priority[key.priority.index()] -= batch.len();
     st.order.retain(|o| o != key);
     if emptied {
         st.queues.remove(key);
@@ -322,8 +394,8 @@ fn take_batch(st: &mut State, key: &BatchKey, max: usize) -> Vec<Pending> {
     batch
 }
 
-/// Drains *every* queue for `id`, across schedules and resolutions — the
-/// load-failure and load-panic fan-out path.
+/// Drains *every* queue for `id`, across schedules, resolutions and
+/// priorities — the load-failure and load-panic fan-out path.
 fn take_all_for_scene(st: &mut State, id: &str) -> Vec<Pending> {
     let keys: Vec<BatchKey> = st
         .queues
@@ -338,35 +410,272 @@ fn take_all_for_scene(st: &mut State, id: &str) -> Vec<Pending> {
     all
 }
 
-/// Picks the next job: the first key in turn order whose scene is resident
-/// (drain a batch) or cold and unclaimed (load it). Returns `None` when
-/// every pending scene is being loaded elsewhere.
-fn plan(st: &mut State, max_batch: usize) -> Option<Job> {
-    for _ in 0..st.order.len() {
-        let key = st.order.front().cloned()?;
-        if let Some(scene) = st.cache.get(&key.scene) {
-            let batch = take_batch(st, &key, max_batch);
-            return Some(Job::Render { key, scene, batch });
+/// Fails every stream behind `pendings` (scene load failure / load
+/// panic): counts the swept frames completed, removes those streams'
+/// scheduling entries, and returns the deduplicated inboxes to
+/// terminal-fail once the lock is released. Only streams with a frame
+/// queued at sweep time are failed — a stream on the same scene caught
+/// *between* windows (everything issued already delivered, refill not
+/// yet called) survives and retries the load on its next refill, the
+/// same retry-per-request semantics single-frame submits always had;
+/// it fails through this path only if the retry fails too.
+fn fail_streams_of(st: &mut State, pendings: &[Pending]) -> Vec<Arc<Inbox>> {
+    st.stats.completed += pendings.len() as u64;
+    let mut inboxes = Vec::new();
+    for p in pendings {
+        st.stats.per_priority[p.priority.index()].completed += 1;
+        if st.streams.remove(&p.stream).is_some() {
+            inboxes.push(Arc::clone(&p.inbox));
         }
-        if !st.loading.contains(&key.scene) {
-            st.loading.insert(key.scene.clone());
-            st.order.rotate_left(1);
-            return Some(Job::Load { id: key.scene });
-        }
-        st.order.rotate_left(1);
     }
-    None
+    inboxes
 }
 
-struct Shared {
-    registry: HashMap<String, SceneSource>,
+/// Materializes up to `window` undelivered frames of stream `id` into
+/// its key queue. Returns how many frames were issued (0 after shutdown
+/// or for an unknown/complete stream). The caller owns notifying the
+/// workers.
+fn issue_frames(st: &mut State, id: u64, now: Instant) -> usize {
+    if st.shutdown {
+        return 0;
+    }
+    let Some(s) = st.streams.get_mut(&id) else {
+        return 0;
+    };
+    let mut items: Vec<(ViewSpec, usize)> = Vec::new();
+    while s.issued < s.views.len() && s.issued - s.delivered < s.window {
+        items.push((s.views[s.issued].clone(), s.issued));
+        s.issued += 1;
+    }
+    if items.is_empty() {
+        return 0;
+    }
+    let key = s.key.clone();
+    let options = Arc::clone(&s.options);
+    let inbox = Arc::clone(&s.inbox);
+    let deadline = s.deadline;
+    let n = items.len();
+    // Hit/miss classification is per *issued* frame, at issue time — a
+    // long stream opened cold counts one window of misses, then hits
+    // once its scene is resident (and misses again if it gets evicted
+    // mid-stream), so `hit_rate` tracks actual cache behavior instead of
+    // attributing a whole stream to its open-time residency.
+    let resident = st.cache.contains(&key.scene);
+    let sc = st.stats.scene(&key.scene);
+    if resident {
+        sc.hits += n as u64;
+    } else {
+        sc.misses += n as u64;
+    }
+    if !st.queues.contains_key(&key) {
+        st.order.push_back(key.clone());
+    }
+    let q = st.queues.entry(key.clone()).or_default();
+    for (view, index) in items {
+        q.push_back(Pending {
+            view,
+            options: Arc::clone(&options),
+            submitted: now,
+            deadline: deadline.map(|d| now + d),
+            priority: key.priority,
+            stream: id,
+            index,
+            inbox: Arc::clone(&inbox),
+        });
+    }
+    st.pending += n;
+    let pi = key.priority.index();
+    st.pending_by_priority[pi] += n;
+    st.stats.max_queue_depth = st.stats.max_queue_depth.max(st.pending);
+    st.stats.per_priority[pi].max_queued = st.stats.per_priority[pi]
+        .max_queued
+        .max(st.pending_by_priority[pi]);
+    n
+}
+
+/// Picks the next job: the best *actionable* key — scene resident (drain
+/// a batch) or cold and unclaimed (load it) — ranked by `(priority,
+/// earliest head deadline, FIFO turn)`. `Interactive` always preempts
+/// `Bulk`; within a class, earliest-deadline-first, and a deadline is a
+/// claim of urgency: *any* deadline outranks deadline-free work of the
+/// same class (so a saturating deadline-carrying load can starve
+/// deadline-free peers, exactly as interactive can starve bulk — latency
+/// promises are ordered ahead of best-effort work). The FIFO turn only
+/// tiebreaks keys of equal priority and deadline standing. Returns
+/// `None` when every pending scene is being loaded elsewhere.
+fn plan(st: &mut State, max_batch: usize) -> Option<Job> {
+    let mut best_rank: Option<(Priority, (bool, Option<Instant>), usize)> = None;
+    let mut best: Option<(usize, bool)> = None;
+    for (pos, key) in st.order.iter().enumerate() {
+        let resident = st.cache.contains(&key.scene);
+        if !resident && st.loading.contains(&key.scene) {
+            continue;
+        }
+        let head_deadline = st
+            .queues
+            .get(key)
+            .and_then(|q| q.front())
+            .and_then(|p| p.deadline);
+        let rank = (key.priority, (head_deadline.is_none(), head_deadline), pos);
+        if best_rank.is_none_or(|b| rank < b) {
+            best_rank = Some(rank);
+            best = Some((pos, resident));
+        }
+    }
+    let (pos, resident) = best?;
+    let key = st.order[pos].clone();
+    if resident {
+        let scene = st
+            .cache
+            .get(&key.scene)
+            .expect("planner checked residency under the same lock");
+        let batch = take_batch(st, &key, max_batch);
+        Some(Job::Render { key, scene, batch })
+    } else {
+        st.loading.insert(key.scene.clone());
+        // Move the claimed key to the back so other keys get turns while
+        // the load is in flight.
+        st.order.retain(|k| k != &key);
+        st.order.push_back(key.clone());
+        Some(Job::Load { id: key.scene })
+    }
+}
+
+pub(crate) struct Shared {
+    pub(crate) registry: HashMap<String, SceneSource>,
     renderers: ScheduleRenderers,
     max_batch: usize,
     state: Mutex<State>,
     work: Condvar,
 }
 
+/// The submit/open-time options check, shared by [`RenderService::session`]
+/// and [`Shared::open_stream`] so the two surfaces cannot diverge: ROI
+/// bounds are checkable now iff the resolution override names the frame
+/// size; against a native resolution they defer to render.
+fn validate_options(options: &RenderOptions) -> Result<(), ServeError> {
+    match options.resolution {
+        Some((w, h)) => options.validate_for(w, h),
+        None => options.validate(),
+    }
+    .map_err(|e| ServeError::InvalidRequest(ViewError::Options(e)))
+}
+
 impl Shared {
+    /// Opens a stream over pre-validated `views` (the session / submit
+    /// shims validate specs before calling). Validates the options and
+    /// the scene id, primes the window, and wakes workers.
+    pub(crate) fn open_stream(
+        shared: &Arc<Shared>,
+        scene: &str,
+        views: Vec<ViewSpec>,
+        options: RenderOptions,
+        cfg: StreamConfig,
+    ) -> Result<FrameStream, ServeError> {
+        if !shared.registry.contains_key(scene) {
+            return Err(ServeError::UnknownScene(scene.to_string()));
+        }
+        validate_options(&options)?;
+        let total = views.len();
+        debug_assert!(total > 0, "callers reject empty view lists");
+        let key = BatchKey {
+            scene: scene.to_string(),
+            schedule: options.schedule,
+            resolution: options.resolution,
+            priority: cfg.priority,
+        };
+        let inbox = Inbox::new(total);
+        let mut st = shared.state.lock().expect("service state poisoned");
+        if st.shutdown {
+            return Err(ServeError::ShuttingDown);
+        }
+        let id = st.next_stream_id;
+        st.next_stream_id += 1;
+        st.stats.scene(scene).requests += total as u64;
+        st.stats.schedule(key.schedule).requests += total as u64;
+        st.stats.priority(cfg.priority).requests += total as u64;
+        st.stats.streams.opened += 1;
+        st.streams.insert(
+            id,
+            StreamSched {
+                key,
+                views,
+                options: Arc::new(options),
+                deadline: cfg.deadline,
+                window: cfg.effective_window(),
+                issued: 0,
+                delivered: 0,
+                inbox: Arc::clone(&inbox),
+            },
+        );
+        let issued = issue_frames(&mut st, id, Instant::now());
+        drop(st);
+        if issued == 1 {
+            shared.work.notify_one();
+        } else if issued > 1 {
+            shared.work.notify_all();
+        }
+        Ok(FrameStream {
+            shared: Arc::clone(shared),
+            id,
+            inbox,
+            total,
+            finished: false,
+        })
+    }
+
+    /// Client-side window refill: records the consumer's progress and
+    /// issues the frames the freed window slots admit. Removes the
+    /// stream's scheduling entry (and counts it completed) once every
+    /// frame was delivered.
+    pub(crate) fn refill_stream(&self, id: u64, delivered: usize) {
+        let mut st = self.state.lock().expect("service state poisoned");
+        let done = {
+            let Some(s) = st.streams.get_mut(&id) else {
+                return;
+            };
+            s.delivered = s.delivered.max(delivered);
+            s.delivered >= s.views.len()
+        };
+        if done {
+            st.streams.remove(&id);
+            st.stats.streams.completed += 1;
+            return;
+        }
+        let issued = issue_frames(&mut st, id, Instant::now());
+        drop(st);
+        if issued > 0 {
+            self.work.notify_one();
+        }
+    }
+
+    /// Client-side cancellation: discards the stream's queued frames,
+    /// forgets its scheduling entry (so nothing further is issued), and
+    /// wakes the workers — removing work can be the event that satisfies
+    /// the shutdown drain condition.
+    pub(crate) fn cancel_stream(&self, id: u64) {
+        let mut st = self.state.lock().expect("service state poisoned");
+        let Some(s) = st.streams.remove(&id) else {
+            return;
+        };
+        let mut discarded = 0usize;
+        if let Some(q) = st.queues.get_mut(&s.key) {
+            let before = q.len();
+            q.retain(|p| p.stream != id);
+            discarded = before - q.len();
+            if q.is_empty() {
+                st.queues.remove(&s.key);
+                st.order.retain(|k| k != &s.key);
+            }
+        }
+        st.pending -= discarded;
+        st.pending_by_priority[s.key.priority.index()] -= discarded;
+        st.stats.streams.cancelled += 1;
+        st.stats.streams.frames_discarded += discarded as u64;
+        drop(st);
+        self.work.notify_all();
+    }
+
     fn step(&self, scratch: &mut FrameScratch) -> WorkerStep {
         let mut st = self.state.lock().expect("service state poisoned");
         loop {
@@ -391,10 +700,11 @@ impl Shared {
 
     /// Renders a drained batch back-to-back through this worker's
     /// scratch, with the key's schedule renderer. Statistics are folded
-    /// in *before* any waiter is released, so a completed `wait()` is
+    /// in *before* any result is delivered, so a completed frame is
     /// always visible in the next `stats()` snapshot. A renderer panic
-    /// must not strand waiters: a drop guard fails every not-yet-fulfilled
-    /// slot of the batch before the panic unwinds the worker.
+    /// must not strand consumers: a drop guard terminal-fails every
+    /// not-yet-delivered stream of the batch before the panic unwinds the
+    /// worker.
     fn render_batch(
         &self,
         key: &BatchKey,
@@ -402,25 +712,31 @@ impl Shared {
         batch: Vec<Pending>,
         scratch: &mut FrameScratch,
     ) {
-        /// Fails the batch's remaining slots when dropped mid-panic, so
-        /// `RenderHandle::wait` callers get an error instead of hanging,
-        /// and best-effort counts them as completed (`try_lock`: the
+        /// Fails the batch's remaining streams when dropped mid-panic, so
+        /// stream consumers get an error instead of hanging, and
+        /// best-effort counts the frames as completed (`try_lock`: the
         /// panic may have happened with the state lock held, and a
         /// blocking re-lock from the same thread would deadlock).
         struct PanicGuard<'a> {
             shared: &'a Shared,
-            slots: Vec<Arc<Slot>>,
+            /// `(inbox, stream id, priority)` of undelivered frames, in
+            /// batch order.
+            remaining: Vec<(Arc<Inbox>, u64, Priority)>,
         }
         impl Drop for PanicGuard<'_> {
             fn drop(&mut self) {
-                if !std::thread::panicking() || self.slots.is_empty() {
+                if !std::thread::panicking() || self.remaining.is_empty() {
                     return;
                 }
                 if let Ok(mut st) = self.shared.state.try_lock() {
-                    st.stats.completed += self.slots.len() as u64;
+                    st.stats.completed += self.remaining.len() as u64;
+                    for (_, id, priority) in &self.remaining {
+                        st.stats.per_priority[priority.index()].completed += 1;
+                        st.streams.remove(id);
+                    }
                 }
-                for slot in self.slots.drain(..) {
-                    fulfill(&slot, Err(ServeError::WorkerPanicked));
+                for (inbox, _, _) in self.remaining.drain(..) {
+                    inbox.fail(ServeError::WorkerPanicked);
                 }
             }
         }
@@ -428,7 +744,10 @@ impl Shared {
         let renderer = self.renderers.get(key.schedule);
         let mut guard = PanicGuard {
             shared: self,
-            slots: batch.iter().map(|p| Arc::clone(&p.slot)).collect(),
+            remaining: batch
+                .iter()
+                .map(|p| (Arc::clone(&p.inbox), p.stream, p.priority))
+                .collect(),
         };
         {
             let mut st = self.state.lock().expect("service state poisoned");
@@ -437,39 +756,51 @@ impl Shared {
             st.stats.schedule(key.schedule).batches += 1;
         }
         // Each frame is delivered (and its latency sampled) as soon as it
-        // renders — a waiter never sits behind the rest of its batch, and
-        // the published latency is submit-to-delivery. Its stats are
-        // folded under a brief lock *before* the slot is fulfilled, so a
-        // completed `wait()` is always visible in the next `stats()`
+        // renders — a consumer never sits behind the rest of its batch,
+        // and the published latency is issue-to-delivery. Its stats are
+        // folded under a brief lock *before* the inbox is filled, so a
+        // consumed frame is always visible in the next `stats()`
         // snapshot.
         for p in batch {
             // Residual validation that needed the scene: ROI bounds
-            // against the native resolution. Fails the one request with a
-            // typed error instead of poisoning the worker.
+            // against the native resolution. Fails the one frame with a
+            // typed error instead of poisoning the worker; the stream
+            // continues (later frames fail the same way, each in order).
             let cam = match scene.resolve_view(&p.view, &p.options) {
                 Ok(cam) => cam,
                 Err(e) => {
                     let mut st = self.state.lock().expect("service state poisoned");
                     st.stats.completed += 1;
+                    st.stats.per_priority[p.priority.index()].completed += 1;
                     drop(st);
-                    guard.slots.remove(0);
-                    fulfill(&p.slot, Err(ServeError::InvalidRequest(e)));
+                    guard.remaining.remove(0);
+                    p.inbox.deliver(p.index, Err(ServeError::InvalidRequest(e)));
                     continue;
                 }
             };
-            let job = RenderJob::with_options(&scene.gaussians, &cam, p.options.clone());
+            let job = RenderJob::with_options(&scene.gaussians, &cam, (*p.options).clone());
             let frame = renderer.render_job(&job, scratch);
             let us = p.submitted.elapsed().as_micros() as u64;
+            let missed = p.deadline.is_some_and(|d| Instant::now() > d);
             let mut st = self.state.lock().expect("service state poisoned");
             st.stats.frame_stats.merge_add(&frame.stats);
             st.stats.frames += 1;
             st.stats.completed += 1;
-            st.stats.record_latency(us);
             st.stats.scene(&key.scene).frames += 1;
             st.stats.schedule(key.schedule).frames += 1;
+            let pp = &mut st.stats.per_priority[p.priority.index()];
+            pp.frames += 1;
+            pp.completed += 1;
+            pp.record_latency(us);
+            if p.deadline.is_some() {
+                pp.with_deadline += 1;
+                if missed {
+                    pp.deadline_misses += 1;
+                }
+            }
             drop(st);
-            guard.slots.remove(0);
-            fulfill(&p.slot, Ok(frame));
+            guard.remaining.remove(0);
+            p.inbox.deliver(p.index, Ok(frame));
         }
     }
 
@@ -478,9 +809,9 @@ impl Shared {
     fn load_then_drain(&self, id: &str, scratch: &mut FrameScratch) {
         /// A panic inside `SceneSource::load` must not wedge the service:
         /// the claimed `loading` entry would otherwise never clear, making
-        /// the shutdown condition unsatisfiable and stranding every waiter
-        /// for this scene. Armed only around the lock-free load call, so
-        /// the blocking re-lock in `drop` cannot self-deadlock.
+        /// the shutdown condition unsatisfiable and stranding every stream
+        /// waiting on this scene. Armed only around the lock-free load
+        /// call, so the blocking re-lock in `drop` cannot self-deadlock.
         struct LoadGuard<'a> {
             shared: &'a Shared,
             id: &'a str,
@@ -494,11 +825,11 @@ impl Shared {
                 if let Ok(mut st) = self.shared.state.lock() {
                     st.loading.remove(self.id);
                     let failed = take_all_for_scene(&mut st, self.id);
-                    st.stats.completed += failed.len() as u64;
+                    let inboxes = fail_streams_of(&mut st, &failed);
                     drop(st);
                     self.shared.work.notify_all();
-                    for p in failed {
-                        fulfill(&p.slot, Err(ServeError::WorkerPanicked));
+                    for inbox in inboxes {
+                        inbox.fail(ServeError::WorkerPanicked);
                     }
                 }
             }
@@ -524,10 +855,31 @@ impl Shared {
                 for victim in evicted {
                     st.stats.scene(&victim).evictions += 1;
                 }
-                // Drain the first waiting batch for this scene (any
-                // schedule/resolution key) ourselves; the residency makes
-                // the remaining keys drainable by every worker.
-                let first_key = st.order.iter().find(|k| k.scene == id).cloned();
+                // Drain the best waiting batch for this scene (any
+                // schedule/resolution key) ourselves — same `(priority,
+                // earliest head deadline, FIFO turn)` rank as `plan`, so
+                // the first post-load batch honors the dispatch contract
+                // — while the residency makes the remaining keys
+                // drainable by every worker.
+                let first_key = {
+                    let mut best: Option<(Priority, (bool, Option<Instant>), usize)> = None;
+                    let mut bk: Option<BatchKey> = None;
+                    for (pos, k) in st.order.iter().enumerate() {
+                        if k.scene == id {
+                            let head_deadline = st
+                                .queues
+                                .get(k)
+                                .and_then(|q| q.front())
+                                .and_then(|p| p.deadline);
+                            let rank = (k.priority, (head_deadline.is_none(), head_deadline), pos);
+                            if best.is_none_or(|b| rank < b) {
+                                best = Some(rank);
+                                bk = Some(k.clone());
+                            }
+                        }
+                    }
+                    bk
+                };
                 let batch = match &first_key {
                     Some(key) => take_batch(&mut st, key, self.max_batch),
                     None => Vec::new(),
@@ -546,11 +898,11 @@ impl Shared {
                     message,
                 };
                 let failed = take_all_for_scene(&mut st, id);
-                st.stats.completed += failed.len() as u64;
+                let inboxes = fail_streams_of(&mut st, &failed);
                 drop(st);
                 self.work.notify_all();
-                for p in failed {
-                    fulfill(&p.slot, Err(err.clone()));
+                for inbox in inboxes {
+                    inbox.fail(err.clone());
                 }
             }
         }
@@ -558,7 +910,8 @@ impl Shared {
 }
 
 /// The multi-scene render service. See the [crate docs](crate) and the
-/// [module docs](self) for the request model and the scheduling model.
+/// [module docs](self) for the request model and the scheduling model;
+/// [`crate::session`] documents the stream API.
 pub struct RenderService {
     shared: Arc<Shared>,
     workers: usize,
@@ -615,8 +968,11 @@ impl RenderService {
                 cache: LruSceneCache::new(cfg.cache_budget_bytes),
                 queues: HashMap::new(),
                 order: VecDeque::new(),
+                streams: HashMap::new(),
                 loading: HashSet::new(),
                 pending: 0,
+                pending_by_priority: [0; 2],
+                next_stream_id: 0,
                 shutdown: false,
                 stats: StatsInner::default(),
             }),
@@ -645,7 +1001,33 @@ impl RenderService {
         ids
     }
 
-    /// Enqueues a request; the returned handle blocks until its frame.
+    /// Opens a [`Session`] on `scene`: the handle streams and single
+    /// frames are submitted through, all sharing `defaults`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownScene`] for an unregistered id and
+    /// [`ServeError::InvalidRequest`] for invalid default options.
+    pub fn session(
+        &self,
+        scene: impl Into<String>,
+        defaults: RenderOptions,
+    ) -> Result<Session, ServeError> {
+        let scene = scene.into();
+        if !self.shared.registry.contains_key(&scene) {
+            return Err(ServeError::UnknownScene(scene));
+        }
+        validate_options(&defaults)?;
+        Ok(Session {
+            shared: Arc::clone(&self.shared),
+            scene,
+            defaults,
+        })
+    }
+
+    /// Enqueues a single-frame request; the returned handle blocks until
+    /// its frame. A thin shim over a one-frame interactive stream — the
+    /// session API ([`Self::session`]) is the primary surface.
     ///
     /// # Errors
     ///
@@ -660,46 +1042,14 @@ impl RenderService {
             return Err(ServeError::UnknownScene(req.scene));
         }
         req.view.validate().map_err(ServeError::InvalidRequest)?;
-        let full_check = match req.options.resolution {
-            // Resolution known at submit: ROI bounds are checkable now.
-            Some((w, h)) => req.options.validate_for(w, h),
-            // Native resolution: bounds defer to render; the rest do not.
-            None => req.options.validate(),
-        };
-        full_check.map_err(|e| ServeError::InvalidRequest(ViewError::Options(e)))?;
-        let key = BatchKey {
-            scene: req.scene,
-            schedule: req.options.schedule,
-            resolution: req.options.resolution,
-        };
-        let slot = Arc::new(Slot::default());
-        let mut st = self.shared.state.lock().expect("service state poisoned");
-        if st.shutdown {
-            return Err(ServeError::ShuttingDown);
-        }
-        let resident = st.cache.contains(&key.scene);
-        let sc = st.stats.scene(&key.scene);
-        sc.requests += 1;
-        if resident {
-            sc.hits += 1;
-        } else {
-            sc.misses += 1;
-        }
-        st.stats.schedule(key.schedule).requests += 1;
-        if !st.queues.contains_key(&key) {
-            st.order.push_back(key.clone());
-        }
-        st.queues.entry(key).or_default().push_back(Pending {
-            view: req.view,
-            options: req.options,
-            submitted: Instant::now(),
-            slot: Arc::clone(&slot),
-        });
-        st.pending += 1;
-        st.stats.max_queue_depth = st.stats.max_queue_depth.max(st.pending);
-        drop(st);
-        self.shared.work.notify_one();
-        Ok(RenderHandle { slot })
+        let stream = Shared::open_stream(
+            &self.shared,
+            &req.scene,
+            vec![req.view],
+            req.options,
+            StreamConfig::default().with_window(1),
+        )?;
+        Ok(RenderHandle::from_stream(stream))
     }
 
     /// Convenience: submit and block for the frame.
@@ -711,15 +1061,16 @@ impl RenderService {
         self.submit(req)?.wait()
     }
 
-    /// Snapshot of the serving statistics. The percentile sort (up to
-    /// the full latency window) runs *after* the service lock is
+    /// Snapshot of the serving statistics. The percentile sorts (up to
+    /// both full latency windows) run *after* the service lock is
     /// released, so a periodic metrics poll doesn't stall the scheduler.
     pub fn stats(&self) -> ServeStats {
         let st = self.shared.state.lock().expect("service state poisoned");
-        let mut lat = st.stats.latencies_us.clone();
         let mut out = ServeStats {
             per_scene: st.stats.per_scene.clone(),
             per_schedule: st.stats.per_schedule.clone(),
+            per_priority: BTreeMap::new(),
+            streams: st.stats.streams,
             completed: st.stats.completed,
             queue_depth: st.pending,
             max_queue_depth: st.stats.max_queue_depth,
@@ -731,18 +1082,49 @@ impl RenderService {
             resident_bytes: st.cache.resident_bytes(),
             resident_scenes: st.cache.len(),
         };
+        let mut rings: Vec<(Priority, PriorityCounters, Vec<u64>)> = Vec::new();
+        for (i, priority) in Priority::ALL.into_iter().enumerate() {
+            let p = &st.stats.per_priority[i];
+            if p.requests == 0 && p.completed == 0 {
+                continue;
+            }
+            rings.push((
+                priority,
+                PriorityCounters {
+                    requests: p.requests,
+                    frames: p.frames,
+                    completed: p.completed,
+                    queued: st.pending_by_priority[i],
+                    max_queued: p.max_queued,
+                    with_deadline: p.with_deadline,
+                    deadline_misses: p.deadline_misses,
+                    latency_p50_ms: 0.0,
+                    latency_p95_ms: 0.0,
+                },
+                p.latencies_us.clone(),
+            ));
+        }
         drop(st);
-        lat.sort_unstable();
-        out.latency_p50_ms = percentile_us(&lat, 0.50);
-        out.latency_p95_ms = percentile_us(&lat, 0.95);
+        let mut merged: Vec<u64> = Vec::new();
+        for (priority, mut counters, mut ring) in rings {
+            ring.sort_unstable();
+            counters.latency_p50_ms = percentile_us(&ring, 0.50);
+            counters.latency_p95_ms = percentile_us(&ring, 0.95);
+            merged.extend_from_slice(&ring);
+            out.per_priority.insert(priority, counters);
+        }
+        merged.sort_unstable();
+        out.latency_p50_ms = percentile_us(&merged, 0.50);
+        out.latency_p95_ms = percentile_us(&merged, 0.95);
         out
     }
 
-    /// Graceful shutdown: stops accepting new requests, drains every
-    /// pending one, joins the workers, and returns the final statistics.
-    /// Any request the workers could no longer serve (e.g. because a
-    /// worker panicked earlier) resolves with [`ServeError::ShuttingDown`]
-    /// rather than leaving its handle blocked forever.
+    /// Graceful shutdown: stops accepting new requests and streams,
+    /// drains every *issued* frame, joins the workers, and returns the
+    /// final statistics. Streams still holding unissued frames (and any
+    /// request the workers could no longer serve, e.g. because a worker
+    /// panicked earlier) resolve with [`ServeError::ShuttingDown`] rather
+    /// than leaving their consumers blocked forever.
     pub fn shutdown(mut self) -> ServeStats {
         self.finish();
         self.stats()
@@ -761,10 +1143,12 @@ impl RenderService {
         // A worker that panicked earlier re-raises here; catch it so the
         // leftover sweep below always runs, then re-raise.
         let join = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pool.join()));
-        // The drain-to-zero shutdown path leaves nothing behind, but dead
-        // workers do: fail every request still queued so no
-        // `RenderHandle::wait` blocks past shutdown.
-        let leftovers: Vec<Pending> = {
+        // The drain-to-zero shutdown path leaves no queued frames behind,
+        // but dead workers do, and in-flight streams keep unissued frames
+        // either way: terminal-fail them all so no consumer blocks past
+        // shutdown. (Streams whose every frame already rendered deliver
+        // those frames first — the terminal only surfaces at a gap.)
+        let (leftovers, streams) = {
             let mut st = self.shared.state.lock().expect("service state poisoned");
             let mut out = Vec::new();
             for (_, q) in st.queues.drain() {
@@ -773,11 +1157,19 @@ impl RenderService {
             st.order.clear();
             st.loading.clear();
             st.pending = 0;
+            st.pending_by_priority = [0; 2];
             st.stats.completed += out.len() as u64;
-            out
+            for p in &out {
+                st.stats.per_priority[p.priority.index()].completed += 1;
+            }
+            let streams: Vec<StreamSched> = st.streams.drain().map(|(_, s)| s).collect();
+            (out, streams)
         };
-        for p in leftovers {
-            fulfill(&p.slot, Err(ServeError::ShuttingDown));
+        for p in &leftovers {
+            p.inbox.fail(ServeError::ShuttingDown);
+        }
+        for s in streams {
+            s.inbox.fail(ServeError::ShuttingDown);
         }
         if let Err(payload) = join {
             std::panic::resume_unwind(payload);
@@ -864,9 +1256,15 @@ mod tests {
             stats.frame_stats.total_gaussians,
             3 * (scenes[0].len() as u64 + scenes[1].len() as u64)
         );
-        // Everything ran through the default schedule.
+        // Everything ran through the default schedule at interactive
+        // priority, as one-frame streams.
         assert_eq!(stats.per_schedule[&Schedule::Reference].frames, 6);
         assert_eq!(stats.per_schedule[&Schedule::Reference].requests, 6);
+        assert_eq!(stats.priority(Priority::Interactive).frames, 6);
+        assert!(!stats.per_priority.contains_key(&Priority::Bulk));
+        assert_eq!(stats.streams.opened, 6);
+        assert_eq!(stats.streams.completed, 6);
+        assert_eq!(stats.streams.cancelled, 0);
     }
 
     #[test]
@@ -937,6 +1335,10 @@ mod tests {
             .submit(RenderRequest::trajectory("nope", 0.0))
             .unwrap_err();
         assert_eq!(err, ServeError::UnknownScene("nope".into()));
+        assert!(matches!(
+            service.session("nope", RenderOptions::default()),
+            Err(ServeError::UnknownScene(_))
+        ));
     }
 
     #[test]
@@ -1005,6 +1407,7 @@ mod tests {
         let stats = service.shutdown();
         assert_eq!(stats.completed, 0);
         assert_eq!(stats.frames, 0);
+        assert_eq!(stats.streams.opened, 0);
     }
 
     #[test]
@@ -1229,21 +1632,28 @@ mod tests {
             .submit(RenderRequest::trajectory("lego", 0.0))
             .unwrap_err();
         assert_eq!(err, ServeError::ShuttingDown);
+        // Sessions can still be opened (they are cheap handles), but
+        // their streams are rejected.
+        let session = service.session("lego", RenderOptions::default()).unwrap();
+        assert!(matches!(
+            session.stream(crate::StreamSpec::trajectory(3)),
+            Err(ServeError::ShuttingDown)
+        ));
         // Undo so the drop-drain terminates normally.
         service.shared.state.lock().unwrap().shutdown = false;
     }
 
     #[test]
     fn latency_window_is_a_bounded_ring() {
-        let mut s = StatsInner::default();
+        let mut p = PriorityInner::default();
         for i in 0..(LATENCY_WINDOW as u64 + 10) {
-            s.record_latency(i);
+            p.record_latency(i);
         }
-        assert_eq!(s.latencies_us.len(), LATENCY_WINDOW);
+        assert_eq!(p.latencies_us.len(), LATENCY_WINDOW);
         // The 10 oldest samples were overwritten by the newest 10.
-        assert!(!s.latencies_us.contains(&9));
-        assert!(s.latencies_us.contains(&(LATENCY_WINDOW as u64 + 9)));
-        assert!(s.latencies_us.contains(&10));
+        assert!(!p.latencies_us.contains(&9));
+        assert!(p.latencies_us.contains(&(LATENCY_WINDOW as u64 + 9)));
+        assert!(p.latencies_us.contains(&10));
     }
 
     struct AlwaysPanics;

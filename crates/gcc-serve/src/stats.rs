@@ -1,18 +1,25 @@
-//! The service's introspection surface: counters, latency percentiles,
-//! and the folded render statistics.
+//! The service's introspection surface: counters, per-priority latency
+//! percentiles, stream counters, and the folded render statistics.
 
 use std::collections::BTreeMap;
 
 use gcc_render::pipeline::{FrameStats, Schedule};
 
+use crate::session::Priority;
+
 /// Per-scene serving counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SceneCounters {
-    /// Requests submitted for this scene.
+    /// Frame requests submitted for this scene (streamed frames count
+    /// individually; a single-frame `submit` is a one-frame stream).
     pub requests: u64,
-    /// Requests whose scene was resident at submit time.
+    /// Frames whose scene was resident when they were *issued* into the
+    /// scheduler (for single-frame submits, issue == submit; a streamed
+    /// frame is classified when its window slot materializes it, so a
+    /// long stream opened cold counts one window of misses and then
+    /// hits — `hit_rate` tracks actual cache behavior).
     pub hits: u64,
-    /// Requests whose scene was cold at submit time.
+    /// Frames whose scene was cold at issue time.
     pub misses: u64,
     /// Times this scene was loaded from its source.
     pub loads: u64,
@@ -28,12 +35,54 @@ pub struct SceneCounters {
 /// workload by [`Schedule`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ScheduleCounters {
-    /// Requests submitted selecting this schedule.
+    /// Frame requests submitted selecting this schedule.
     pub requests: u64,
     /// Frames rendered through this schedule.
     pub frames: u64,
     /// Batches drained for this schedule.
     pub batches: u64,
+}
+
+/// Per-priority serving counters and latency percentiles — the
+/// observable separation of the two latency classes. `Interactive` and
+/// `Bulk` keep independent latency windows, so a bulk backlog cannot
+/// mask an interactive regression (and vice versa).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PriorityCounters {
+    /// Frame requests submitted at this priority.
+    pub requests: u64,
+    /// Frames rendered at this priority.
+    pub frames: u64,
+    /// Requests completed (delivered or failed) at this priority.
+    pub completed: u64,
+    /// Frames queued (issued but not yet drained) at snapshot time.
+    pub queued: usize,
+    /// High-water mark of [`Self::queued`].
+    pub max_queued: usize,
+    /// Completed frames that carried a deadline.
+    pub with_deadline: u64,
+    /// Completed frames delivered after their deadline.
+    pub deadline_misses: u64,
+    /// Median latency (issue → delivery) over this priority's window, ms.
+    pub latency_p50_ms: f64,
+    /// 95th-percentile latency over this priority's window, ms.
+    pub latency_p95_ms: f64,
+}
+
+/// Stream lifecycle counters. A single-frame `submit` is a one-frame
+/// stream, so it counts here too.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamCounters {
+    /// Streams opened (including single-frame `submit` shims).
+    pub opened: u64,
+    /// Streams whose every frame was delivered to the client.
+    pub completed: u64,
+    /// Streams cancelled by the client (explicitly or by dropping the
+    /// handle before the end).
+    pub cancelled: u64,
+    /// Queued frames discarded by cancellations — released queue slots
+    /// that never reached a worker.
+    pub frames_discarded: u64,
 }
 
 /// Linear-interpolated percentile over *sorted* microsecond samples,
@@ -57,10 +106,16 @@ pub struct ServeStats {
     pub per_scene: BTreeMap<String, SceneCounters>,
     /// Per-schedule counters (only schedules that saw requests appear).
     pub per_schedule: BTreeMap<Schedule, ScheduleCounters>,
+    /// Per-priority counters (only priorities that saw requests appear).
+    pub per_priority: BTreeMap<Priority, PriorityCounters>,
+    /// Stream lifecycle counters.
+    pub streams: StreamCounters,
     /// Requests completed (fulfilled or failed).
     pub completed: u64,
-    /// Requests submitted but not yet drained into a batch at snapshot
-    /// time (requests already in flight on a worker are not counted).
+    /// Frames issued but not yet drained into a batch at snapshot time
+    /// (frames already in flight on a worker are not counted; frames a
+    /// stream has not materialized yet — beyond its window — are not
+    /// counted either).
     pub queue_depth: usize,
     /// High-water mark of [`Self::queue_depth`] over the service's life.
     pub max_queue_depth: usize,
@@ -68,12 +123,10 @@ pub struct ServeStats {
     pub batches: u64,
     /// Frames rendered (success path only).
     pub frames: u64,
-    /// Median request latency, submit → frame, milliseconds. Percentiles
-    /// are computed over a sliding window of the most recent completions
-    /// (the service caps retained samples so a long-lived process does
-    /// not grow without bound).
+    /// Median request latency over both priority windows merged, ms
+    /// (issue → delivery; see [`PriorityCounters`] for the split).
     pub latency_p50_ms: f64,
-    /// 95th-percentile request latency over the same window, ms.
+    /// 95th-percentile request latency over the same merged window, ms.
     pub latency_p95_ms: f64,
     /// Sum of the per-frame [`FrameStats`] of every rendered frame.
     pub frame_stats: FrameStats,
@@ -122,6 +175,17 @@ impl ServeStats {
         } else {
             self.frames as f64 / self.batches as f64
         }
+    }
+
+    /// Total deadline misses across priorities.
+    pub fn deadline_misses(&self) -> u64 {
+        self.per_priority.values().map(|c| c.deadline_misses).sum()
+    }
+
+    /// This priority's counters, or zeroed defaults when it saw no
+    /// traffic.
+    pub fn priority(&self, p: Priority) -> PriorityCounters {
+        self.per_priority.get(&p).copied().unwrap_or_default()
     }
 }
 
@@ -177,5 +241,27 @@ mod tests {
         assert!((stats.frames_per_batch() - 2.0).abs() < 1e-12);
         assert_eq!(ServeStats::default().hit_rate(), 0.0);
         assert_eq!(ServeStats::default().frames_per_batch(), 0.0);
+    }
+
+    #[test]
+    fn per_priority_accessors_default_to_zero() {
+        let mut stats = ServeStats::default();
+        assert_eq!(stats.deadline_misses(), 0);
+        assert_eq!(
+            stats.priority(Priority::Interactive),
+            PriorityCounters::default()
+        );
+        stats.per_priority.insert(
+            Priority::Bulk,
+            PriorityCounters {
+                requests: 5,
+                deadline_misses: 2,
+                with_deadline: 4,
+                ..PriorityCounters::default()
+            },
+        );
+        assert_eq!(stats.deadline_misses(), 2);
+        assert_eq!(stats.priority(Priority::Bulk).requests, 5);
+        assert_eq!(stats.priority(Priority::Interactive).requests, 0);
     }
 }

@@ -1,36 +1,37 @@
-//! Headset scenario: orbit a scene and check whether the modeled GCC
-//! accelerator sustains the 90 FPS immersion target the paper's intro
-//! demands — frame by frame, against the GSCore baseline.
+//! Headset scenario, served: orbit a scene *through the session API* and
+//! check whether the modeled GCC accelerator sustains the 90 FPS
+//! immersion target the paper's intro demands — frame by frame, against
+//! the GSCore baseline.
 //!
-//! The orbit is expressed through the request-model API: the
-//! `TrajectoryRunner` emits `ViewSpec`s, and `run_with_options` renders
-//! them as `RenderJob`s (here with a resolution override, as a headset
-//! would request its panel size). Each accelerator report is then derived
-//! from the frames' unified `FrameStats`, which is exactly the seam the
-//! simulators consume.
+//! The orbit is expressed as a `StreamSpec::OrbitLoop` consumed from a
+//! `FrameStream`: the service keeps the scene resident and the worker's
+//! scratch warm across the whole orbit (frames of one stream share a
+//! batch key), frames arrive in order under a bounded in-flight window,
+//! and each one carries the unified `FrameStats` the simulators consume.
+//! The GCC schedule runs with the paper's hardware configuration via a
+//! custom renderer table entry.
 //!
 //! Run with: `cargo run --release --example headset_orbit`
 
-use gcc_parallel::Parallelism;
-use gcc_render::{GaussianWiseRenderer, RenderOptions, StandardRenderer};
-use gcc_scene::{SceneConfig, ScenePreset, TrajectoryRunner, ViewSpec};
+use gcc_render::{GaussianWiseRenderer, RenderOptions, Schedule};
+use gcc_scene::{SceneConfig, ScenePreset, ViewSpec};
+use gcc_serve::{
+    RenderService, SceneSource, ScheduleRenderers, ServeConfig, StreamConfig, StreamSpec,
+};
 use gcc_sim::gcc::GccSimConfig;
 use gcc_sim::gscore::GscoreConfig;
 
 fn main() {
     let scene = ScenePreset::Palace.build(&SceneConfig::with_scale(0.5));
-    let runner = TrajectoryRunner::new(8).with_parallelism(Parallelism::Auto);
-    let views = runner.views();
+    let name = scene.name.clone();
     println!(
-        "orbiting '{}' ({} Gaussians), {} viewpoints: {:?} …\n",
-        scene.name,
-        scene.len(),
-        views.len(),
-        &views[..2.min(views.len())]
+        "orbiting '{}' ({} Gaussians) through the serving layer …\n",
+        name,
+        scene.len()
     );
 
-    // The headset asks for its own panel size; every frame of the batch
-    // carries the override. A per-eye client could add an ROI per frame.
+    // The headset asks for its own panel size; every frame of both
+    // streams carries the override through the session defaults.
     let options = RenderOptions::default().at_resolution(960, 540);
     let cam = scene
         .resolve_view(&ViewSpec::trajectory(0.0), &options)
@@ -39,23 +40,49 @@ fn main() {
     let gs_cfg = GscoreConfig::default();
     let gc_cfg = GccSimConfig::default();
 
-    // Render the whole orbit as a batch through each schedule; frames run
-    // across threads, one functional render per viewpoint.
-    let gs_run = runner.run_with_options(&scene, &StandardRenderer::gscore(), &options);
-    let gc_run = runner.run_with_options(
-        &scene,
-        &GaussianWiseRenderer::new(gc_cfg.renderer_config(&cam)),
-        &options,
+    // One service, with the GCC hardware-config renderer swapped in for
+    // the Gaussian-wise schedule (the simulator's calibrated datapath).
+    let service = RenderService::with_renderers(
+        ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        },
+        [(
+            "palace".to_string(),
+            SceneSource::Memory(std::sync::Arc::new(scene)),
+        )],
+        ScheduleRenderers::default().with(
+            Schedule::GaussianWise,
+            Box::new(GaussianWiseRenderer::new(gc_cfg.renderer_config(&cam))),
+        ),
     );
+
+    // Stream the same 8-frame orbit once per schedule. Streams deliver
+    // in order, so frame i of both runs is the same viewpoint.
+    let orbit = StreamSpec::orbit(8);
+    let stream_for = |schedule: Schedule| {
+        let session = service
+            .session("palace", options.clone().with_schedule(schedule))
+            .expect("palace session");
+        session
+            .stream_with(orbit.clone(), StreamConfig::bulk().with_window(4))
+            .expect("orbit stream")
+    };
+    let gs_frames: Vec<_> = stream_for(Schedule::Gscore)
+        .map(|f| f.expect("gscore frame"))
+        .collect();
+    let gc_frames: Vec<_> = stream_for(Schedule::GaussianWise)
+        .map(|f| f.expect("gcc frame"))
+        .collect();
 
     println!(
         "{:>5}  {:>12}  {:>12}  {:>8}  {:>10}",
         "view", "GSCore FPS", "GCC FPS", "speedup", "GCC mJ/frm"
     );
     let mut worst_gcc = f64::INFINITY;
-    for (i, (gs_frame, gc_frame)) in gs_run.frames.iter().zip(&gc_run.frames).enumerate() {
-        let gs = gcc_sim::gscore::report_from_stats(&gs_frame.stats, &gs_cfg, &scene.name);
-        let gc = gcc_sim::gcc::report_from_stats(&gc_frame.stats, pixels, &gc_cfg, &scene.name);
+    for (i, (gs_frame, gc_frame)) in gs_frames.iter().zip(&gc_frames).enumerate() {
+        let gs = gcc_sim::gscore::report_from_stats(&gs_frame.stats, &gs_cfg, &name);
+        let gc = gcc_sim::gcc::report_from_stats(&gc_frame.stats, pixels, &gc_cfg, &name);
         worst_gcc = worst_gcc.min(gc.fps());
         println!(
             "{:>5}  {:>12.0}  {:>12.0}  {:>7.2}x  {:>10.3}",
@@ -66,9 +93,17 @@ fn main() {
             gc.energy_per_frame_mj()
         );
     }
+    let stats = service.shutdown();
     println!(
         "\nworst-case GCC frame rate: {:.0} FPS ({} the 90 FPS immersion target)",
         worst_gcc,
         if worst_gcc >= 90.0 { "meets" } else { "misses" }
+    );
+    println!(
+        "served {} streamed frames in {} batches, scene loaded {} time(s), bulk p95 {:.1} ms",
+        stats.frames,
+        stats.batches,
+        stats.loads(),
+        stats.priority(gcc_serve::Priority::Bulk).latency_p95_ms
     );
 }

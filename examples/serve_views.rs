@@ -1,10 +1,14 @@
-//! Heterogeneous serving: one `RenderService`, many kinds of clients —
-//! trajectory browsers, posed headsets, thumbnail generators asking for
-//! small resolutions, magnifiers asking for regions of interest, and
-//! clients picking different schedules per request. The service batches by
-//! `(scene, schedule, resolution)` and reports a per-schedule breakdown.
+//! Heterogeneous serving through the session API: one `RenderService`,
+//! many kinds of clients — a trajectory browser polling with
+//! `wait_timeout`, a posed headset, a thumbnail generator asking for
+//! small resolutions, a magnifier asking for a region of interest, and a
+//! turntable driving the orbit directly. The service batches by
+//! `(scene, schedule, resolution, priority)` and reports per-schedule
+//! and per-priority breakdowns.
 //!
 //! Run with: `cargo run --release --example serve_views`
+
+use std::time::Duration;
 
 use gcc_math::Vec3;
 use gcc_render::{RenderOptions, Roi, Schedule};
@@ -40,35 +44,39 @@ fn main() {
         service.workers()
     );
 
-    // A browser scrubbing the trajectory.
+    // A browser scrubbing the trajectory through one session (shared
+    // defaults, warm scene), polling with a bounded wait instead of
+    // blocking.
+    let browser = service
+        .session("lego", RenderOptions::default())
+        .expect("lego session");
     let mut handles = Vec::new();
     for i in 0..4 {
         handles.push((
             format!("scrub t={:.2}", i as f32 / 4.0),
-            service
-                .submit(RenderRequest::trajectory("lego", i as f32 / 4.0))
+            browser
+                .submit(ViewSpec::trajectory(i as f32 / 4.0))
                 .unwrap(),
         ));
     }
     // A headset with an explicit pose, rendered by the GCC hardware
-    // schedule at its panel resolution.
+    // schedule at its panel resolution — its own session.
+    let headset = service
+        .session(
+            "palace",
+            RenderOptions::default()
+                .with_schedule(Schedule::GccHardware)
+                .at_resolution(256, 144),
+        )
+        .expect("palace session");
     handles.push((
         "headset pose".to_string(),
-        service
-            .submit(
-                RenderRequest::new(
-                    "palace",
-                    ViewSpec::look_at(Vec3::new(4.0, 1.5, -6.0), Vec3::ZERO),
-                )
-                .with_options(
-                    RenderOptions::default()
-                        .with_schedule(Schedule::GccHardware)
-                        .at_resolution(256, 144),
-                ),
-            )
+        headset
+            .submit(ViewSpec::look_at(Vec3::new(4.0, 1.5, -6.0), Vec3::ZERO))
             .unwrap(),
     ));
-    // A magnifier asking for the center of the frame only.
+    // A magnifier asking for the center of the frame only (the plain
+    // submit surface still works and is equivalent).
     handles.push((
         "magnifier ROI".to_string(),
         service
@@ -93,8 +101,15 @@ fn main() {
             .unwrap(),
     ));
 
-    for (label, handle) in handles {
-        let frame = handle.wait().expect("request served");
+    for (label, mut handle) in handles {
+        // Poll with a bounded wait — the UI thread shape. The handle
+        // comes back on timeout, so no frame is ever lost to a poll.
+        let frame = loop {
+            match handle.wait_timeout(Duration::from_millis(20)) {
+                Ok(result) => break result.expect("request served"),
+                Err(back) => handle = back,
+            }
+        };
         println!(
             "{label:>14}: {}x{} px, {} Gaussians rendered",
             frame.image.width(),
@@ -105,7 +120,7 @@ fn main() {
 
     // Bad requests fail fast with typed errors instead of reaching a
     // worker.
-    match service.submit(RenderRequest::trajectory("lego", f32::NAN)) {
+    match browser.submit(ViewSpec::trajectory(f32::NAN)) {
         Err(ServeError::InvalidRequest(e)) => println!("rejected as expected: {e}"),
         other => panic!("expected a typed rejection, got {other:?}"),
     }
@@ -125,6 +140,14 @@ fn main() {
             c.requests,
             c.frames,
             c.batches
+        );
+    }
+    for (priority, c) in &stats.per_priority {
+        println!(
+            "  {:>13}: {} frames, p95 {:.2} ms",
+            priority.name(),
+            c.frames,
+            c.latency_p95_ms
         );
     }
 }

@@ -1,0 +1,116 @@
+//! Streaming through the session API: one bulk orbit stream playing
+//! back under backpressure while interactive posed frames preempt it,
+//! plus a cancelled stream releasing its queued work.
+//!
+//! This is the serving shape of the paper's headset scenario — a client
+//! consumes a continuous orbit as a stream (bounded in-flight window, in
+//! -order delivery) while latency-critical one-off requests cut ahead via
+//! the `Interactive` priority class.
+//!
+//! Run with: `cargo run --release --example stream_orbit`
+
+use std::time::Duration;
+
+use gcc_repro::math::Vec3;
+use gcc_repro::render::{RenderOptions, Schedule};
+use gcc_repro::scene::{ScenePreset, ViewSpec};
+use gcc_repro::serve::{
+    Priority, RenderService, SceneSource, ServeConfig, StreamConfig, StreamSpec,
+};
+
+fn main() {
+    let service = RenderService::new(
+        ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        },
+        [(
+            "palace".to_string(),
+            SceneSource::Preset {
+                preset: ScenePreset::Palace,
+                scale: 0.1,
+            },
+        )],
+    );
+
+    // A bulk playback client: one full orbit, GCC hardware schedule, at
+    // most 3 undelivered frames in flight, 150 ms per-frame deadline.
+    let session = service
+        .session(
+            "palace",
+            RenderOptions::default()
+                .with_schedule(Schedule::GccHardware)
+                .at_resolution(320, 180),
+        )
+        .expect("palace is registered");
+    let stream = session
+        .stream_with(
+            StreamSpec::orbit(8),
+            StreamConfig::bulk()
+                .with_window(3)
+                .with_deadline(Duration::from_millis(150)),
+        )
+        .expect("orbit stream opens");
+    println!(
+        "streaming {} orbit frames (window 3, bulk priority) …",
+        stream.len()
+    );
+    for (i, item) in stream.enumerate() {
+        let frame = item.expect("orbit frame");
+        println!(
+            "  orbit frame {i}: {}x{} px, {} Gaussians rendered",
+            frame.image.width(),
+            frame.image.height(),
+            frame.stats.rendered
+        );
+        // Interactive work cuts ahead of the remaining bulk frames.
+        if i == 2 {
+            let posed = session
+                .submit(ViewSpec::look_at(Vec3::new(4.0, 1.5, -6.0), Vec3::ZERO))
+                .expect("posed submit");
+            let frame = posed.wait().expect("posed frame");
+            println!(
+                "  >> interactive pose preempted the orbit: {}x{} px",
+                frame.image.width(),
+                frame.image.height()
+            );
+        }
+    }
+
+    // A second stream, abandoned halfway: cancel frees its queued work.
+    let mut cancelled = session
+        .stream_with(StreamSpec::orbit(12), StreamConfig::bulk().with_window(4))
+        .expect("second stream opens");
+    for _ in 0..3 {
+        cancelled
+            .next_frame()
+            .expect("frame present")
+            .expect("frame renders");
+    }
+    cancelled.cancel();
+    println!("cancelled the second orbit after 3 of 12 frames");
+
+    let stats = service.shutdown();
+    let interactive = stats.priority(Priority::Interactive);
+    let bulk = stats.priority(Priority::Bulk);
+    println!(
+        "\nstreams: {} opened, {} completed, {} cancelled, {} queued frames discarded",
+        stats.streams.opened,
+        stats.streams.completed,
+        stats.streams.cancelled,
+        stats.streams.frames_discarded
+    );
+    println!(
+        "interactive: {} frames, p95 {:.2} ms | bulk: {} frames, p95 {:.2} ms, {} deadline misses",
+        interactive.frames,
+        interactive.latency_p95_ms,
+        bulk.frames,
+        bulk.latency_p95_ms,
+        bulk.deadline_misses
+    );
+    assert!(stats.streams.cancelled >= 1);
+    assert!(
+        stats.frames < 8 + 1 + 12,
+        "cancelled frames must not all render"
+    );
+}

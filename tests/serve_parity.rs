@@ -16,7 +16,7 @@ use gcc_math::Vec3;
 use gcc_render::pipeline::FrameScratch;
 use gcc_render::{RenderJob, RenderOptions, Renderer, Roi, Schedule, StandardRenderer};
 use gcc_scene::{io, Scene, SceneConfig, ScenePreset, ViewSpec};
-use gcc_serve::{RenderRequest, RenderService, SceneSource, ServeConfig};
+use gcc_serve::{RenderRequest, RenderService, SceneSource, ServeConfig, StreamConfig, StreamSpec};
 
 fn small(preset: ScenePreset, scale: f32) -> Scene {
     preset.build(&SceneConfig::with_scale(scale))
@@ -192,6 +192,95 @@ fn heterogeneous_request_space_is_bit_identical_to_direct_renders() {
     let stats = service.shutdown();
     assert_eq!(stats.frames, 6);
     assert_eq!(stats.per_schedule.len(), 4, "four schedules saw traffic");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn streamed_frames_are_bit_identical_to_single_frame_submits() {
+    // The session-API acceptance contract: a stream is *defined* as the
+    // sequence of its views submitted one by one — same pixels, same
+    // stats, bit for bit — regardless of priority class, window size,
+    // worker count or how batches interleave.
+    let dir = std::env::temp_dir().join(format!("gcc_serve_stream_{}", std::process::id()));
+    let (registry, _) = file_registry(&dir);
+
+    let specs: Vec<(StreamSpec, RenderOptions)> = vec![
+        (
+            StreamSpec::TrajectorySweep {
+                t0: 0.1,
+                t1: 0.9,
+                frames: 6,
+            },
+            RenderOptions::default(),
+        ),
+        (
+            StreamSpec::orbit(5),
+            RenderOptions::default().with_schedule(Schedule::GaussianWise),
+        ),
+        (
+            StreamSpec::ViewList(vec![
+                ViewSpec::trajectory(0.4),
+                ViewSpec::look_at(Vec3::new(3.0, 2.0, -5.0), Vec3::ZERO),
+                ViewSpec::orbit(2.2),
+            ]),
+            RenderOptions::default()
+                .with_schedule(Schedule::Gscore)
+                .at_resolution(160, 120),
+        ),
+    ];
+
+    for workers in [1usize, 3] {
+        for (spec, options) in &specs {
+            // Streamed, bulk priority, small window (forces refills).
+            let streamed: Vec<_> = {
+                let service = RenderService::new(
+                    ServeConfig {
+                        workers,
+                        max_batch: 3,
+                        ..ServeConfig::default()
+                    },
+                    registry.clone(),
+                );
+                let session = service.session("lego", options.clone()).unwrap();
+                let stream = session
+                    .stream_with(spec.clone(), StreamConfig::bulk().with_window(2))
+                    .unwrap();
+                stream.map(|r| r.expect("stream frame")).collect()
+            };
+            // The equivalent single-frame submit sequence.
+            let submitted: Vec<_> = {
+                let service = RenderService::new(
+                    ServeConfig {
+                        workers,
+                        max_batch: 3,
+                        ..ServeConfig::default()
+                    },
+                    registry.clone(),
+                );
+                let handles: Vec<_> = spec
+                    .views()
+                    .into_iter()
+                    .map(|view| {
+                        service
+                            .submit(RenderRequest::new("lego", view).with_options(options.clone()))
+                            .unwrap()
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.wait().expect("submitted frame"))
+                    .collect()
+            };
+            assert_eq!(streamed.len(), submitted.len());
+            for (i, (a, b)) in streamed.iter().zip(&submitted).enumerate() {
+                assert_eq!(
+                    a.image, b.image,
+                    "frame {i} of {spec:?} diverged ({workers} workers)"
+                );
+                assert_eq!(a.stats, b.stats, "stats of frame {i} diverged");
+            }
+        }
+    }
     let _ = std::fs::remove_dir_all(&dir);
 }
 
