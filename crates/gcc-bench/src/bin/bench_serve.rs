@@ -36,16 +36,31 @@
 //! `Renderer::render_job` output and re-parses the JSON it wrote — exit
 //! 0 means "valid record, parity held".
 //!
+//! With `--chaos` the harness first replays the workload through a
+//! *fault-injected* copy of the service — a seeded
+//! [`gcc_serve::FaultPlan`] storm of transient/fatal load failures, load
+//! panics, slow loads and render panics — consuming every stream
+//! tolerantly (typed errors allowed, stranded streams are the failure),
+//! then disarms the plan and replays the workload strictly on the same
+//! service to measure **recovery throughput**. The record gains a
+//! `"chaos"` object (injected fault counts, respawns, lost workers,
+//! quarantines, recovery throughput, `all_resolved`) that `perf_gate`
+//! refuses unless every request resolved and the pool recovered to full
+//! width. The measured fault-free configurations run on separate clean
+//! services, so the committed speedup floor is unaffected.
+//!
 //! ```text
 //! cargo run --release -p gcc-bench --bin bench_serve            # full
 //! cargo run --release -p gcc-bench --bin bench_serve -- --smoke # CI
+//! cargo run --release -p gcc-bench --bin bench_serve -- --smoke --chaos
 //! ```
 //!
-//! Flags: `--smoke` (tiny scenes, short workload — CI), `--clients N`
-//! (bulk stream clients; `max(1, N/2)` interactive clients ride along),
-//! `--requests N` (streams per bulk client; interactive clients submit
-//! `3·N` frames each), `--out PATH` (default `BENCH_serve.json` at the
-//! repository root).
+//! Flags: `--smoke` (tiny scenes, short workload — CI), `--chaos`
+//! (fault-injected storm + recovery phase, recorded under `"chaos"`),
+//! `--clients N` (bulk stream clients; `max(1, N/2)` interactive clients
+//! ride along), `--requests N` (streams per bulk client; interactive
+//! clients submit `3·N` frames each), `--out PATH` (default
+//! `BENCH_serve.json` at the repository root).
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -55,10 +70,12 @@ use gcc_bench::TablePrinter;
 use gcc_math::Vec3;
 use gcc_render::pipeline::FrameScratch;
 use gcc_render::{RenderJob, RenderOptions, Roi, Schedule};
+use gcc_scene::io::RetryPolicy;
 use gcc_scene::rng::StdRng;
 use gcc_scene::{io, Scene, SceneConfig, ScenePreset, ViewSpec};
 use gcc_serve::{
-    Priority, RenderService, SceneSource, ServeConfig, ServeStats, StreamConfig, StreamSpec,
+    ChaosRenderer, FaultPlan, Priority, RenderService, SceneSource, ScheduleRenderers, ServeConfig,
+    ServeError, ServeStats, StreamConfig, StreamSpec,
 };
 
 /// One scene of the benchmark set.
@@ -412,6 +429,243 @@ fn run_config(
     }
 }
 
+/// Outcome of the `--chaos` phase: storm accounting plus the disarmed
+/// recovery replay's throughput.
+struct ChaosOutcome {
+    seed: u64,
+    /// Streams/requests the storm attempted to open.
+    storm_requests: u64,
+    /// Admitted streams that ran to an ordinary end (all frames Ok, or a
+    /// typed terminal error) — nothing stranded.
+    resolved: u64,
+    /// Streams turned away at admission (quarantine or overload).
+    turned_away: u64,
+    /// Frames delivered despite the storm.
+    delivered_frames: u64,
+    /// Admitted streams that absorbed at least one injected failure.
+    failed_streams: u64,
+    injected_load_faults: u64,
+    injected_render_panics: u64,
+    respawns: u64,
+    lost_workers: u64,
+    quarantines: u64,
+    /// Frames of the fault-free recovery replay (all must succeed).
+    recovery_frames: u64,
+    recovery_wall_ms: f64,
+    recovery_throughput_rps: f64,
+    /// Every storm request resolved or was turned away with a typed
+    /// error, the recovery replay delivered every frame, and the pool
+    /// recovered to full width.
+    all_resolved: bool,
+}
+
+/// Replays the workload through a fault-injected service (seeded load
+/// failures/panics/stalls plus render panics), then disarms the plan,
+/// lets quarantines lapse, and replays the same workload *fault-free on
+/// the same service* with strict expectations — the recovery throughput
+/// is the headline number: a service that survives the storm but limps
+/// afterwards fails here.
+fn run_chaos(
+    registry: &[(String, SceneSource)],
+    scripts: &[ClientScript],
+    scene_bytes: usize,
+    seed: u64,
+) -> ChaosOutcome {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    let plan = Arc::new(
+        FaultPlan::new(seed)
+            .with_retryable_load_failures(120)
+            .with_fatal_load_failures(40)
+            .with_load_panics(30)
+            .with_slow_loads(30, Duration::from_millis(1))
+            .with_render_panics(25),
+    );
+    let faulty: Vec<(String, SceneSource)> = registry
+        .iter()
+        .map(|(id, src)| {
+            (
+                id.clone(),
+                SceneSource::faulty(id.clone(), src.clone(), Arc::clone(&plan)),
+            )
+        })
+        .collect();
+    let mut renderers = ScheduleRenderers::default();
+    for schedule in Schedule::ALL {
+        renderers = renderers.with(
+            schedule,
+            Box::new(ChaosRenderer::new(schedule.renderer(), Arc::clone(&plan))),
+        );
+    }
+    let quarantine = Duration::from_millis(10);
+    let service = RenderService::with_renderers(
+        ServeConfig {
+            workers: 0,
+            cache_budget_bytes: scene_bytes * 2,
+            max_batch: 8,
+            quarantine_for: quarantine,
+            load_retry: RetryPolicy {
+                max_attempts: 2,
+                base_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(2),
+            },
+            ..ServeConfig::default()
+        },
+        faulty,
+        renderers,
+    );
+
+    // The storm: the same scripted workload, consumed tolerantly — a
+    // frame may fail with a typed error and a stream may be turned away
+    // at admission, but every admitted stream must still resolve (a
+    // stranded stream hangs the bench, which is the failure this phase
+    // exists to catch). Rounds are paced so quarantine windows lapse
+    // mid-storm and half-open probes actually run.
+    let resolved = AtomicU64::new(0);
+    let turned_away = AtomicU64::new(0);
+    let delivered = AtomicU64::new(0);
+    let failed_streams = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for script in scripts {
+            let service = &service;
+            let (resolved, turned_away, delivered, failed_streams) =
+                (&resolved, &turned_away, &delivered, &failed_streams);
+            scope.spawn(move || {
+                let drain = |open: Result<gcc_serve::FrameStream, ServeError>| match open {
+                    Ok(stream) => {
+                        let mut saw_failure = false;
+                        for item in stream {
+                            match item {
+                                Ok(_) => {
+                                    delivered.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Err(
+                                    ServeError::Load { .. }
+                                    | ServeError::WorkerPanicked
+                                    | ServeError::ShuttingDown,
+                                ) => saw_failure = true,
+                                Err(other) => {
+                                    panic!("chaos storm: unexpected frame error: {other}")
+                                }
+                            }
+                        }
+                        if saw_failure {
+                            failed_streams.fetch_add(1, Ordering::Relaxed);
+                        }
+                        resolved.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(ServeError::Quarantined { .. } | ServeError::Overloaded { .. }) => {
+                        turned_away.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(other) => panic!("chaos storm: unexpected admission error: {other}"),
+                };
+                match script {
+                    ClientScript::Bulk(streams) => {
+                        for b in streams {
+                            std::thread::sleep(Duration::from_millis(2));
+                            let session = service
+                                .session(b.scene.clone(), b.options.clone())
+                                .expect("chaos storm: sessions always open");
+                            drain(
+                                session.stream_with(
+                                    b.spec.clone(),
+                                    StreamConfig::bulk().with_window(4),
+                                ),
+                            );
+                        }
+                    }
+                    ClientScript::Interactive(reqs) => {
+                        for r in reqs {
+                            std::thread::sleep(Duration::from_millis(1));
+                            let session = service
+                                .session(r.scene.clone(), r.options.clone())
+                                .expect("chaos storm: sessions always open");
+                            drain(session.stream_with(
+                                StreamSpec::ViewList(vec![r.view.clone()]),
+                                StreamConfig::default().with_window(1),
+                            ));
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let storm_requests: u64 = scripts
+        .iter()
+        .map(|s| match s {
+            ClientScript::Bulk(streams) => streams.len() as u64,
+            ClientScript::Interactive(reqs) => reqs.len() as u64,
+        })
+        .sum();
+    let resolved = resolved.into_inner();
+    let turned_away = turned_away.into_inner();
+
+    // Fault-free recovery on the same service: disarm, let every
+    // quarantine window lapse, then replay the workload strictly — the
+    // respawned pool and readmitted scenes must deliver every frame.
+    plan.disarm();
+    std::thread::sleep(quarantine * 3);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for script in scripts {
+            let service = &service;
+            scope.spawn(move || match script {
+                ClientScript::Bulk(streams) => {
+                    for b in streams {
+                        let session = service
+                            .session(b.scene.clone(), b.options.clone())
+                            .expect("recovery session");
+                        let stream = session
+                            .stream_with(b.spec.clone(), StreamConfig::bulk().with_window(4))
+                            .expect("recovery stream admits");
+                        for item in stream {
+                            item.expect("recovery frame failed after disarm");
+                        }
+                    }
+                }
+                ClientScript::Interactive(reqs) => {
+                    for r in reqs {
+                        let session = service
+                            .session(r.scene.clone(), r.options.clone())
+                            .expect("recovery session");
+                        let mut stream = session
+                            .stream_with(
+                                StreamSpec::ViewList(vec![r.view.clone()]),
+                                StreamConfig::default().with_window(1),
+                            )
+                            .expect("recovery submit admits");
+                        stream
+                            .next_frame()
+                            .expect("recovery frame present")
+                            .expect("recovery frame failed after disarm");
+                    }
+                }
+            });
+        }
+    });
+    let recovery_wall = start.elapsed().as_secs_f64();
+    let recovery_frames = total_frames(scripts) as u64;
+    let stats = service.shutdown();
+
+    ChaosOutcome {
+        seed,
+        storm_requests,
+        resolved,
+        turned_away,
+        delivered_frames: delivered.into_inner(),
+        failed_streams: failed_streams.into_inner(),
+        injected_load_faults: plan.injected_load_faults(),
+        injected_render_panics: plan.injected_render_panics(),
+        respawns: stats.respawns,
+        lost_workers: stats.lost_workers,
+        quarantines: stats.quarantines(),
+        recovery_frames,
+        recovery_wall_ms: recovery_wall * 1e3,
+        recovery_throughput_rps: recovery_frames as f64 / recovery_wall,
+        all_resolved: resolved + turned_away == storm_requests && stats.lost_workers == 0,
+    }
+}
+
 /// Serve-path determinism, streamed and submitted: a sample of streams
 /// and single-frame requests rendered through the service must be
 /// bit-identical to direct `render_job` calls on the file-loaded scenes
@@ -499,6 +753,7 @@ fn json_escape_free(s: &str) -> &str {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let chaos = args.iter().any(|a| a == "--chaos");
     let mut clients = if smoke { 2 } else { 5 };
     let mut per_client = if smoke { 2 } else { 4 };
     let mut out_path = gcc_bench::default_artifact_path("BENCH_serve.json");
@@ -520,9 +775,10 @@ fn main() {
             "--out" => {
                 out_path = it.next().expect("--out needs a path").into();
             }
-            "--smoke" => {}
+            "--smoke" | "--chaos" => {}
             other => panic!(
-                "unknown flag {other} (expected --smoke, --clients N, --requests N, --out PATH)"
+                "unknown flag {other} (expected --smoke, --chaos, --clients N, --requests N, \
+                 --out PATH)"
             ),
         }
     }
@@ -546,12 +802,18 @@ fn main() {
 
     let parity_frames = parity_check(&registry, &loaded, &scripts);
 
+    // The chaos phase runs on its own fault-injected service, so the
+    // measured fault-free configurations below are unaffected — the
+    // committed record's speedup floor is judged on clean runs.
+    let chaos_outcome = chaos.then(|| run_chaos(&registry, &scripts, scene_bytes, 0xC4A0_5EED));
+
     let batched = run_config(
         "batched_lru",
         ServeConfig {
             workers: 0,
             cache_budget_bytes: scene_bytes * 2,
             max_batch: 8,
+            ..ServeConfig::default()
         },
         &registry,
         &scripts,
@@ -562,6 +824,7 @@ fn main() {
             workers: 0,
             cache_budget_bytes: 0,
             max_batch: 1,
+            ..ServeConfig::default()
         },
         &registry,
         &scripts,
@@ -608,6 +871,31 @@ fn main() {
     }
     sched_table.print();
     println!("speedup vs naive: {speedup:.2}x (parity: {parity_frames} frames bit-identical)");
+    if let Some(c) = &chaos_outcome {
+        println!(
+            "chaos: {}/{} storm requests resolved ({} turned away), {} frames delivered, \
+             {} faulted streams; injected {} load faults + {} render panics; \
+             {} respawns, {} lost workers, {} quarantines; \
+             recovery {:.1} req/s over {} frames — {}",
+            c.resolved,
+            c.storm_requests,
+            c.turned_away,
+            c.delivered_frames,
+            c.failed_streams,
+            c.injected_load_faults,
+            c.injected_render_panics,
+            c.respawns,
+            c.lost_workers,
+            c.quarantines,
+            c.recovery_throughput_rps,
+            c.recovery_frames,
+            if c.all_resolved {
+                "all resolved"
+            } else {
+                "REQUESTS STRANDED"
+            },
+        );
+    }
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -702,6 +990,31 @@ fn main() {
         json.push_str(if i == 1 { "\n" } else { ",\n" });
     }
     json.push_str("  ],\n");
+    if let Some(c) = &chaos_outcome {
+        json.push_str(&format!(
+            "  \"chaos\": {{\"seed\": {}, \"storm_requests\": {}, \"resolved\": {}, \
+             \"turned_away\": {}, \"delivered_frames\": {}, \"failed_streams\": {}, \
+             \"injected_load_faults\": {}, \"injected_render_panics\": {}, \
+             \"respawns\": {}, \"lost_workers\": {}, \"quarantines\": {}, \
+             \"recovery_frames\": {}, \"recovery_wall_ms\": {:.2}, \
+             \"recovery_throughput_rps\": {:.3}, \"all_resolved\": {}}},\n",
+            c.seed,
+            c.storm_requests,
+            c.resolved,
+            c.turned_away,
+            c.delivered_frames,
+            c.failed_streams,
+            c.injected_load_faults,
+            c.injected_render_panics,
+            c.respawns,
+            c.lost_workers,
+            c.quarantines,
+            c.recovery_frames,
+            c.recovery_wall_ms,
+            c.recovery_throughput_rps,
+            c.all_resolved,
+        ));
+    }
     json.push_str(&format!("  \"speedup_vs_naive\": {speedup:.3}\n"));
     json.push_str("}\n");
 
@@ -715,6 +1028,21 @@ fn main() {
         std::process::exit(1);
     }
     println!("wrote {}", out_path.display());
+
+    // A chaos run's acceptance is resilience: every storm request
+    // resolved or was turned away with a typed error, and the pool
+    // recovered to full width. The recovery replay's strict expectations
+    // already aborted the process if any post-disarm frame failed.
+    if let Some(c) = &chaos_outcome {
+        if !c.all_resolved {
+            eprintln!(
+                "bench_serve: chaos storm stranded requests ({} resolved + {} turned away \
+                 of {}, {} lost workers)",
+                c.resolved, c.turned_away, c.storm_requests, c.lost_workers
+            );
+            std::process::exit(1);
+        }
+    }
 
     // Full mode is the acceptance run: the cache-hit batched service must
     // at least double naive load-render-evict throughput on the mixed

@@ -12,7 +12,11 @@
 //!   committed or freshly measured — against a throughput floor: the
 //!   batched/naive `speedup_vs_naive` must be at least `--serve-floor`
 //!   (default 2.0, the acceptance threshold) and the record's own
-//!   serve-vs-direct parity pass must have succeeded.
+//!   serve-vs-direct parity pass must have succeeded. A record produced
+//!   with `bench_serve --chaos` carries a `"chaos"` object, and the gate
+//!   additionally requires its fault storm to have resolved cleanly:
+//!   `all_resolved` and zero lost workers — the fault-free floor and the
+//!   resilience contract are enforced by the same invocation.
 //!
 //! The comparison logic itself lives in `gcc_bench::perf_gate`, where
 //! unit tests pin that an inflated timing record and a collapsed serve

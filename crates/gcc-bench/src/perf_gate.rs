@@ -200,6 +200,28 @@ pub fn compare(
     })
 }
 
+/// Chaos-phase summary of a record produced by `bench_serve --chaos`.
+/// When present, the gate requires the storm to have resolved cleanly:
+/// a stranded request or a worker lost for good fails the gate even if
+/// the throughput floor holds.
+#[derive(Debug, Clone)]
+pub struct ChaosGate {
+    /// Every storm request resolved (or was turned away with a typed
+    /// error) and the fault-free recovery replay delivered every frame.
+    pub all_resolved: bool,
+    /// Panicked workers caught and respawned during the storm.
+    pub respawns: u64,
+    /// Workers that panicked past the restart budget and stayed lost.
+    pub lost_workers: u64,
+}
+
+impl ChaosGate {
+    /// `true` when the storm resolved cleanly and the pool recovered.
+    pub fn passed(&self) -> bool {
+        self.all_resolved && self.lost_workers == 0
+    }
+}
+
 /// Outcome of the serve-throughput floor check against a
 /// `bench_serve/v3` record: the speedup over the naive
 /// load-render-evict configuration must hold a floor, and the record's
@@ -207,7 +229,9 @@ pub fn compare(
 /// p95 latencies of the batched configuration are carried along for the
 /// report (the Interactive-beats-Bulk ordering is enforced by
 /// `bench_serve` itself in full mode, where the workload is heavy enough
-/// for the comparison to be meaningful).
+/// for the comparison to be meaningful). A record carrying a `"chaos"`
+/// object additionally must have resolved its fault storm cleanly
+/// ([`ChaosGate`]).
 #[derive(Debug, Clone)]
 pub struct ServeGateReport {
     /// Minimum acceptable `speedup_vs_naive`.
@@ -222,12 +246,17 @@ pub struct ServeGateReport {
     /// Batched-config Bulk p95 latency, ms (absent when the workload had
     /// no bulk traffic).
     pub bulk_p95_ms: Option<f64>,
+    /// Chaos-phase summary when the record was produced with `--chaos`.
+    pub chaos: Option<ChaosGate>,
 }
 
 impl ServeGateReport {
-    /// `true` when parity held and the speedup clears the floor.
+    /// `true` when parity held, the speedup clears the floor, and — for
+    /// a chaos record — the fault storm resolved cleanly.
     pub fn passed(&self) -> bool {
-        self.parity_ok && self.speedup_vs_naive >= self.floor
+        self.parity_ok
+            && self.speedup_vs_naive >= self.floor
+            && self.chaos.as_ref().is_none_or(ChaosGate::passed)
     }
 
     /// Human-readable report.
@@ -249,6 +278,19 @@ impl ServeGateReport {
         if let (Some(i), Some(b)) = (self.interactive_p95_ms, self.bulk_p95_ms) {
             out.push_str(&format!(
                 "batched p95: interactive {i:.2} ms vs bulk {b:.2} ms\n"
+            ));
+        }
+        if let Some(c) = &self.chaos {
+            out.push_str(&format!(
+                "chaos storm: {} ({} respawns, {} lost workers){}\n",
+                if c.all_resolved {
+                    "all requests resolved"
+                } else {
+                    "REQUESTS STRANDED"
+                },
+                c.respawns,
+                c.lost_workers,
+                if c.passed() { "" } else { "  NOT RECOVERED" },
             ));
         }
         out.push_str(&format!(
@@ -309,12 +351,36 @@ pub fn check_serve_record(text: &str, floor: f64) -> Result<ServeGateReport, Str
             }
         }
     }
+    // A chaos record must carry a complete summary — a present-but-
+    // malformed "chaos" object is an error, not a silent pass.
+    let chaos = match doc.get("chaos") {
+        None => None,
+        Some(c) => {
+            let all_resolved = match c.get("all_resolved") {
+                Some(Value::Bool(b)) => *b,
+                _ => return Err("chaos: missing bool 'all_resolved'".into()),
+            };
+            let count = |k: &str| -> Result<u64, String> {
+                c.get(k)
+                    .and_then(Value::as_f32)
+                    .filter(|v| v.is_finite() && *v >= 0.0)
+                    .map(|v| v as u64)
+                    .ok_or(format!("chaos: missing count '{k}'"))
+            };
+            Some(ChaosGate {
+                all_resolved,
+                respawns: count("respawns")?,
+                lost_workers: count("lost_workers")?,
+            })
+        }
+    };
     Ok(ServeGateReport {
         floor,
         speedup_vs_naive: f64::from(speedup),
         parity_ok,
         interactive_p95_ms,
         bulk_p95_ms,
+        chaos,
     })
 }
 
@@ -515,6 +581,54 @@ mod tests {
         let report = check_serve_record(&serve_record(9.0, false), 2.0).unwrap();
         assert!(!report.passed());
         assert!(report.render().contains("parity: FAILED"));
+    }
+
+    fn chaos_record(speedup: f64, all_resolved: bool, lost_workers: u64) -> String {
+        let base = serve_record(speedup, true);
+        let chaos = format!(
+            "\"chaos\": {{\"seed\": 7, \"storm_requests\": 24, \"resolved\": 20, \
+             \"turned_away\": 4, \"respawns\": 3, \"lost_workers\": {lost_workers}, \
+             \"all_resolved\": {all_resolved}}}, \"speedup_vs_naive\""
+        );
+        base.replace("\"speedup_vs_naive\"", &chaos)
+    }
+
+    #[test]
+    fn serve_gate_reads_and_enforces_the_chaos_summary() {
+        let report = check_serve_record(&chaos_record(3.0, true, 0), 2.0).unwrap();
+        assert!(report.passed());
+        let c = report.chaos.as_ref().expect("chaos summary parsed");
+        assert!(c.all_resolved);
+        assert_eq!(c.respawns, 3);
+        assert_eq!(c.lost_workers, 0);
+        assert!(report.render().contains("all requests resolved"));
+
+        // A stranded storm fails the gate even above the floor.
+        let report = check_serve_record(&chaos_record(9.0, false, 0), 2.0).unwrap();
+        assert!(!report.passed());
+        assert!(report.render().contains("REQUESTS STRANDED"));
+
+        // A pool that never recovered to width fails too.
+        let report = check_serve_record(&chaos_record(9.0, true, 1), 2.0).unwrap();
+        assert!(!report.passed());
+        assert!(report.render().contains("NOT RECOVERED"));
+    }
+
+    #[test]
+    fn serve_gate_rejects_malformed_chaos_summaries() {
+        // Present-but-incomplete chaos objects are parse errors, not
+        // silent passes.
+        let missing_resolved =
+            chaos_record(3.0, true, 0).replace("\"all_resolved\": true", "\"all_resolved\": 1");
+        assert!(check_serve_record(&missing_resolved, 2.0).is_err());
+        let missing_lost = chaos_record(3.0, true, 0).replace("\"lost_workers\": 0, ", "");
+        assert!(check_serve_record(&missing_lost, 2.0).is_err());
+        // Records without a chaos object stay valid (pinned above by
+        // every other serve-gate test).
+        assert!(check_serve_record(&serve_record(3.0, true), 2.0)
+            .unwrap()
+            .chaos
+            .is_none());
     }
 
     #[test]

@@ -23,7 +23,7 @@
 
 mod pool;
 
-pub use pool::{WorkerPool, WorkerStep};
+pub use pool::{PoolHealth, RestartPolicy, WorkerPool, WorkerStep};
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};

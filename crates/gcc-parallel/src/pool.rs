@@ -22,8 +22,11 @@
 //! of the state's carried-over contents (states are reusable scratch,
 //! not accumulators).
 
-use std::sync::Arc;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// What a [`WorkerPool`] worker should do after one `step` call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,6 +35,85 @@ pub enum WorkerStep {
     Continue,
     /// Exit this worker's loop; the thread terminates.
     Stop,
+}
+
+/// Restart budget of a supervised pool ([`WorkerPool::spawn_supervised`]):
+/// a panicking worker is caught and respawned with fresh state, but only
+/// `max_restarts` times per rolling `window` across the whole pool — one
+/// panic past the budget *fails fast* (the worker dies and the panic
+/// resurfaces at join, exactly the unsupervised behavior), so a
+/// permanently broken step cannot spin the pool in a respawn loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestartPolicy {
+    /// Respawns allowed inside any rolling [`Self::window`] (pool-wide).
+    pub max_restarts: usize,
+    /// Width of the rolling restart window.
+    pub window: Duration,
+}
+
+impl Default for RestartPolicy {
+    /// Generous enough to ride out a fault burst, tight enough to stop a
+    /// hot respawn loop: 32 restarts per 10 s window.
+    fn default() -> Self {
+        Self {
+            max_restarts: 32,
+            window: Duration::from_secs(10),
+        }
+    }
+}
+
+impl RestartPolicy {
+    /// A policy that never respawns — every panic fails fast, matching
+    /// unsupervised [`WorkerPool::spawn`] semantics.
+    pub fn fail_fast() -> Self {
+        Self {
+            max_restarts: 0,
+            window: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Shared health counters of a pool, observable while it runs. Plain
+/// [`WorkerPool::spawn`] pools keep these at zero; supervised pools
+/// count every caught panic and every worker that exhausted the budget.
+#[derive(Debug, Default)]
+pub struct PoolHealth {
+    restarts: AtomicU64,
+    failed: AtomicU64,
+    /// Timestamps of recent restarts, pruned to the policy window.
+    recent: Mutex<VecDeque<Instant>>,
+}
+
+impl PoolHealth {
+    /// Worker panics caught and answered with a fresh-state respawn.
+    pub fn restarts(&self) -> u64 {
+        self.restarts.load(Ordering::Relaxed)
+    }
+
+    /// Workers that died for good: a panic past the restart budget.
+    pub fn failed_workers(&self) -> u64 {
+        self.failed.load(Ordering::Relaxed)
+    }
+
+    /// Records one panic; `true` when the budget admits a respawn.
+    fn admit_restart(&self, policy: &RestartPolicy) -> bool {
+        let now = Instant::now();
+        let mut recent = self.recent.lock().unwrap_or_else(|e| e.into_inner());
+        while recent
+            .front()
+            .is_some_and(|t| now.duration_since(*t) > policy.window)
+        {
+            recent.pop_front();
+        }
+        if recent.len() >= policy.max_restarts {
+            self.failed.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        recent.push_back(now);
+        drop(recent);
+        self.restarts.fetch_add(1, Ordering::Relaxed);
+        true
+    }
 }
 
 /// A pool of long-lived worker threads with per-worker state.
@@ -43,6 +125,7 @@ pub enum WorkerStep {
 #[derive(Debug)]
 pub struct WorkerPool {
     handles: Vec<JoinHandle<()>>,
+    health: Arc<PoolHealth>,
 }
 
 impl WorkerPool {
@@ -56,6 +139,7 @@ impl WorkerPool {
         F: Fn(usize, &mut S) -> WorkerStep + Send + Sync + 'static,
     {
         let shared = Arc::new((init, step));
+        let health = Arc::new(PoolHealth::default());
         let handles = (0..threads.max(1))
             .map(|worker| {
                 let shared = Arc::clone(&shared);
@@ -69,7 +153,87 @@ impl WorkerPool {
                     .expect("failed to spawn pool worker")
             })
             .collect();
-        Self { handles }
+        Self { handles, health }
+    }
+
+    /// [`Self::spawn`] with worker supervision: a panic escaping `step`
+    /// is caught, reported on stderr, counted in [`PoolHealth`], and
+    /// answered by rebuilding the worker's state with `init` — the
+    /// worker keeps running at full pool width with fresh (scratch)
+    /// state, and the panicked step's side effects are bounded by
+    /// whatever cleanup guards the caller's `step` installs. The
+    /// `policy` bounds respawns: one panic past `max_restarts` in a
+    /// rolling `window` fails fast — the worker dies re-raising the
+    /// panic, which then surfaces at [`Self::join`] like an
+    /// unsupervised panic would.
+    ///
+    /// A panic escaping `init` itself is never caught (a pool that
+    /// cannot build worker state is misconfigured, not unlucky).
+    pub fn spawn_supervised<S, I, F>(
+        threads: usize,
+        init: I,
+        step: F,
+        policy: RestartPolicy,
+    ) -> Self
+    where
+        S: 'static,
+        I: Fn() -> S + Send + Sync + 'static,
+        F: Fn(usize, &mut S) -> WorkerStep + Send + Sync + 'static,
+    {
+        let shared = Arc::new((init, step));
+        let health = Arc::new(PoolHealth::default());
+        let handles = (0..threads.max(1))
+            .map(|worker| {
+                let shared = Arc::clone(&shared);
+                let health = Arc::clone(&health);
+                std::thread::Builder::new()
+                    .name(format!("gcc-pool-{worker}"))
+                    .spawn(move || {
+                        let (init, step) = &*shared;
+                        let mut state = init();
+                        loop {
+                            // The state is rebuilt from scratch after a
+                            // panic, so observing it mid-unwind is fine.
+                            let outcome =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    step(worker, &mut state)
+                                }));
+                            match outcome {
+                                Ok(WorkerStep::Continue) => {}
+                                Ok(WorkerStep::Stop) => return,
+                                Err(payload) => {
+                                    if health.admit_restart(&policy) {
+                                        eprintln!(
+                                            "gcc-pool-{worker}: worker panicked \
+                                             ({}); respawning with fresh state",
+                                            panic_message(&payload)
+                                        );
+                                        state = init();
+                                    } else {
+                                        eprintln!(
+                                            "gcc-pool-{worker}: worker panicked \
+                                             ({}) past the restart budget \
+                                             ({} per {:?}); failing fast",
+                                            panic_message(&payload),
+                                            policy.max_restarts,
+                                            policy.window
+                                        );
+                                        std::panic::resume_unwind(payload);
+                                    }
+                                }
+                            }
+                        }
+                    })
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        Self { handles, health }
+    }
+
+    /// The pool's shared health counters (respawns, failed workers).
+    /// Cheap to clone and safe to poll while the pool runs.
+    pub fn health(&self) -> Arc<PoolHealth> {
+        Arc::clone(&self.health)
     }
 
     /// Number of worker threads.
@@ -87,6 +251,13 @@ impl WorkerPool {
     /// Panics from worker threads are surfaced as a panic here.
     pub fn join(mut self) {
         self.join_all();
+    }
+
+    /// Worker threads that already terminated (normally or by a panic
+    /// past the restart budget). A healthy supervised pool keeps this at
+    /// zero until its stop condition is observed.
+    pub fn finished_workers(&self) -> usize {
+        self.handles.iter().filter(|h| h.is_finished()).count()
     }
 
     fn join_all(&mut self) {
@@ -107,6 +278,17 @@ impl WorkerPool {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         self.join_all();
+    }
+}
+
+/// Best-effort text of a panic payload (for respawn reports).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.as_str()
+    } else {
+        "non-string panic payload"
     }
 }
 
@@ -211,6 +393,158 @@ mod tests {
         assert_eq!(pool.len(), 1);
         pool.join();
         assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn supervised_pool_respawns_panicked_workers_and_finishes_the_work() {
+        // A mutex+condvar queue where every 5th item panics the step
+        // mid-processing. Under supervision the panicking worker is
+        // respawned with fresh state, so the pool still drains every
+        // non-poisoned item at full width and joins cleanly.
+        struct Q {
+            items: Vec<u64>,
+            stop: bool,
+        }
+        let shared = Arc::new((
+            Mutex::new(Q {
+                items: (1..=60).collect(),
+                stop: false,
+            }),
+            Condvar::new(),
+        ));
+        let done = Arc::new(AtomicUsize::new(0));
+        let (s, d) = (Arc::clone(&shared), Arc::clone(&done));
+        let pool = WorkerPool::spawn_supervised(
+            3,
+            || 0usize,
+            move |_, steps_since_respawn| {
+                let (lock, cv) = &*s;
+                let mut q = lock.lock().unwrap_or_else(|e| e.into_inner());
+                loop {
+                    if let Some(v) = q.items.pop() {
+                        drop(q);
+                        *steps_since_respawn += 1;
+                        if v % 5 == 0 {
+                            panic!("poisoned item {v}");
+                        }
+                        d.fetch_add(1, Ordering::Relaxed);
+                        return WorkerStep::Continue;
+                    }
+                    if q.stop {
+                        return WorkerStep::Stop;
+                    }
+                    q = cv.wait(q).unwrap_or_else(|e| e.into_inner());
+                }
+            },
+            RestartPolicy::default(),
+        );
+        let health = pool.health();
+        loop {
+            let (lock, cv) = &*shared;
+            let mut q = lock.lock().unwrap_or_else(|e| e.into_inner());
+            if q.items.is_empty() {
+                q.stop = true;
+                cv.notify_all();
+                break;
+            }
+            drop(q);
+            std::thread::yield_now();
+        }
+        pool.join();
+        // 12 of the 60 items panic; the other 48 all complete.
+        assert_eq!(done.load(Ordering::Relaxed), 48);
+        assert_eq!(health.restarts(), 12);
+        assert_eq!(health.failed_workers(), 0);
+    }
+
+    #[test]
+    fn supervised_state_is_rebuilt_fresh_after_a_panic() {
+        // Worker state counts steps; the first step panics after bumping
+        // it. The respawned state must start from init()'s value again.
+        let observed = Arc::new(Mutex::new(Vec::<usize>::new()));
+        let o = Arc::clone(&observed);
+        let pool = WorkerPool::spawn_supervised(
+            1,
+            || 0usize,
+            move |_, state| {
+                *state += 1;
+                o.lock().unwrap_or_else(|e| e.into_inner()).push(*state);
+                if *state == 1 && o.lock().unwrap_or_else(|e| e.into_inner()).len() == 1 {
+                    panic!("first step dies");
+                }
+                if *state >= 3 {
+                    WorkerStep::Stop
+                } else {
+                    WorkerStep::Continue
+                }
+            },
+            RestartPolicy::default(),
+        );
+        let health = pool.health();
+        pool.join();
+        // First run reaches 1 then panics; respawn restarts at 1, 2, 3.
+        assert_eq!(
+            *observed.lock().unwrap_or_else(|e| e.into_inner()),
+            vec![1, 1, 2, 3]
+        );
+        assert_eq!(health.restarts(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker-pool thread panicked")]
+    fn supervised_pool_fails_fast_past_the_restart_budget() {
+        let attempts = Arc::new(AtomicUsize::new(0));
+        let a = Arc::clone(&attempts);
+        let pool = WorkerPool::spawn_supervised(
+            1,
+            || (),
+            move |_, ()| {
+                a.fetch_add(1, Ordering::Relaxed);
+                panic!("always broken");
+            },
+            RestartPolicy {
+                max_restarts: 2,
+                window: Duration::from_secs(60),
+            },
+        );
+        let (health, attempts) = (pool.health(), Arc::clone(&attempts));
+        // The worker dies on its third panic (2 respawns + 1 fail-fast).
+        while pool.finished_workers() == 0 {
+            std::thread::yield_now();
+        }
+        assert_eq!(attempts.load(Ordering::Relaxed), 3);
+        assert_eq!(health.restarts(), 2);
+        assert_eq!(health.failed_workers(), 1);
+        pool.join();
+    }
+
+    #[test]
+    fn fail_fast_policy_matches_unsupervised_semantics() {
+        let pool = WorkerPool::spawn_supervised(
+            2,
+            || (),
+            |w, ()| {
+                if w == 0 {
+                    panic!("boom");
+                }
+                WorkerStep::Stop
+            },
+            RestartPolicy::fail_fast(),
+        );
+        let health = pool.health();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pool.join()));
+        assert!(caught.is_err());
+        assert_eq!(health.restarts(), 0);
+        assert_eq!(health.failed_workers(), 1);
+    }
+
+    #[test]
+    fn unsupervised_pool_health_stays_zero() {
+        let pool = WorkerPool::spawn(2, || (), |_, ()| WorkerStep::Stop);
+        let health = pool.health();
+        pool.join();
+        assert_eq!(health.restarts(), 0);
+        assert_eq!(health.failed_workers(), 0);
     }
 
     #[test]

@@ -49,6 +49,83 @@ impl From<io::Error> for SceneIoError {
     }
 }
 
+impl SceneIoError {
+    /// Whether retrying the same load could plausibly succeed.
+    ///
+    /// Transient I/O conditions (interrupted syscalls, timeouts, remote
+    /// stores that momentarily refuse) are retryable; anything that
+    /// reflects a property of the file itself — missing, unreadable by
+    /// policy, or malformed ([`Self::Format`]) — is fatal, because the
+    /// bytes will be exactly as bad on the next attempt. Unknown I/O
+    /// kinds default to retryable: a serving layer would rather burn a
+    /// few bounded retries than permanently quarantine a scene over a
+    /// transient failure it could not classify.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            Self::Format(_) => false,
+            Self::Io(e) => !matches!(
+                e.kind(),
+                io::ErrorKind::NotFound
+                    | io::ErrorKind::PermissionDenied
+                    | io::ErrorKind::InvalidData
+                    | io::ErrorKind::InvalidInput
+                    | io::ErrorKind::Unsupported
+            ),
+        }
+    }
+}
+
+/// Bounded-retry policy for scene loads: up to `max_attempts` tries with
+/// deterministic exponential backoff (`base_backoff * 2^(attempt-1)`,
+/// capped at `max_backoff`). Deterministic on purpose — no jitter — so
+/// fault-injected tests replay the exact same schedule every run. The
+/// policy is pure data; the serving layer owns the sleep-and-retry loop
+/// (and may bail early on shutdown between attempts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total load attempts (first try included). At least 1.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles each retry.
+    pub base_backoff: std::time::Duration,
+    /// Ceiling on any single backoff sleep.
+    pub max_backoff: std::time::Duration,
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts, 10 ms → 20 ms between them, capped at 500 ms.
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            base_backoff: std::time::Duration::from_millis(10),
+            max_backoff: std::time::Duration::from_millis(500),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (single attempt, no backoff).
+    pub fn no_retries() -> Self {
+        Self {
+            max_attempts: 1,
+            ..Self::default()
+        }
+    }
+
+    /// Backoff to sleep after failed attempt `attempt` (1-based), or
+    /// `None` when the policy is exhausted and no further attempt should
+    /// be made.
+    pub fn backoff_for(&self, attempt: u32) -> Option<std::time::Duration> {
+        if attempt >= self.max_attempts.max(1) {
+            return None;
+        }
+        let exp = attempt.saturating_sub(1).min(32);
+        let backoff = self
+            .base_backoff
+            .saturating_mul(1u32.checked_shl(exp).unwrap_or(u32::MAX));
+        Some(backoff.min(self.max_backoff))
+    }
+}
+
 /// Serializes a scene as JSON (pretty when `pretty`).
 ///
 /// Floats are written with Rust's shortest round-trip formatting, so
@@ -507,6 +584,78 @@ mod tests {
         let back = load_scene_file(&path).unwrap();
         assert_eq!(scene.gaussians, back.gaussians);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retryability_classifies_io_kinds_and_format_errors() {
+        use std::io::ErrorKind;
+        // Properties of the file itself: fatal.
+        assert!(!SceneIoError::Format("truncated".into()).is_retryable());
+        for kind in [
+            ErrorKind::NotFound,
+            ErrorKind::PermissionDenied,
+            ErrorKind::InvalidData,
+            ErrorKind::InvalidInput,
+            ErrorKind::Unsupported,
+        ] {
+            let e = SceneIoError::Io(io::Error::new(kind, "x"));
+            assert!(!e.is_retryable(), "{kind:?} should be fatal");
+        }
+        // Transient conditions (and unknown kinds): retryable.
+        for kind in [
+            ErrorKind::Interrupted,
+            ErrorKind::TimedOut,
+            ErrorKind::WouldBlock,
+            ErrorKind::ConnectionReset,
+            ErrorKind::Other,
+        ] {
+            let e = SceneIoError::Io(io::Error::new(kind, "x"));
+            assert!(e.is_retryable(), "{kind:?} should be retryable");
+        }
+    }
+
+    #[test]
+    fn retry_backoff_doubles_deterministically_and_caps() {
+        use std::time::Duration;
+        let p = RetryPolicy {
+            max_attempts: 5,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(35),
+        };
+        assert_eq!(p.backoff_for(1), Some(Duration::from_millis(10)));
+        assert_eq!(p.backoff_for(2), Some(Duration::from_millis(20)));
+        assert_eq!(p.backoff_for(3), Some(Duration::from_millis(35))); // capped
+        assert_eq!(p.backoff_for(4), Some(Duration::from_millis(35)));
+        assert_eq!(p.backoff_for(5), None); // exhausted
+        assert_eq!(p.backoff_for(99), None);
+        // Identical inputs replay identical schedules.
+        assert_eq!(p.backoff_for(2), p.backoff_for(2));
+    }
+
+    #[test]
+    fn no_retries_policy_exhausts_after_one_attempt() {
+        let p = RetryPolicy::no_retries();
+        assert_eq!(p.max_attempts, 1);
+        assert_eq!(p.backoff_for(1), None);
+        // A zero max_attempts (misconfigured) still allows one attempt.
+        let degenerate = RetryPolicy {
+            max_attempts: 0,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(degenerate.backoff_for(1), None);
+    }
+
+    #[test]
+    fn huge_attempt_numbers_do_not_overflow_backoff() {
+        use std::time::Duration;
+        let p = RetryPolicy {
+            max_attempts: u32::MAX,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_secs(2),
+        };
+        // 2^(attempt-1) would overflow; the cap must still hold.
+        assert_eq!(p.backoff_for(64), Some(Duration::from_secs(2)));
+        assert_eq!(p.backoff_for(1000), Some(Duration::from_secs(2)));
     }
 
     #[test]

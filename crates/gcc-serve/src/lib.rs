@@ -103,20 +103,25 @@
 #![warn(missing_docs)]
 
 mod cache;
+pub mod fault;
 mod service;
 pub mod session;
 mod source;
 mod stats;
 
 pub use cache::LruSceneCache;
-pub use service::{RenderHandle, RenderRequest, RenderService, ScheduleRenderers, ServeConfig};
+pub use fault::{ChaosRenderer, FaultPlan, LoadFault};
+pub use service::{
+    RenderHandle, RenderRequest, RenderService, ScheduleRenderers, ServeConfig, ShedPolicy,
+};
 pub use session::{FrameStream, Priority, Session, StreamConfig, StreamPoll, StreamSpec};
-pub use source::SceneSource;
+pub use source::{LoadError, SceneSource};
 pub use stats::{
     percentile_us, PriorityCounters, SceneCounters, ScheduleCounters, ServeStats, StreamCounters,
 };
 
 use gcc_scene::ViewError;
+use std::time::Duration;
 
 /// Errors surfaced by the serving layer.
 #[derive(Debug, Clone, PartialEq)]
@@ -145,9 +150,30 @@ pub enum ServeError {
     /// shutdown).
     ShuttingDown,
     /// The worker rendering this request's batch panicked. The stream is
-    /// failed instead of stranded; the panic itself resurfaces when the
-    /// service joins its pool (shutdown/drop).
+    /// failed instead of stranded; the worker itself is respawned with
+    /// fresh state (within the service's
+    /// [`RestartPolicy`](gcc_parallel::RestartPolicy) budget — past it
+    /// the panic resurfaces when the service joins its pool).
     WorkerPanicked,
+    /// The scene is quarantined behind the load circuit breaker: a
+    /// recent load exhausted its retries (or panicked), so new requests
+    /// fail fast instead of stalling a loader worker on a known-bad
+    /// source. After `retry_after` the next request is admitted as a
+    /// half-open probe; its load decides readmission vs re-quarantine.
+    Quarantined {
+        /// The quarantined scene id.
+        scene: String,
+        /// Remaining quarantine time at rejection.
+        retry_after: Duration,
+    },
+    /// The request was shed by admission control: past the Bulk
+    /// watermarks new Bulk streams are rejected while Interactive still
+    /// admits; past the hard ceilings everything sheds. Back off at
+    /// least `retry_after` before retrying.
+    Overloaded {
+        /// Suggested client backoff.
+        retry_after: Duration,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -159,6 +185,14 @@ impl std::fmt::Display for ServeError {
             Self::Load { scene, message } => write!(f, "loading scene '{scene}' failed: {message}"),
             Self::ShuttingDown => write!(f, "service is shutting down"),
             Self::WorkerPanicked => write!(f, "a render worker panicked on this batch"),
+            Self::Quarantined { scene, retry_after } => write!(
+                f,
+                "scene '{scene}' is quarantined after failed loads (retry in {retry_after:?})"
+            ),
+            Self::Overloaded { retry_after } => write!(
+                f,
+                "service is overloaded; request shed (retry in {retry_after:?})"
+            ),
         }
     }
 }

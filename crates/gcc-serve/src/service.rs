@@ -63,10 +63,11 @@ use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use gcc_parallel::{available_threads, WorkerPool, WorkerStep};
+use gcc_parallel::{available_threads, PoolHealth, RestartPolicy, WorkerPool, WorkerStep};
 use gcc_render::pipeline::{
     Frame, FrameScratch, FrameStats, RenderJob, RenderOptions, Renderer, Schedule,
 };
+use gcc_scene::io::RetryPolicy;
 use gcc_scene::{Scene, ViewError, ViewSpec};
 
 use crate::cache::LruSceneCache;
@@ -76,6 +77,39 @@ use crate::stats::{
     percentile_us, PriorityCounters, SceneCounters, ScheduleCounters, ServeStats, StreamCounters,
 };
 use crate::ServeError;
+
+/// Admission-control watermarks: when new streams are turned away with
+/// [`ServeError::Overloaded`]. The Bulk watermarks fire first — past
+/// them new `Bulk` streams are *rejected* while `Interactive` still
+/// admits (best-effort traffic is the first to go) — and the hard
+/// ceilings *shed* everything. All four default to `usize::MAX`
+/// (admission control off); a deployment sizes them to its queue-latency
+/// budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShedPolicy {
+    /// Queued-frame depth past which new Bulk streams are rejected.
+    pub bulk_queue_watermark: usize,
+    /// Open-stream count past which new Bulk streams are rejected.
+    pub bulk_stream_watermark: usize,
+    /// Queued-frame hard ceiling: past it, every new stream is shed.
+    pub max_queue_depth: usize,
+    /// Open-stream hard ceiling: past it, every new stream is shed.
+    pub max_streams: usize,
+}
+
+impl Default for ShedPolicy {
+    fn default() -> Self {
+        Self {
+            bulk_queue_watermark: usize::MAX,
+            bulk_stream_watermark: usize::MAX,
+            max_queue_depth: usize::MAX,
+            max_streams: usize::MAX,
+        }
+    }
+}
+
+/// Backoff hint attached to [`ServeError::Overloaded`] rejections.
+const SHED_RETRY_AFTER: Duration = Duration::from_millis(25);
 
 /// Service sizing and policy knobs.
 #[derive(Debug, Clone)]
@@ -88,6 +122,21 @@ pub struct ServeConfig {
     /// Most requests drained into one batch (≥ 1). `1` disables
     /// coalescing.
     pub max_batch: usize,
+    /// Worker supervision budget: panicked workers are respawned with
+    /// fresh scratch within this policy; past it the panic fails fast
+    /// and resurfaces when the pool is joined.
+    pub restart: RestartPolicy,
+    /// Retry policy for scene loads that fail *retryably* (transient
+    /// I/O). Fatal failures (missing/malformed files) never retry.
+    pub load_retry: RetryPolicy,
+    /// How long a scene that exhausted its load retries (or whose load
+    /// panicked) stays quarantined: new requests fail fast with
+    /// [`ServeError::Quarantined`] until the window expires, then one
+    /// request is admitted as a half-open probe. `Duration::ZERO`
+    /// effectively disables the breaker (every request probes).
+    pub quarantine_for: Duration,
+    /// Admission-control watermarks (defaults: admission control off).
+    pub shed: ShedPolicy,
 }
 
 impl Default for ServeConfig {
@@ -96,6 +145,10 @@ impl Default for ServeConfig {
             workers: 0,
             cache_budget_bytes: 256 << 20,
             max_batch: 8,
+            restart: RestartPolicy::default(),
+            load_retry: RetryPolicy::default(),
+            quarantine_for: Duration::from_secs(5),
+            shed: ShedPolicy::default(),
         }
     }
 }
@@ -286,6 +339,10 @@ struct PriorityInner {
     max_queued: usize,
     with_deadline: u64,
     deadline_misses: u64,
+    /// Streams turned away at the class's admission watermark.
+    rejected: u64,
+    /// Streams shed at a hard overload ceiling.
+    shed: u64,
     /// Ring buffer of recent frame latencies (µs); see
     /// [`LATENCY_WINDOW`].
     latencies_us: Vec<u64>,
@@ -346,6 +403,11 @@ struct State {
     streams: HashMap<u64, StreamSched>,
     /// Scenes currently being loaded by some worker.
     loading: HashSet<String>,
+    /// Load circuit breaker: scene id → quarantine expiry. A request for
+    /// a listed scene fails fast with [`ServeError::Quarantined`] until
+    /// the expiry passes; the first request after it removes the entry
+    /// and proceeds as the half-open probe.
+    quarantine: HashMap<String, Instant>,
     /// Frames issued but not yet drained into a batch.
     pending: usize,
     /// [`Self::pending`] split by priority class.
@@ -545,6 +607,9 @@ pub(crate) struct Shared {
     pub(crate) registry: HashMap<String, SceneSource>,
     renderers: ScheduleRenderers,
     max_batch: usize,
+    load_retry: RetryPolicy,
+    quarantine_for: Duration,
+    shed: ShedPolicy,
     state: Mutex<State>,
     work: Condvar,
 }
@@ -588,6 +653,40 @@ impl Shared {
         let mut st = shared.state.lock().expect("service state poisoned");
         if st.shutdown {
             return Err(ServeError::ShuttingDown);
+        }
+        // Circuit breaker: a quarantined scene fails fast instead of
+        // queueing work a known-bad load would sweep anyway. The first
+        // request past the expiry removes the entry and proceeds — the
+        // half-open probe (the `loading` guard already serializes
+        // concurrent probes into one load).
+        if let Some(&until) = st.quarantine.get(scene) {
+            let now = Instant::now();
+            if now < until {
+                return Err(ServeError::Quarantined {
+                    scene: scene.to_string(),
+                    retry_after: until - now,
+                });
+            }
+            st.quarantine.remove(scene);
+        }
+        // Admission control: hard ceilings shed everything; past the
+        // Bulk watermarks best-effort traffic is rejected first while
+        // Interactive still admits.
+        let shed = &shared.shed;
+        if st.pending >= shed.max_queue_depth || st.streams.len() >= shed.max_streams {
+            st.stats.priority(cfg.priority).shed += 1;
+            return Err(ServeError::Overloaded {
+                retry_after: SHED_RETRY_AFTER,
+            });
+        }
+        if cfg.priority == Priority::Bulk
+            && (st.pending_by_priority[Priority::Bulk.index()] >= shed.bulk_queue_watermark
+                || st.streams.len() >= shed.bulk_stream_watermark)
+        {
+            st.stats.priority(Priority::Bulk).rejected += 1;
+            return Err(ServeError::Overloaded {
+                retry_after: SHED_RETRY_AFTER,
+            });
         }
         let id = st.next_stream_id;
         st.next_stream_id += 1;
@@ -824,6 +923,16 @@ impl Shared {
                 }
                 if let Ok(mut st) = self.shared.state.lock() {
                     st.loading.remove(self.id);
+                    // A panicking load is at least as suspect as a
+                    // failing one: quarantine it so repeat requests
+                    // don't keep panicking loader workers.
+                    if self.shared.quarantine_for > Duration::ZERO {
+                        st.quarantine.insert(
+                            self.id.to_string(),
+                            Instant::now() + self.shared.quarantine_for,
+                        );
+                        st.stats.scene(self.id).quarantines += 1;
+                    }
                     let failed = take_all_for_scene(&mut st, self.id);
                     let inboxes = fail_streams_of(&mut st, &failed);
                     drop(st);
@@ -842,10 +951,38 @@ impl Shared {
         let mut guard = LoadGuard {
             shared: self,
             id,
-            armed: true,
+            armed: false,
         };
-        let loaded = source.load();
-        guard.armed = false;
+        // Bounded retry loop: only *retryable* failures re-attempt, with
+        // the policy's deterministic backoff, no lock held while loading
+        // or sleeping. Fatal failures (and exhausted budgets) fall
+        // through to the quarantine + fan-out path below.
+        let mut attempt = 0u32;
+        let loaded = loop {
+            attempt += 1;
+            guard.armed = true;
+            let result = source.load_classified();
+            guard.armed = false;
+            match result {
+                Ok(scene) => break Ok(scene),
+                Err(e) if e.retryable => match self.load_retry.backoff_for(attempt) {
+                    Some(backoff) => {
+                        let shutting_down = {
+                            let mut st = self.state.lock().expect("service state poisoned");
+                            st.stats.scene(id).retries += 1;
+                            st.shutdown
+                        };
+                        if shutting_down {
+                            // Don't hold the drain hostage to backoff.
+                            break Err(e);
+                        }
+                        std::thread::sleep(backoff);
+                    }
+                    None => break Err(e),
+                },
+                Err(e) => break Err(e),
+            }
+        };
         let mut st = self.state.lock().expect("service state poisoned");
         st.loading.remove(id);
         match loaded {
@@ -892,10 +1029,18 @@ impl Shared {
                     self.render_batch(&key, &scene, batch, scratch);
                 }
             }
-            Err(message) => {
+            Err(e) => {
+                // Trip the breaker: this scene's load is known-bad (a
+                // fatal error, or retries exhausted), so requests until
+                // the expiry fail fast instead of re-stalling a loader.
+                if self.quarantine_for > Duration::ZERO {
+                    st.quarantine
+                        .insert(id.to_string(), Instant::now() + self.quarantine_for);
+                    st.stats.scene(id).quarantines += 1;
+                }
                 let err = ServeError::Load {
                     scene: id.to_string(),
-                    message,
+                    message: e.message,
                 };
                 let failed = take_all_for_scene(&mut st, id);
                 let inboxes = fail_streams_of(&mut st, &failed);
@@ -916,6 +1061,9 @@ pub struct RenderService {
     shared: Arc<Shared>,
     workers: usize,
     pool: Option<WorkerPool>,
+    /// Supervision counters, retained past the pool's join so the final
+    /// [`Self::stats`] snapshot still reports respawns.
+    health: Arc<PoolHealth>,
 }
 
 impl std::fmt::Debug for RenderService {
@@ -964,12 +1112,16 @@ impl RenderService {
             registry: registry.into_iter().collect(),
             renderers,
             max_batch: cfg.max_batch,
+            load_retry: cfg.load_retry,
+            quarantine_for: cfg.quarantine_for,
+            shed: cfg.shed,
             state: Mutex::new(State {
                 cache: LruSceneCache::new(cfg.cache_budget_bytes),
                 queues: HashMap::new(),
                 order: VecDeque::new(),
                 streams: HashMap::new(),
                 loading: HashSet::new(),
+                quarantine: HashMap::new(),
                 pending: 0,
                 pending_by_priority: [0; 2],
                 next_stream_id: 0,
@@ -979,13 +1131,23 @@ impl RenderService {
             work: Condvar::new(),
         });
         let pool_shared = Arc::clone(&shared);
-        let pool = WorkerPool::spawn(workers, FrameScratch::new, move |_, scratch| {
-            pool_shared.step(scratch)
-        });
+        // Supervised: a panicked worker (renderer or load panic) is
+        // respawned with a fresh scratch within `cfg.restart`'s budget,
+        // so the pool keeps its configured width under fault storms. The
+        // panicked batch itself resolves through the step's own guards
+        // (PanicGuard / LoadGuard) before the respawn.
+        let pool = WorkerPool::spawn_supervised(
+            workers,
+            FrameScratch::new,
+            move |_, scratch| pool_shared.step(scratch),
+            cfg.restart,
+        );
+        let health = pool.health();
         Self {
             shared,
             workers,
             pool: Some(pool),
+            health,
         }
     }
 
@@ -1081,11 +1243,17 @@ impl RenderService {
             frame_stats: st.stats.frame_stats,
             resident_bytes: st.cache.resident_bytes(),
             resident_scenes: st.cache.len(),
+            respawns: self.health.restarts(),
+            lost_workers: self.health.failed_workers(),
+            quarantined_scenes: {
+                let now = Instant::now();
+                st.quarantine.values().filter(|&&until| until > now).count()
+            },
         };
         let mut rings: Vec<(Priority, PriorityCounters, Vec<u64>)> = Vec::new();
         for (i, priority) in Priority::ALL.into_iter().enumerate() {
             let p = &st.stats.per_priority[i];
-            if p.requests == 0 && p.completed == 0 {
+            if p.requests == 0 && p.completed == 0 && p.rejected == 0 && p.shed == 0 {
                 continue;
             }
             rings.push((
@@ -1098,6 +1266,8 @@ impl RenderService {
                     max_queued: p.max_queued,
                     with_deadline: p.with_deadline,
                     deadline_misses: p.deadline_misses,
+                    rejected: p.rejected,
+                    shed: p.shed,
                     latency_p50_ms: 0.0,
                     latency_p95_ms: 0.0,
                 },
@@ -1171,8 +1341,19 @@ impl RenderService {
         for s in streams {
             s.inbox.fail(ServeError::ShuttingDown);
         }
-        if let Err(payload) = join {
-            std::panic::resume_unwind(payload);
+        // A pool panic here means a worker died past the restart budget.
+        // Every stream has already been resolved with a terminal error
+        // above, so downgrade to a log line instead of re-panicking:
+        // `finish` also runs from Drop, where a second panic while
+        // unwinding would abort the whole process.
+        if join.is_err() {
+            eprintln!(
+                "gcc-serve: a render worker died past its restart budget \
+                 ({} respawns, {} failed); all streams were resolved with \
+                 terminal errors before shutdown",
+                self.health.restarts(),
+                self.health.failed_workers()
+            );
         }
     }
 }
@@ -1304,6 +1485,7 @@ mod tests {
                 workers: 1,
                 cache_budget_bytes: 0,
                 max_batch: 1,
+                ..ServeConfig::default()
             },
             reg,
         );
@@ -1537,13 +1719,23 @@ mod tests {
                 SceneSource::File("/nonexistent/ghost.bin".into()),
             )],
         );
-        let handles: Vec<RenderHandle> = (0..3)
-            .map(|i| {
-                service
-                    .submit(RenderRequest::trajectory("ghost", i as f32 / 3.0))
-                    .unwrap()
-            })
-            .collect();
+        // The fatal load failure quarantines the scene the moment a
+        // worker observes it, so a submit racing it may already be
+        // rejected at admission — both outcomes are the breaker working.
+        let mut handles: Vec<RenderHandle> = Vec::new();
+        let mut rejected = 0u64;
+        for i in 0..3 {
+            match service.submit(RenderRequest::trajectory("ghost", i as f32 / 3.0)) {
+                Ok(h) => handles.push(h),
+                Err(ServeError::Quarantined { scene, .. }) => {
+                    assert_eq!(scene, "ghost");
+                    rejected += 1;
+                }
+                Err(other) => panic!("expected admit or quarantine, got {other:?}"),
+            }
+        }
+        let admitted = handles.len() as u64;
+        assert!(admitted >= 1, "the first submit precedes any failure");
         for h in handles {
             match h.wait() {
                 Err(ServeError::Load { scene, .. }) => assert_eq!(scene, "ghost"),
@@ -1551,17 +1743,22 @@ mod tests {
             }
         }
         let stats = service.shutdown();
-        assert_eq!(stats.completed, 3);
+        assert_eq!(stats.completed + rejected, 3);
+        assert_eq!(stats.completed, admitted);
         assert_eq!(stats.frames, 0);
+        assert!(stats.quarantines() >= 1);
     }
 
     #[test]
     fn load_failure_fans_out_across_schedule_keys_too() {
         // Requests for the same dead scene under different schedules live
         // in different queues; the load failure must fail all of them.
+        // Quarantine is disabled so every submit is admitted regardless
+        // of how fast the first load fails.
         let service = RenderService::new(
             ServeConfig {
                 workers: 1,
+                quarantine_for: Duration::ZERO,
                 ..ServeConfig::default()
             },
             [(
@@ -1667,7 +1864,7 @@ mod tests {
     }
 
     #[test]
-    fn renderer_panic_fails_waiters_instead_of_stranding_them() {
+    fn renderer_panic_fails_waiters_then_the_respawned_worker_serves_on() {
         let (_, reg) = registry(0.02);
         let service = RenderService::with_renderers(
             ServeConfig {
@@ -1682,24 +1879,38 @@ mod tests {
             .unwrap();
         // The waiter must be released with an error, not hang.
         assert_eq!(handle.wait().unwrap_err(), ServeError::WorkerPanicked);
-        // The worker's panic resurfaces when the pool is joined.
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
-            service.shutdown();
-        }));
-        assert!(outcome.is_err(), "pool join must surface the worker panic");
+        // Supervision respawned the (only) worker with fresh scratch, so
+        // the service keeps serving — on a schedule that doesn't panic.
+        let frame = service
+            .submit(
+                RenderRequest::trajectory("lego", 0.25)
+                    .with_options(RenderOptions::default().with_schedule(Schedule::Gscore)),
+            )
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(frame.image.width() > 0);
+        // Clean shutdown: the contained panic does not resurface at join.
+        let stats = service.shutdown();
+        assert!(stats.respawns >= 1, "the panic must be counted");
+        assert_eq!(stats.completed, 2);
     }
 
     #[test]
     fn wait_after_shutdown_resolves_stranded_handles() {
         // Regression: a request queued behind a worker-killing one used to
         // leave its handle blocked forever once the (dead) pool was
-        // joined. The shutdown sweep must fail it instead.
+        // joined. The shutdown sweep must fail it instead. `fail_fast`
+        // restores the unsupervised pool (no respawns) this regression
+        // needs; the join panic itself is downgraded to a log line so
+        // shutdown still completes.
         let (_, mut reg) = registry(0.02);
         reg.push(("boom".to_string(), SceneSource::PanicsOnLoad));
         let service = RenderService::new(
             ServeConfig {
                 workers: 1,
                 max_batch: 1,
+                restart: gcc_parallel::RestartPolicy::fail_fast(),
                 ..ServeConfig::default()
             },
             reg,
@@ -1714,18 +1925,47 @@ mod tests {
             .submit(RenderRequest::trajectory("lego", 0.5))
             .unwrap();
         assert!(!stranded.is_ready());
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            service.shutdown();
-        }));
-        assert!(outcome.is_err(), "the load panic must resurface at join");
+        let stats = service.shutdown();
         // The sweep resolved the stranded handle: wait() returns, with a
         // typed error.
         assert!(stranded.is_ready(), "handle must be resolved by shutdown");
         assert_eq!(stranded.wait().unwrap_err(), ServeError::ShuttingDown);
+        assert_eq!(stats.respawns, 0, "fail_fast must not respawn");
     }
 
     #[test]
-    fn load_panic_fails_waiters_and_does_not_wedge_shutdown() {
+    fn dropping_a_failed_service_while_panicking_does_not_abort() {
+        // Drop runs `finish` too; a join panic re-raised there while the
+        // thread is already unwinding would abort the whole process. The
+        // downgrade must keep this a plain (catchable) single panic.
+        let (_, mut reg) = registry(0.02);
+        reg.push(("boom".to_string(), SceneSource::PanicsOnLoad));
+        let service = RenderService::new(
+            ServeConfig {
+                workers: 1,
+                restart: gcc_parallel::RestartPolicy::fail_fast(),
+                ..ServeConfig::default()
+            },
+            reg,
+        );
+        let doomed = service
+            .submit(RenderRequest::trajectory("boom", 0.1))
+            .unwrap();
+        assert_eq!(doomed.wait().unwrap_err(), ServeError::WorkerPanicked);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let _service = service;
+            panic!("client-side panic while the service is still alive");
+        }));
+        let payload = outcome.expect_err("the client panic must propagate");
+        assert_eq!(
+            payload.downcast_ref::<&str>().copied(),
+            Some("client-side panic while the service is still alive"),
+            "the original panic payload must survive the drop"
+        );
+    }
+
+    #[test]
+    fn load_panic_respawns_the_worker_and_quarantines_the_scene() {
         let service = RenderService::new(
             ServeConfig {
                 workers: 2,
@@ -1733,20 +1973,26 @@ mod tests {
             },
             [("boom".to_string(), SceneSource::PanicsOnLoad)],
         );
-        // One request: each load panic kills one worker, so a multi-shot
-        // submit could strand a late request with no workers left — the
-        // guard's contract is per-panic containment, not worker revival.
         let handle = service
             .submit(RenderRequest::trajectory("boom", 0.5))
             .unwrap();
         assert_eq!(handle.wait().unwrap_err(), ServeError::WorkerPanicked);
-        // `completed` counts the failed request, and shutdown terminates
-        // (surfacing the worker panic) instead of hanging on `loading`.
-        assert_eq!(service.stats().completed, 1);
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
-            service.shutdown();
-        }));
-        assert!(outcome.is_err(), "pool join must surface the load panic");
+        // The panicking load tripped the breaker: repeat requests fail
+        // fast at admission instead of re-panicking loader workers.
+        match service.submit(RenderRequest::trajectory("boom", 0.6)) {
+            Err(ServeError::Quarantined { scene, retry_after }) => {
+                assert_eq!(scene, "boom");
+                assert!(retry_after > Duration::ZERO);
+            }
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+        // `completed` counts the failed request; shutdown is clean (the
+        // worker was respawned, nothing resurfaces at join).
+        let stats = service.shutdown();
+        assert_eq!(stats.completed, 1);
+        assert!(stats.respawns >= 1);
+        assert_eq!(stats.quarantines(), 1);
+        assert_eq!(stats.quarantined_scenes, 1);
     }
 
     #[test]
@@ -1773,5 +2019,296 @@ mod tests {
         let stats = service.shutdown();
         assert_eq!(stats.batches, stats.frames, "max_batch=1 must not coalesce");
         assert_eq!(stats.frames, 6);
+    }
+
+    #[test]
+    fn transient_load_failures_are_retried_until_success() {
+        use crate::fault::{FaultPlan, LoadFault};
+        let scene = Arc::new(ScenePreset::Lego.build(&SceneConfig::with_scale(0.02)));
+        let plan = Arc::new(FaultPlan::new(7).script_loads(
+            "flaky",
+            [
+                Some(LoadFault::FailRetryable),
+                Some(LoadFault::FailRetryable),
+                None,
+            ],
+        ));
+        let service = RenderService::new(
+            ServeConfig {
+                workers: 1,
+                load_retry: RetryPolicy {
+                    max_attempts: 3,
+                    base_backoff: Duration::from_millis(1),
+                    max_backoff: Duration::from_millis(4),
+                },
+                ..ServeConfig::default()
+            },
+            [(
+                "flaky".to_string(),
+                SceneSource::faulty("flaky", SceneSource::Memory(scene), plan),
+            )],
+        );
+        let frame = service
+            .submit(RenderRequest::trajectory("flaky", 0.3))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(frame.image.width() > 0);
+        let stats = service.shutdown();
+        let flaky = &stats.per_scene["flaky"];
+        assert_eq!(flaky.retries, 2, "two transient failures, two retries");
+        assert_eq!(flaky.loads, 1, "one successful load");
+        assert_eq!(flaky.quarantines, 0, "recovered loads never quarantine");
+    }
+
+    #[test]
+    fn retry_exhaustion_quarantines_the_scene() {
+        use crate::fault::FaultPlan;
+        let scene = Arc::new(ScenePreset::Lego.build(&SceneConfig::with_scale(0.02)));
+        let plan = Arc::new(FaultPlan::new(9).with_retryable_load_failures(1000));
+        let service = RenderService::new(
+            ServeConfig {
+                workers: 1,
+                load_retry: RetryPolicy {
+                    max_attempts: 2,
+                    base_backoff: Duration::from_millis(1),
+                    max_backoff: Duration::from_millis(1),
+                },
+                ..ServeConfig::default()
+            },
+            [(
+                "down".to_string(),
+                SceneSource::faulty("down", SceneSource::Memory(scene), plan),
+            )],
+        );
+        let err = service
+            .submit(RenderRequest::trajectory("down", 0.3))
+            .unwrap()
+            .wait()
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Load { .. }), "{err:?}");
+        assert!(matches!(
+            service.submit(RenderRequest::trajectory("down", 0.4)),
+            Err(ServeError::Quarantined { .. })
+        ));
+        let stats = service.shutdown();
+        let down = &stats.per_scene["down"];
+        assert_eq!(down.retries, 1, "attempt 2 is the budget's last");
+        assert_eq!(down.quarantines, 1);
+        assert_eq!(down.loads, 0);
+        assert_eq!(stats.quarantined_scenes, 1);
+    }
+
+    #[test]
+    fn quarantine_expires_into_a_half_open_probe() {
+        use crate::fault::{FaultPlan, LoadFault};
+        let scene = Arc::new(ScenePreset::Lego.build(&SceneConfig::with_scale(0.02)));
+        // One fatal failure, then healthy: the probe after expiry readmits.
+        let plan =
+            Arc::new(FaultPlan::new(11).script_loads("wobbly", [Some(LoadFault::FailFatal), None]));
+        let service = RenderService::new(
+            ServeConfig {
+                workers: 1,
+                quarantine_for: Duration::from_millis(40),
+                ..ServeConfig::default()
+            },
+            [(
+                "wobbly".to_string(),
+                SceneSource::faulty("wobbly", SceneSource::Memory(scene), plan),
+            )],
+        );
+        let err = service
+            .submit(RenderRequest::trajectory("wobbly", 0.1))
+            .unwrap()
+            .wait()
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Load { .. }), "{err:?}");
+        assert!(matches!(
+            service.submit(RenderRequest::trajectory("wobbly", 0.2)),
+            Err(ServeError::Quarantined { .. })
+        ));
+        std::thread::sleep(Duration::from_millis(60));
+        // Past the expiry the next request is admitted as the probe, and
+        // its (now healthy) load readmits the scene.
+        let frame = service
+            .submit(RenderRequest::trajectory("wobbly", 0.3))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(frame.image.width() > 0);
+        let stats = service.shutdown();
+        assert_eq!(stats.per_scene["wobbly"].quarantines, 1);
+        assert_eq!(stats.quarantined_scenes, 0, "the probe readmitted it");
+    }
+
+    #[test]
+    fn bulk_watermark_rejects_bulk_but_admits_interactive() {
+        let (_, reg) = registry(0.02);
+        let service = RenderService::new(
+            ServeConfig {
+                workers: 1,
+                shed: ShedPolicy {
+                    bulk_stream_watermark: 0,
+                    ..ShedPolicy::default()
+                },
+                ..ServeConfig::default()
+            },
+            reg,
+        );
+        let session = service.session("lego", RenderOptions::default()).unwrap();
+        match session.stream_with(
+            crate::StreamSpec::trajectory(3),
+            crate::StreamConfig::bulk(),
+        ) {
+            Err(ServeError::Overloaded { retry_after }) => {
+                assert!(retry_after > Duration::ZERO);
+            }
+            other => panic!("expected bulk rejection, got {:?}", other.err()),
+        }
+        // Interactive traffic still admits past the Bulk watermark.
+        let frame = service
+            .submit(RenderRequest::trajectory("lego", 0.5))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(frame.image.width() > 0);
+        let stats = service.shutdown();
+        assert_eq!(stats.priority(Priority::Bulk).rejected, 1);
+        assert_eq!(stats.priority(Priority::Bulk).shed, 0);
+        assert_eq!(stats.priority(Priority::Interactive).rejected, 0);
+        assert_eq!(stats.turned_away(), 1);
+    }
+
+    #[test]
+    fn hard_ceiling_sheds_every_priority_class() {
+        let (_, reg) = registry(0.02);
+        let service = RenderService::new(
+            ServeConfig {
+                workers: 1,
+                shed: ShedPolicy {
+                    max_streams: 0,
+                    ..ShedPolicy::default()
+                },
+                ..ServeConfig::default()
+            },
+            reg,
+        );
+        assert!(matches!(
+            service.submit(RenderRequest::trajectory("lego", 0.1)),
+            Err(ServeError::Overloaded { .. })
+        ));
+        let session = service.session("lego", RenderOptions::default()).unwrap();
+        assert!(matches!(
+            session.stream_with(
+                crate::StreamSpec::trajectory(2),
+                crate::StreamConfig::bulk()
+            ),
+            Err(ServeError::Overloaded { .. })
+        ));
+        let stats = service.shutdown();
+        assert_eq!(stats.priority(Priority::Interactive).shed, 1);
+        assert_eq!(stats.priority(Priority::Bulk).shed, 1);
+        assert_eq!(stats.turned_away(), 2);
+        assert_eq!(stats.streams.opened, 0);
+    }
+
+    #[test]
+    fn seeded_fault_churn_never_leaks_loading_guards_or_budget_bytes() {
+        // Property test (seeded loops stand in for proptest, as
+        // everywhere in this workspace): under a random mix of healthy
+        // and failing loads over a budget small enough to force eviction
+        // churn, a scene failing mid-load must never leave a phantom
+        // `loading` claim behind nor charge the cache's byte budget —
+        // the PR 3 recency-model invariants, now under fault injection.
+        use crate::fault::FaultPlan;
+        use gcc_scene::rng::StdRng;
+        let scene = Arc::new(ScenePreset::Lego.build(&SceneConfig::with_scale(0.02)));
+        let bytes = scene.approx_bytes();
+        let ids = ["a", "b", "c", "d"];
+        for seed in 0..4u64 {
+            // ~30% transient failures, ~15% fatal per load attempt.
+            let plan = Arc::new(
+                FaultPlan::new(0xC4A05 + seed)
+                    .with_retryable_load_failures(300)
+                    .with_fatal_load_failures(150),
+            );
+            let budget = 2 * bytes;
+            let service = RenderService::new(
+                ServeConfig {
+                    workers: 2,
+                    cache_budget_bytes: budget,
+                    quarantine_for: Duration::from_millis(5),
+                    load_retry: RetryPolicy {
+                        max_attempts: 2,
+                        base_backoff: Duration::from_millis(1),
+                        max_backoff: Duration::from_millis(1),
+                    },
+                    ..ServeConfig::default()
+                },
+                ids.map(|id| {
+                    (
+                        id.to_string(),
+                        SceneSource::faulty(
+                            id,
+                            SceneSource::Memory(Arc::clone(&scene)),
+                            plan.clone(),
+                        ),
+                    )
+                }),
+            );
+            let mut rng = StdRng::seed_from_u64(0xFA17 + seed);
+            let (mut served, mut failed, mut quarantined) = (0u64, 0u64, 0u64);
+            for i in 0..60 {
+                let id = ids[rng.gen_range(0..ids.len())];
+                let load_failed =
+                    match service.submit(RenderRequest::trajectory(id, i as f32 / 60.0)) {
+                        Ok(h) => match h.wait() {
+                            Ok(_) => {
+                                served += 1;
+                                false
+                            }
+                            Err(ServeError::Load { scene, .. }) => {
+                                assert_eq!(scene, id);
+                                failed += 1;
+                                true
+                            }
+                            Err(other) => panic!("unexpected wait error: {other:?} (seed {seed})"),
+                        },
+                        Err(ServeError::Quarantined { .. }) => {
+                            quarantined += 1;
+                            false
+                        }
+                        Err(other) => panic!("unexpected submit error: {other:?} (seed {seed})"),
+                    };
+                // Invariants after every resolved request: no phantom
+                // load claim survives its request, a failed load is not
+                // resident, and the byte budget holds through the churn.
+                let st = service.shared.state.lock().unwrap();
+                assert!(
+                    st.loading.is_empty(),
+                    "phantom loading claim: {:?} (seed {seed})",
+                    st.loading
+                );
+                if load_failed {
+                    assert!(
+                        !st.cache.contains(id),
+                        "failed load left '{id}' resident (seed {seed})"
+                    );
+                }
+                assert!(
+                    st.cache.resident_bytes() <= budget,
+                    "budget violated: {} > {budget} (seed {seed})",
+                    st.cache.resident_bytes()
+                );
+            }
+            let stats = service.shutdown();
+            assert_eq!(served + failed + quarantined, 60);
+            assert_eq!(stats.completed, served + failed);
+            assert!(
+                served > 0 && failed > 0,
+                "the storm must exercise both paths (seed {seed}: {served} served, {failed} failed)"
+            );
+            assert!(stats.resident_bytes <= budget);
+        }
     }
 }

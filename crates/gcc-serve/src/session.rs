@@ -364,6 +364,31 @@ pub(crate) struct Inbox {
     ready_cv: Condvar,
 }
 
+/// Recovers a poisoned inbox lock instead of cascading the panic: the
+/// poisoning thread's panic is already contained (and counted) by the
+/// pool supervision, so the client-side handle must keep working. The
+/// interrupted update means the reorder buffer can no longer be trusted
+/// to complete the stream, so the first recovery resolves it with a
+/// terminal [`ServeError::WorkerPanicked`] (sticky poison makes later
+/// recoveries no-ops: the terminal is already set or consumed).
+fn recover<'a>(
+    lock: Result<
+        std::sync::MutexGuard<'a, InboxState>,
+        std::sync::PoisonError<std::sync::MutexGuard<'a, InboxState>>,
+    >,
+) -> std::sync::MutexGuard<'a, InboxState> {
+    match lock {
+        Ok(guard) => guard,
+        Err(poisoned) => {
+            let mut guard = poisoned.into_inner();
+            if !guard.done && guard.terminal.is_none() {
+                guard.terminal = Some(ServeError::WorkerPanicked);
+            }
+            guard
+        }
+    }
+}
+
 impl Inbox {
     pub(crate) fn new(total: usize) -> Arc<Self> {
         Arc::new(Self {
@@ -383,7 +408,7 @@ impl Inbox {
     /// is kept: it may fill the gap at the delivery cursor and reach the
     /// client ahead of the terminal error.
     pub(crate) fn deliver(&self, index: usize, result: Result<Frame, ServeError>) {
-        let mut st = self.state.lock().expect("stream inbox poisoned");
+        let mut st = recover(self.state.lock());
         if st.done {
             return;
         }
@@ -397,7 +422,7 @@ impl Inbox {
     /// yields `err` once, then the stream ends. Idempotent (the first
     /// terminal wins).
     pub(crate) fn fail(&self, err: ServeError) {
-        let mut st = self.state.lock().expect("stream inbox poisoned");
+        let mut st = recover(self.state.lock());
         if st.terminal.is_none() && !st.done {
             st.terminal = Some(err);
         }
@@ -407,7 +432,7 @@ impl Inbox {
 
     /// `true` once a `take` would not block.
     fn is_ready(&self) -> bool {
-        let st = self.state.lock().expect("stream inbox poisoned");
+        let st = recover(self.state.lock());
         st.done || st.next >= st.total || st.terminal.is_some() || st.ready.contains_key(&st.next)
     }
 
@@ -471,7 +496,7 @@ impl FrameStream {
 
     /// Frames already handed to the client.
     pub fn delivered(&self) -> usize {
-        self.inbox.state.lock().expect("stream inbox poisoned").next
+        recover(self.inbox.state.lock()).next
     }
 
     /// `true` once [`Self::next_frame`] would return without blocking.
@@ -489,12 +514,12 @@ impl FrameStream {
             return None;
         }
         let taken = {
-            let mut st = self.inbox.state.lock().expect("stream inbox poisoned");
+            let mut st = recover(self.inbox.state.lock());
             loop {
                 match Inbox::try_take(&mut st) {
                     Ok(item) => break item,
                     Err(()) => {
-                        st = self.inbox.ready_cv.wait(st).expect("stream inbox poisoned");
+                        st = recover(self.inbox.ready_cv.wait(st));
                     }
                 }
             }
@@ -518,17 +543,21 @@ impl FrameStream {
             return StreamPoll::Done;
         }
         let taken = {
-            let mut st = self.inbox.state.lock().expect("stream inbox poisoned");
+            let mut st = recover(self.inbox.state.lock());
             match Inbox::try_take(&mut st) {
                 Ok(item) => Some(item),
                 Err(()) => match timeout {
                     None => None,
                     Some(timeout) => {
-                        let (mut st, result) = self
-                            .inbox
-                            .ready_cv
-                            .wait_timeout(st, timeout)
-                            .expect("stream inbox poisoned");
+                        let (mut st, result) = match self.inbox.ready_cv.wait_timeout(st, timeout) {
+                            Ok(pair) => pair,
+                            Err(poisoned) => {
+                                let (st, result) = poisoned.into_inner();
+                                // Re-recover so the terminal is injected.
+                                drop(st);
+                                (recover(self.inbox.state.lock()), result)
+                            }
+                        };
                         // One shot after the wait: either something
                         // arrived, or we report Pending (spurious wakeups
                         // inside the window are absorbed by re-polling
@@ -561,7 +590,7 @@ impl FrameStream {
                 self.shared.refill_stream(self.id, delivered);
                 // A terminal error is the last item; mark the stream
                 // finished so drop doesn't try to cancel it again.
-                if self.inbox.state.lock().expect("stream inbox poisoned").done {
+                if recover(self.inbox.state.lock()).done {
                     self.finished = true;
                 }
             }
@@ -581,7 +610,7 @@ impl FrameStream {
         }
         self.finished = true;
         {
-            let mut st = self.inbox.state.lock().expect("stream inbox poisoned");
+            let mut st = recover(self.inbox.state.lock());
             st.done = true;
             st.ready.clear();
         }
@@ -683,5 +712,37 @@ mod tests {
             Ok(Some(Err(ServeError::ShuttingDown)))
         ));
         assert!(matches!(Inbox::try_take(&mut st), Ok(None)));
+    }
+
+    #[test]
+    fn poisoned_inbox_resolves_with_a_terminal_error_instead_of_cascading() {
+        // A thread panicking while holding the inbox lock poisons it; the
+        // client-side accessors must recover and resolve the stream with
+        // WorkerPanicked rather than propagate the panic into the client.
+        let inbox = Inbox::new(2);
+        let poisoner = std::sync::Arc::clone(&inbox);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.state.lock().unwrap();
+            panic!("worker panic while holding the inbox lock");
+        })
+        .join();
+        assert!(inbox.state.lock().is_err(), "the lock must be poisoned");
+        // The first recovery injects the terminal; the stream is ready.
+        assert!(inbox.is_ready());
+        let mut st = recover(inbox.state.lock());
+        assert!(matches!(
+            Inbox::try_take(&mut st),
+            Ok(Some(Err(ServeError::WorkerPanicked)))
+        ));
+        assert!(matches!(Inbox::try_take(&mut st), Ok(None)));
+        drop(st);
+        // Later deliveries and failures recover too (and are no-ops on
+        // the now-done stream) instead of panicking on the sticky poison.
+        inbox.deliver(1, Err(ServeError::ShuttingDown));
+        inbox.fail(ServeError::ShuttingDown);
+        assert!(matches!(
+            Inbox::try_take(&mut recover(inbox.state.lock())),
+            Ok(None)
+        ));
     }
 }

@@ -29,6 +29,11 @@ pub struct SceneCounters {
     pub frames: u64,
     /// Batches this scene's frames were drained in.
     pub batches: u64,
+    /// Load attempts re-tried after a transient (retryable) failure.
+    pub retries: u64,
+    /// Times this scene was quarantined behind the load circuit breaker
+    /// (load exhausted its retries, failed fatally, or panicked).
+    pub quarantines: u64,
 }
 
 /// Per-schedule serving counters — the breakdown of a heterogeneous
@@ -63,6 +68,12 @@ pub struct PriorityCounters {
     pub with_deadline: u64,
     /// Completed frames delivered after their deadline.
     pub deadline_misses: u64,
+    /// Streams turned away at this class's admission watermark
+    /// ([`crate::ServeError::Overloaded`] with capacity left for
+    /// higher-priority traffic — under pressure Bulk rejects first).
+    pub rejected: u64,
+    /// Streams shed at a hard overload ceiling (all classes shed there).
+    pub shed: u64,
     /// Median latency (issue → delivery) over this priority's window, ms.
     pub latency_p50_ms: f64,
     /// 95th-percentile latency over this priority's window, ms.
@@ -134,6 +145,16 @@ pub struct ServeStats {
     pub resident_bytes: usize,
     /// Scenes resident at snapshot time.
     pub resident_scenes: usize,
+    /// Panicked workers caught and respawned with fresh scratch (the
+    /// pool-supervision counter; a healthy run keeps this at 0).
+    pub respawns: u64,
+    /// Workers lost for good — they panicked past the restart budget and
+    /// were not respawned. Non-zero means the pool is running below its
+    /// configured width; `respawns > 0 && lost_workers == 0` means every
+    /// panic was absorbed and the pool recovered to full width.
+    pub lost_workers: u64,
+    /// Scenes currently quarantined behind the load circuit breaker.
+    pub quarantined_scenes: usize,
 }
 
 impl ServeStats {
@@ -182,6 +203,25 @@ impl ServeStats {
         self.per_priority.values().map(|c| c.deadline_misses).sum()
     }
 
+    /// Total streams turned away by admission control (watermark
+    /// rejections plus hard-ceiling sheds), across priorities.
+    pub fn turned_away(&self) -> u64 {
+        self.per_priority
+            .values()
+            .map(|c| c.rejected + c.shed)
+            .sum()
+    }
+
+    /// Total load retries across scenes.
+    pub fn retries(&self) -> u64 {
+        self.per_scene.values().map(|c| c.retries).sum()
+    }
+
+    /// Total quarantine events across scenes.
+    pub fn quarantines(&self) -> u64 {
+        self.per_scene.values().map(|c| c.quarantines).sum()
+    }
+
     /// This priority's counters, or zeroed defaults when it saw no
     /// traffic.
     pub fn priority(&self, p: Priority) -> PriorityCounters {
@@ -217,6 +257,7 @@ mod tests {
                 evictions: 1,
                 frames: 10,
                 batches: 4,
+                ..SceneCounters::default()
             },
         );
         stats.per_scene.insert(
@@ -229,6 +270,7 @@ mod tests {
                 evictions: 2,
                 frames: 2,
                 batches: 2,
+                ..SceneCounters::default()
             },
         );
         stats.frames = 12;

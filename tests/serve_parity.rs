@@ -297,6 +297,7 @@ fn eviction_churn_preserves_determinism() {
             workers: 2,
             cache_budget_bytes: max_scene_bytes + max_scene_bytes / 4,
             max_batch: 2,
+            ..ServeConfig::default()
         },
         registry,
     );
