@@ -126,6 +126,28 @@ impl GateReport {
         self.missing_in_current.is_empty() && self.cells.iter().all(|c| !c.regressed)
     }
 
+    /// One-line failure summaries, one per regressed cell: the offending
+    /// cell's baseline and current milliseconds side by side plus the
+    /// percentage delta against the tolerance. Empty when nothing
+    /// regressed. These are the lines a CI log reader needs first, so
+    /// [`Self::render`] repeats them in a block right above the verdict.
+    pub fn regression_lines(&self) -> Vec<String> {
+        self.cells
+            .iter()
+            .filter(|c| c.regressed)
+            .map(|c| {
+                format!(
+                    "REGRESSED {}: baseline {:.4} ms vs current {:.4} ms ({:+.1}% > +{:.0}% tolerated)",
+                    c.key,
+                    c.baseline_ms,
+                    c.current_ms,
+                    (c.ratio - 1.0) * 100.0,
+                    self.tolerance * 100.0,
+                )
+            })
+            .collect()
+    }
+
     /// Human-readable per-cell report.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -144,6 +166,10 @@ impl GateReport {
         }
         for k in &self.new_in_current {
             out.push_str(&format!("{k}  new (not in baseline)\n"));
+        }
+        for line in self.regression_lines() {
+            out.push_str(&line);
+            out.push('\n');
         }
         out.push_str(&format!(
             "perf gate: {} (tolerance +{:.0}%)\n",
@@ -455,6 +481,43 @@ mod tests {
         assert!((bad[0].ratio - 1.55).abs() < 1e-9);
         assert!(report.render().contains("REGRESSION"));
         assert!(report.render().contains("FAIL"));
+    }
+
+    #[test]
+    fn failure_summary_names_each_regressed_cell_with_both_timings() {
+        let current = record(&[
+            ("Lego", 0.05, "standard_frame_engine", "sequential", 26.0),
+            ("Lego", 0.05, "standard_frame_engine", "auto", 4.0),
+            (
+                "Train",
+                0.02,
+                "gaussian_wise_frame_engine",
+                "sequential",
+                31.0,
+            ),
+        ]);
+        let report = compare(&baseline(), &current, 0.25).unwrap();
+        let lines = report.regression_lines();
+        assert_eq!(lines.len(), 2, "one line per regressed cell: {lines:?}");
+        // Baseline and current land side by side with the percent delta.
+        assert_eq!(
+            lines[0],
+            "REGRESSED Lego@0.05/standard_frame_engine/sequential: \
+             baseline 10.0000 ms vs current 26.0000 ms (+160.0% > +25% tolerated)"
+        );
+        assert!(lines[1].contains("Train@0.02/gaussian_wise_frame_engine/sequential"));
+        assert!(lines[1].contains("baseline 20.0000 ms vs current 31.0000 ms"));
+        assert!(lines[1].contains("+55.0%"));
+        // The rendered report carries the summary block too.
+        let rendered = report.render();
+        for line in &lines {
+            assert!(rendered.contains(line.as_str()), "render misses: {line}");
+        }
+        // A clean run produces no summary lines.
+        assert!(compare(&baseline(), &baseline(), 0.25)
+            .unwrap()
+            .regression_lines()
+            .is_empty());
     }
 
     #[test]

@@ -7,7 +7,11 @@ use gcc_math::{PwlExp, Vec2, Vec3};
 /// Which exponential the alpha evaluation uses.
 #[derive(Debug, Clone, Default)]
 pub enum ExpMode {
-    /// Exact `f32::exp` — the GPU reference datapath.
+    /// The deterministic software exponential
+    /// ([`gcc_math::exp::det_exp`]) — the GPU-reference datapath. Its
+    /// fixed IEEE-754 operation sequence (~2 ulp of `f32::exp`) is what
+    /// lets the [`crate::dispatch`] SIMD kernels reproduce this mode
+    /// bit-for-bit lane by lane.
     #[default]
     Exact,
     /// GCC's 16-segment fixed-point LUT (paper §4.4).
@@ -30,7 +34,7 @@ impl ExpMode {
                 } else if x >= 0.0 {
                     1.0
                 } else {
-                    x.exp()
+                    gcc_math::exp::det_exp(x)
                 }
             }
             Self::Lut(lut) => lut.eval(x),
@@ -72,9 +76,12 @@ pub fn gaussian_alpha(p: &ProjectedGaussian, x: i32, y: i32, exp: &ExpMode) -> f
 /// [`SymMat2::quad_form`]: gcc_math::SymMat2::quad_form
 #[derive(Debug, Clone, Copy)]
 pub struct RowAlpha {
-    power: f32,
-    step: f32,
-    curve: f32,
+    /// Current exponent value (read by the dispatch alpha-span kernels).
+    pub(crate) power: f32,
+    /// First-order forward difference.
+    pub(crate) step: f32,
+    /// Second-order forward difference (constant along a row).
+    pub(crate) curve: f32,
 }
 
 impl RowAlpha {
@@ -255,6 +262,7 @@ impl PixelState {
 
     /// Front-to-back blend of one contribution. Returns the alpha actually
     /// blended (zero if the pixel had already terminated).
+    #[inline]
     pub fn blend(&mut self, alpha: f32, color: Vec3) -> f32 {
         if self.terminated() || alpha <= 0.0 {
             return 0.0;
@@ -265,11 +273,13 @@ impl PixelState {
     }
 
     /// Early-termination check: `T < 1e-4` (paper §2.1).
+    #[inline]
     pub fn terminated(&self) -> bool {
         self.transmittance < TRANSMITTANCE_EPS
     }
 
     /// Composites over a background color (3DGS uses black or white).
+    #[inline]
     pub fn resolve(&self, background: Vec3) -> Vec3 {
         self.color + background * self.transmittance
     }

@@ -1,0 +1,720 @@
+//! Runtime-dispatched SIMD kernels for the frame hot path.
+//!
+//! The renderers in `gcc-render` spend almost their entire frame budget in
+//! three flat loops: depth-key generation before the radix sort, the
+//! exponential/clamp chain of the alpha span walkers, and SH color
+//! evaluation. This module provides explicitly vectorized `core::arch`
+//! implementations of those loops (SSE2/AVX2 on x86-64, NEON on aarch64)
+//! behind a one-time runtime dispatch table, with the scalar path kept as
+//! the bit-exactness reference.
+//!
+//! # Bit-exactness contract
+//!
+//! Every kernel in a [`KernelSet`] is **bit-identical** to its scalar twin
+//! on all inputs the renderers produce. This is by construction, not by
+//! tolerance:
+//!
+//! * the exponential is [`gcc_math::exp::det_exp`] — a fixed sequence of
+//!   IEEE-754 single-precision operations with no FMA and no libm call —
+//!   and the SIMD kernels perform the same per-lane operation sequence;
+//! * sequentially-dependent arithmetic (the [`RowAlpha`] forward-difference
+//!   chain) stays scalar in both paths; only the independent per-element
+//!   tail (exp + clamps) is vectorized;
+//! * kernels never use horizontal reductions, re-association, or FMA
+//!   contraction, so lane results equal scalar results bit for bit.
+//!
+//! Any future kernel that cannot preserve operation order must stay behind
+//! an off-by-default fast-math-style opt-in rather than joining the default
+//! dispatch table. The `tests/simd_parity.rs` suite in `gcc-render` pins
+//! the contract (kernel-level sweeps over awkward lengths plus whole-frame
+//! image comparisons), and the `simd-matrix` CI job runs the entire test
+//! suite both dispatched and with [`FORCE_SCALAR_ENV`] set.
+//!
+//! # Selection
+//!
+//! [`active`] resolves the best supported backend once (cached): AVX2 if
+//! the CPU reports it, else SSE2 on x86-64, NEON on aarch64, scalar
+//! elsewhere. Setting the environment variable `GCC_FORCE_SCALAR` to
+//! anything but `0`/empty forces the scalar reference. Renderer configs can
+//! also pin a backend per call (`StandardConfig::backend`), which is what
+//! the in-process parity tests use — no global state involved.
+
+mod scalar;
+
+// The SIMD modules are the crate's sanctioned `unsafe` islands
+// (intrinsics only — no raw-pointer data structures).
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod x86;
+
+#[cfg(target_arch = "aarch64")]
+#[allow(unsafe_code)]
+mod neon;
+
+use crate::alpha::RowAlpha;
+use crate::{Gaussian3D, ProjectedGaussian};
+use std::sync::OnceLock;
+
+/// Environment variable that forces the scalar reference kernels
+/// (`GCC_FORCE_SCALAR=1`). Values `0` and the empty string leave dispatch
+/// untouched; anything else forces scalar.
+pub const FORCE_SCALAR_ENV: &str = "GCC_FORCE_SCALAR";
+
+/// A vectorization backend the dispatch table can route to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Portable scalar Rust — the bit-exactness reference.
+    Scalar,
+    /// x86-64 SSE2 (baseline on every x86-64 CPU): 4-lane f32.
+    Sse2,
+    /// x86-64 AVX2: 8-lane f32 with gathers (requires CPU support).
+    Avx2,
+    /// aarch64 NEON (baseline on every aarch64 CPU): 4-lane f32.
+    Neon,
+}
+
+impl Backend {
+    /// Stable lowercase name (used in logs, stats, and test assertions).
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Scalar => "scalar",
+            Self::Sse2 => "sse2",
+            Self::Avx2 => "avx2",
+            Self::Neon => "neon",
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Fills `keys[i]` with the radix-sortable order-preserving key of
+/// `depths[i]` ([`crate::sort::depth_key`]). Slices must be equal length.
+pub type DepthKeysFn = fn(depths: &[f32], keys: &mut [u32]);
+
+/// Converts a buffer of raw [`RowAlpha`] power values into clamped alphas
+/// **in place**, in `ExpMode::Exact` semantics: `x < −5.54 → 0`,
+/// `x ≥ 0 → 1`, else `det_exp(x)`, then `min(ALPHA_MAX)` and the
+/// `< ALPHA_MIN → 0` cutoff. The power fill itself (the
+/// sequentially-dependent forward-difference chain) always runs scalar in
+/// the caller — see [`AlphaBatch`] — so kernels only see the independent
+/// per-element exp/clamp tail, which is what vectorizes.
+pub type AlphaPowersFn = fn(powers: &mut [f32]);
+
+/// Evaluates SH colors for a batch of survivors and writes
+/// `out[i].color`. Coefficients are read in place from
+/// `gaussians[out[i].id].sh` (48 floats: 16 per channel, channel-major) —
+/// survivors are culled source records, so the coefficient "SoA" is the
+/// source array itself, indexed by survivor id; copying 48 floats per
+/// survivor into a packed side buffer costs more than the evaluation
+/// saves. `dir_x/y/z` are the unit view directions, `degree` clamps the
+/// SH band exactly like [`crate::sh::eval_color_deg`]. The direction
+/// slices must match `out.len()`, and every `out[i].id` must index
+/// `gaussians`.
+pub type ShColorsFn = fn(
+    gaussians: &[Gaussian3D],
+    dir_x: &[f32],
+    dir_y: &[f32],
+    dir_z: &[f32],
+    degree: u8,
+    out: &mut [ProjectedGaussian],
+);
+
+/// The dispatch table: one function pointer per vectorized hot loop, all
+/// from the same backend (except where a backend has no profitable
+/// implementation of a kernel, in which case the scalar twin is wired in —
+/// bit-identical either way).
+#[derive(Debug, Clone, Copy)]
+pub struct KernelSet {
+    /// Which backend this table routes to.
+    pub backend: Backend,
+    /// Depth-key generation kernel.
+    pub depth_keys: DepthKeysFn,
+    /// Power → clamped-alpha kernel (`ExpMode::Exact` datapath).
+    pub alpha_powers: AlphaPowersFn,
+    /// SH color evaluation kernel.
+    pub sh_colors: ShColorsFn,
+}
+
+/// The scalar reference table.
+static SCALAR: KernelSet = KernelSet {
+    backend: Backend::Scalar,
+    depth_keys: scalar::depth_keys,
+    alpha_powers: scalar::alpha_powers,
+    sh_colors: scalar::sh_colors,
+};
+
+/// Best backend the current CPU supports, ignoring any override.
+pub fn detected() -> Backend {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            Backend::Avx2
+        } else {
+            Backend::Sse2
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        Backend::Neon
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        Backend::Scalar
+    }
+}
+
+/// Whether the current process can execute kernels of backend `b`.
+pub fn supported(b: Backend) -> bool {
+    kernel_set(b).is_some()
+}
+
+/// All backends the current process can execute, scalar first.
+pub fn available() -> Vec<Backend> {
+    [Backend::Scalar, Backend::Sse2, Backend::Avx2, Backend::Neon]
+        .into_iter()
+        .filter(|&b| supported(b))
+        .collect()
+}
+
+/// Pure selection rule: the backend [`active`] resolves to, given whether
+/// the scalar override is in force and what the CPU supports. Split out so
+/// tests can pin the routing without touching process environment.
+pub fn select(force_scalar: bool, detected: Backend) -> Backend {
+    if force_scalar {
+        Backend::Scalar
+    } else {
+        detected
+    }
+}
+
+/// Parses a `GCC_FORCE_SCALAR` value: unset, empty, and `0` mean "no
+/// override"; anything else forces scalar.
+pub fn force_scalar_requested(value: Option<&str>) -> bool {
+    !matches!(value, None | Some("") | Some("0"))
+}
+
+/// The kernel table for backend `b`, or `None` when the current
+/// process cannot execute it (wrong architecture or missing CPU feature).
+pub fn kernel_set(b: Backend) -> Option<&'static KernelSet> {
+    match b {
+        Backend::Scalar => Some(&SCALAR),
+        #[cfg(target_arch = "x86_64")]
+        Backend::Sse2 => Some(&x86::SSE2),
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                Some(&x86::AVX2)
+            } else {
+                None
+            }
+        }
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon => Some(&neon::NEON),
+        #[allow(unreachable_patterns)]
+        _ => None,
+    }
+}
+
+/// The process-wide active kernel table: the best supported backend, or
+/// scalar when `GCC_FORCE_SCALAR` is set. Resolved once on first call and
+/// cached for the lifetime of the process.
+pub fn active() -> &'static KernelSet {
+    static ACTIVE: OnceLock<&'static KernelSet> = OnceLock::new();
+    ACTIVE.get_or_init(|| {
+        let force = force_scalar_requested(std::env::var(FORCE_SCALAR_ENV).ok().as_deref());
+        let backend = select(force, detected());
+        kernel_set(backend).unwrap_or(&SCALAR)
+    })
+}
+
+/// Backend of the process-wide active kernel table.
+pub fn active_backend() -> Backend {
+    active().backend
+}
+
+/// One row span collected by [`AlphaBatch::collect_row`]: row `y`, first
+/// pixel x `x`, and the slice `[start, start + len)` of the shared power
+/// buffer.
+#[derive(Debug, Clone, Copy)]
+struct Segment {
+    y: i32,
+    x: i32,
+    start: u32,
+    len: u32,
+}
+
+/// Batched alpha evaluation across a Gaussian's whole tile/block
+/// footprint — the bridge between the blend loops' early-out structure
+/// and the vectorized exp/clamp kernel.
+///
+/// A single blend row is short (≤16 px tile spans, 8 px block rows), far
+/// too few lanes to amortize a kernel call, but one Gaussian touches many
+/// rows of its tile or block. The batch therefore runs in three phases
+/// per (Gaussian, tile/block):
+///
+/// 1. [`collect_row`](Self::collect_row) per row — run the scalar
+///    forward-difference chain across the whole span and append every
+///    pixel's power to one flat buffer. The fill is liveness-*blind*: no
+///    per-pixel branch, no pixel-state read, just two adds and a store
+///    per lane, which is what lets the compiler keep the chain in
+///    registers;
+/// 2. [`eval`](Self::eval) — one `kernels.alpha_powers` pass over the
+///    whole buffer (tens to hundreds of lanes), scalar or SIMD,
+///    bit-identical either way;
+/// 3. [`segments`](Self::segments) — the caller sweeps each span back
+///    into its pixels, *skipping terminated pixels* and otherwise
+///    blending and updating stats exactly as the per-pixel loop would
+///    have.
+///
+/// Correctness of the phase split: a Gaussian touches each pixel at most
+/// once, so a pixel's termination state cannot change between the start
+/// of the batch and the sweep's visit to that pixel — the sweep's
+/// `terminated()` reads see exactly what the per-pixel reference loop
+/// would have seen, and the alphas it blends are the same chain values.
+/// Alphas computed for terminated pixels are discarded unread (the
+/// reference loop never computes them; computing-and-discarding is
+/// unobservable).
+#[derive(Debug, Default)]
+pub struct AlphaBatch {
+    powers: Vec<f32>,
+    segs: Vec<Segment>,
+}
+
+impl AlphaBatch {
+    /// An empty batch (buffers grow on first use and are then reused).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops all collected rows, keeping capacity. Call once per
+    /// (Gaussian, tile/block) before the collect phase.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.powers.clear();
+        self.segs.clear();
+    }
+
+    /// True when no row has been collected since [`clear`](Self::clear).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.segs.is_empty()
+    }
+
+    /// Number of row spans collected so far. Callers that collect several
+    /// disjoint regions (e.g. the Gaussian-wise blocks) snapshot this
+    /// around each region so the sweep can be grouped per region via
+    /// [`segments_in`](Self::segments_in).
+    #[inline]
+    pub fn seg_count(&self) -> usize {
+        self.segs.len()
+    }
+
+    /// Phase 1: runs the scalar power chain across `len` pixels of row
+    /// `y` starting at pixel x `x0`, recording every pixel's power —
+    /// branchless, two adds and a store per lane.
+    #[inline]
+    pub fn collect_row(&mut self, row: &mut RowAlpha, y: i32, x0: i32, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let start = self.powers.len() as u32;
+        // `(0..len).map(..)` is an exact-size iterator, so `extend`
+        // reserves once and writes without per-push growth checks.
+        self.powers.extend((0..len).map(|_| {
+            let v = row.power;
+            row.advance();
+            v
+        }));
+        self.segs.push(Segment {
+            y,
+            x: x0,
+            start,
+            len: len as u32,
+        });
+    }
+
+    /// Phase 2: one kernel pass turning every collected power into its
+    /// clamped `ExpMode::Exact` alpha, in place.
+    #[inline]
+    pub fn eval(&mut self, kernels: &KernelSet) {
+        (kernels.alpha_powers)(&mut self.powers);
+    }
+
+    /// Phase 3: the collected row spans as `(y, x_start, alphas)`, in
+    /// collection order — i.e. exactly the order the per-pixel reference
+    /// loop visits pixels.
+    #[inline]
+    pub fn segments(&self) -> impl Iterator<Item = (i32, i32, &[f32])> {
+        self.segments_in(0..self.segs.len())
+    }
+
+    /// Phase 3 over the row spans collected between two [`seg_count`]
+    /// (Self::seg_count) snapshots (one disjoint region's worth).
+    #[inline]
+    pub fn segments_in(
+        &self,
+        range: std::ops::Range<usize>,
+    ) -> impl Iterator<Item = (i32, i32, &[f32])> {
+        self.segs[range].iter().map(|s| {
+            (
+                s.y,
+                s.x,
+                &self.powers[s.start as usize..(s.start + s.len) as usize],
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alpha::{ExpMode, PixelState, RowAlpha};
+    use crate::ALPHA_MIN;
+    use gcc_math::{SymMat2, Vec2, Vec3};
+
+    fn proj(mean: Vec2, cov: SymMat2, opacity: f32) -> ProjectedGaussian {
+        ProjectedGaussian {
+            id: 7,
+            mean2d: mean,
+            cov2d: cov,
+            conic: cov.inverse().unwrap(),
+            depth: 2.5,
+            opacity,
+            ln_opacity: opacity.ln(),
+            radius: 8.0,
+            color: Vec3::ZERO,
+        }
+    }
+
+    #[test]
+    fn select_is_pure_and_total() {
+        for b in [Backend::Scalar, Backend::Sse2, Backend::Avx2, Backend::Neon] {
+            assert_eq!(select(true, b), Backend::Scalar);
+            assert_eq!(select(false, b), b);
+        }
+    }
+
+    #[test]
+    fn force_scalar_parsing_matches_the_documented_rule() {
+        assert!(!force_scalar_requested(None));
+        assert!(!force_scalar_requested(Some("")));
+        assert!(!force_scalar_requested(Some("0")));
+        assert!(force_scalar_requested(Some("1")));
+        assert!(force_scalar_requested(Some("true")));
+        assert!(force_scalar_requested(Some("yes")));
+    }
+
+    #[test]
+    fn scalar_is_always_supported_and_first_in_available() {
+        assert!(supported(Backend::Scalar));
+        assert_eq!(available()[0], Backend::Scalar);
+        // The detected backend must itself be executable.
+        assert!(supported(detected()));
+    }
+
+    #[test]
+    fn kernel_set_backend_field_matches_the_requested_backend() {
+        for b in available() {
+            assert_eq!(kernel_set(b).unwrap().backend, b);
+        }
+    }
+
+    #[test]
+    fn active_backend_is_supported() {
+        assert!(supported(active_backend()));
+    }
+
+    /// Fills `out` with the walker's powers, advancing once per element —
+    /// the fill phase every alpha test shares.
+    fn fill_powers(row: &mut RowAlpha, out: &mut [f32]) {
+        for slot in out.iter_mut() {
+            *slot = row.power;
+            row.advance();
+        }
+    }
+
+    #[test]
+    fn scalar_alpha_powers_matches_row_alpha_bitwise() {
+        // The scalar kernel must be *the same arithmetic* as the per-pixel
+        // RowAlpha::alpha(Exact) loop it replaces — bitwise.
+        let p = proj(Vec2::new(9.3, 7.1), SymMat2::new(6.0, 1.5, 4.0), 0.87);
+        let exact = ExpMode::Exact;
+        for y in 0..12 {
+            let mut k_row = RowAlpha::new(&p, 0, y);
+            let mut r_row = RowAlpha::new(&p, 0, y);
+            let mut buf = [0.0f32; 17];
+            fill_powers(&mut k_row, &mut buf);
+            (SCALAR.alpha_powers)(&mut buf);
+            for a in buf {
+                let want = r_row.alpha(&exact);
+                r_row.advance();
+                assert_eq!(a.to_bits(), want.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_alpha_powers_applies_the_alpha_min_cutoff() {
+        // Far from the mean every alpha must be exactly 0.0, not merely
+        // small: the kernel bakes in the 1/255 cutoff.
+        let p = proj(Vec2::new(500.0, 500.0), SymMat2::new(4.0, 0.0, 4.0), 0.9);
+        let mut row = RowAlpha::new(&p, 0, 0);
+        let mut buf = [1.0f32; 9];
+        fill_powers(&mut row, &mut buf);
+        (SCALAR.alpha_powers)(&mut buf);
+        for a in buf {
+            assert_eq!(a, 0.0);
+        }
+        // And near the mean, alphas are inside [ALPHA_MIN, ALPHA_MAX].
+        let mut row = RowAlpha::new(&p, 498, 500);
+        let mut buf = [0.0f32; 4];
+        fill_powers(&mut row, &mut buf);
+        (SCALAR.alpha_powers)(&mut buf);
+        assert!(buf.iter().any(|&a| a >= ALPHA_MIN));
+    }
+
+    #[test]
+    fn scalar_depth_keys_matches_depth_key() {
+        let depths = [0.2f32, 1.0, -3.5, 0.0, -0.0, f32::MAX, 1e-40];
+        let mut keys = [0u32; 7];
+        (SCALAR.depth_keys)(&depths, &mut keys);
+        for (d, k) in depths.iter().zip(keys) {
+            assert_eq!(k, crate::sort::depth_key(*d));
+        }
+    }
+
+    /// Awkward batch sizes around every backend's lane width, plus two
+    /// large primes so multi-chunk paths and tails are both exercised.
+    const AWKWARD_LENS: [usize; 13] = [0, 1, 3, 4, 5, 7, 8, 9, 15, 16, 17, 251, 1009];
+
+    #[test]
+    fn depth_keys_kernels_match_scalar_bitwise_on_awkward_lengths() {
+        for &len in &AWKWARD_LENS {
+            let depths: Vec<f32> = (0..len)
+                .map(|i| ((i as f32 * 0.737).sin() * 50.0) - 10.0)
+                .collect();
+            let mut want = vec![0u32; len];
+            (SCALAR.depth_keys)(&depths, &mut want);
+            for b in available() {
+                let ks = kernel_set(b).unwrap();
+                let mut got = vec![0u32; len];
+                (ks.depth_keys)(&depths, &mut got);
+                assert_eq!(got, want, "depth_keys {b} diverges at len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_powers_kernels_match_scalar_bitwise_on_awkward_lengths() {
+        // The walker crosses the Gaussian so lanes hit every clamp branch:
+        // below −5.54, the live (det_exp) range, and ≥ 0 saturation (via
+        // the >1 pseudo-opacity).
+        for opacity in [0.87f32, 1.3] {
+            let mut p = proj(Vec2::new(64.0, 3.0), SymMat2::new(180.0, 20.0, 120.0), 0.87);
+            p.ln_opacity = opacity.ln();
+            for &len in &AWKWARD_LENS {
+                let mut powers = vec![0.0f32; len];
+                let mut row = RowAlpha::new(&p, 0, 3);
+                fill_powers(&mut row, &mut powers);
+                let mut want = powers.clone();
+                (SCALAR.alpha_powers)(&mut want);
+                for b in available() {
+                    let ks = kernel_set(b).unwrap();
+                    let mut got = powers.clone();
+                    (ks.alpha_powers)(&mut got);
+                    for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                        assert_eq!(
+                            g.to_bits(),
+                            w.to_bits(),
+                            "alpha_powers {b} diverges at len {len} index {i}: {g} vs {w}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sh_colors_kernels_match_scalar_bitwise_on_awkward_lengths() {
+        for &len in &AWKWARD_LENS {
+            // Survivor ids deliberately reverse the array order so the
+            // kernels' id-indexed coefficient gathers are exercised on a
+            // non-identity mapping.
+            let gaussians: Vec<Gaussian3D> = (0..len.max(1))
+                .map(|g| {
+                    let mut sh = [0.0f32; crate::SH_FLOATS];
+                    for (i, v) in sh.iter_mut().enumerate() {
+                        *v = (((g * crate::SH_FLOATS + i) as f32) * 0.193).sin() * 0.6;
+                    }
+                    Gaussian3D {
+                        sh,
+                        ..Default::default()
+                    }
+                })
+                .collect();
+            let dirs: Vec<Vec3> = (0..len)
+                .map(|i| {
+                    Vec3::new(
+                        (i as f32 * 0.41).sin(),
+                        (i as f32 * 0.29).cos(),
+                        0.5 + (i as f32 * 0.13).sin() * 0.4,
+                    )
+                    .normalized()
+                })
+                .collect();
+            let dx: Vec<f32> = dirs.iter().map(|d| d.x).collect();
+            let dy: Vec<f32> = dirs.iter().map(|d| d.y).collect();
+            let dz: Vec<f32> = dirs.iter().map(|d| d.z).collect();
+            let blank = |i: usize| {
+                let mut p = proj(Vec2::new(1.0, 1.0), SymMat2::new(4.0, 0.0, 4.0), 0.5);
+                p.id = (len - 1 - i) as u32;
+                p
+            };
+            for degree in 0..=3u8 {
+                let mut want: Vec<ProjectedGaussian> = (0..len).map(blank).collect();
+                (SCALAR.sh_colors)(&gaussians, &dx, &dy, &dz, degree, &mut want);
+                for b in available() {
+                    let ks = kernel_set(b).unwrap();
+                    let mut got: Vec<ProjectedGaussian> = (0..len).map(blank).collect();
+                    (ks.sh_colors)(&gaussians, &dx, &dy, &dz, degree, &mut got);
+                    for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                        assert_eq!(
+                            (
+                                g.color.x.to_bits(),
+                                g.color.y.to_bits(),
+                                g.color.z.to_bits()
+                            ),
+                            (
+                                w.color.x.to_bits(),
+                                w.color.y.to_bits(),
+                                w.color.z.to_bits()
+                            ),
+                            "sh_colors {b} diverges at len {len} deg {degree} index {i}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_batch_matches_the_per_pixel_reference_loop() {
+        // Seeded terminated patterns carve multi-row spans into liveness
+        // shapes of every kind; the batch sweep must blend exactly the
+        // live pixels with bit-identical alphas, in the per-pixel loop's
+        // order, on every available backend.
+        let p = proj(Vec2::new(40.0, 5.0), SymMat2::new(300.0, 25.0, 200.0), 0.95);
+        let exact = ExpMode::Exact;
+        for (pat, width) in [
+            (0x0u64, 16),
+            (0x5a5a_92c4_ffff_0001u64, 16),
+            (0xffff_ffff_ffff_ffffu64, 16),
+            (0x8000_0000_0001u64, 8),
+            (0x0123_4567_89ab_cdefu64, 8),
+        ] {
+            let rows = 4usize;
+            let make_grid = || -> Vec<Vec<PixelState>> {
+                (0..rows)
+                    .map(|r| {
+                        (0..width)
+                            .map(|i| {
+                                let mut st = PixelState::new();
+                                if pat >> ((r * width + i) % 64) & 1 == 1 {
+                                    st.transmittance = 0.0; // pre-terminated
+                                }
+                                st
+                            })
+                            .collect()
+                    })
+                    .collect()
+            };
+            // Reference: the pre-dispatch per-pixel loop over all rows.
+            let mut want_grid = make_grid();
+            let mut want_visits: Vec<(i32, i32, u32)> = Vec::new();
+            for (r, span) in want_grid.iter_mut().enumerate() {
+                let mut row = RowAlpha::new(&p, 3, r as i32);
+                for (i, st) in span.iter_mut().enumerate() {
+                    if !st.terminated() {
+                        let a = row.alpha(&exact);
+                        want_visits.push((r as i32, 3 + i as i32, a.to_bits()));
+                        st.blend(a, Vec3::new(0.3, 0.2, 0.1));
+                    }
+                    row.advance();
+                }
+            }
+            for b in available() {
+                let ks = kernel_set(b).unwrap();
+                let mut got_grid = make_grid();
+                let mut batch = AlphaBatch::new();
+                for r in 0..rows {
+                    let mut row = RowAlpha::new(&p, 3, r as i32);
+                    batch.collect_row(&mut row, r as i32, 3, width);
+                }
+                batch.eval(ks);
+                let mut got_visits: Vec<(i32, i32, u32)> = Vec::new();
+                for (y, x, alphas) in batch.segments() {
+                    let span = &mut got_grid[y as usize];
+                    for (i, &a) in alphas.iter().enumerate() {
+                        let px = (x - 3) as usize + i;
+                        if span[px].terminated() {
+                            continue;
+                        }
+                        got_visits.push((y, x + i as i32, a.to_bits()));
+                        span[px].blend(a, Vec3::new(0.3, 0.2, 0.1));
+                    }
+                }
+                assert_eq!(got_visits, want_visits, "{b} visits diverge, pat {pat:#x}");
+                assert!(!batch.is_empty());
+                for (gr, wr) in got_grid.iter().zip(&want_grid) {
+                    for (g, w) in gr.iter().zip(wr) {
+                        assert_eq!(g.color.x.to_bits(), w.color.x.to_bits());
+                        assert_eq!(g.transmittance.to_bits(), w.transmittance.to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_sh_colors_matches_eval_color_deg() {
+        let n = 5usize;
+        let gaussians: Vec<Gaussian3D> = (0..n)
+            .map(|g| {
+                let mut sh = [0.0f32; crate::SH_FLOATS];
+                for (i, v) in sh.iter_mut().enumerate() {
+                    *v = (((g * crate::SH_FLOATS + i) as f32) * 0.193).sin() * 0.6;
+                }
+                Gaussian3D {
+                    sh,
+                    ..Default::default()
+                }
+            })
+            .collect();
+        let dirs: Vec<Vec3> = (0..n)
+            .map(|i| Vec3::new(0.3 + i as f32, -0.2, 0.9 - 0.1 * i as f32).normalized())
+            .collect();
+        let dx: Vec<f32> = dirs.iter().map(|d| d.x).collect();
+        let dy: Vec<f32> = dirs.iter().map(|d| d.y).collect();
+        let dz: Vec<f32> = dirs.iter().map(|d| d.z).collect();
+        for degree in 0..=3u8 {
+            let mut out: Vec<ProjectedGaussian> = (0..n)
+                .map(|i| {
+                    let mut p = proj(Vec2::new(1.0, 1.0), SymMat2::new(4.0, 0.0, 4.0), 0.5);
+                    p.id = i as u32;
+                    p
+                })
+                .collect();
+            (SCALAR.sh_colors)(&gaussians, &dx, &dy, &dz, degree, &mut out);
+            for (i, p) in out.iter().enumerate() {
+                let want = crate::sh::eval_color_deg(&gaussians[i].sh, dirs[i], degree);
+                assert_eq!(p.color.x.to_bits(), want.x.to_bits());
+                assert_eq!(p.color.y.to_bits(), want.y.to_bits());
+                assert_eq!(p.color.z.to_bits(), want.z.to_bits());
+            }
+        }
+    }
+}

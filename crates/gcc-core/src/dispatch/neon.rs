@@ -1,0 +1,126 @@
+//! aarch64 NEON kernels (4-lane f32, baseline on every aarch64 CPU).
+//!
+//! Same bit-exactness contract as the x86 kernels: per-lane operation
+//! sequences mirror the scalar twins exactly, with min/max expressed as
+//! compare-and-select (`a < b ? a : b`) so NaN propagation matches the
+//! scalar `f32::min`/`f32::max` results on every input the renderers can
+//! produce. SH evaluation has no NEON gather, so it routes to the scalar
+//! twin.
+
+use core::arch::aarch64::*;
+
+use crate::{ALPHA_MAX, ALPHA_MIN};
+use gcc_math::exp::{DET_EXP_LN2_HI, DET_EXP_LN2_LO, DET_EXP_LOG2E, DET_EXP_POLY, EXP_INPUT_MIN};
+
+use super::scalar;
+use super::KernelSet;
+
+/// The NEON dispatch table.
+pub(super) static NEON: KernelSet = KernelSet {
+    backend: super::Backend::Neon,
+    depth_keys: depth_keys_neon,
+    alpha_powers: alpha_powers_neon,
+    sh_colors: scalar::sh_colors,
+};
+
+fn depth_keys_neon(depths: &[f32], keys: &mut [u32]) {
+    assert_eq!(depths.len(), keys.len());
+    // SAFETY: NEON is part of the aarch64 baseline.
+    unsafe { depth_keys_neon_impl(depths, keys) }
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn depth_keys_neon_impl(depths: &[f32], keys: &mut [u32]) {
+    let n = depths.len();
+    let mut i = 0;
+    unsafe {
+        let top = vdupq_n_u32(0x8000_0000);
+        while i + 4 <= n {
+            let v = vreinterpretq_u32_f32(vld1q_f32(depths.as_ptr().add(i)));
+            // All-ones where the sign bit is set.
+            let sign = vreinterpretq_u32_s32(vshrq_n_s32(vreinterpretq_s32_u32(v), 31));
+            let flip = vorrq_u32(sign, top);
+            vst1q_u32(keys.as_mut_ptr().add(i), veorq_u32(v, flip));
+            i += 4;
+        }
+    }
+    for j in i..n {
+        keys[j] = crate::sort::depth_key(depths[j]);
+    }
+}
+
+fn alpha_powers_neon(buf: &mut [f32]) {
+    // SAFETY: NEON is part of the aarch64 baseline.
+    unsafe { alpha_from_powers_neon(buf) }
+}
+
+/// In-place power → clamped-alpha, mirroring the x86 kernels lane for
+/// lane: `det_exp` sequence, input clamps, `min(ALPHA_MAX)`, `< ALPHA_MIN
+/// → 0`. Selects are `vbslq` on explicit comparisons so clamp semantics
+/// (including NaN behavior) match the scalar reference.
+#[target_feature(enable = "neon")]
+unsafe fn alpha_from_powers_neon(buf: &mut [f32]) {
+    let n = buf.len();
+    let mut i = 0;
+    unsafe {
+        while i + 4 <= n {
+            let x = vld1q_f32(buf.as_ptr().add(i));
+            vst1q_f32(buf.as_mut_ptr().add(i), alpha4_neon(x));
+            i += 4;
+        }
+        if i < n {
+            // Padded tail: the same 4-lane body on a zero-padded stack
+            // copy (zeros are benign `det_exp` inputs; pad lanes are
+            // discarded). Per lane this is the identical operation
+            // sequence, so the tail stays bit-exact — and the hot path
+            // never calls the scalar exponential at all.
+            let mut pad = [0.0f32; 4];
+            pad[..n - i].copy_from_slice(&buf[i..]);
+            vst1q_f32(pad.as_mut_ptr(), alpha4_neon(vld1q_f32(pad.as_ptr())));
+            buf[i..].copy_from_slice(&pad[..n - i]);
+        }
+    }
+}
+
+/// One 4-lane power → alpha step of [`alpha_from_powers_neon`].
+#[inline]
+#[target_feature(enable = "neon")]
+unsafe fn alpha4_neon(x: float32x4_t) -> float32x4_t {
+    {
+        let log2e = vdupq_n_f32(DET_EXP_LOG2E);
+        let half = vdupq_n_f32(0.5);
+        let one = vdupq_n_f32(1.0);
+        let ln2_hi = vdupq_n_f32(DET_EXP_LN2_HI);
+        let ln2_lo = vdupq_n_f32(DET_EXP_LN2_LO);
+        let bias = vdupq_n_s32(127);
+        let exp_min = vdupq_n_f32(EXP_INPUT_MIN);
+        let zero = vdupq_n_f32(0.0);
+        let alpha_max = vdupq_n_f32(ALPHA_MAX);
+        let alpha_min = vdupq_n_f32(ALPHA_MIN);
+        // k = floor(x·log2e + ½) — vrndmq rounds toward −∞.
+        let k = vrndmq_f32(vaddq_f32(vmulq_f32(x, log2e), half));
+        // r = x − k·ln2_hi − k·ln2_lo, two separate mul+sub (no FMA).
+        let r = vsubq_f32(vsubq_f32(x, vmulq_f32(k, ln2_hi)), vmulq_f32(k, ln2_lo));
+        let mut p = vdupq_n_f32(DET_EXP_POLY[0]);
+        p = vaddq_f32(vmulq_f32(p, r), vdupq_n_f32(DET_EXP_POLY[1]));
+        p = vaddq_f32(vmulq_f32(p, r), vdupq_n_f32(DET_EXP_POLY[2]));
+        p = vaddq_f32(vmulq_f32(p, r), vdupq_n_f32(DET_EXP_POLY[3]));
+        p = vaddq_f32(vmulq_f32(p, r), vdupq_n_f32(DET_EXP_POLY[4]));
+        p = vaddq_f32(vmulq_f32(p, r), vdupq_n_f32(DET_EXP_POLY[5]));
+        let y = vaddq_f32(vaddq_f32(vmulq_f32(p, vmulq_f32(r, r)), r), one);
+        // 2^k through the exponent bits (k is integer-valued here).
+        let ki = vcvtq_s32_f32(k);
+        let scale = vreinterpretq_f32_s32(vshlq_n_s32(vaddq_s32(ki, bias), 23));
+        let e = vmulq_f32(y, scale);
+        // Input clamps: x < −5.54 → 0, x ≥ 0 → 1.
+        let lo = vcltq_f32(x, exp_min);
+        let hi = vcgeq_f32(x, zero);
+        let mut a = vbslq_f32(lo, zero, e);
+        a = vbslq_f32(hi, one, a);
+        // a = min(a, ALPHA_MAX) as compare-select (NaN → ALPHA_MAX,
+        // matching scalar f32::min with a non-NaN second operand).
+        a = vbslq_f32(vcltq_f32(a, alpha_max), a, alpha_max);
+        // a < ALPHA_MIN → 0.
+        vbslq_f32(vcltq_f32(a, alpha_min), zero, a)
+    }
+}

@@ -1,0 +1,65 @@
+//! Scalar reference kernels: the bit-exactness anchors every SIMD backend
+//! is pinned against. These are *definitions*, not fallbacks — each is the
+//! exact arithmetic the renderers used before dispatch existed, expressed
+//! over the flat SoA slices the kernel ABI takes.
+
+use crate::sort::depth_key;
+use crate::{Gaussian3D, ProjectedGaussian};
+use gcc_math::Vec3;
+
+/// Scalar [`crate::dispatch::DepthKeysFn`].
+pub fn depth_keys(depths: &[f32], keys: &mut [u32]) {
+    assert_eq!(depths.len(), keys.len());
+    for (k, d) in keys.iter_mut().zip(depths) {
+        *k = depth_key(*d);
+    }
+}
+
+/// Scalar [`crate::dispatch::AlphaPowersFn`]: [`alpha_from_power`] applied
+/// in place to every slot.
+pub fn alpha_powers(buf: &mut [f32]) {
+    for slot in buf {
+        *slot = alpha_from_power(*slot);
+    }
+}
+
+/// Alpha-from-raw-power: `RowAlpha::alpha(&ExpMode::Exact)` applied to a
+/// power value directly — the per-element body of [`alpha_powers`] and the
+/// scalar tail the SIMD alpha kernels use for the last `len % lanes`
+/// elements.
+#[inline]
+pub(super) fn alpha_from_power(power: f32) -> f32 {
+    let e = if power < gcc_math::exp::EXP_INPUT_MIN {
+        0.0
+    } else if power >= 0.0 {
+        1.0
+    } else {
+        gcc_math::exp::det_exp(power)
+    };
+    let a = e.min(crate::ALPHA_MAX);
+    if a < crate::ALPHA_MIN {
+        0.0
+    } else {
+        a
+    }
+}
+
+/// Scalar [`crate::dispatch::ShColorsFn`]: per-survivor
+/// [`crate::sh::eval_color_deg`] over the source records' coefficients.
+pub fn sh_colors(
+    gaussians: &[Gaussian3D],
+    dir_x: &[f32],
+    dir_y: &[f32],
+    dir_z: &[f32],
+    degree: u8,
+    out: &mut [ProjectedGaussian],
+) {
+    assert_eq!(dir_x.len(), out.len());
+    assert_eq!(dir_y.len(), out.len());
+    assert_eq!(dir_z.len(), out.len());
+    for (i, p) in out.iter_mut().enumerate() {
+        let coeffs = &gaussians[p.id as usize].sh;
+        let dir = Vec3::new(dir_x[i], dir_y[i], dir_z[i]);
+        p.color = crate::sh::eval_color_deg(coeffs, dir, degree);
+    }
+}

@@ -1,0 +1,403 @@
+//! x86-64 SSE2 and AVX2 kernels.
+//!
+//! Every kernel mirrors its scalar twin's IEEE-754 operation sequence per
+//! lane — same multiplies, same adds, same comparison-select clamps, no
+//! FMA, no re-association — so results are bit-identical to the scalar
+//! reference (see the module docs of [`crate::dispatch`] for the
+//! contract). SSE2 is unconditionally available on x86-64; the AVX2 table
+//! must only be handed out after `is_x86_feature_detected!("avx2")`, which
+//! [`crate::dispatch::kernel_set`] enforces.
+
+use core::arch::x86_64::*;
+
+use crate::{Gaussian3D, ProjectedGaussian, ALPHA_MAX, ALPHA_MIN};
+use gcc_math::exp::{DET_EXP_LN2_HI, DET_EXP_LN2_LO, DET_EXP_LOG2E, DET_EXP_POLY, EXP_INPUT_MIN};
+use gcc_math::Vec3;
+
+use super::scalar;
+use super::KernelSet;
+
+/// The SSE2 dispatch table (baseline on every x86-64 CPU). SH evaluation
+/// has no profitable SSE2 form (no gathers), so it routes to the scalar
+/// twin — bit-identical either way.
+pub(super) static SSE2: KernelSet = KernelSet {
+    backend: super::Backend::Sse2,
+    depth_keys: depth_keys_sse2,
+    alpha_powers: alpha_powers_sse2,
+    sh_colors: scalar::sh_colors,
+};
+
+/// The AVX2 dispatch table. Only reachable through
+/// [`crate::dispatch::kernel_set`]'s feature check.
+pub(super) static AVX2: KernelSet = KernelSet {
+    backend: super::Backend::Avx2,
+    depth_keys: depth_keys_avx2,
+    alpha_powers: alpha_powers_avx2,
+    sh_colors: sh_colors_avx2,
+};
+
+fn depth_keys_sse2(depths: &[f32], keys: &mut [u32]) {
+    assert_eq!(depths.len(), keys.len());
+    // SAFETY: SSE2 is part of the x86-64 baseline.
+    unsafe { depth_keys_sse2_impl(depths, keys) }
+}
+
+#[target_feature(enable = "sse2")]
+unsafe fn depth_keys_sse2_impl(depths: &[f32], keys: &mut [u32]) {
+    let n = depths.len();
+    let mut i = 0;
+    unsafe {
+        let top = _mm_set1_epi32(0x8000_0000u32 as i32);
+        while i + 4 <= n {
+            let v = _mm_loadu_si128(depths.as_ptr().add(i).cast());
+            let sign = _mm_srai_epi32(v, 31); // all-ones where negative
+            let flip = _mm_or_si128(sign, top); // !bits ⟷ bits | top
+            let k = _mm_xor_si128(v, flip);
+            _mm_storeu_si128(keys.as_mut_ptr().add(i).cast(), k);
+            i += 4;
+        }
+    }
+    for j in i..n {
+        keys[j] = crate::sort::depth_key(depths[j]);
+    }
+}
+
+fn depth_keys_avx2(depths: &[f32], keys: &mut [u32]) {
+    assert_eq!(depths.len(), keys.len());
+    debug_assert!(std::arch::is_x86_feature_detected!("avx2"));
+    // SAFETY: the AVX2 table is only handed out after feature detection.
+    unsafe { depth_keys_avx2_impl(depths, keys) }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn depth_keys_avx2_impl(depths: &[f32], keys: &mut [u32]) {
+    let n = depths.len();
+    let mut i = 0;
+    unsafe {
+        let top = _mm256_set1_epi32(0x8000_0000u32 as i32);
+        while i + 8 <= n {
+            let v = _mm256_loadu_si256(depths.as_ptr().add(i).cast());
+            let sign = _mm256_srai_epi32(v, 31);
+            let flip = _mm256_or_si256(sign, top);
+            let k = _mm256_xor_si256(v, flip);
+            _mm256_storeu_si256(keys.as_mut_ptr().add(i).cast(), k);
+            i += 8;
+        }
+    }
+    for j in i..n {
+        keys[j] = crate::sort::depth_key(depths[j]);
+    }
+}
+
+fn alpha_powers_sse2(buf: &mut [f32]) {
+    // SAFETY: SSE2 is part of the x86-64 baseline.
+    unsafe { alpha_from_powers_sse2(buf) }
+}
+
+/// In-place power → clamped-alpha over a buffer, 4 lanes at a time. Per
+/// lane this is exactly [`alpha_from_power`]: the `det_exp` operation
+/// sequence plus the `[−5.54, 0)` input clamps and the
+/// `min(ALPHA_MAX)` / `< ALPHA_MIN → 0` output clamps, evaluated
+/// branchlessly (clamped lanes compute a discarded `det_exp`, which is
+/// wasted work but cannot change selected results).
+#[target_feature(enable = "sse2")]
+unsafe fn alpha_from_powers_sse2(buf: &mut [f32]) {
+    let n = buf.len();
+    let mut i = 0;
+    unsafe {
+        while i + 4 <= n {
+            let x = _mm_loadu_ps(buf.as_ptr().add(i));
+            _mm_storeu_ps(buf.as_mut_ptr().add(i), alpha4_sse2(x));
+            i += 4;
+        }
+        if i < n {
+            // Padded tail: the same 4-lane body on a zero-padded stack
+            // copy (zeros are benign `det_exp` inputs; pad lanes are
+            // discarded). Per lane this is the identical operation
+            // sequence, so the tail stays bit-exact — and the hot path
+            // never calls the scalar exponential at all.
+            let mut pad = [0.0f32; 4];
+            pad[..n - i].copy_from_slice(&buf[i..]);
+            _mm_storeu_ps(pad.as_mut_ptr(), alpha4_sse2(_mm_loadu_ps(pad.as_ptr())));
+            buf[i..].copy_from_slice(&pad[..n - i]);
+        }
+    }
+}
+
+/// One 4-lane power → alpha step of [`alpha_from_powers_sse2`].
+#[inline]
+#[target_feature(enable = "sse2")]
+unsafe fn alpha4_sse2(x: __m128) -> __m128 {
+    {
+        let log2e = _mm_set1_ps(DET_EXP_LOG2E);
+        let half = _mm_set1_ps(0.5);
+        let one = _mm_set1_ps(1.0);
+        let ln2_hi = _mm_set1_ps(DET_EXP_LN2_HI);
+        let ln2_lo = _mm_set1_ps(DET_EXP_LN2_LO);
+        let bias = _mm_set1_epi32(127);
+        let exp_min = _mm_set1_ps(EXP_INPUT_MIN);
+        let zero = _mm_setzero_ps();
+        let alpha_max = _mm_set1_ps(ALPHA_MAX);
+        let alpha_min = _mm_set1_ps(ALPHA_MIN);
+        // k = floor(x·log2e + ½); SSE2 has no floor, so truncate and
+        // step down where truncation rounded up (negative inputs).
+        let t = _mm_add_ps(_mm_mul_ps(x, log2e), half);
+        let tf = _mm_cvtepi32_ps(_mm_cvttps_epi32(t));
+        let k = _mm_sub_ps(tf, _mm_and_ps(_mm_cmplt_ps(t, tf), one));
+        // r = x − k·ln2_hi − k·ln2_lo, two separate mul+sub (no FMA).
+        let r = _mm_sub_ps(_mm_sub_ps(x, _mm_mul_ps(k, ln2_hi)), _mm_mul_ps(k, ln2_lo));
+        // Horner, same order as det_exp.
+        let mut p = _mm_set1_ps(DET_EXP_POLY[0]);
+        p = _mm_add_ps(_mm_mul_ps(p, r), _mm_set1_ps(DET_EXP_POLY[1]));
+        p = _mm_add_ps(_mm_mul_ps(p, r), _mm_set1_ps(DET_EXP_POLY[2]));
+        p = _mm_add_ps(_mm_mul_ps(p, r), _mm_set1_ps(DET_EXP_POLY[3]));
+        p = _mm_add_ps(_mm_mul_ps(p, r), _mm_set1_ps(DET_EXP_POLY[4]));
+        p = _mm_add_ps(_mm_mul_ps(p, r), _mm_set1_ps(DET_EXP_POLY[5]));
+        let y = _mm_add_ps(_mm_add_ps(_mm_mul_ps(p, _mm_mul_ps(r, r)), r), one);
+        // 2^k through the exponent bits (k is integer-valued here).
+        let ki = _mm_cvttps_epi32(k);
+        let scale = _mm_castsi128_ps(_mm_slli_epi32(_mm_add_epi32(ki, bias), 23));
+        let e = _mm_mul_ps(y, scale);
+        // Input clamps: x < −5.54 → 0, x ≥ 0 → 1 (mutually exclusive).
+        let lo = _mm_cmplt_ps(x, exp_min);
+        let hi = _mm_cmpge_ps(x, zero);
+        let mut a = _mm_andnot_ps(lo, e);
+        a = _mm_or_ps(_mm_and_ps(hi, one), _mm_andnot_ps(hi, a));
+        // Output clamps, matching scalar `min` NaN/order semantics.
+        a = _mm_min_ps(a, alpha_max);
+        _mm_andnot_ps(_mm_cmplt_ps(a, alpha_min), a)
+    }
+}
+
+fn alpha_powers_avx2(buf: &mut [f32]) {
+    debug_assert!(std::arch::is_x86_feature_detected!("avx2"));
+    // SAFETY: the AVX2 table is only handed out after feature detection.
+    unsafe { alpha_from_powers_avx2(buf) }
+}
+
+/// 8-lane twin of [`alpha_from_powers_sse2`] (identical per-lane sequence;
+/// AVX has a real floor).
+#[target_feature(enable = "avx2")]
+unsafe fn alpha_from_powers_avx2(buf: &mut [f32]) {
+    let n = buf.len();
+    let mut i = 0;
+    unsafe {
+        while i + 8 <= n {
+            let x = _mm256_loadu_ps(buf.as_ptr().add(i));
+            _mm256_storeu_ps(buf.as_mut_ptr().add(i), alpha8_avx2(x));
+            i += 8;
+        }
+        if i < n {
+            // Padded tail: the same 8-lane body on a zero-padded stack
+            // copy (zeros are benign `det_exp` inputs; pad lanes are
+            // discarded). Per lane this is the identical operation
+            // sequence, so the tail stays bit-exact — and the hot path
+            // never calls the scalar exponential at all.
+            let mut pad = [0.0f32; 8];
+            pad[..n - i].copy_from_slice(&buf[i..]);
+            _mm256_storeu_ps(pad.as_mut_ptr(), alpha8_avx2(_mm256_loadu_ps(pad.as_ptr())));
+            buf[i..].copy_from_slice(&pad[..n - i]);
+        }
+    }
+}
+
+/// One 8-lane power → alpha step of [`alpha_from_powers_avx2`].
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn alpha8_avx2(x: __m256) -> __m256 {
+    const FLOOR: i32 = _MM_FROUND_TO_NEG_INF | _MM_FROUND_NO_EXC;
+    {
+        let log2e = _mm256_set1_ps(DET_EXP_LOG2E);
+        let half = _mm256_set1_ps(0.5);
+        let one = _mm256_set1_ps(1.0);
+        let ln2_hi = _mm256_set1_ps(DET_EXP_LN2_HI);
+        let ln2_lo = _mm256_set1_ps(DET_EXP_LN2_LO);
+        let bias = _mm256_set1_epi32(127);
+        let exp_min = _mm256_set1_ps(EXP_INPUT_MIN);
+        let zero = _mm256_setzero_ps();
+        let alpha_max = _mm256_set1_ps(ALPHA_MAX);
+        let alpha_min = _mm256_set1_ps(ALPHA_MIN);
+        let k = _mm256_round_ps::<FLOOR>(_mm256_add_ps(_mm256_mul_ps(x, log2e), half));
+        let r = _mm256_sub_ps(
+            _mm256_sub_ps(x, _mm256_mul_ps(k, ln2_hi)),
+            _mm256_mul_ps(k, ln2_lo),
+        );
+        let mut p = _mm256_set1_ps(DET_EXP_POLY[0]);
+        p = _mm256_add_ps(_mm256_mul_ps(p, r), _mm256_set1_ps(DET_EXP_POLY[1]));
+        p = _mm256_add_ps(_mm256_mul_ps(p, r), _mm256_set1_ps(DET_EXP_POLY[2]));
+        p = _mm256_add_ps(_mm256_mul_ps(p, r), _mm256_set1_ps(DET_EXP_POLY[3]));
+        p = _mm256_add_ps(_mm256_mul_ps(p, r), _mm256_set1_ps(DET_EXP_POLY[4]));
+        p = _mm256_add_ps(_mm256_mul_ps(p, r), _mm256_set1_ps(DET_EXP_POLY[5]));
+        let y = _mm256_add_ps(_mm256_add_ps(_mm256_mul_ps(p, _mm256_mul_ps(r, r)), r), one);
+        let ki = _mm256_cvttps_epi32(k);
+        let scale = _mm256_castsi256_ps(_mm256_slli_epi32(_mm256_add_epi32(ki, bias), 23));
+        let e = _mm256_mul_ps(y, scale);
+        let lo = _mm256_cmp_ps::<_CMP_LT_OQ>(x, exp_min);
+        let hi = _mm256_cmp_ps::<_CMP_GE_OQ>(x, zero);
+        let mut a = _mm256_andnot_ps(lo, e);
+        a = _mm256_or_ps(_mm256_and_ps(hi, one), _mm256_andnot_ps(hi, a));
+        a = _mm256_min_ps(a, alpha_max);
+        _mm256_andnot_ps(_mm256_cmp_ps::<_CMP_LT_OQ>(a, alpha_min), a)
+    }
+}
+
+fn sh_colors_avx2(
+    gaussians: &[Gaussian3D],
+    dir_x: &[f32],
+    dir_y: &[f32],
+    dir_z: &[f32],
+    degree: u8,
+    out: &mut [ProjectedGaussian],
+) {
+    assert_eq!(dir_x.len(), out.len());
+    assert_eq!(dir_y.len(), out.len());
+    assert_eq!(dir_z.len(), out.len());
+    debug_assert!(std::arch::is_x86_feature_detected!("avx2"));
+    let d = degree.min(3) as usize;
+    let n_coeffs = ((d + 1) * (d + 1)).min(crate::SH_COEFFS_PER_CHANNEL);
+    let n = out.len();
+    let mut i = 0;
+    while i + 8 <= n {
+        // Bounds of every lane's source record, checked before the raw
+        // gathers (the scalar twin's `gaussians[p.id]` indexing).
+        for p in &out[i..i + 8] {
+            assert!((p.id as usize) < gaussians.len(), "survivor id in range");
+        }
+        // SAFETY: the AVX2 table is only handed out after feature
+        // detection; every gathered id was just bounds-checked.
+        unsafe {
+            sh_colors8_avx2(
+                gaussians,
+                dir_x.as_ptr().add(i),
+                dir_y.as_ptr().add(i),
+                dir_z.as_ptr().add(i),
+                n_coeffs,
+                &mut out[i..i + 8],
+            );
+        }
+        i += 8;
+    }
+    scalar::sh_colors(
+        gaussians,
+        &dir_x[i..],
+        &dir_y[i..],
+        &dir_z[i..],
+        degree,
+        &mut out[i..],
+    );
+}
+
+/// One 8-survivor SH batch: lane `l` evaluates survivor `l`. The basis is
+/// built with the exact expression tree of [`crate::sh::basis`], and the
+/// per-channel accumulation runs coefficient-by-coefficient in
+/// [`crate::sh::eval_color_deg`]'s order — the only data-parallel axis is
+/// the survivor, so every lane reproduces the scalar arithmetic verbatim.
+/// Coefficients come straight from the source records via per-coefficient
+/// gathers: lane `l` reads float `id_l·stride + sh_offset + c·16 + j` of
+/// the [`Gaussian3D`] array reinterpreted as floats (the struct is all
+/// `f32` fields, so stride and field offset are whole floats — asserted
+/// below). The caller bounds-checks every lane's id.
+#[target_feature(enable = "avx2")]
+unsafe fn sh_colors8_avx2(
+    gaussians: &[Gaussian3D],
+    dx: *const f32,
+    dy: *const f32,
+    dz: *const f32,
+    n_coeffs: usize,
+    out: &mut [ProjectedGaussian],
+) {
+    use crate::sh::{SH_C0, SH_C1, SH_C2, SH_C3};
+    let mut rgb = [[0.0f32; 8]; 3];
+    unsafe {
+        let x = _mm256_loadu_ps(dx);
+        let y = _mm256_loadu_ps(dy);
+        let z = _mm256_loadu_ps(dz);
+        let xx = _mm256_mul_ps(x, x);
+        let yy = _mm256_mul_ps(y, y);
+        let zz = _mm256_mul_ps(z, z);
+        let xy = _mm256_mul_ps(x, y);
+        let yz = _mm256_mul_ps(y, z);
+        let xz = _mm256_mul_ps(x, z);
+        let two = _mm256_set1_ps(2.0);
+        let three = _mm256_set1_ps(3.0);
+        let four = _mm256_set1_ps(4.0);
+        let b: [__m256; 16] = [
+            _mm256_set1_ps(SH_C0),
+            _mm256_mul_ps(_mm256_set1_ps(-SH_C1), y),
+            _mm256_mul_ps(_mm256_set1_ps(SH_C1), z),
+            _mm256_mul_ps(_mm256_set1_ps(-SH_C1), x),
+            _mm256_mul_ps(_mm256_set1_ps(SH_C2[0]), xy),
+            _mm256_mul_ps(_mm256_set1_ps(SH_C2[1]), yz),
+            _mm256_mul_ps(
+                _mm256_set1_ps(SH_C2[2]),
+                _mm256_sub_ps(_mm256_sub_ps(_mm256_mul_ps(two, zz), xx), yy),
+            ),
+            _mm256_mul_ps(_mm256_set1_ps(SH_C2[3]), xz),
+            _mm256_mul_ps(_mm256_set1_ps(SH_C2[4]), _mm256_sub_ps(xx, yy)),
+            _mm256_mul_ps(
+                _mm256_mul_ps(_mm256_set1_ps(SH_C3[0]), y),
+                _mm256_sub_ps(_mm256_mul_ps(three, xx), yy),
+            ),
+            _mm256_mul_ps(_mm256_mul_ps(_mm256_set1_ps(SH_C3[1]), xy), z),
+            _mm256_mul_ps(
+                _mm256_mul_ps(_mm256_set1_ps(SH_C3[2]), y),
+                _mm256_sub_ps(_mm256_sub_ps(_mm256_mul_ps(four, zz), xx), yy),
+            ),
+            _mm256_mul_ps(
+                _mm256_mul_ps(_mm256_set1_ps(SH_C3[3]), z),
+                _mm256_sub_ps(
+                    _mm256_sub_ps(_mm256_mul_ps(two, zz), _mm256_mul_ps(three, xx)),
+                    _mm256_mul_ps(three, yy),
+                ),
+            ),
+            _mm256_mul_ps(
+                _mm256_mul_ps(_mm256_set1_ps(SH_C3[4]), x),
+                _mm256_sub_ps(_mm256_sub_ps(_mm256_mul_ps(four, zz), xx), yy),
+            ),
+            _mm256_mul_ps(
+                _mm256_mul_ps(_mm256_set1_ps(SH_C3[5]), z),
+                _mm256_sub_ps(xx, yy),
+            ),
+            _mm256_mul_ps(
+                _mm256_mul_ps(_mm256_set1_ps(SH_C3[6]), x),
+                _mm256_sub_ps(xx, _mm256_mul_ps(three, yy)),
+            ),
+        ];
+        // Lane l's coefficient block starts at float
+        // `id_l·stride + sh_offset` of the record array viewed as floats.
+        const STRIDE: usize = std::mem::size_of::<Gaussian3D>() / 4;
+        const SH_OFF: usize = std::mem::offset_of!(Gaussian3D, sh) / 4;
+        const _: () = assert!(std::mem::size_of::<Gaussian3D>().is_multiple_of(4));
+        const _: () = assert!(std::mem::offset_of!(Gaussian3D, sh).is_multiple_of(4));
+        let sh = gaussians.as_ptr().cast::<f32>();
+        let ids = [
+            out[0].id, out[1].id, out[2].id, out[3].id, out[4].id, out[5].id, out[6].id, out[7].id,
+        ];
+        let lane_off = _mm256_add_epi32(
+            _mm256_mullo_epi32(
+                _mm256_loadu_si256(ids.as_ptr().cast()),
+                _mm256_set1_epi32(STRIDE as i32),
+            ),
+            _mm256_set1_epi32(SH_OFF as i32),
+        );
+        let half = _mm256_set1_ps(0.5);
+        let zero = _mm256_setzero_ps();
+        for (c, chan) in rgb.iter_mut().enumerate() {
+            let mut acc = _mm256_setzero_ps();
+            for (j, bf) in b.iter().enumerate().take(n_coeffs) {
+                let idx = _mm256_add_epi32(
+                    lane_off,
+                    _mm256_set1_epi32((c * crate::SH_COEFFS_PER_CHANNEL + j) as i32),
+                );
+                let cf = _mm256_i32gather_ps::<4>(sh, idx);
+                acc = _mm256_add_ps(acc, _mm256_mul_ps(cf, *bf));
+            }
+            // (acc + 0.5).max(0.0), NaN/zero semantics matching scalar max.
+            let v = _mm256_max_ps(_mm256_add_ps(acc, half), zero);
+            _mm256_storeu_ps(chan.as_mut_ptr(), v);
+        }
+    }
+    for (l, p) in out.iter_mut().enumerate() {
+        p.color = Vec3::new(rgb[0][l], rgb[1][l], rgb[2][l]);
+    }
+}

@@ -46,13 +46,17 @@
 //! assert!(p.radius > 0.0);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the SIMD kernels in [`dispatch`] are the one
+// sanctioned `unsafe` island (intrinsics), opted in with a module-level
+// `#[allow(unsafe_code)]`. Everything else stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod alpha;
 pub mod boundary;
 pub mod bounds;
 mod camera;
+pub mod dispatch;
 mod gaussian;
 pub mod grouping;
 pub mod projection;

@@ -1,0 +1,20 @@
+//! `GCC_FORCE_SCALAR` routing test.
+//!
+//! Lives in its own integration-test binary on purpose: the active kernel
+//! set is resolved once per process (`OnceLock`), so the env var must be
+//! set before anything touches the dispatcher, and no other test may run
+//! in this process with a different expectation. Keep this file to this
+//! single test.
+
+use gcc_core::dispatch::{self, Backend};
+
+#[test]
+fn force_scalar_env_routes_to_scalar_backend() {
+    // Set before the first `active()` call anywhere in this process.
+    std::env::set_var(dispatch::FORCE_SCALAR_ENV, "1");
+    assert_eq!(dispatch::active_backend(), Backend::Scalar);
+    assert_eq!(dispatch::active().backend, Backend::Scalar);
+    // The forced choice is sticky for the process lifetime.
+    std::env::remove_var(dispatch::FORCE_SCALAR_ENV);
+    assert_eq!(dispatch::active_backend(), Backend::Scalar);
+}

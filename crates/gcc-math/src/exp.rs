@@ -13,6 +13,77 @@ use crate::fixed::{fixed_mul, from_fixed, to_fixed};
 /// Lower edge of the LUT input range: `ln(1/255) ≈ -5.5413`.
 pub const EXP_INPUT_MIN: f32 = -5.54;
 
+/// `log2(e)` for the deterministic exponential's range reduction.
+pub const DET_EXP_LOG2E: f32 = std::f32::consts::LOG2_E;
+
+/// High part of `ln(2)` (Cody–Waite split; exactly representable with the
+/// low 12 mantissa bits zero, so `k * DET_EXP_LN2_HI` is exact for the
+/// small integer `k` values the reduction produces).
+// The full decimal expansion is the point: it spells out the exact f32
+// (0x3F317000) the split is built around.
+#[allow(clippy::excessive_precision)]
+pub const DET_EXP_LN2_HI: f32 = 0.693_359_375;
+
+/// Low part of `ln(2)` (Cody–Waite split).
+pub const DET_EXP_LN2_LO: f32 = -2.121_944_4e-4;
+
+/// Degree-6 polynomial coefficients of the deterministic exponential
+/// (Cephes `expf` minimax fit of `e^r` on `|r| ≤ ½·ln 2`), highest degree
+/// first, with the trailing `r + 1` terms applied separately.
+// Minimax coefficients, kept digit-for-digit as fitted (the ½-looking
+// term is deliberately not exactly 0.5).
+#[allow(clippy::excessive_precision)]
+pub const DET_EXP_POLY: [f32; 6] = [
+    1.987_569_2e-4,
+    1.398_199_9e-3,
+    8.333_452e-3,
+    4.166_579_7e-2,
+    1.666_666_5e-1,
+    5.000_000_1e-1,
+];
+
+/// Deterministic software `e^x`: a fixed, explicitly ordered sequence of
+/// IEEE-754 single-precision operations (range reduction by `ln 2`, a
+/// degree-6 polynomial, and an exponent-bits scale) with **no FMA and no
+/// libm call**, so the result is bit-identical on every target — and a
+/// SIMD kernel that performs the same per-lane operation sequence is
+/// bit-identical to this scalar reference by construction. This is the
+/// bit-exactness anchor of the renderer's `ExpMode::Exact` datapath and
+/// the `gcc_core::dispatch` vectorized alpha kernels.
+///
+/// Accuracy is ~2 ulp of `f32::exp` (the relative-error test pins `< 1e-6`
+/// over the alpha domain `[-5.54, 0)`). Callers are expected to clamp the
+/// domain first (the alpha datapath maps `x < -5.54 → 0`, `x ≥ 0 → 1`);
+/// inputs of large magnitude overflow the exponent-bit scale and return
+/// garbage rather than saturating.
+#[inline]
+pub fn det_exp(x: f32) -> f32 {
+    // k = round-to-floor(x·log2(e) + ½): the power-of-two exponent.
+    // Floor via truncate-and-adjust rather than `f32::floor`: on baseline
+    // x86-64 (no SSE4.1) `floor` lowers to a libm call that dominates the
+    // whole function's cost. Truncation rounds toward zero, so step down
+    // where it rounded up (negative non-integer inputs) — an exact floor,
+    // bit-identical to `t.floor()` for every in-range input.
+    let t = x * DET_EXP_LOG2E + 0.5;
+    let tf = t as i32 as f32;
+    let k = if tf > t { tf - 1.0 } else { tf };
+    // r = x − k·ln2, split high/low so the subtraction stays exact.
+    let r = x - k * DET_EXP_LN2_HI - k * DET_EXP_LN2_LO;
+    // e^r ≈ poly(r)·r² + r + 1, Horner order fixed.
+    let mut p = DET_EXP_POLY[0];
+    p = p * r + DET_EXP_POLY[1];
+    p = p * r + DET_EXP_POLY[2];
+    p = p * r + DET_EXP_POLY[3];
+    p = p * r + DET_EXP_POLY[4];
+    p = p * r + DET_EXP_POLY[5];
+    let y = p * (r * r) + r + 1.0;
+    // Scale by 2^k through the exponent bits (k is a small integer here;
+    // the `as i32` cast saturates on the garbage inputs the doc warns
+    // about, matching the SIMD truncating conversion closely enough that
+    // clamped callers never observe a difference).
+    y * f32::from_bits((((k as i32) + 127) << 23) as u32)
+}
+
 /// Number of piecewise-linear segments in the LUT.
 pub const EXP_SEGMENTS: usize = 16;
 
@@ -193,5 +264,36 @@ mod tests {
     #[should_panic(expected = "at least one segment")]
     fn zero_segments_panics() {
         let _ = PwlExp::with_segments(0);
+    }
+
+    #[test]
+    fn det_exp_tracks_libm_below_1e6_relative() {
+        // The deterministic exponential must sit well inside the 1e-6
+        // tolerance the alpha-datapath tests use against `f32::exp`,
+        // across the whole clamped alpha domain and a margin beyond it.
+        let mut worst = 0.0f32;
+        for i in 0..200_000 {
+            let x = -6.0 + 6.5 * (i as f32 + 0.5) / 200_000.0;
+            let exact = x.exp();
+            let approx = det_exp(x);
+            worst = worst.max((approx - exact).abs() / exact);
+        }
+        assert!(worst < 1e-6, "det_exp relative error {worst}");
+    }
+
+    #[test]
+    fn det_exp_is_exact_at_zero() {
+        assert_eq!(det_exp(0.0).to_bits(), 1.0f32.to_bits());
+    }
+
+    #[test]
+    fn det_exp_is_monotone_over_the_alpha_domain() {
+        let mut prev = det_exp(EXP_INPUT_MIN - 0.1);
+        for i in 0..50_000 {
+            let x = -5.6 + 5.6 * i as f32 / 49_999.0;
+            let y = det_exp(x);
+            assert!(y >= prev, "det_exp dips at x={x}: {y} after {prev}");
+            prev = y;
+        }
     }
 }

@@ -198,6 +198,58 @@ where
     out
 }
 
+/// Runs `f` over disjoint mutable chunks of `items` on `threads` workers.
+/// Each call receives the chunk's element offset into `items` plus the
+/// chunk itself, so position-dependent kernels (e.g. slicing a parallel
+/// read-only buffer by the same offset) stay expressible. Chunk boundaries
+/// depend only on `items.len()` and `threads`, and every element belongs
+/// to exactly one chunk — so any `f` whose writes depend only on (offset,
+/// input values) produces bit-identical buffers for every thread count.
+///
+/// With `threads <= 1` (or fewer than two items) `f` runs once, inline,
+/// over the whole slice — the sequential reference schedule.
+pub fn par_chunks_mut<T, F>(items: &mut [T], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return;
+    }
+    if threads <= 1 || n < 2 {
+        f(0, items);
+        return;
+    }
+    // Several chunks per worker so a slow chunk cannot straggle the map.
+    let chunk = n.div_ceil(threads * 4).max(1);
+    let mut parts: Vec<(usize, &mut [T])> = Vec::with_capacity(n.div_ceil(chunk));
+    let mut rest = items;
+    let mut offset = 0;
+    while !rest.is_empty() {
+        let take = chunk.min(rest.len());
+        let (head, tail) = rest.split_at_mut(take);
+        parts.push((offset, head));
+        offset += take;
+        rest = tail;
+    }
+    let workers = threads.min(parts.len());
+    let mut per_worker: Vec<Vec<(usize, &mut [T])>> = (0..workers).map(|_| Vec::new()).collect();
+    for (k, part) in parts.into_iter().enumerate() {
+        per_worker[k % workers].push(part);
+    }
+    std::thread::scope(|scope| {
+        for worker_parts in per_worker {
+            let f = &f;
+            scope.spawn(move || {
+                for (off, part) in worker_parts {
+                    f(off, part);
+                }
+            });
+        }
+    });
+}
+
 /// Radix base of the LSD sort: one byte per pass, four passes per `u32`.
 const RADIX_BUCKETS: usize = 256;
 
@@ -371,6 +423,29 @@ mod tests {
                 i * 3
             });
             assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_matches_sequential_for_every_thread_count() {
+        // An offset-dependent write: out[i] = i * 3 + 1, expressible only
+        // if the chunk offset handed to the callback is correct.
+        for n in [0usize, 1, 2, 3, 63, 64, 65, 1009] {
+            let mut seq: Vec<u64> = vec![0; n];
+            par_chunks_mut(&mut seq, 1, |off, chunk| {
+                for (j, slot) in chunk.iter_mut().enumerate() {
+                    *slot = (off + j) as u64 * 3 + 1;
+                }
+            });
+            for threads in [2, 3, 8] {
+                let mut par: Vec<u64> = vec![0; n];
+                par_chunks_mut(&mut par, threads, |off, chunk| {
+                    for (j, slot) in chunk.iter_mut().enumerate() {
+                        *slot = (off + j) as u64 * 3 + 1;
+                    }
+                });
+                assert_eq!(par, seq, "n={n} threads={threads}");
+            }
         }
     }
 

@@ -31,6 +31,7 @@
 use gcc_core::alpha::{ExpMode, RowAlpha};
 use gcc_core::boundary::{BlockGrid, BlockTracer, MaskMode, TMask};
 use gcc_core::bounds::{BoundingLaw, EffectiveTest};
+use gcc_core::dispatch::{self, Backend, KernelSet};
 use gcc_core::grouping::{group_by_depth, DepthGroups, GroupingConfig};
 use gcc_core::{Camera, Gaussian3D, ProjectedGaussian};
 use gcc_math::{Vec2, Vec3};
@@ -67,6 +68,12 @@ pub struct GaussianWiseConfig {
     pub alpha_min: f32,
     /// SH degree clamp for color evaluation (`0..=3`; 3 = full SH).
     pub sh_degree: u8,
+    /// SIMD kernel backend override. `None` (the default) uses the
+    /// process-wide [`dispatch::active`] selection (runtime CPU detection,
+    /// `GCC_FORCE_SCALAR` honored); `Some(b)` pins this render to backend
+    /// `b` — the seam the scalar≡SIMD parity tests drive. Every backend is
+    /// bit-identical, so this knob can never change the output image.
+    pub backend: Option<Backend>,
 }
 
 impl Default for GaussianWiseConfig {
@@ -82,6 +89,7 @@ impl Default for GaussianWiseConfig {
             background: Vec3::ZERO,
             alpha_min: 0.0,
             sh_degree: 3,
+            backend: None,
         }
     }
 }
@@ -149,6 +157,8 @@ struct WindowContext<'a> {
     gaussians: &'a [Gaussian3D],
     groups: &'a DepthGroups,
     bounds: &'a [Option<ScreenBound>],
+    /// Resolved SIMD kernel table for this render.
+    kernels: &'static KernelSet,
     /// Region of interest in frame coordinates; blending (and the
     /// cross-stage termination condition) is restricted to the 8×8 blocks
     /// intersecting it. Only set under [`MaskMode::Traverse`], where block
@@ -181,6 +191,9 @@ fn touches_window(b: &ScreenBound, win: (u32, u32, u32, u32)) -> bool {
 /// parallelism of the Gaussian-wise schedule under Compatibility Mode.
 fn render_window(ctx: &WindowContext<'_>, win: (u32, u32, u32, u32)) -> WindowOutcome {
     let cfg = ctx.cfg;
+    // The alpha kernels implement exactly `ExpMode::Exact`; the LUT
+    // datapath keeps the per-pixel loop.
+    let exact = matches!(cfg.exp, ExpMode::Exact);
     let subcam = ctx.cam.sub_view(win.0, win.1, win.2, win.3);
     let grid = BlockGrid::new(cfg.block, win.2, win.3);
     let mut tracer = BlockTracer::new(grid);
@@ -209,6 +222,12 @@ fn render_window(ctx: &WindowContext<'_>, win: (u32, u32, u32, u32)) -> WindowOu
     let mut rendered = Vec::new();
     let mut blocks_buf: Vec<usize> = Vec::new();
     let mut survivors: Vec<ProjectedGaussian> = Vec::new();
+    // One batch reused across Gaussians: each Gaussian's live pixels over
+    // its whole dispatched block list feed a single alpha-kernel pass
+    // instead of one ≤8 px row at a time. `block_segs` remembers which
+    // segment range belongs to which block for the per-block sweep.
+    let mut batch = dispatch::AlphaBatch::new();
+    let mut block_segs: Vec<(usize, usize, usize)> = Vec::new();
 
     for group in ctx.groups.iter() {
         // Cross-stage conditional skip: the rendering termination
@@ -276,36 +295,91 @@ fn render_window(ctx: &WindowContext<'_>, win: (u32, u32, u32, u32)) -> WindowOu
             stages::shade_one_deg(p, &ctx.gaussians[p.id as usize], &subcam, cfg.sh_degree);
 
             let mut contributed = false;
-            for &b in &blocks_buf {
-                let (bx0, by0, bx1, by1) = grid.block_rect(b);
-                let mut all_terminated = true;
-                for y in by0..by1 {
-                    // Row-incremental alpha across the 8-px block row: the
-                    // conic quadratic form runs once, then two adds/pixel.
-                    let mut alpha_row = RowAlpha::new(p, bx0, y);
-                    let row = patch.row_mut(y as u32);
-                    for x in bx0..bx1 {
-                        let st = &mut row[x as usize];
-                        if st.terminated() {
-                            alpha_row.advance();
-                            continue;
+            if exact {
+                // Kernel path, phase 1: record every block row's powers
+                // branchlessly across the Gaussian's *entire* dispatched
+                // block list — blocks are disjoint pixel sets, so one
+                // kernel pass covers the whole footprint; liveness is
+                // re-read in the sweep (a pixel's termination state can't
+                // change before this Gaussian's own blend reaches it).
+                // Per-block span ranges are snapshotted so the sweep can
+                // keep block-local `all_terminated` logic.
+                batch.clear();
+                block_segs.clear();
+                for &b in &blocks_buf {
+                    let (bx0, by0, bx1, by1) = grid.block_rect(b);
+                    let s0 = batch.seg_count();
+                    for y in by0..by1 {
+                        let mut alpha_row = RowAlpha::new(p, bx0, y);
+                        batch.collect_row(&mut alpha_row, y, bx0, (bx1 - bx0) as usize);
+                    }
+                    block_segs.push((b, s0, batch.seg_count()));
+                }
+                // Phases 2+3: one dispatched alpha-kernel pass (scalar or
+                // SIMD, bit-identical), then the per-pixel blend sweep.
+                // Sound because this Gaussian touches each pixel once. The
+                // `alpha_lane_evals` counter keeps its per-pixel meaning
+                // (evaluations the hardware Alpha Unit performs, i.e.
+                // non-terminated lanes).
+                batch.eval(ctx.kernels);
+                let pw = patch.w as usize;
+                let px = patch.states_mut();
+                for &(b, s0, s1) in &block_segs {
+                    let mut all_terminated = true;
+                    for (y, x, alphas) in batch.segments_in(s0..s1) {
+                        let off = y as usize * pw + x as usize;
+                        for (st, &a) in px[off..off + alphas.len()].iter_mut().zip(alphas) {
+                            if st.terminated() {
+                                continue;
+                            }
+                            stats.alpha_lane_evals += 1;
+                            if a > cfg.alpha_min {
+                                st.blend(a, p.color);
+                                stats.pixels_blended += 1;
+                                contributed = true;
+                            }
+                            if !st.terminated() {
+                                all_terminated = false;
+                            }
                         }
-                        stats.alpha_lane_evals += 1;
-                        let a = alpha_row.alpha(&cfg.exp);
-                        if a > cfg.alpha_min {
-                            st.blend(a, p.color);
-                            stats.pixels_blended += 1;
-                            contributed = true;
-                        }
-                        if !st.terminated() {
-                            all_terminated = false;
-                        }
-                        alpha_row.advance();
+                    }
+                    if all_terminated && !tmask.is_set(b) {
+                        tmask.set(b);
+                        live_blocks -= 1;
                     }
                 }
-                if all_terminated && !tmask.is_set(b) {
-                    tmask.set(b);
-                    live_blocks -= 1;
+            } else {
+                for &b in &blocks_buf {
+                    let (bx0, by0, bx1, by1) = grid.block_rect(b);
+                    let mut all_terminated = true;
+                    for y in by0..by1 {
+                        // Row-incremental alpha across the 8-px block row:
+                        // the conic quadratic form runs once, then two
+                        // adds/pixel.
+                        let mut alpha_row = RowAlpha::new(p, bx0, y);
+                        let row = patch.row_mut(y as u32);
+                        for st in &mut row[bx0 as usize..bx1 as usize] {
+                            if st.terminated() {
+                                alpha_row.advance();
+                                continue;
+                            }
+                            stats.alpha_lane_evals += 1;
+                            let a = alpha_row.alpha(&cfg.exp);
+                            if a > cfg.alpha_min {
+                                st.blend(a, p.color);
+                                stats.pixels_blended += 1;
+                                contributed = true;
+                            }
+                            if !st.terminated() {
+                                all_terminated = false;
+                            }
+                            alpha_row.advance();
+                        }
+                    }
+                    if all_terminated && !tmask.is_set(b) {
+                        tmask.set(b);
+                        live_blocks -= 1;
+                    }
                 }
             }
             if contributed {
@@ -435,12 +509,17 @@ pub fn render_gaussian_wise_job(
     };
 
     // ---- Stages II–IV, parallel over windows. ----
+    let kernels: &'static KernelSet = match cfg.backend {
+        Some(b) => dispatch::kernel_set(b).expect("configured SIMD backend unsupported on host"),
+        None => dispatch::active(),
+    };
     let ctx = WindowContext {
         cfg,
         cam,
         gaussians,
         groups: &groups,
         bounds: &bounds,
+        kernels,
         roi,
     };
     let outcomes = par_map_indexed(windows.len(), threads, |wi| {

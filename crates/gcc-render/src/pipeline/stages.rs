@@ -25,12 +25,14 @@
 
 use gcc_core::alpha::PixelState;
 use gcc_core::bounds::{BoundingLaw, PixelRect};
+use gcc_core::dispatch::KernelSet;
 use gcc_core::projection::{map_color, map_color_deg, project_gaussian};
 use gcc_core::sort::depth_key;
 use gcc_core::{Camera, Gaussian3D, ProjectedGaussian};
 use gcc_math::Vec3;
 use gcc_parallel::{
-    exclusive_prefix_sum, par_filter_map_chunked, par_map_chunked, radix_sort_indices_into,
+    exclusive_prefix_sum, par_chunks_mut, par_filter_map_chunked, par_map_chunked,
+    radix_sort_indices_into,
 };
 
 use crate::Image;
@@ -86,6 +88,59 @@ pub fn project_and_shade_all_deg(
             p
         })
     })
+}
+
+/// Cull + project only — the SoA schedule's Stage II, leaving SH to the
+/// batched [`shade_all_soa`] pass. Survivors come back in scene order
+/// regardless of `threads`.
+pub fn project_all(
+    gaussians: &[Gaussian3D],
+    cam: &Camera,
+    law: BoundingLaw,
+    threads: usize,
+) -> Vec<ProjectedGaussian> {
+    par_filter_map_chunked(gaussians, threads, |i, g| {
+        project_one(g, i as u32, cam, law)
+    })
+}
+
+/// Batched SH color stage over SoA survivor fields: coefficients are
+/// gathered in place from `gaussians[p.id].sh` (no packed copy — the
+/// source array is already the coefficient store), `dir_x/y/z` are the
+/// per-survivor view directions, and the evaluation itself runs through
+/// `kernels.sh_colors` — scalar or SIMD, bit-identical either way (the
+/// dispatch contract). Chunk-parallel over survivors; per-element results
+/// are independent, so every thread count and every chunk boundary
+/// produces the same colors as one sequential kernel call.
+///
+/// Bit-identical to [`shade_one_deg`] applied per survivor: the kernels
+/// evaluate the exact [`gcc_core::sh::eval_color_deg`] arithmetic and the
+/// directions are precomputed with the same [`Camera::view_dir`].
+// Flat slices on purpose: the argument list is the kernel ABI
+// (`gcc_core::dispatch::ShColorsFn`) plus threading, not a struct in
+// disguise.
+#[allow(clippy::too_many_arguments)]
+pub fn shade_all_soa(
+    projected: &mut [ProjectedGaussian],
+    gaussians: &[Gaussian3D],
+    dir_x: &[f32],
+    dir_y: &[f32],
+    dir_z: &[f32],
+    degree: u8,
+    threads: usize,
+    kernels: &KernelSet,
+) {
+    par_chunks_mut(projected, threads, |off, chunk| {
+        let n = chunk.len();
+        (kernels.sh_colors)(
+            gaussians,
+            &dir_x[off..off + n],
+            &dir_y[off..off + n],
+            &dir_z[off..off + n],
+            degree,
+            chunk,
+        );
+    });
 }
 
 /// Stage I of the Gaussian-wise schedule: view-space depths for all
@@ -151,6 +206,26 @@ pub fn global_depth_order_into(
     radix_sort_indices_into(keys, threads, order, radix);
 }
 
+/// [`global_depth_order_into`] over a flat SoA depth array, with key
+/// generation routed through `kernels.depth_keys` (scalar or SIMD — the
+/// monotone sign-flip mapping is bit-identical in every backend, so the
+/// resulting order is too). Chunk-parallel over the key buffer.
+pub fn global_depth_order_soa(
+    depths: &[f32],
+    threads: usize,
+    keys: &mut Vec<u32>,
+    order: &mut Vec<u32>,
+    radix: &mut Vec<u32>,
+    kernels: &KernelSet,
+) {
+    keys.clear();
+    keys.resize(depths.len(), 0);
+    par_chunks_mut(keys, threads, |off, chunk| {
+        (kernels.depth_keys)(&depths[off..off + chunk.len()], chunk);
+    });
+    radix_sort_indices_into(keys, threads, order, radix);
+}
+
 /// Screen-clipped AABB footprints of all projected survivors, in scene
 /// order, into a reusable buffer — computed once per frame and shared by
 /// binning and tile rendering.
@@ -172,6 +247,34 @@ pub fn footprint_rects_into(
         *rects = par_map_chunked(projected, threads, |_, p| {
             PixelRect::from_circle(p.mean2d, p.radius, width, height)
         });
+    }
+}
+
+/// [`footprint_rects_into`] over flat SoA center/radius arrays — the same
+/// `PixelRect::from_circle` per survivor, streaming three contiguous `f32`
+/// arrays instead of strided projection records.
+pub fn footprint_rects_soa_into(
+    mean_x: &[f32],
+    mean_y: &[f32],
+    radius: &[f32],
+    width: u32,
+    height: u32,
+    threads: usize,
+    rects: &mut Vec<PixelRect>,
+) {
+    let rect = |i: usize| {
+        PixelRect::from_circle(
+            gcc_math::Vec2::new(mean_x[i], mean_y[i]),
+            radius[i],
+            width,
+            height,
+        )
+    };
+    if threads <= 1 {
+        rects.clear();
+        rects.extend((0..mean_x.len()).map(rect));
+    } else {
+        *rects = par_map_chunked(mean_x, threads, |i, _| rect(i));
     }
 }
 
@@ -353,6 +456,14 @@ impl PixelPatch {
         assert!(y < self.h, "row {y} outside patch");
         let w = self.w as usize;
         &mut self.states[y as usize * w..(y as usize + 1) * w]
+    }
+
+    /// The whole backing store, row-major (`w` pixels per row). The batch
+    /// blend sweeps address row spans as `y·w + x` directly into this
+    /// slice — one offset and one bounds check per span instead of
+    /// [`row_mut`](Self::row_mut)'s assert-plus-reslice.
+    pub fn states_mut(&mut self) -> &mut [PixelState] {
+        &mut self.states
     }
 
     /// Resolves every pixel against `background` and writes the patch into

@@ -35,6 +35,7 @@
 
 use gcc_core::alpha::{EffectiveSpanWalker, ExpMode, RowAlpha};
 use gcc_core::bounds::{BoundingLaw, Obb, PixelRect};
+use gcc_core::dispatch::{self, Backend, KernelSet};
 use gcc_core::{Camera, Gaussian3D, ProjectedGaussian};
 use gcc_math::Vec3;
 use gcc_parallel::{par_map_chunked, par_map_indexed, Parallelism};
@@ -71,6 +72,12 @@ pub struct StandardConfig {
     pub alpha_min: f32,
     /// SH degree clamp for color evaluation (`0..=3`; 3 = full SH).
     pub sh_degree: u8,
+    /// SIMD kernel backend override. `None` (the default) uses the
+    /// process-wide [`dispatch::active`] selection (runtime CPU detection,
+    /// `GCC_FORCE_SCALAR` honored); `Some(b)` pins this render to backend
+    /// `b` — the seam the scalar≡SIMD parity tests drive. Every backend is
+    /// bit-identical, so this knob can never change the output image.
+    pub backend: Option<Backend>,
 }
 
 impl Default for StandardConfig {
@@ -83,6 +90,7 @@ impl Default for StandardConfig {
             background: Vec3::ZERO,
             alpha_min: 0.0,
             sh_degree: 3,
+            backend: None,
         }
     }
 }
@@ -138,6 +146,8 @@ struct TileContext<'a> {
     width: u32,
     height: u32,
     tiles_x: u32,
+    /// Resolved SIMD kernel table for this render.
+    kernels: &'static KernelSet,
 }
 
 /// What one tile render produces: its pixel patch, additive stats, and
@@ -155,6 +165,9 @@ struct TileOutcome {
 /// inputs — the unit of parallelism of the standard schedule.
 fn render_tile(ctx: &TileContext<'_>, tile: usize, bin: &[u32]) -> TileOutcome {
     let ts = ctx.cfg.tile_size;
+    // The alpha kernels implement exactly `ExpMode::Exact`; the LUT
+    // datapath keeps the per-pixel loop.
+    let exact = matches!(ctx.cfg.exp, ExpMode::Exact);
     let tx = (tile as u32) % ctx.tiles_x;
     let ty = (tile as u32) / ctx.tiles_x;
     let x0 = (tx * ts) as i32;
@@ -173,6 +186,10 @@ fn render_tile(ctx: &TileContext<'_>, tile: usize, bin: &[u32]) -> TileOutcome {
     let mut loaded = Vec::new();
     let mut rendered = Vec::new();
     let mut active = ((x1 - x0) * (y1 - y0)) as i64;
+    // One batch reused across the whole bin: a Gaussian's live pixels over
+    // its entire tile footprint feed a single alpha-kernel pass, so the
+    // vector width is the footprint (up to 16×16), not one ≤16 px row.
+    let mut batch = dispatch::AlphaBatch::new();
     for &idx in bin {
         if active <= 0 {
             // Tile fully terminated: the remaining KV pairs are never
@@ -195,6 +212,7 @@ fn render_tile(ctx: &TileContext<'_>, tile: usize, bin: &[u32]) -> TileOutcome {
         let mut obb_walker = obb.map(|o| o.span_walker(rx0, rx1, ry0));
         let mut alpha_spans = EffectiveSpanWalker::new(p, rx0, rx1, ry0);
         let mut contributed = false;
+        batch.clear();
         for y in ry0..ry1 {
             // Row-analytic work restriction: the footprint tests and the
             // alpha cutoff are solved per row by forward-differenced span
@@ -225,10 +243,49 @@ fn render_tile(ctx: &TileContext<'_>, tile: usize, bin: &[u32]) -> TileOutcome {
             // Row-incremental evaluation inside the span: the conic
             // quadratic form runs once, then two adds per pixel.
             let mut alpha_row = RowAlpha::new(p, sx0, y);
-            let row = patch.row_mut((y - y0) as u32);
-            for st in &mut row[(sx0 - x0) as usize..(sx1 - x0) as usize] {
-                if !st.terminated() {
-                    let a = alpha_row.alpha(&ctx.cfg.exp);
+            if exact {
+                // Kernel path, phase 1: record the whole span's powers
+                // branchlessly (liveness is re-read in the sweep — a
+                // pixel's termination state can't change before this
+                // Gaussian's own blend reaches it); alphas are evaluated
+                // after the row loop in one kernel pass over the whole
+                // footprint.
+                batch.collect_row(&mut alpha_row, y, sx0, (sx1 - sx0) as usize);
+            } else {
+                let row = patch.row_mut((y - y0) as u32);
+                let span = &mut row[(sx0 - x0) as usize..(sx1 - x0) as usize];
+                for st in span {
+                    if !st.terminated() {
+                        let a = alpha_row.alpha(&ctx.cfg.exp);
+                        if a > ctx.cfg.alpha_min {
+                            st.blend(a, p.color);
+                            stats.pixels_blended += 1;
+                            contributed = true;
+                            if st.terminated() {
+                                active -= 1;
+                            }
+                        }
+                    }
+                    alpha_row.advance();
+                }
+            }
+        }
+        if !batch.is_empty() {
+            // Phases 2+3: one dispatched alpha-kernel pass (scalar or
+            // SIMD, bit-identical), then sweep the spans back into their
+            // pixels with the per-pixel loop's exact liveness/blend/stats
+            // logic (terminated pixels' alphas are discarded unread).
+            // Sound because this Gaussian touches each pixel once: the
+            // blends here cannot invalidate phase 1's termination reads.
+            batch.eval(ctx.kernels);
+            let pw = (x1 - x0) as usize;
+            let px = patch.states_mut();
+            for (y, x, alphas) in batch.segments() {
+                let off = (y - y0) as usize * pw + (x - x0) as usize;
+                for (st, &a) in px[off..off + alphas.len()].iter_mut().zip(alphas) {
+                    if st.terminated() {
+                        continue;
+                    }
                     if a > ctx.cfg.alpha_min {
                         st.blend(a, p.color);
                         stats.pixels_blended += 1;
@@ -238,7 +295,6 @@ fn render_tile(ctx: &TileContext<'_>, tile: usize, bin: &[u32]) -> TileOutcome {
                         }
                     }
                 }
-                alpha_row.advance();
             }
         }
         if contributed {
@@ -312,10 +368,31 @@ pub fn render_standard_job(
     let tiles_x = w.div_ceil(ts);
     let tiles_y = h.div_ceil(ts);
     let n_tiles = (tiles_x * tiles_y) as usize;
+    let kernels: &'static KernelSet = match cfg.backend {
+        Some(b) => dispatch::kernel_set(b).expect("configured SIMD backend unsupported on host"),
+        None => dispatch::active(),
+    };
 
     // ---- Stage 1: preprocess everything (the paper's Challenge 1). ----
-    let projected =
-        stages::project_and_shade_all_deg(gaussians, cam, cfg.law, cfg.sh_degree, threads);
+    // Cull + project first, then pack the survivors' hot fields into the
+    // SoA scratch arrays so the batched SH, depth-key and footprint
+    // stages stream flat `f32` slices (and can vectorize). Bit-identical
+    // to the historical fused project+shade pass: per-survivor arithmetic
+    // is unchanged, only the iteration shape moved.
+    let mut projected = stages::project_all(gaussians, cam, cfg.law, threads);
+    scratch.soa.pack(&projected, gaussians, cam);
+    debug_assert_eq!(scratch.soa.len(), projected.len());
+    stages::shade_all_soa(
+        &mut projected,
+        gaussians,
+        &scratch.soa.dir_x,
+        &scratch.soa.dir_y,
+        &scratch.soa.dir_z,
+        cfg.sh_degree,
+        threads,
+        kernels,
+    );
+    let projected = projected;
 
     let mut stats = FrameStats {
         total_gaussians: gaussians.len() as u64,
@@ -335,14 +412,24 @@ pub fn render_standard_job(
         Obb::from_cov(p.mean2d, p.cov2d, cfg.law, p.opacity)
     });
 
-    // ---- Global depth ordering: one radix sort over monotone keys. ----
-    stages::footprint_rects_into(&projected, w, h, threads, &mut scratch.rects);
-    stages::global_depth_order_into(
-        &projected,
+    // ---- Global depth ordering: one radix sort over monotone keys,
+    // generated from the flat SoA depth array by the dispatched kernel. ----
+    stages::footprint_rects_soa_into(
+        &scratch.soa.mean_x,
+        &scratch.soa.mean_y,
+        &scratch.soa.radius,
+        w,
+        h,
+        threads,
+        &mut scratch.rects,
+    );
+    stages::global_depth_order_soa(
+        &scratch.soa.depth,
         threads,
         &mut scratch.keys,
         &mut scratch.order,
         &mut scratch.radix,
+        kernels,
     );
 
     // ---- Binning: Gaussian → tile KV pairs, CSR, born depth-sorted. ----
@@ -360,6 +447,7 @@ pub fn render_standard_job(
         width: w,
         height: h,
         tiles_x,
+        kernels,
     };
     let bins = &scratch.bins;
     // ROI restriction: only tiles whose pixel rectangle intersects the

@@ -1,0 +1,187 @@
+//! Scalar ≡ SIMD parity pins at the full-render level.
+//!
+//! The dispatch layer's contract is that every SIMD backend is
+//! *bit-identical* to the scalar reference (see `gcc_core::dispatch`).
+//! These tests pin that contract where it matters — whole frames through
+//! both schedules — by rendering the same scene once per available
+//! backend (via the `backend` config override, so no process-global env
+//! is touched) and across thread counts, and requiring bitwise-equal
+//! images and identical statistics.
+//!
+//! CI runs this suite twice: once dispatched (default) and once under
+//! `GCC_FORCE_SCALAR=1` (the `simd-matrix` job). Because the per-backend
+//! pins here compare every supported backend against scalar in-process,
+//! both runs prove the same equality from opposite directions.
+
+use gcc_core::dispatch::{self, Backend};
+use gcc_core::{Camera, Gaussian3D};
+use gcc_math::Vec3;
+use gcc_parallel::Parallelism;
+use gcc_render::gaussian_wise::{render_gaussian_wise_with, GaussianWiseConfig};
+use gcc_render::standard::{render_standard_with, StandardConfig};
+use gcc_render::Image;
+
+fn test_cam() -> Camera {
+    Camera::look_at(
+        Vec3::new(0.0, 0.0, -4.0),
+        Vec3::ZERO,
+        Vec3::new(0.0, 1.0, 0.0),
+        60.0,
+        160,
+        120,
+    )
+}
+
+/// A cloud with full SH bands, mixed opacities (including some beyond the
+/// saturation threshold) and depth ties — every clamp branch and the sort
+/// stability both get exercised.
+fn cloud(n: usize) -> Vec<Gaussian3D> {
+    let mut out: Vec<Gaussian3D> = (0..n)
+        .map(|i| {
+            let t = i as f32 / n as f32;
+            let mut g = Gaussian3D::isotropic(
+                Vec3::new((t * 13.0).sin() * 0.9, (t * 7.0).cos() * 0.6, t * 2.0 - 0.5),
+                0.05 + 0.12 * t,
+                0.05f32.max(t),
+                Vec3::new(t, 1.0 - t, 0.5 + 0.4 * (t * 31.0).sin()),
+            );
+            // Populate higher SH bands so the degree-3 evaluation path is
+            // fully live.
+            for (j, c) in g.sh.iter_mut().enumerate().skip(1) {
+                *c = ((i * 48 + j) as f32 * 0.37).sin() * 0.25;
+            }
+            g
+        })
+        .collect();
+    // Exact depth duplicates: stable-order ties.
+    let dup: Vec<Gaussian3D> = out.iter().take(n / 8).cloned().collect();
+    out.extend(dup);
+    out
+}
+
+fn assert_images_bitwise_equal(a: &Image, b: &Image, what: &str) {
+    assert_eq!(a.width(), b.width(), "{what}: width");
+    assert_eq!(a.height(), b.height(), "{what}: height");
+    for (i, (pa, pb)) in a.pixels().iter().zip(b.pixels()).enumerate() {
+        assert_eq!(pa.x.to_bits(), pb.x.to_bits(), "{what}: pixel {i} (r)");
+        assert_eq!(pa.y.to_bits(), pb.y.to_bits(), "{what}: pixel {i} (g)");
+        assert_eq!(pa.z.to_bits(), pb.z.to_bits(), "{what}: pixel {i} (b)");
+    }
+}
+
+#[test]
+fn standard_render_is_bit_identical_across_backends_and_threads() {
+    let cam = test_cam();
+    let g = cloud(400);
+    let scalar_cfg = StandardConfig {
+        backend: Some(Backend::Scalar),
+        ..StandardConfig::default()
+    };
+    let reference = render_standard_with(&g, &cam, &scalar_cfg, Parallelism::Sequential);
+    assert!(reference.stats.rendered > 0, "scene must be non-trivial");
+    for backend in dispatch::available() {
+        for threads in [1usize, 2, 4] {
+            let cfg = StandardConfig {
+                backend: Some(backend),
+                ..StandardConfig::default()
+            };
+            let out = render_standard_with(&g, &cam, &cfg, Parallelism::fixed(threads));
+            let what = format!("standard {backend} threads={threads}");
+            assert_images_bitwise_equal(&reference.image, &out.image, &what);
+            assert_eq!(reference.stats, out.stats, "{what}: stats");
+        }
+    }
+}
+
+#[test]
+fn gaussian_wise_render_is_bit_identical_across_backends_and_threads() {
+    let cam = test_cam();
+    let g = cloud(300);
+    for subview in [None, Some(48)] {
+        let scalar_cfg = GaussianWiseConfig {
+            backend: Some(Backend::Scalar),
+            subview,
+            ..GaussianWiseConfig::default()
+        };
+        let reference = render_gaussian_wise_with(&g, &cam, &scalar_cfg, Parallelism::Sequential);
+        assert!(reference.stats.rendered > 0, "scene must be non-trivial");
+        for backend in dispatch::available() {
+            for threads in [1usize, 2, 4] {
+                let cfg = GaussianWiseConfig {
+                    backend: Some(backend),
+                    subview,
+                    ..GaussianWiseConfig::default()
+                };
+                let out = render_gaussian_wise_with(&g, &cam, &cfg, Parallelism::fixed(threads));
+                let what = format!("gaussian-wise {backend} subview={subview:?} threads={threads}");
+                assert_images_bitwise_equal(&reference.image, &out.image, &what);
+                assert_eq!(reference.stats, out.stats, "{what}: stats");
+            }
+        }
+    }
+}
+
+#[test]
+fn dispatched_default_matches_pinned_scalar() {
+    // `backend: None` routes through the process-wide selection (whatever
+    // CPU this runs on, plus `GCC_FORCE_SCALAR` if the harness set it) —
+    // the production path. It must land bit-exactly on the scalar pin.
+    let cam = test_cam();
+    let g = cloud(250);
+    let dispatched = render_standard_with(
+        &g,
+        &cam,
+        &StandardConfig::default(),
+        Parallelism::Sequential,
+    );
+    let scalar = render_standard_with(
+        &g,
+        &cam,
+        &StandardConfig {
+            backend: Some(Backend::Scalar),
+            ..StandardConfig::default()
+        },
+        Parallelism::Sequential,
+    );
+    let what = format!("dispatched ({})", dispatch::active_backend());
+    assert_images_bitwise_equal(&scalar.image, &dispatched.image, &what);
+    assert_eq!(scalar.stats, dispatched.stats, "{what}: stats");
+
+    let gw_dispatched = render_gaussian_wise_with(
+        &g,
+        &cam,
+        &GaussianWiseConfig::default(),
+        Parallelism::Sequential,
+    );
+    let gw_scalar = render_gaussian_wise_with(
+        &g,
+        &cam,
+        &GaussianWiseConfig {
+            backend: Some(Backend::Scalar),
+            ..GaussianWiseConfig::default()
+        },
+        Parallelism::Sequential,
+    );
+    assert_images_bitwise_equal(&gw_scalar.image, &gw_dispatched.image, &what);
+    assert_eq!(gw_scalar.stats, gw_dispatched.stats, "{what}: gw stats");
+}
+
+#[test]
+fn lut_datapath_is_untouched_by_backend_pins() {
+    // The LUT exponential keeps the per-pixel path in every backend; the
+    // backend knob must be a no-op there too.
+    let cam = test_cam();
+    let g = cloud(200);
+    let base = GaussianWiseConfig::gcc_hardware();
+    let reference = render_gaussian_wise_with(&g, &cam, &base, Parallelism::Sequential);
+    for backend in dispatch::available() {
+        let cfg = GaussianWiseConfig {
+            backend: Some(backend),
+            ..GaussianWiseConfig::gcc_hardware()
+        };
+        let out = render_gaussian_wise_with(&g, &cam, &cfg, Parallelism::Sequential);
+        let what = format!("lut {backend}");
+        assert_images_bitwise_equal(&reference.image, &out.image, &what);
+        assert_eq!(reference.stats, out.stats, "{what}: stats");
+    }
+}

@@ -319,6 +319,17 @@ fn render_panic_storm_with_backpressure_still_drains_every_stream() {
         }
     }
     assert!(ok > 0, "the storm must not kill every frame");
+    // Respawn accounting is asynchronous with respect to stream
+    // resolution: the panicked batch fails its stream from a drop guard
+    // *during* the unwind, while the supervisor counts the respawn only
+    // after catching it — so briefly wait for the counter to converge on
+    // the injected total before pinning it.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while service.stats().respawns < plan.injected_render_panics()
+        && std::time::Instant::now() < deadline
+    {
+        std::thread::yield_now();
+    }
     let stats = service.stats();
     assert!(
         stats.respawns >= 1,
