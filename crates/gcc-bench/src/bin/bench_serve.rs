@@ -49,20 +49,36 @@
 //! width. The measured fault-free configurations run on separate clean
 //! services, so the committed speedup floor is unaffected.
 //!
+//! With `--wire` the harness additionally exercises the TCP deployment
+//! shape from `gcc-wire`: it spawns two real `gcc-served` backend
+//! *processes* plus a `gcc-shard` consistent-hash proxy over loopback
+//! (binaries located next to the bench executable), drives seeded
+//! clients through the proxy, checks every delivered frame bit-identical
+//! against direct in-process renders, requires every client request to
+//! resolve (typed rejections count), then drains the fleet via the wire
+//! `Shutdown` request and checks the child exit codes. The record gains
+//! a `"wire"` object that `perf_gate` refuses unless both held.
+//!
 //! ```text
 //! cargo run --release -p gcc-bench --bin bench_serve            # full
 //! cargo run --release -p gcc-bench --bin bench_serve -- --smoke # CI
 //! cargo run --release -p gcc-bench --bin bench_serve -- --smoke --chaos
+//! cargo run --release -p gcc-bench --bin bench_serve -- --smoke --wire
 //! ```
 //!
 //! Flags: `--smoke` (tiny scenes, short workload — CI), `--chaos`
 //! (fault-injected storm + recovery phase, recorded under `"chaos"`),
+//! `--wire` (multi-process shard deployment over loopback, recorded
+//! under `"wire"`; needs the `gcc-served`/`gcc-shard` binaries built),
 //! `--clients N` (bulk stream clients; `max(1, N/2)` interactive clients
 //! ride along), `--requests N` (streams per bulk client; interactive
 //! clients submit `3·N` frames each), `--out PATH` (default
 //! `BENCH_serve.json` at the repository root).
 
-use std::path::PathBuf;
+use std::io::BufRead;
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -77,6 +93,7 @@ use gcc_serve::{
     ChaosRenderer, FaultPlan, Priority, RenderService, SceneSource, ScheduleRenderers, ServeConfig,
     ServeError, ServeStats, StreamConfig, StreamSpec,
 };
+use gcc_wire::{WireClient, WireError, WireRejection};
 
 /// One scene of the benchmark set.
 struct BenchScene {
@@ -744,6 +761,300 @@ fn parity_check(
     checked
 }
 
+/// Outcome of the multi-process `--wire` phase.
+struct WireOutcome {
+    shards: usize,
+    clients: usize,
+    requests: usize,
+    resolved: usize,
+    rejections: usize,
+    parity_frames: usize,
+    delivered_frames: usize,
+    wall_ms: f64,
+    throughput_fps: f64,
+    clean_exit: bool,
+    all_resolved: bool,
+    parity_ok: bool,
+}
+
+/// Finds a sibling wire binary next to the bench executable (cargo puts
+/// all workspace bins of one profile in the same `target/<profile>/`).
+fn locate_wire_binary(name: &str) -> PathBuf {
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut dir = exe.parent().expect("exe dir").to_path_buf();
+    // Test harnesses run from target/<profile>/deps/.
+    if dir.ends_with("deps") {
+        dir.pop();
+    }
+    let path = dir.join(format!("{name}{}", std::env::consts::EXE_SUFFIX));
+    if !path.is_file() {
+        eprintln!(
+            "bench_serve: --wire needs the {name} binary at {} — build it first with \
+             `cargo build --release --workspace --all-targets`",
+            path.display()
+        );
+        std::process::exit(1);
+    }
+    path
+}
+
+/// Spawns a wire process and parses its `… listening on <addr>` banner.
+/// A drain thread keeps reading the child's stdout so it never blocks on
+/// a full pipe.
+fn spawn_listening(mut cmd: Command, what: &str) -> (Child, SocketAddr) {
+    cmd.stdout(Stdio::piped());
+    let mut child = cmd.spawn().unwrap_or_else(|e| {
+        eprintln!("bench_serve: spawning {what} failed: {e}");
+        std::process::exit(1);
+    });
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut reader = std::io::BufReader::new(stdout);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("child banner");
+    let addr = line
+        .trim()
+        .rsplit(' ')
+        .next()
+        .and_then(|a| a.parse::<SocketAddr>().ok())
+        .unwrap_or_else(|| {
+            eprintln!("bench_serve: {what} printed no listening address, got {line:?}");
+            std::process::exit(1);
+        });
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        while matches!(reader.read_line(&mut sink), Ok(n) if n > 0) {
+            sink.clear();
+        }
+    });
+    (child, addr)
+}
+
+/// Waits for a wire child to exit cleanly, with a hang backstop.
+fn wait_child(mut child: Child, what: &str) -> bool {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match child.try_wait().expect("child status") {
+            Some(status) => {
+                if !status.success() {
+                    eprintln!("bench_serve: {what} exited with {status}");
+                }
+                return status.success();
+            }
+            None if Instant::now() >= deadline => {
+                eprintln!("bench_serve: {what} did not exit within 30s; killing it");
+                let _ = child.kill();
+                let _ = child.wait();
+                return false;
+            }
+            None => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+/// The multi-process wire deployment: two `gcc-served` backends and a
+/// `gcc-shard` consistent-hash proxy as real child processes over
+/// loopback, seeded clients driving streams through the proxy, every
+/// delivered frame compared bit-identical against direct in-process
+/// renders, then a wire-`Shutdown` drain of the whole fleet.
+fn run_wire(
+    scenes: &[BenchScene],
+    dir: &Path,
+    loaded: &[(String, Arc<Scene>)],
+    wire_clients: usize,
+) -> WireOutcome {
+    const SHARDS: usize = 2;
+    let served_bin = locate_wire_binary("gcc-served");
+    let shard_bin = locate_wire_binary("gcc-shard");
+
+    // Every backend registers every scene file; the proxy's hash ring
+    // decides which shard actually serves (and therefore loads) each.
+    let mut backends = Vec::new();
+    for _ in 0..SHARDS {
+        let mut cmd = Command::new(&served_bin);
+        cmd.args(["--addr", "127.0.0.1:0", "--workers", "2"]).args([
+            "--handlers",
+            "4",
+            "--cache-mb",
+            "64",
+        ]);
+        for s in scenes {
+            let path = dir.join(format!("{}.{}", s.id, if s.json { "json" } else { "bin" }));
+            cmd.arg("--scene")
+                .arg(format!("{}={}", s.id, path.display()));
+        }
+        backends.push(spawn_listening(cmd, "gcc-served"));
+    }
+    let mut cmd = Command::new(&shard_bin);
+    cmd.args(["--addr", "127.0.0.1:0", "--probe-ms", "100"]);
+    for (_, addr) in &backends {
+        cmd.arg("--backend").arg(addr.to_string());
+    }
+    let (proxy_child, proxy_addr) = spawn_listening(cmd, "gcc-shard");
+
+    // Reference frames rendered in-process: every client streams the
+    // same per-scene orbit, so one direct render per scene suffices for
+    // the bit-identity check.
+    let spec = StreamSpec::orbit(3);
+    let options = RenderOptions::default()
+        .with_schedule(Schedule::GccHardware)
+        .at_resolution(192, 144);
+    let expected: Arc<Vec<(String, Vec<gcc_render::Frame>)>> = Arc::new(
+        loaded
+            .iter()
+            .map(|(id, scene)| {
+                let frames = spec
+                    .views()
+                    .into_iter()
+                    .map(|view| {
+                        let cam = scene
+                            .resolve_view(&view, &options)
+                            .expect("wire parity view resolves");
+                        options.schedule.renderer().render_job(
+                            &RenderJob::with_options(&scene.gaussians, &cam, options.clone()),
+                            &mut FrameScratch::new(),
+                        )
+                    })
+                    .collect();
+                (id.clone(), frames)
+            })
+            .collect(),
+    );
+
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..wire_clients {
+        let expected = Arc::clone(&expected);
+        let spec = spec.clone();
+        let options = options.clone();
+        handles.push(std::thread::spawn(move || {
+            let (mut requests, mut resolved, mut rejections) = (0usize, 0usize, 0usize);
+            let (mut parity_frames, mut mismatches, mut delivered) = (0usize, 0usize, 0usize);
+            let mut client = WireClient::connect(proxy_addr).expect("connect shard proxy");
+            let config = if c % 2 == 0 {
+                StreamConfig::default()
+                    .with_priority(Priority::Interactive)
+                    .with_deadline(INTERACTIVE_DEADLINE)
+                    .with_window(2)
+            } else {
+                StreamConfig::bulk().with_window(4)
+            };
+            for (id, want_frames) in expected.iter() {
+                requests += 1;
+                // A freshly probed fleet can transiently report a shard
+                // unavailable; that is backpressure, not failure.
+                let mut attempts = 0;
+                let mut stream = loop {
+                    match client.open(id, options.clone(), spec.clone(), config) {
+                        Ok(s) => break s,
+                        Err(WireError::Rejected(
+                            WireRejection::Unavailable { .. } | WireRejection::Overloaded { .. },
+                        )) if attempts < 100 => {
+                            attempts += 1;
+                            std::thread::sleep(Duration::from_millis(20));
+                        }
+                        Err(e) => panic!("wire open of {id} failed: {e}"),
+                    }
+                };
+                let mut index = 0usize;
+                loop {
+                    match client.next_frame(&mut stream) {
+                        Ok(Some(frame)) => {
+                            delivered += 1;
+                            parity_frames += 1;
+                            let want = &want_frames[index];
+                            if frame.image != want.image || frame.stats != want.stats {
+                                mismatches += 1;
+                                eprintln!(
+                                    "bench_serve: wire frame {index} of {id} diverged from the \
+                                     direct render"
+                                );
+                            }
+                            index += 1;
+                        }
+                        Ok(None) => break,
+                        Err(WireError::Rejected(_)) => {
+                            rejections += 1;
+                            index += 1;
+                        }
+                        Err(e) => panic!("wire stream on {id} failed: {e}"),
+                    }
+                }
+                if index == want_frames.len() {
+                    resolved += 1;
+                }
+            }
+            // One unknown-scene open per client: the typed rejection
+            // must cross proxy and backend intact, and counts as
+            // resolved.
+            requests += 1;
+            match client.open(
+                "atlantis",
+                RenderOptions::default(),
+                StreamSpec::orbit(1),
+                StreamConfig::default(),
+            ) {
+                Err(WireError::Rejected(WireRejection::UnknownScene(_))) => {
+                    rejections += 1;
+                    resolved += 1;
+                }
+                Ok(_) => panic!("unknown scene opened over the wire"),
+                Err(e) => panic!("expected a typed UnknownScene rejection, got {e}"),
+            }
+            (
+                requests,
+                resolved,
+                rejections,
+                parity_frames,
+                mismatches,
+                delivered,
+            )
+        }));
+    }
+
+    let (mut requests, mut resolved, mut rejections) = (0usize, 0usize, 0usize);
+    let (mut parity_frames, mut mismatches, mut delivered_frames) = (0usize, 0usize, 0usize);
+    for handle in handles {
+        let (req, res, rej, par, mis, del) = handle.join().expect("wire client thread");
+        requests += req;
+        resolved += res;
+        rejections += rej;
+        parity_frames += par;
+        mismatches += mis;
+        delivered_frames += del;
+    }
+    let wall = started.elapsed().as_secs_f64();
+
+    // Drain the fleet over the wire — the protocol's SIGTERM. Proxy
+    // first (its upstream connections close with it), then each backend
+    // directly.
+    let mut clean_exit = true;
+    let mut shutter = WireClient::connect(proxy_addr).expect("connect proxy for shutdown");
+    shutter.shutdown_server().expect("proxy shutdown ack");
+    drop(shutter);
+    clean_exit &= wait_child(proxy_child, "gcc-shard");
+    for (child, addr) in backends {
+        let mut shutter = WireClient::connect(addr).expect("connect backend for shutdown");
+        shutter.shutdown_server().expect("backend shutdown ack");
+        drop(shutter);
+        clean_exit &= wait_child(child, "gcc-served");
+    }
+
+    WireOutcome {
+        shards: SHARDS,
+        clients: wire_clients,
+        requests,
+        resolved,
+        rejections,
+        parity_frames,
+        delivered_frames,
+        wall_ms: wall * 1e3,
+        throughput_fps: delivered_frames as f64 / wall,
+        clean_exit,
+        all_resolved: resolved == requests && clean_exit,
+        parity_ok: mismatches == 0 && parity_frames > 0,
+    }
+}
+
 fn json_escape_free(s: &str) -> &str {
     // Ids/names here are ASCII identifiers; keep the writer simple.
     assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
@@ -754,6 +1065,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let chaos = args.iter().any(|a| a == "--chaos");
+    let wire = args.iter().any(|a| a == "--wire");
     let mut clients = if smoke { 2 } else { 5 };
     let mut per_client = if smoke { 2 } else { 4 };
     let mut out_path = gcc_bench::default_artifact_path("BENCH_serve.json");
@@ -775,10 +1087,10 @@ fn main() {
             "--out" => {
                 out_path = it.next().expect("--out needs a path").into();
             }
-            "--smoke" | "--chaos" => {}
+            "--smoke" | "--chaos" | "--wire" => {}
             other => panic!(
-                "unknown flag {other} (expected --smoke, --chaos, --clients N, --requests N, \
-                 --out PATH)"
+                "unknown flag {other} (expected --smoke, --chaos, --wire, --clients N, \
+                 --requests N, --out PATH)"
             ),
         }
     }
@@ -806,6 +1118,12 @@ fn main() {
     // measured fault-free configurations below are unaffected — the
     // committed record's speedup floor is judged on clean runs.
     let chaos_outcome = chaos.then(|| run_chaos(&registry, &scripts, scene_bytes, 0xC4A0_5EED));
+
+    // The wire phase spawns real gcc-served/gcc-shard child processes
+    // reading the same on-disk scene files, so it must run before the
+    // scene directory is removed. It does not touch the in-process
+    // services the measured configurations use.
+    let wire_outcome = wire.then(|| run_wire(&scenes, &dir, &loaded, clients.max(2)));
 
     let batched = run_config(
         "batched_lru",
@@ -893,6 +1211,26 @@ fn main() {
                 "all resolved"
             } else {
                 "REQUESTS STRANDED"
+            },
+        );
+    }
+    if let Some(w) = &wire_outcome {
+        println!(
+            "wire: {} shards behind one proxy, {} clients, {}/{} requests resolved \
+             ({} typed rejections), {} frames delivered at {:.1} fps, \
+             {} bit-identical to direct renders — {}",
+            w.shards,
+            w.clients,
+            w.resolved,
+            w.requests,
+            w.rejections,
+            w.delivered_frames,
+            w.throughput_fps,
+            w.parity_frames,
+            match (w.all_resolved, w.parity_ok) {
+                (true, true) => "ok",
+                (false, _) => "REQUESTS STRANDED",
+                (_, false) => "PARITY DIVERGED",
             },
         );
     }
@@ -1015,6 +1353,26 @@ fn main() {
             c.all_resolved,
         ));
     }
+    if let Some(w) = &wire_outcome {
+        json.push_str(&format!(
+            "  \"wire\": {{\"shards\": {}, \"clients\": {}, \"requests\": {}, \
+             \"resolved\": {}, \"rejections\": {}, \"parity_frames\": {}, \
+             \"delivered_frames\": {}, \"wall_ms\": {:.2}, \"throughput_fps\": {:.3}, \
+             \"clean_exit\": {}, \"all_resolved\": {}, \"parity_ok\": {}}},\n",
+            w.shards,
+            w.clients,
+            w.requests,
+            w.resolved,
+            w.rejections,
+            w.parity_frames,
+            w.delivered_frames,
+            w.wall_ms,
+            w.throughput_fps,
+            w.clean_exit,
+            w.all_resolved,
+            w.parity_ok,
+        ));
+    }
     json.push_str(&format!("  \"speedup_vs_naive\": {speedup:.3}\n"));
     json.push_str("}\n");
 
@@ -1039,6 +1397,25 @@ fn main() {
                 "bench_serve: chaos storm stranded requests ({} resolved + {} turned away \
                  of {}, {} lost workers)",
                 c.resolved, c.turned_away, c.storm_requests, c.lost_workers
+            );
+            std::process::exit(1);
+        }
+    }
+
+    // A wire run's acceptance is the deployment contract: every client
+    // request through the shard proxy resolved (typed rejections count),
+    // every delivered frame was bit-identical to a direct render, and
+    // the fleet drained to clean exits on the wire Shutdown request.
+    if let Some(w) = &wire_outcome {
+        if !w.all_resolved || !w.parity_ok {
+            eprintln!(
+                "bench_serve: wire deployment failed ({}/{} requests resolved, parity {} over \
+                 {} frames, clean exit: {})",
+                w.resolved,
+                w.requests,
+                if w.parity_ok { "held" } else { "DIVERGED" },
+                w.parity_frames,
+                w.clean_exit,
             );
             std::process::exit(1);
         }

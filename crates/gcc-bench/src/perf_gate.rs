@@ -248,6 +248,31 @@ impl ChaosGate {
     }
 }
 
+/// Wire-deployment summary of a record produced by `bench_serve --wire`:
+/// real `gcc-served` shard processes behind a `gcc-shard` consistent-hash
+/// proxy over loopback. When present, the gate requires a genuinely
+/// sharded fleet (at least two backends), every client request resolved
+/// (typed rejections count as resolved) and every frame delivered over
+/// TCP bit-identical to a direct in-process render.
+#[derive(Debug, Clone)]
+pub struct WireGate {
+    /// Backend `gcc-served` processes behind the proxy.
+    pub shards: u64,
+    /// Every client request through the proxy resolved and the fleet
+    /// drained to clean exit codes on the wire `Shutdown` request.
+    pub all_resolved: bool,
+    /// Every wire-delivered frame matched its direct render bit-for-bit.
+    pub parity_ok: bool,
+}
+
+impl WireGate {
+    /// `true` when the fleet was sharded, nothing stranded, and the
+    /// frames that crossed the wire were bit-identical.
+    pub fn passed(&self) -> bool {
+        self.shards >= 2 && self.all_resolved && self.parity_ok
+    }
+}
+
 /// Outcome of the serve-throughput floor check against a
 /// `bench_serve/v3` record: the speedup over the naive
 /// load-render-evict configuration must hold a floor, and the record's
@@ -274,15 +299,20 @@ pub struct ServeGateReport {
     pub bulk_p95_ms: Option<f64>,
     /// Chaos-phase summary when the record was produced with `--chaos`.
     pub chaos: Option<ChaosGate>,
+    /// Wire-deployment summary when the record was produced with
+    /// `--wire`.
+    pub wire: Option<WireGate>,
 }
 
 impl ServeGateReport {
     /// `true` when parity held, the speedup clears the floor, and — for
-    /// a chaos record — the fault storm resolved cleanly.
+    /// chaos/wire records — the fault storm resolved cleanly and the
+    /// sharded deployment held its contract.
     pub fn passed(&self) -> bool {
         self.parity_ok
             && self.speedup_vs_naive >= self.floor
             && self.chaos.as_ref().is_none_or(ChaosGate::passed)
+            && self.wire.as_ref().is_none_or(WireGate::passed)
     }
 
     /// Human-readable report.
@@ -317,6 +347,19 @@ impl ServeGateReport {
                 c.respawns,
                 c.lost_workers,
                 if c.passed() { "" } else { "  NOT RECOVERED" },
+            ));
+        }
+        if let Some(w) = &self.wire {
+            out.push_str(&format!(
+                "wire fleet: {} shards, {}, frame parity {}{}\n",
+                w.shards,
+                if w.all_resolved {
+                    "all requests resolved"
+                } else {
+                    "REQUESTS STRANDED"
+                },
+                if w.parity_ok { "ok" } else { "DIVERGED" },
+                if w.passed() { "" } else { "  FAILED" },
             ));
         }
         out.push_str(&format!(
@@ -400,6 +443,30 @@ pub fn check_serve_record(text: &str, floor: f64) -> Result<ServeGateReport, Str
             })
         }
     };
+    // Same contract for a wire record: a present-but-malformed "wire"
+    // object is an error, not a silent pass.
+    let wire = match doc.get("wire") {
+        None => None,
+        Some(w) => {
+            let flag = |k: &str| -> Result<bool, String> {
+                match w.get(k) {
+                    Some(Value::Bool(b)) => Ok(*b),
+                    _ => Err(format!("wire: missing bool '{k}'")),
+                }
+            };
+            let shards = w
+                .get("shards")
+                .and_then(Value::as_f32)
+                .filter(|v| v.is_finite() && *v >= 0.0)
+                .map(|v| v as u64)
+                .ok_or("wire: missing count 'shards'")?;
+            Some(WireGate {
+                shards,
+                all_resolved: flag("all_resolved")?,
+                parity_ok: flag("parity_ok")?,
+            })
+        }
+    };
     Ok(ServeGateReport {
         floor,
         speedup_vs_naive: f64::from(speedup),
@@ -407,6 +474,7 @@ pub fn check_serve_record(text: &str, floor: f64) -> Result<ServeGateReport, Str
         interactive_p95_ms,
         bulk_p95_ms,
         chaos,
+        wire,
     })
 }
 
@@ -691,6 +759,59 @@ mod tests {
         assert!(check_serve_record(&serve_record(3.0, true), 2.0)
             .unwrap()
             .chaos
+            .is_none());
+    }
+
+    fn wire_record(speedup: f64, shards: u64, all_resolved: bool, parity_ok: bool) -> String {
+        let base = serve_record(speedup, true);
+        let wire = format!(
+            "\"wire\": {{\"shards\": {shards}, \"clients\": 2, \"requests\": 8, \
+             \"resolved\": 8, \"rejections\": 2, \"parity_frames\": 18, \
+             \"delivered_frames\": 18, \"wall_ms\": 120.0, \"throughput_fps\": 150.0, \
+             \"clean_exit\": true, \"all_resolved\": {all_resolved}, \
+             \"parity_ok\": {parity_ok}}}, \"speedup_vs_naive\""
+        );
+        base.replace("\"speedup_vs_naive\"", &wire)
+    }
+
+    #[test]
+    fn serve_gate_reads_and_enforces_the_wire_summary() {
+        let report = check_serve_record(&wire_record(3.0, 2, true, true), 2.0).unwrap();
+        assert!(report.passed());
+        let w = report.wire.as_ref().expect("wire summary parsed");
+        assert_eq!(w.shards, 2);
+        assert!(w.all_resolved && w.parity_ok);
+        assert!(report.render().contains("wire fleet: 2 shards"));
+
+        // A stranded client request fails the gate even above the floor.
+        let report = check_serve_record(&wire_record(9.0, 2, false, true), 2.0).unwrap();
+        assert!(!report.passed());
+        assert!(report.render().contains("REQUESTS STRANDED"));
+
+        // A wire frame that diverged from its direct render fails too.
+        let report = check_serve_record(&wire_record(9.0, 2, true, false), 2.0).unwrap();
+        assert!(!report.passed());
+        assert!(report.render().contains("DIVERGED"));
+
+        // So does an unsharded "fleet": one backend is not a deployment.
+        assert!(!check_serve_record(&wire_record(9.0, 1, true, true), 2.0)
+            .unwrap()
+            .passed());
+    }
+
+    #[test]
+    fn serve_gate_rejects_malformed_wire_summaries() {
+        // Present-but-incomplete wire objects are parse errors, not
+        // silent passes.
+        let bad_parity =
+            wire_record(3.0, 2, true, true).replace("\"parity_ok\": true", "\"parity_ok\": 1");
+        assert!(check_serve_record(&bad_parity, 2.0).is_err());
+        let missing_shards = wire_record(3.0, 2, true, true).replace("\"shards\": 2, ", "");
+        assert!(check_serve_record(&missing_shards, 2.0).is_err());
+        // Records without a wire object stay valid.
+        assert!(check_serve_record(&serve_record(3.0, true), 2.0)
+            .unwrap()
+            .wire
             .is_none());
     }
 

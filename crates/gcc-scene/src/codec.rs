@@ -1,0 +1,207 @@
+//! Shared little-endian primitive (de)serialization.
+//!
+//! One set of byte-order helpers for every hand-rolled binary format in
+//! the workspace: the scene DRAM-image files ([`crate::io`]) and the
+//! `gcc-wire` network protocol both read and write through these, so the
+//! byte-order code exists exactly once. Everything is little-endian over
+//! plain [`std::io::Read`] / [`std::io::Write`] — a `&mut &[u8]` works
+//! as a reader for in-memory payloads, a `Vec<u8>` as a writer.
+//!
+//! Errors are raw [`std::io::Error`]s; format-level layers wrap them in
+//! their own typed errors (e.g. `SceneIoError::Io`).
+
+use std::io::{self, Read, Write};
+
+/// Writes one byte.
+///
+/// # Errors
+///
+/// Propagates writer failures.
+pub fn write_u8<W: Write>(w: &mut W, v: u8) -> io::Result<()> {
+    w.write_all(&[v])
+}
+
+/// Writes a `u32`, little-endian.
+///
+/// # Errors
+///
+/// Propagates writer failures.
+pub fn write_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+/// Writes a `u64`, little-endian.
+///
+/// # Errors
+///
+/// Propagates writer failures.
+pub fn write_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+/// Writes an `f32` by its IEEE-754 bits, little-endian.
+///
+/// # Errors
+///
+/// Propagates writer failures.
+pub fn write_f32<W: Write>(w: &mut W, v: f32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+/// Writes an `f64` by its IEEE-754 bits, little-endian.
+///
+/// # Errors
+///
+/// Propagates writer failures.
+pub fn write_f64<W: Write>(w: &mut W, v: f64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+/// Writes a string as a `u32` byte length followed by its UTF-8 bytes.
+///
+/// # Errors
+///
+/// Propagates writer failures.
+pub fn write_str<W: Write>(w: &mut W, s: &str) -> io::Result<()> {
+    write_u32(w, s.len() as u32)?;
+    w.write_all(s.as_bytes())
+}
+
+/// Reads one byte.
+///
+/// # Errors
+///
+/// Propagates reader failures (including `UnexpectedEof`).
+pub fn read_u8<R: Read>(r: &mut R) -> io::Result<u8> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+
+/// Reads a little-endian `u32`.
+///
+/// # Errors
+///
+/// Propagates reader failures (including `UnexpectedEof`).
+pub fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+/// Reads a little-endian `u64`.
+///
+/// # Errors
+///
+/// Propagates reader failures (including `UnexpectedEof`).
+pub fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Reads a little-endian `f32` by its IEEE-754 bits.
+///
+/// # Errors
+///
+/// Propagates reader failures (including `UnexpectedEof`).
+pub fn read_f32<R: Read>(r: &mut R) -> io::Result<f32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(f32::from_le_bytes(b))
+}
+
+/// Reads a little-endian `f64` by its IEEE-754 bits.
+///
+/// # Errors
+///
+/// Propagates reader failures (including `UnexpectedEof`).
+pub fn read_f64<R: Read>(r: &mut R) -> io::Result<f64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(f64::from_le_bytes(b))
+}
+
+/// Reads a string written by [`write_str`], refusing lengths beyond
+/// `max_len` so a malformed or hostile length prefix cannot force an
+/// unbounded allocation.
+///
+/// # Errors
+///
+/// [`io::ErrorKind::InvalidData`] for an over-long length or non-UTF-8
+/// bytes; reader failures otherwise.
+pub fn read_str<R: Read>(r: &mut R, max_len: usize) -> io::Result<String> {
+    let len = read_u32(r)? as usize;
+    if len > max_len {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("string length {len} exceeds the cap {max_len}"),
+        ));
+    }
+    let mut bytes = vec![0u8; len];
+    r.read_exact(&mut bytes)?;
+    String::from_utf8(bytes)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 string"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip_little_endian() {
+        let mut buf = Vec::new();
+        write_u8(&mut buf, 0xAB).unwrap();
+        write_u32(&mut buf, 0x1234_5678).unwrap();
+        write_u64(&mut buf, 0x1122_3344_5566_7788).unwrap();
+        write_f32(&mut buf, -0.0).unwrap();
+        write_f64(&mut buf, f64::MIN_POSITIVE).unwrap();
+        write_str(&mut buf, "héllo").unwrap();
+        // The layout is pinned, not just round-tripped: LE byte order.
+        assert_eq!(&buf[1..5], &[0x78, 0x56, 0x34, 0x12]);
+
+        let mut r = buf.as_slice();
+        assert_eq!(read_u8(&mut r).unwrap(), 0xAB);
+        assert_eq!(read_u32(&mut r).unwrap(), 0x1234_5678);
+        assert_eq!(read_u64(&mut r).unwrap(), 0x1122_3344_5566_7788);
+        // Bit-exact floats: -0.0 keeps its sign bit.
+        assert_eq!(read_f32(&mut r).unwrap().to_bits(), (-0.0f32).to_bits());
+        assert_eq!(read_f64(&mut r).unwrap(), f64::MIN_POSITIVE);
+        assert_eq!(read_str(&mut r, 64).unwrap(), "héllo");
+        assert!(r.is_empty(), "nothing left over");
+    }
+
+    #[test]
+    fn nan_payloads_survive_bit_exact() {
+        let nan = f32::from_bits(0x7FC0_1234);
+        let mut buf = Vec::new();
+        write_f32(&mut buf, nan).unwrap();
+        assert_eq!(
+            read_f32(&mut buf.as_slice()).unwrap().to_bits(),
+            nan.to_bits()
+        );
+    }
+
+    #[test]
+    fn truncated_reads_are_unexpected_eof() {
+        let err = read_u64(&mut [1u8, 2, 3].as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        let err = read_str(&mut [4u8, 0, 0, 0, b'x'].as_slice(), 64).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn hostile_string_lengths_and_bytes_are_invalid_data() {
+        // A length past the cap must fail before allocating.
+        let mut buf = Vec::new();
+        write_u32(&mut buf, u32::MAX).unwrap();
+        let err = read_str(&mut buf.as_slice(), 1 << 10).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // Non-UTF-8 bytes under a valid length fail too.
+        let mut buf = Vec::new();
+        write_u32(&mut buf, 2).unwrap();
+        buf.extend_from_slice(&[0xFF, 0xFE]);
+        let err = read_str(&mut buf.as_slice(), 64).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

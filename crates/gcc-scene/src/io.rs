@@ -5,6 +5,7 @@
 //! followed by each Gaussian's 59-float record (see
 //! [`Gaussian3D::to_floats`]), little-endian.
 
+use crate::codec;
 use crate::json::{self, Value};
 use crate::{OrbitRig, Scene};
 use gcc_core::{Gaussian3D, PARAM_FLOATS};
@@ -307,12 +308,10 @@ pub fn from_json(s: &str) -> Result<Scene, SceneIoError> {
 /// Propagates writer failures.
 pub fn write_binary<W: Write>(scene: &Scene, mut w: W) -> Result<(), SceneIoError> {
     w.write_all(MAGIC)?;
-    let name = scene.name.as_bytes();
-    w.write_all(&(name.len() as u32).to_le_bytes())?;
-    w.write_all(name)?;
-    w.write_all(&scene.resolution.0.to_le_bytes())?;
-    w.write_all(&scene.resolution.1.to_le_bytes())?;
-    w.write_all(&scene.fov_y_deg.to_le_bytes())?;
+    codec::write_str(&mut w, &scene.name)?;
+    codec::write_u32(&mut w, scene.resolution.0)?;
+    codec::write_u32(&mut w, scene.resolution.1)?;
+    codec::write_f32(&mut w, scene.fov_y_deg)?;
     let rig = [
         scene.rig.center.x,
         scene.rig.center.y,
@@ -326,12 +325,12 @@ pub fn write_binary<W: Write>(scene: &Scene, mut w: W) -> Result<(), SceneIoErro
         scene.rig.phase,
     ];
     for v in rig {
-        w.write_all(&v.to_le_bytes())?;
+        codec::write_f32(&mut w, v)?;
     }
-    w.write_all(&(scene.gaussians.len() as u64).to_le_bytes())?;
+    codec::write_u64(&mut w, scene.gaussians.len() as u64)?;
     for g in &scene.gaussians {
         for v in g.to_floats() {
-            w.write_all(&v.to_le_bytes())?;
+            codec::write_f32(&mut w, v)?;
         }
     }
     Ok(())
@@ -354,26 +353,29 @@ pub fn read_binary<R: Read>(mut r: R) -> Result<Scene, SceneIoError> {
 
 /// Body of the binary format, after the 8 magic bytes were consumed.
 fn read_binary_after_magic<R: Read>(r: &mut R) -> Result<Scene, SceneIoError> {
-    let name_len = read_u32(r)? as usize;
+    // `read_str` would fold the cap and UTF-8 checks into one
+    // `InvalidData` I/O error; the name is read by hand so both keep
+    // surfacing as the historical `Format` errors.
+    let name_len = codec::read_u32(r)? as usize;
     if name_len > 4096 {
         return Err(SceneIoError::Format(format!("name length {name_len}")));
     }
     let mut name = vec![0u8; name_len];
     r.read_exact(&mut name)?;
     let name = String::from_utf8(name).map_err(|_| SceneIoError::Format("non-UTF8 name".into()))?;
-    let width = read_u32(r)?;
-    let height = read_u32(r)?;
-    let fov_y_deg = read_f32(r)?;
+    let width = codec::read_u32(r)?;
+    let height = codec::read_u32(r)?;
+    let fov_y_deg = codec::read_f32(r)?;
     let mut rig = [0.0f32; 10];
     for v in &mut rig {
-        *v = read_f32(r)?;
+        *v = codec::read_f32(r)?;
     }
-    let count = read_u64(r)? as usize;
+    let count = codec::read_u64(r)? as usize;
     let mut gaussians = Vec::with_capacity(count.min(1 << 24));
     let mut rec = [0.0f32; PARAM_FLOATS];
     for _ in 0..count {
         for v in &mut rec {
-            *v = read_f32(r)?;
+            *v = codec::read_f32(r)?;
         }
         gaussians.push(Gaussian3D::from_floats(&rec));
     }
@@ -456,24 +458,6 @@ pub fn load_scene_file(path: &Path) -> Result<Scene, SceneIoError> {
     let text = String::from_utf8(bytes)
         .map_err(|_| SceneIoError::Format("neither binary magic nor UTF-8 JSON".into()))?;
     from_json(&text)
-}
-
-fn read_u32<R: Read>(r: &mut R) -> Result<u32, SceneIoError> {
-    let mut b = [0u8; 4];
-    r.read_exact(&mut b)?;
-    Ok(u32::from_le_bytes(b))
-}
-
-fn read_u64<R: Read>(r: &mut R) -> Result<u64, SceneIoError> {
-    let mut b = [0u8; 8];
-    r.read_exact(&mut b)?;
-    Ok(u64::from_le_bytes(b))
-}
-
-fn read_f32<R: Read>(r: &mut R) -> Result<f32, SceneIoError> {
-    let mut b = [0u8; 4];
-    r.read_exact(&mut b)?;
-    Ok(f32::from_le_bytes(b))
 }
 
 #[cfg(test)]

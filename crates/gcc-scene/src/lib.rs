@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 mod builder;
+pub mod codec;
 pub mod io;
 pub mod json;
 mod preset;

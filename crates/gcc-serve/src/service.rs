@@ -95,6 +95,12 @@ pub struct ShedPolicy {
     pub max_queue_depth: usize,
     /// Open-stream hard ceiling: past it, every new stream is shed.
     pub max_streams: usize,
+    /// Base backoff hint attached to [`ServeError::Overloaded`]
+    /// rejections. The hint a client actually receives scales with how
+    /// far past its watermark the service was at rejection time (see
+    /// [`ShedPolicy::retry_hint`]), so the same knob yields gentle
+    /// backoff at a grazed watermark and a firm one under a pile-up.
+    pub retry_after: Duration,
 }
 
 impl Default for ShedPolicy {
@@ -104,12 +110,28 @@ impl Default for ShedPolicy {
             bulk_stream_watermark: usize::MAX,
             max_queue_depth: usize::MAX,
             max_streams: usize::MAX,
+            retry_after: Duration::from_millis(25),
         }
     }
 }
 
-/// Backoff hint attached to [`ServeError::Overloaded`] rejections.
-const SHED_RETRY_AFTER: Duration = Duration::from_millis(25);
+impl ShedPolicy {
+    /// The backoff hint for a rejection observed at `depth` against
+    /// `limit`: the base [`Self::retry_after`] scaled linearly with the
+    /// relative overshoot past the limit, capped at 4x the base. At the
+    /// limit exactly (or under it, for the side of a compound check that
+    /// did not fire) the hint is the base itself; a queue running at
+    /// triple its watermark hints 3x the base. The scaling is
+    /// deterministic so tests and wire clients can rely on it.
+    pub fn retry_hint(&self, depth: usize, limit: usize) -> Duration {
+        let over = depth.saturating_sub(limit);
+        if over == 0 || limit == 0 {
+            return self.retry_after;
+        }
+        let factor = (1.0 + over as f64 / limit as f64).min(4.0);
+        self.retry_after.mul_f64(factor)
+    }
+}
 
 /// Service sizing and policy knobs.
 #[derive(Debug, Clone)]
@@ -675,18 +697,26 @@ impl Shared {
         let shed = &shared.shed;
         if st.pending >= shed.max_queue_depth || st.streams.len() >= shed.max_streams {
             st.stats.priority(cfg.priority).shed += 1;
-            return Err(ServeError::Overloaded {
-                retry_after: SHED_RETRY_AFTER,
-            });
+            // The hint reflects the worse of the two ceilings: the side
+            // that did not fire contributes the base hint, so `max` picks
+            // the overshoot that actually caused the shed.
+            let retry_after = shed
+                .retry_hint(st.pending, shed.max_queue_depth)
+                .max(shed.retry_hint(st.streams.len(), shed.max_streams));
+            return Err(ServeError::Overloaded { retry_after });
         }
         if cfg.priority == Priority::Bulk
             && (st.pending_by_priority[Priority::Bulk.index()] >= shed.bulk_queue_watermark
                 || st.streams.len() >= shed.bulk_stream_watermark)
         {
             st.stats.priority(Priority::Bulk).rejected += 1;
-            return Err(ServeError::Overloaded {
-                retry_after: SHED_RETRY_AFTER,
-            });
+            let retry_after = shed
+                .retry_hint(
+                    st.pending_by_priority[Priority::Bulk.index()],
+                    shed.bulk_queue_watermark,
+                )
+                .max(shed.retry_hint(st.streams.len(), shed.bulk_stream_watermark));
+            return Err(ServeError::Overloaded { retry_after });
         }
         let id = st.next_stream_id;
         st.next_stream_id += 1;
@@ -2210,6 +2240,43 @@ mod tests {
         assert_eq!(stats.priority(Priority::Bulk).shed, 1);
         assert_eq!(stats.turned_away(), 2);
         assert_eq!(stats.streams.opened, 0);
+    }
+
+    #[test]
+    fn overload_retry_hints_scale_with_the_watermark_overshoot() {
+        // Pure policy math first: at the limit the base hint, linear
+        // scaling past it, capped at 4x, and usize::MAX limits never
+        // scale (the disabled side of a compound check).
+        let shed = ShedPolicy {
+            retry_after: Duration::from_millis(40),
+            ..ShedPolicy::default()
+        };
+        assert_eq!(shed.retry_hint(5, 5), Duration::from_millis(40));
+        assert_eq!(shed.retry_hint(10, 5), Duration::from_millis(80));
+        assert_eq!(shed.retry_hint(1000, 5), Duration::from_millis(160));
+        assert_eq!(shed.retry_hint(3, usize::MAX), Duration::from_millis(40));
+        // And through the service: a configured base reaches the typed
+        // rejection unscaled when the ceiling is grazed exactly.
+        let (_, reg) = registry(0.02);
+        let service = RenderService::new(
+            ServeConfig {
+                workers: 1,
+                shed: ShedPolicy {
+                    max_streams: 0,
+                    retry_after: Duration::from_millis(75),
+                    ..ShedPolicy::default()
+                },
+                ..ServeConfig::default()
+            },
+            reg,
+        );
+        match service.submit(RenderRequest::trajectory("lego", 0.1)) {
+            Err(ServeError::Overloaded { retry_after }) => {
+                assert_eq!(retry_after, Duration::from_millis(75));
+            }
+            other => panic!("expected a shed, got {:?}", other.err()),
+        }
+        service.shutdown();
     }
 
     #[test]

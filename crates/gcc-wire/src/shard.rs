@@ -1,0 +1,764 @@
+//! Consistent-hash sharding: a SplitMix64 ring over N backends and a TCP
+//! proxy that routes wire sessions by scene id.
+//!
+//! # Ring semantics
+//!
+//! Each backend owns [`ShardRing::VNODES`] pseudo-random points on a
+//! `u64` ring; a scene id hashes to a point and is owned by the first
+//! backend point at or clockwise-after it. Routing around a dead backend
+//! walks further clockwise to the next *alive* owner, so:
+//!
+//! * scene → backend assignment is stable across proxy restarts and
+//!   across proxies (the hash is [`gcc_scene::rng::splitmix64`], a pinned
+//!   cross-process contract — no `DefaultHasher`, whose output may change
+//!   between Rust releases);
+//! * killing one of N backends remaps only the dead backend's scenes
+//!   (≈ 1/N of them), and they return home when it recovers;
+//! * adding a backend to the *configuration* moves ≈ 1/(N+1) of the
+//!   scenes — but membership is fixed for a proxy's lifetime; only
+//!   liveness changes at runtime.
+//!
+//! # The proxy
+//!
+//! [`ShardProxy`] speaks the same wire protocol on both sides: clients
+//! talk to it exactly as they would to one big `gcc-served`, and it opens
+//! one upstream [`WireClient`] per (connection, backend) — session
+//! affinity falls out of routing by scene id over a fixed ring. Backend
+//! rejections ([`crate::proto::WireRejection`]) are forwarded verbatim,
+//! retry hints intact. A health prober pings every backend on an
+//! interval; opens routed at a dead backend fail over clockwise, and
+//! when no owner is alive the client gets a typed
+//! [`WireRejection::Unavailable`] instead of a hung connect.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use gcc_parallel::{RestartPolicy, WorkerPool, WorkerStep};
+use gcc_scene::rng::splitmix64;
+use gcc_serve::ServeStats;
+
+use crate::client::{RemoteStream, WireClient};
+use crate::frame::{read_event, write_frame, FrameEvent, WireError};
+use crate::proto::{Request, Response, WireRejection};
+
+/// How long a proxy handler blocks in a socket read before polling stop.
+const READ_TICK: Duration = Duration::from_millis(200);
+
+/// How long a handler waits for a queued connection before re-checking.
+const QUEUE_TICK: Duration = Duration::from_millis(100);
+
+/// Backoff hint attached to [`WireRejection::Unavailable`] — roughly two
+/// probe intervals, after which a recovered backend would be visible.
+const UNAVAILABLE_RETRY: Duration = Duration::from_millis(500);
+
+// ---------------------------------------------------------------------------
+// The ring
+// ---------------------------------------------------------------------------
+
+/// A consistent-hash ring mapping scene ids onto backend indices.
+#[derive(Debug, Clone)]
+pub struct ShardRing {
+    /// `(point, backend)` sorted by point — the ring, unrolled.
+    points: Vec<(u64, usize)>,
+    backends: usize,
+}
+
+impl ShardRing {
+    /// Virtual points per backend. 64 keeps the ownership split of a
+    /// handful of backends within a few percent of even without making
+    /// the ring walk measurable.
+    pub const VNODES: usize = 64;
+
+    /// A ring over `backends` members (indices `0..backends`).
+    pub fn new(backends: usize) -> Self {
+        let mut points = Vec::with_capacity(backends * Self::VNODES);
+        for b in 0..backends {
+            for v in 0..Self::VNODES {
+                points.push((Self::point(b, v), b));
+            }
+        }
+        points.sort_unstable();
+        Self { points, backends }
+    }
+
+    /// Number of ring members.
+    pub fn backends(&self) -> usize {
+        self.backends
+    }
+
+    /// The ring point of backend `b`'s virtual node `v`: two chained
+    /// SplitMix64 rounds over the packed pair, so points are pseudo-random
+    /// yet identical in every process that builds the same ring.
+    fn point(b: usize, v: usize) -> u64 {
+        splitmix64(splitmix64(((b as u64) << 32) | v as u64))
+    }
+
+    /// The stable hash of a scene id: SplitMix64 folded over the UTF-8
+    /// bytes in 8-byte little-endian chunks, with the length mixed in so
+    /// zero-padded tails of different lengths cannot collide trivially.
+    pub fn scene_key(scene: &str) -> u64 {
+        let bytes = scene.as_bytes();
+        let mut h = splitmix64(bytes.len() as u64);
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            h = splitmix64(h ^ u64::from_le_bytes(word));
+        }
+        h
+    }
+
+    /// The backend owning `scene`, skipping members whose `alive` slot is
+    /// `false`. `None` when every backend is dead (or the ring is empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alive` is shorter than the member count.
+    pub fn route(&self, scene: &str, alive: &[bool]) -> Option<usize> {
+        assert!(alive.len() >= self.backends, "alive vector too short");
+        if self.points.is_empty() {
+            return None;
+        }
+        let key = Self::scene_key(scene);
+        // First point at or clockwise-after the key, wrapping at the top.
+        let start = self.points.partition_point(|(p, _)| *p < key) % self.points.len();
+        // Walk clockwise; each backend appears VNODES times, so scanning
+        // every point visits every backend.
+        for i in 0..self.points.len() {
+            let (_, b) = self.points[(start + i) % self.points.len()];
+            if alive[b] {
+                return Some(b);
+            }
+        }
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The proxy
+// ---------------------------------------------------------------------------
+
+/// Tuning for [`ShardProxy`].
+#[derive(Debug, Clone)]
+pub struct ShardProxyConfig {
+    /// Connection-handler threads (the concurrent-client ceiling).
+    pub handlers: usize,
+    /// How often the health prober pings every backend.
+    pub probe_interval: Duration,
+    /// Connect + response budget for one probe; a dead backend costs the
+    /// prober at most this per round instead of an OS connect timeout.
+    pub probe_timeout: Duration,
+    /// How long [`ShardProxy::shutdown`] waits for live connections.
+    pub drain: Duration,
+}
+
+impl Default for ShardProxyConfig {
+    fn default() -> Self {
+        Self {
+            handlers: 8,
+            probe_interval: Duration::from_millis(200),
+            probe_timeout: Duration::from_millis(500),
+            drain: Duration::from_secs(5),
+        }
+    }
+}
+
+struct ProxyShared {
+    backends: Vec<SocketAddr>,
+    ring: ShardRing,
+    /// Health-prober verdicts; handlers also clear a slot on hard
+    /// upstream failures so the next open fails over immediately.
+    alive: Vec<AtomicBool>,
+    conns: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+    stop: AtomicBool,
+    draining: AtomicBool,
+    shutdown_requested: AtomicBool,
+    active: AtomicUsize,
+    probe_timeout: Duration,
+}
+
+impl ProxyShared {
+    fn alive_snapshot(&self) -> Vec<bool> {
+        self.alive
+            .iter()
+            .map(|a| a.load(Ordering::Acquire))
+            .collect()
+    }
+}
+
+/// A running sharding proxy bound to a TCP address.
+pub struct ShardProxy {
+    shared: Option<Arc<ProxyShared>>,
+    addr: SocketAddr,
+    drain: Duration,
+    accept: Option<JoinHandle<()>>,
+    prober: Option<JoinHandle<()>>,
+    pool: Option<WorkerPool>,
+}
+
+impl std::fmt::Debug for ShardProxy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardProxy")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl ShardProxy {
+    /// Binds the proxy and starts its accept loop, handler pool and
+    /// health prober. Backends start presumed-alive; the first probe
+    /// round corrects that within one `probe_interval`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures. An empty backend list is an
+    /// `InvalidInput` error — a proxy with nothing behind it is a
+    /// misconfiguration, not a degraded state.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        backends: Vec<SocketAddr>,
+        cfg: ShardProxyConfig,
+    ) -> io::Result<Self> {
+        if backends.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "a shard proxy needs at least one backend",
+            ));
+        }
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(ProxyShared {
+            ring: ShardRing::new(backends.len()),
+            alive: backends.iter().map(|_| AtomicBool::new(true)).collect(),
+            backends,
+            conns: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            stop: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            shutdown_requested: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            probe_timeout: cfg.probe_timeout,
+        });
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("gcc-shard-accept".into())
+                .spawn(move || accept_loop(&listener, &shared))?
+        };
+
+        let prober = {
+            let shared = Arc::clone(&shared);
+            let interval = cfg.probe_interval;
+            std::thread::Builder::new()
+                .name("gcc-shard-probe".into())
+                .spawn(move || probe_loop(&shared, interval))?
+        };
+
+        let pool = {
+            let shared = Arc::clone(&shared);
+            WorkerPool::spawn_supervised(
+                cfg.handlers.max(1),
+                || (),
+                move |_worker, ()| handler_step(&shared),
+                RestartPolicy::default(),
+            )
+        };
+
+        Ok(Self {
+            shared: Some(shared),
+            addr,
+            drain: cfg.drain,
+            accept: Some(accept),
+            prober: Some(prober),
+            pool: Some(pool),
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Which backends the last health information considers alive.
+    pub fn alive(&self) -> Vec<bool> {
+        self.shared
+            .as_ref()
+            .map(|s| s.alive_snapshot())
+            .unwrap_or_default()
+    }
+
+    /// Whether any client has sent [`Request::Shutdown`]. Shutting down
+    /// the proxy drains the proxy only — backends belong to their own
+    /// operators (the bench harness shuts them down explicitly).
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared
+            .as_ref()
+            .is_some_and(|s| s.shutdown_requested.load(Ordering::Acquire))
+    }
+
+    /// Drains and stops the proxy: waits up to the drain window for live
+    /// client connections, then stops the accept loop, prober and
+    /// handler pool.
+    pub fn shutdown(mut self) {
+        let shared = self.shared.take().expect("shutdown runs once");
+        shared.draining.store(true, Ordering::Release);
+        let deadline = Instant::now() + self.drain;
+        while Instant::now() < deadline {
+            let quiesced = shared.active.load(Ordering::Acquire) == 0
+                && shared.conns.lock().expect("conns lock").is_empty();
+            if quiesced {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        self.stop_threads(&shared);
+    }
+
+    fn stop_threads(&mut self, shared: &Arc<ProxyShared>) {
+        shared.stop.store(true, Ordering::Release);
+        shared.available.notify_all();
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.prober.take() {
+            let _ = h.join();
+        }
+        if let Some(pool) = self.pool.take() {
+            pool.join();
+        }
+    }
+}
+
+impl Drop for ShardProxy {
+    fn drop(&mut self) {
+        if let Some(shared) = self.shared.take() {
+            self.stop_threads(&shared);
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &ProxyShared) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if shared.stop.load(Ordering::Acquire) {
+                    return;
+                }
+                let mut conns = shared.conns.lock().expect("conns lock");
+                conns.push_back(stream);
+                drop(conns);
+                shared.available.notify_one();
+            }
+            Err(_) if shared.stop.load(Ordering::Acquire) => return,
+            Err(_) => {}
+        }
+    }
+}
+
+/// Pings every backend, updating its alive slot; sleeps the interval in
+/// short ticks so proxy shutdown is not gated on a probe round.
+fn probe_loop(shared: &ProxyShared, interval: Duration) {
+    while !shared.stop.load(Ordering::Acquire) {
+        for (i, addr) in shared.backends.iter().enumerate() {
+            let healthy = probe_one(addr, shared.probe_timeout);
+            shared.alive[i].store(healthy, Ordering::Release);
+        }
+        let deadline = Instant::now() + interval;
+        while Instant::now() < deadline && !shared.stop.load(Ordering::Acquire) {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+}
+
+fn probe_one(addr: &SocketAddr, timeout: Duration) -> bool {
+    let Ok(mut client) = WireClient::connect_timeout(addr, timeout) else {
+        return false;
+    };
+    if client.set_read_timeout(Some(timeout)).is_err() {
+        return false;
+    }
+    client.ping().is_ok()
+}
+
+fn handler_step(shared: &Arc<ProxyShared>) -> WorkerStep {
+    let stream = {
+        let conns = shared.conns.lock().expect("conns lock");
+        let (mut conns, _timeout) = shared
+            .available
+            .wait_timeout_while(conns, QUEUE_TICK, |q| {
+                q.is_empty() && !shared.stop.load(Ordering::Acquire)
+            })
+            .expect("conns lock");
+        if shared.stop.load(Ordering::Acquire) {
+            return WorkerStep::Stop;
+        }
+        match conns.pop_front() {
+            Some(s) => s,
+            None => return WorkerStep::Continue,
+        }
+    };
+    shared.active.fetch_add(1, Ordering::AcqRel);
+    struct ActiveGuard<'a>(&'a AtomicUsize);
+    impl Drop for ActiveGuard<'_> {
+        fn drop(&mut self) {
+            self.0.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+    let _guard = ActiveGuard(&shared.active);
+    handle_connection(shared, stream);
+    WorkerStep::Continue
+}
+
+/// Per-client-connection proxy state: one upstream client per backend
+/// (session affinity), and the proxy-id → (backend, upstream stream)
+/// table.
+struct ProxyConn {
+    upstreams: HashMap<usize, WireClient>,
+    streams: HashMap<u64, (usize, RemoteStream)>,
+    next_id: u64,
+}
+
+impl ProxyConn {
+    /// The upstream client for backend `b`, connecting on first use.
+    fn upstream(&mut self, shared: &ProxyShared, b: usize) -> Result<&mut WireClient, WireError> {
+        if let std::collections::hash_map::Entry::Vacant(e) = self.upstreams.entry(b) {
+            let client = WireClient::connect_timeout(&shared.backends[b], shared.probe_timeout)
+                .map_err(WireError::Io)?;
+            e.insert(client);
+        }
+        Ok(self.upstreams.get_mut(&b).expect("just inserted"))
+    }
+
+    /// Drops the upstream to backend `b` and fails its streams: the next
+    /// pull on any of them answers `StreamEnd` (their frames are gone
+    /// with the backend).
+    fn drop_backend(&mut self, b: usize) {
+        self.upstreams.remove(&b);
+        self.streams.retain(|_, (owner, _)| *owner != b);
+    }
+}
+
+fn handle_connection(shared: &Arc<ProxyShared>, stream: TcpStream) {
+    if stream.set_nodelay(true).is_err() || stream.set_read_timeout(Some(READ_TICK)).is_err() {
+        return;
+    }
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = std::io::BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    let mut conn = ProxyConn {
+        upstreams: HashMap::new(),
+        streams: HashMap::new(),
+        next_id: 1,
+    };
+
+    loop {
+        if shared.stop.load(Ordering::Acquire) {
+            return;
+        }
+        let resp = match read_event(&mut reader) {
+            Ok(FrameEvent::Frame { kind, payload }) => match Request::decode(kind, &payload) {
+                Ok(req) => dispatch(shared, &mut conn, req),
+                Err(e) => Response::Error {
+                    message: e.to_string(),
+                },
+            },
+            Ok(FrameEvent::Eof) => return,
+            Ok(FrameEvent::Idle) => continue,
+            Err(e @ (WireError::BadVersion { .. } | WireError::Oversized { .. })) => {
+                Response::Error {
+                    message: e.to_string(),
+                }
+            }
+            Err(_) => return,
+        };
+        if respond(&mut writer, &resp).is_err() {
+            return;
+        }
+    }
+}
+
+fn unavailable(message: impl Into<String>) -> Response {
+    Response::Rejected(WireRejection::Unavailable {
+        message: message.into(),
+        retry_after: UNAVAILABLE_RETRY,
+    })
+}
+
+fn dispatch(shared: &Arc<ProxyShared>, conn: &mut ProxyConn, req: Request) -> Response {
+    match req {
+        Request::Open {
+            scene,
+            defaults,
+            spec,
+            config,
+        } => {
+            if shared.draining.load(Ordering::Acquire) {
+                return Response::Rejected(WireRejection::ShuttingDown);
+            }
+            // Fail over at most once per backend: a connect/transport
+            // failure marks the target dead (the prober will re-admit it)
+            // and re-routes clockwise.
+            for _attempt in 0..shared.backends.len() {
+                let Some(b) = shared.ring.route(&scene, &shared.alive_snapshot()) else {
+                    return unavailable("no alive backend");
+                };
+                let open = conn
+                    .upstream(shared, b)
+                    .and_then(|up| up.open(&scene, defaults.clone(), spec.clone(), config));
+                match open {
+                    Ok(remote) => {
+                        let id = conn.next_id;
+                        conn.next_id += 1;
+                        let frames = remote.len();
+                        conn.streams.insert(id, (b, remote));
+                        return Response::Opened { stream: id, frames };
+                    }
+                    // A typed refusal means the backend is healthy and
+                    // said no — forward it verbatim, hints intact.
+                    Err(WireError::Rejected(rej)) => return Response::Rejected(rej),
+                    Err(_) => {
+                        shared.alive[b].store(false, Ordering::Release);
+                        conn.drop_backend(b);
+                    }
+                }
+            }
+            unavailable("every backend failed the open")
+        }
+        Request::NextFrame { stream } => {
+            let Some((b, mut remote)) = conn.streams.remove(&stream) else {
+                return Response::StreamEnd { stream };
+            };
+            let pulled = match conn.upstream(shared, b) {
+                Ok(up) => up.next_frame(&mut remote),
+                Err(e) => Err(e),
+            };
+            match pulled {
+                Ok(Some(frame)) => {
+                    let index = remote.delivered() - 1;
+                    conn.streams.insert(stream, (b, remote));
+                    Response::Frame {
+                        stream,
+                        index,
+                        frame,
+                    }
+                }
+                Ok(None) => Response::StreamEnd { stream },
+                Err(WireError::Rejected(error)) => {
+                    let index = remote.delivered() - 1;
+                    conn.streams.insert(stream, (b, remote));
+                    Response::FrameError {
+                        stream,
+                        index,
+                        error,
+                    }
+                }
+                // The backend died mid-stream. Its undelivered frames are
+                // gone; new opens will fail over, but this stream cannot
+                // (frames must stay in order and the replacement backend
+                // never saw the stream).
+                Err(_) => {
+                    shared.alive[b].store(false, Ordering::Release);
+                    conn.drop_backend(b);
+                    Response::FrameError {
+                        stream,
+                        index: remote.delivered(),
+                        error: WireRejection::Unavailable {
+                            message: format!("backend {b} lost mid-stream"),
+                            retry_after: UNAVAILABLE_RETRY,
+                        },
+                    }
+                }
+            }
+        }
+        Request::Cancel { stream } => {
+            if let Some((b, mut remote)) = conn.streams.remove(&stream) {
+                if let Ok(up) = conn.upstream(shared, b) {
+                    let _ = up.cancel(&mut remote);
+                }
+            }
+            Response::Cancelled { stream }
+        }
+        Request::Stats => {
+            // Merged view over every alive backend, through this
+            // connection's affine upstreams.
+            let mut merged = ServeStats::default();
+            let mut reached = 0usize;
+            for b in 0..shared.backends.len() {
+                if !shared.alive[b].load(Ordering::Acquire) {
+                    continue;
+                }
+                let snap = match conn.upstream(shared, b) {
+                    Ok(up) => up.stats(),
+                    Err(e) => Err(e),
+                };
+                match snap {
+                    Ok(s) => {
+                        merge_stats(&mut merged, &s);
+                        reached += 1;
+                    }
+                    Err(_) => {
+                        shared.alive[b].store(false, Ordering::Release);
+                        conn.drop_backend(b);
+                    }
+                }
+            }
+            if reached == 0 {
+                unavailable("no alive backend for stats")
+            } else {
+                Response::Stats(merged)
+            }
+        }
+        Request::Ping => Response::Pong,
+        Request::Shutdown => {
+            shared.draining.store(true, Ordering::Release);
+            shared.shutdown_requested.store(true, Ordering::Release);
+            Response::ShutdownAck
+        }
+    }
+}
+
+/// Folds one backend's snapshot into a fleet-wide view: counters add,
+/// gauges add (`queue_depth`, residency — each backend holds distinct
+/// scenes), and latency percentiles take the worst backend (a merged
+/// percentile of percentiles has no exact answer; the max is the
+/// conservative bound an operator alarms on).
+fn merge_stats(acc: &mut ServeStats, s: &ServeStats) {
+    for (scene, c) in &s.per_scene {
+        let e = acc.per_scene.entry(scene.clone()).or_default();
+        e.requests += c.requests;
+        e.hits += c.hits;
+        e.misses += c.misses;
+        e.loads += c.loads;
+        e.evictions += c.evictions;
+        e.frames += c.frames;
+        e.batches += c.batches;
+        e.retries += c.retries;
+        e.quarantines += c.quarantines;
+    }
+    for (sched, c) in &s.per_schedule {
+        let e = acc.per_schedule.entry(*sched).or_default();
+        e.requests += c.requests;
+        e.frames += c.frames;
+        e.batches += c.batches;
+    }
+    for (p, c) in &s.per_priority {
+        let e = acc.per_priority.entry(*p).or_default();
+        e.requests += c.requests;
+        e.frames += c.frames;
+        e.completed += c.completed;
+        e.queued += c.queued;
+        e.max_queued += c.max_queued;
+        e.with_deadline += c.with_deadline;
+        e.deadline_misses += c.deadline_misses;
+        e.rejected += c.rejected;
+        e.shed += c.shed;
+        e.latency_p50_ms = e.latency_p50_ms.max(c.latency_p50_ms);
+        e.latency_p95_ms = e.latency_p95_ms.max(c.latency_p95_ms);
+    }
+    acc.streams.opened += s.streams.opened;
+    acc.streams.completed += s.streams.completed;
+    acc.streams.cancelled += s.streams.cancelled;
+    acc.streams.frames_discarded += s.streams.frames_discarded;
+    acc.completed += s.completed;
+    acc.queue_depth += s.queue_depth;
+    acc.max_queue_depth += s.max_queue_depth;
+    acc.batches += s.batches;
+    acc.frames += s.frames;
+    acc.latency_p50_ms = acc.latency_p50_ms.max(s.latency_p50_ms);
+    acc.latency_p95_ms = acc.latency_p95_ms.max(s.latency_p95_ms);
+    acc.frame_stats.merge_add(&s.frame_stats);
+    acc.resident_bytes += s.resident_bytes;
+    acc.resident_scenes += s.resident_scenes;
+    acc.respawns += s.respawns;
+    acc.lost_workers += s.lost_workers;
+    acc.quarantined_scenes += s.quarantined_scenes;
+}
+
+fn respond(writer: &mut BufWriter<TcpStream>, resp: &Response) -> Result<(), WireError> {
+    let (kind, payload) = resp.encode();
+    match write_frame(writer, kind, &payload) {
+        Ok(()) => {}
+        Err(WireError::Oversized { len, max }) => {
+            let fallback = Response::Error {
+                message: format!("response frame of {len} bytes exceeds the {max}-byte ceiling"),
+            };
+            let (kind, payload) = fallback.encode();
+            write_frame(writer, kind, &payload)?;
+        }
+        Err(e) => return Err(e),
+    }
+    writer.flush().map_err(WireError::Io)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_deterministic_and_total() {
+        let ring = ShardRing::new(3);
+        let alive = [true, true, true];
+        for scene in ["palace", "lego", "train", "truck", "playroom", "drjohnson"] {
+            let a = ring.route(scene, &alive).unwrap();
+            let b = ring.route(scene, &alive).unwrap();
+            assert_eq!(a, b, "route of {scene} not stable");
+            assert!(a < 3);
+        }
+        // A fresh ring over the same member count agrees (cross-process
+        // stability stands in for cross-restart stability here).
+        let other = ShardRing::new(3);
+        for scene in ["palace", "lego", "train"] {
+            assert_eq!(ring.route(scene, &alive), other.route(scene, &alive));
+        }
+    }
+
+    #[test]
+    fn dead_backends_remap_only_their_scenes() {
+        let ring = ShardRing::new(3);
+        let all = [true, true, true];
+        let scenes: Vec<String> = (0..200).map(|i| format!("scene-{i}")).collect();
+        let home: Vec<usize> = scenes
+            .iter()
+            .map(|s| ring.route(s, &all).unwrap())
+            .collect();
+        // Every backend owns something (the vnode spread is working).
+        for b in 0..3 {
+            assert!(home.contains(&b), "backend {b} owns nothing");
+        }
+        // Kill backend 1: its scenes move, everyone else's stay put.
+        let degraded = [true, false, true];
+        for (scene, h) in scenes.iter().zip(&home) {
+            let now = ring.route(scene, &degraded).unwrap();
+            if *h == 1 {
+                assert_ne!(now, 1, "{scene} routed to the dead backend");
+            } else {
+                assert_eq!(now, *h, "{scene} moved although its owner is alive");
+            }
+        }
+        // All dead: typed None, not a spin.
+        assert_eq!(ring.route("palace", &[false, false, false]), None);
+    }
+
+    #[test]
+    fn scene_keys_disperse() {
+        // Not a hash-quality suite — just that obviously-related ids do
+        // not collide, which the chunk-fold with length mixing ensures.
+        let keys: Vec<u64> = (0..64)
+            .map(|i| ShardRing::scene_key(&format!("s{i}")))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), keys.len(), "scene keys collided");
+        assert_ne!(ShardRing::scene_key(""), ShardRing::scene_key("\0"));
+    }
+}

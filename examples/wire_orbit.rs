@@ -1,0 +1,109 @@
+//! The session API over TCP: an in-process wire server on an ephemeral
+//! loopback port, and a client streaming an orbit through it.
+//!
+//! The same serving semantics as `stream_orbit` — priority, per-frame
+//! deadline, bounded in-flight window, typed rejections — but with a
+//! real socket in the middle: every frame below crossed localhost as a
+//! length-prefixed wire frame, and the deadline/priority accounting the
+//! stats print at the end was kept by the server process-side.
+//!
+//! Run with: `cargo run --release --example wire_orbit`
+
+use std::time::Duration;
+
+use gcc_repro::render::{RenderOptions, Schedule};
+use gcc_repro::scene::ScenePreset;
+use gcc_repro::serve::{
+    Priority, RenderService, SceneSource, ServeConfig, StreamConfig, StreamSpec,
+};
+use gcc_repro::wire::{WireClient, WireError, WireRejection, WireServer, WireServerConfig};
+
+fn main() {
+    // The server half: one RenderService behind a TCP listener. Port 0
+    // lets the OS pick; a real deployment runs this in `gcc-served`.
+    let service = RenderService::new(
+        ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        },
+        [(
+            "palace".to_string(),
+            SceneSource::Preset {
+                preset: ScenePreset::Palace,
+                scale: 0.1,
+            },
+        )],
+    );
+    let server = WireServer::bind("127.0.0.1:0", service, WireServerConfig::default())
+        .expect("loopback bind");
+    println!("wire server on {}", server.local_addr());
+
+    // The client half: stream one orbit, interactive priority, 150 ms
+    // per-frame deadline, at most 3 undelivered frames in flight.
+    let mut client = WireClient::connect(server.local_addr()).expect("connect");
+    let mut stream = client
+        .open(
+            "palace",
+            RenderOptions::default()
+                .with_schedule(Schedule::GccHardware)
+                .at_resolution(320, 180),
+            StreamSpec::orbit(8),
+            StreamConfig::default()
+                .with_priority(Priority::Interactive)
+                .with_window(3)
+                .with_deadline(Duration::from_millis(150)),
+        )
+        .expect("orbit stream opens");
+    println!("streaming {} orbit frames over the wire …", stream.len());
+    while let Some(frame) = client.next_frame(&mut stream).expect("orbit frame") {
+        println!(
+            "  frame {:>2}/{}: {}x{}, {} gaussians rendered",
+            stream.delivered(),
+            stream.len(),
+            frame.image.width(),
+            frame.image.height(),
+            frame.stats.rendered,
+        );
+    }
+    assert_eq!(stream.delivered(), 8, "orbit delivered short");
+
+    // Typed rejections survive the trip: an unknown scene is a
+    // structured error, not a dead socket.
+    match client.open(
+        "atlantis",
+        RenderOptions::default(),
+        StreamSpec::orbit(1),
+        StreamConfig::default(),
+    ) {
+        Err(WireError::Rejected(WireRejection::UnknownScene(scene))) => {
+            println!("typed rejection crossed the wire: unknown scene {scene:?}");
+        }
+        other => panic!("expected a typed rejection, got {other:?}"),
+    }
+
+    // The per-priority accounting lives server-side; fetch it over the
+    // wire.
+    let stats = client.stats().expect("stats");
+    for priority in Priority::ALL {
+        let p = stats.priority(priority);
+        println!(
+            "{:>12}: {} requests, {} frames, {} deadline misses, p95 {:.2} ms",
+            priority.name(),
+            p.requests,
+            p.frames,
+            p.deadline_misses,
+            p.latency_p95_ms,
+        );
+    }
+    assert_eq!(stats.frames, 8, "server counted the orbit");
+
+    // The wire Shutdown request is the SIGTERM of the protocol: the
+    // hosting process observes it and drains.
+    client.shutdown_server().expect("shutdown ack");
+    assert!(server.shutdown_requested());
+    let final_stats = server.shutdown();
+    println!(
+        "server drained: {} frames in {} batches, {} streams completed",
+        final_stats.frames, final_stats.batches, final_stats.streams.completed,
+    );
+}

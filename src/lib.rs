@@ -26,3 +26,4 @@ pub use gcc_render as render;
 pub use gcc_scene as scene;
 pub use gcc_serve as serve;
 pub use gcc_sim as sim;
+pub use gcc_wire as wire;

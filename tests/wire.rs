@@ -1,0 +1,625 @@
+//! Wire-protocol suite: codecs under seeded fuzz, a live server under
+//! hostile framing, and end-to-end loopback parity.
+//!
+//! * **Seeded codec round trips** — randomized requests and responses
+//!   survive encode → decode → re-encode byte-identically (the codec is
+//!   deterministic, so byte equality is structural equality even for
+//!   types without `PartialEq`).
+//! * **Malformed frames don't kill connections** — bad version bytes,
+//!   oversized declarations and unknown kinds get a typed
+//!   `Response::Error` and the same connection then serves a normal
+//!   request; only a truncated length prefix closes it.
+//! * **Loopback parity** — an orbit streamed through a real TCP
+//!   `WireServer` is bit-identical, image and stats, to the same spec
+//!   delivered by an in-process `FrameStream`.
+//! * **The shard proxy** routes by scene, forwards typed rejections
+//!   verbatim, and fails over to the surviving backend when one dies.
+
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use gcc_repro::math::Vec3;
+use gcc_repro::render::{Frame, RenderOptions, Schedule};
+use gcc_repro::scene::rng::StdRng;
+use gcc_repro::scene::{Scene, SceneConfig, ScenePreset, ViewSpec};
+use gcc_repro::serve::{
+    Priority, RenderService, SceneSource, ServeConfig, StreamConfig, StreamSpec,
+};
+use gcc_repro::wire::{
+    read_event, write_frame, FrameEvent, Request, Response, ShardProxy, ShardProxyConfig,
+    ShardRing, WireClient, WireError, WireRejection, WireServer, WireServerConfig, WIRE_VERSION,
+};
+
+const OPTIONS_RES: (u32, u32) = (48, 36);
+
+fn test_scene(preset: ScenePreset) -> Arc<Scene> {
+    Arc::new(preset.build(&SceneConfig::with_scale(0.02)))
+}
+
+fn test_service(scenes: &[(&str, Arc<Scene>)]) -> RenderService {
+    RenderService::new(
+        ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        },
+        scenes
+            .iter()
+            .map(|(id, s)| (id.to_string(), SceneSource::Memory(Arc::clone(s)))),
+    )
+}
+
+fn small_options() -> RenderOptions {
+    RenderOptions::default()
+        .with_schedule(Schedule::GaussianWise)
+        .at_resolution(OPTIONS_RES.0, OPTIONS_RES.1)
+}
+
+fn assert_frames_identical(a: &Frame, b: &Frame, what: &str) {
+    assert_eq!(a.image, b.image, "{what}: images diverge");
+    assert_eq!(a.stats, b.stats, "{what}: stats diverge");
+}
+
+// ---------------------------------------------------------------------------
+// Seeded codec fuzzing
+// ---------------------------------------------------------------------------
+
+fn random_view(rng: &mut StdRng) -> ViewSpec {
+    match rng.gen_range(0usize..3) {
+        0 => ViewSpec::Trajectory {
+            t: rng.gen_range(0.0f32..1.0),
+        },
+        1 => ViewSpec::LookAt {
+            eye: Vec3::new(rng.gen(), rng.gen(), rng.gen()),
+            target: Vec3::new(rng.gen(), rng.gen(), rng.gen()),
+            up: Vec3::new(0.0, 1.0, 0.0),
+            fov_y_deg: if rng.gen::<f32>() < 0.5 {
+                Some(rng.gen_range(20.0f32..90.0))
+            } else {
+                None
+            },
+        },
+        _ => ViewSpec::Orbit {
+            angle: rng.gen_range(0.0f32..std::f32::consts::TAU),
+            radius_scale: rng.gen_range(0.5f32..2.0),
+            height_offset: rng.gen_range(-0.5f32..0.5),
+        },
+    }
+}
+
+fn random_options(rng: &mut StdRng) -> RenderOptions {
+    let mut o = RenderOptions::default()
+        .with_schedule(Schedule::ALL[rng.gen_range(0usize..Schedule::ALL.len())]);
+    if rng.gen::<f32>() < 0.5 {
+        o = o.at_resolution(
+            rng.gen_range(1usize..512) as u32,
+            rng.gen_range(1usize..512) as u32,
+        );
+    }
+    if rng.gen::<f32>() < 0.3 {
+        o = o.on_background(Vec3::new(rng.gen(), rng.gen(), rng.gen()));
+    }
+    if rng.gen::<f32>() < 0.3 {
+        o = o.with_alpha_min(rng.gen_range(0.0f32..0.1));
+    }
+    if rng.gen::<f32>() < 0.3 {
+        o = o.with_sh_degree(rng.gen_range(0usize..4) as u8);
+    }
+    o
+}
+
+fn random_spec(rng: &mut StdRng) -> StreamSpec {
+    match rng.gen_range(0usize..3) {
+        0 => StreamSpec::TrajectorySweep {
+            t0: rng.gen_range(0.0f32..0.5),
+            t1: rng.gen_range(0.5f32..1.0),
+            frames: rng.gen_range(1usize..64),
+        },
+        1 => StreamSpec::OrbitLoop {
+            frames: rng.gen_range(1usize..64),
+            radius_scale: rng.gen_range(0.5f32..2.0),
+            height_offset: rng.gen_range(-0.5f32..0.5),
+        },
+        _ => StreamSpec::ViewList(
+            (0..rng.gen_range(1usize..8))
+                .map(|_| random_view(rng))
+                .collect(),
+        ),
+    }
+}
+
+fn random_config(rng: &mut StdRng) -> StreamConfig {
+    StreamConfig {
+        priority: if rng.gen::<f32>() < 0.5 {
+            Priority::Interactive
+        } else {
+            Priority::Bulk
+        },
+        deadline: if rng.gen::<f32>() < 0.5 {
+            Some(Duration::from_micros(
+                rng.gen_range(100usize..100_000) as u64
+            ))
+        } else {
+            None
+        },
+        window: rng.gen_range(1usize..16),
+    }
+}
+
+#[test]
+fn seeded_requests_roundtrip_byte_identically() {
+    let mut rng = StdRng::seed_from_u64(0x57D0_C0DE);
+    for i in 0..200 {
+        let req = match rng.gen_range(0usize..6) {
+            0 => Request::Open {
+                scene: format!("scene-{}", rng.gen_range(0usize..64)),
+                defaults: random_options(&mut rng),
+                spec: random_spec(&mut rng),
+                config: random_config(&mut rng),
+            },
+            1 => Request::NextFrame {
+                stream: rng.gen::<u64>(),
+            },
+            2 => Request::Cancel {
+                stream: rng.gen::<u64>(),
+            },
+            3 => Request::Stats,
+            4 => Request::Ping,
+            _ => Request::Shutdown,
+        };
+        let (kind, payload) = req.encode();
+        let back = Request::decode(kind, &payload)
+            .unwrap_or_else(|e| panic!("iteration {i}: decode of {req:?} failed: {e}"));
+        assert_eq!(req, back, "iteration {i}");
+        // Through the transport framing too.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, kind, &payload).unwrap();
+        match read_event(&mut buf.as_slice()).unwrap() {
+            FrameEvent::Frame {
+                kind: k,
+                payload: p,
+            } => {
+                assert_eq!(
+                    (k, p),
+                    (kind, payload),
+                    "iteration {i}: framing changed bytes"
+                );
+            }
+            other => panic!("iteration {i}: expected a frame, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn seeded_rejections_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0xBAD_5EED);
+    for i in 0..200 {
+        let rej = match rng.gen_range(0usize..9) {
+            0 => WireRejection::UnknownScene(format!("s{}", rng.gen::<u64>())),
+            1 => WireRejection::InvalidRequest("t out of range".into()),
+            2 => WireRejection::EmptyStream,
+            3 => WireRejection::Load {
+                scene: "palace".into(),
+                message: format!("io error {}", rng.gen::<u64>()),
+            },
+            4 => WireRejection::ShuttingDown,
+            5 => WireRejection::WorkerPanicked,
+            6 => WireRejection::Quarantined {
+                scene: "lego".into(),
+                retry_after: Duration::from_nanos(rng.gen::<u64>() >> 1),
+            },
+            7 => WireRejection::Overloaded {
+                retry_after: Duration::from_nanos(rng.gen::<u64>() >> 1),
+            },
+            _ => WireRejection::Unavailable {
+                message: "backend down".into(),
+                retry_after: Duration::from_millis(rng.gen_range(0usize..10_000) as u64),
+            },
+        };
+        let (kind, payload) = Response::Rejected(rej.clone()).encode();
+        match Response::decode(kind, &payload) {
+            Ok(Response::Rejected(back)) => assert_eq!(rej, back, "iteration {i}"),
+            other => panic!("iteration {i}: decoded {other:?}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hostile framing against a live server
+// ---------------------------------------------------------------------------
+
+fn call_raw(stream: &mut TcpStream, req: &Request) -> Response {
+    let (kind, payload) = req.encode();
+    write_frame(stream, kind, &payload).expect("write");
+    match read_event(stream).expect("read") {
+        FrameEvent::Frame { kind, payload } => Response::decode(kind, &payload).expect("decode"),
+        other => panic!("expected a response frame, got {other:?}"),
+    }
+}
+
+#[test]
+fn malformed_frames_get_typed_errors_and_the_connection_survives() {
+    let scene = test_scene(ScenePreset::Lego);
+    let server = WireServer::bind(
+        "127.0.0.1:0",
+        test_service(&[("lego", scene)]),
+        WireServerConfig::default(),
+    )
+    .expect("bind");
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+
+    // 1. A frame with a corrupt version byte: typed error, then life
+    //    goes on.
+    let (kind, payload) = Request::Ping.encode();
+    let mut raw = Vec::new();
+    write_frame(&mut raw, kind, &payload).unwrap();
+    raw[4] = WIRE_VERSION.wrapping_add(7);
+    use std::io::Write as _;
+    stream.write_all(&raw).unwrap();
+    match read_event(&mut stream).expect("read") {
+        FrameEvent::Frame { kind, payload } => {
+            match Response::decode(kind, &payload).expect("decode") {
+                Response::Error { message } => {
+                    assert!(
+                        message.contains("version"),
+                        "unexpected message {message:?}"
+                    );
+                }
+                other => panic!("expected Error, got {other:?}"),
+            }
+        }
+        other => panic!("expected a response, got {other:?}"),
+    }
+
+    // 2. An unknown request kind: typed error, connection survives.
+    write_frame(&mut stream, 0x7F, b"junk").unwrap();
+    match read_event(&mut stream).expect("read") {
+        FrameEvent::Frame { kind, payload } => {
+            match Response::decode(kind, &payload).expect("decode") {
+                Response::Error { message } => {
+                    assert!(message.contains("kind"), "unexpected message {message:?}");
+                }
+                other => panic!("expected Error, got {other:?}"),
+            }
+        }
+        other => panic!("expected a response, got {other:?}"),
+    }
+
+    // 3. A truncated Open payload: typed error, connection survives.
+    let (kind, payload) = Request::Open {
+        scene: "lego".into(),
+        defaults: RenderOptions::default(),
+        spec: StreamSpec::orbit(4),
+        config: StreamConfig::default(),
+    }
+    .encode();
+    write_frame(&mut stream, kind, &payload[..payload.len() / 2]).unwrap();
+    match read_event(&mut stream).expect("read") {
+        FrameEvent::Frame { kind, payload } => {
+            assert!(matches!(
+                Response::decode(kind, &payload).expect("decode"),
+                Response::Error { .. }
+            ));
+        }
+        other => panic!("expected a response, got {other:?}"),
+    }
+
+    // 4. The same connection still serves real traffic.
+    assert!(matches!(
+        call_raw(&mut stream, &Request::Ping),
+        Response::Pong
+    ));
+    match call_raw(
+        &mut stream,
+        &Request::Open {
+            scene: "lego".into(),
+            defaults: small_options(),
+            spec: StreamSpec::orbit(2),
+            config: StreamConfig::default(),
+        },
+    ) {
+        Response::Opened { frames: 2, .. } => {}
+        other => panic!("expected Opened, got {other:?}"),
+    }
+
+    drop(stream);
+    server.shutdown();
+}
+
+#[test]
+fn oversized_declarations_are_rejected_without_matching_allocation() {
+    let scene = test_scene(ScenePreset::Lego);
+    let server = WireServer::bind(
+        "127.0.0.1:0",
+        test_service(&[("lego", scene)]),
+        WireServerConfig::default(),
+    )
+    .expect("bind");
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+
+    // Declare an over-the-ceiling frame, then actually send that many
+    // bytes: the server drains and answers a typed error rather than
+    // allocating the declared length or dropping the connection.
+    let declared: u32 = gcc_repro::wire::MAX_FRAME_LEN + 16;
+    use std::io::Write as _;
+    stream.write_all(&declared.to_le_bytes()).unwrap();
+    let chunk = vec![0u8; 1 << 16];
+    let mut remaining = declared as usize;
+    while remaining > 0 {
+        let take = remaining.min(chunk.len());
+        stream.write_all(&chunk[..take]).unwrap();
+        remaining -= take;
+    }
+    match read_event(&mut stream).expect("read") {
+        FrameEvent::Frame { kind, payload } => {
+            match Response::decode(kind, &payload).expect("decode") {
+                Response::Error { message } => {
+                    assert!(
+                        message.contains("ceiling"),
+                        "unexpected message {message:?}"
+                    );
+                }
+                other => panic!("expected Error, got {other:?}"),
+            }
+        }
+        other => panic!("expected a response, got {other:?}"),
+    }
+    assert!(matches!(
+        call_raw(&mut stream, &Request::Ping),
+        Response::Pong
+    ));
+
+    drop(stream);
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end loopback parity
+// ---------------------------------------------------------------------------
+
+#[test]
+fn wire_orbit_is_bit_identical_to_in_process_delivery() {
+    let scene = test_scene(ScenePreset::Palace);
+    let spec = StreamSpec::orbit(6);
+    let config = StreamConfig::default()
+        .with_priority(Priority::Interactive)
+        .with_deadline(Duration::from_millis(250))
+        .with_window(3);
+
+    // In-process reference: a FrameStream on its own service.
+    let reference = test_service(&[("palace", Arc::clone(&scene))]);
+    let mut direct = reference
+        .session("palace", small_options())
+        .expect("session")
+        .stream_with(spec.clone(), config)
+        .expect("stream");
+    let mut expected = Vec::new();
+    while let Some(next) = direct.next_frame() {
+        expected.push(next.expect("direct frame"));
+    }
+    reference.shutdown();
+
+    // The same spec through a real TCP server.
+    let server = WireServer::bind(
+        "127.0.0.1:0",
+        test_service(&[("palace", scene)]),
+        WireServerConfig::default(),
+    )
+    .expect("bind");
+    let mut client = WireClient::connect(server.local_addr()).expect("connect");
+    let mut remote = client
+        .open("palace", small_options(), spec, config)
+        .expect("open");
+    assert_eq!(remote.len(), expected.len() as u64);
+    let mut got = Vec::new();
+    while let Some(frame) = client.next_frame(&mut remote).expect("pull") {
+        got.push(frame);
+    }
+    assert!(remote.is_done());
+    assert_eq!(got.len(), expected.len());
+    for (i, (wire, direct)) in got.iter().zip(&expected).enumerate() {
+        assert_frames_identical(wire, direct, &format!("frame {i}"));
+    }
+
+    // Stats crossed the wire too: the server counted this stream.
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.streams.opened, 1);
+    assert_eq!(stats.frames, expected.len() as u64);
+
+    let final_stats = server.shutdown();
+    assert_eq!(final_stats.streams.completed, 1);
+}
+
+#[test]
+fn typed_rejections_cross_the_wire() {
+    let scene = test_scene(ScenePreset::Lego);
+    let server = WireServer::bind(
+        "127.0.0.1:0",
+        test_service(&[("lego", scene)]),
+        WireServerConfig::default(),
+    )
+    .expect("bind");
+    let mut client = WireClient::connect(server.local_addr()).expect("connect");
+
+    match client.open(
+        "atlantis",
+        RenderOptions::default(),
+        StreamSpec::orbit(2),
+        StreamConfig::default(),
+    ) {
+        Err(WireError::Rejected(WireRejection::UnknownScene(s))) => assert_eq!(s, "atlantis"),
+        other => panic!("expected UnknownScene, got {other:?}"),
+    }
+    match client.open(
+        "lego",
+        RenderOptions::default(),
+        StreamSpec::ViewList(Vec::new()),
+        StreamConfig::default(),
+    ) {
+        Err(WireError::Rejected(WireRejection::EmptyStream)) => {}
+        other => panic!("expected EmptyStream, got {other:?}"),
+    }
+    match client.open(
+        "lego",
+        RenderOptions::default(),
+        StreamSpec::TrajectorySweep {
+            t0: 0.0,
+            t1: 7.0,
+            frames: 3,
+        },
+        StreamConfig::default(),
+    ) {
+        Err(WireError::Rejected(WireRejection::InvalidRequest(_))) => {}
+        other => panic!("expected InvalidRequest, got {other:?}"),
+    }
+
+    // Cancellation mid-stream: delivered frames stop, the ack is
+    // idempotent, and the server keeps serving.
+    let mut remote = client
+        .open(
+            "lego",
+            small_options(),
+            StreamSpec::orbit(8),
+            StreamConfig::default(),
+        )
+        .expect("open");
+    let first = client.next_frame(&mut remote).expect("pull");
+    assert!(first.is_some());
+    client.cancel(&mut remote).expect("cancel");
+    client.cancel(&mut remote).expect("cancel twice");
+    assert!(client
+        .next_frame(&mut remote)
+        .expect("post-cancel pull")
+        .is_none());
+    client.ping().expect("ping after cancel");
+
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// The shard proxy
+// ---------------------------------------------------------------------------
+
+#[test]
+fn shard_proxy_routes_fails_over_and_forwards_rejections() {
+    let lego = test_scene(ScenePreset::Lego);
+    let palace = test_scene(ScenePreset::Palace);
+    // Both backends register both scenes — the ring decides ownership,
+    // and failover needs the survivor to be able to serve either.
+    let scenes = [("lego", Arc::clone(&lego)), ("palace", Arc::clone(&palace))];
+    let mut backends: Vec<Option<WireServer>> = (0..2)
+        .map(|_| {
+            Some(
+                WireServer::bind(
+                    "127.0.0.1:0",
+                    test_service(&scenes),
+                    WireServerConfig::default(),
+                )
+                .expect("bind backend"),
+            )
+        })
+        .collect();
+    let addrs: Vec<_> = backends
+        .iter()
+        .map(|b| b.as_ref().unwrap().local_addr())
+        .collect();
+
+    let proxy = ShardProxy::bind(
+        "127.0.0.1:0",
+        addrs,
+        ShardProxyConfig {
+            probe_interval: Duration::from_millis(50),
+            ..ShardProxyConfig::default()
+        },
+    )
+    .expect("bind proxy");
+    let mut client = WireClient::connect(proxy.local_addr()).expect("connect");
+
+    // Streams for both scenes resolve through the proxy, bit-identical
+    // to a direct render.
+    let reference = test_service(&scenes);
+    for id in ["lego", "palace"] {
+        let mut direct = reference
+            .session(id, small_options())
+            .expect("session")
+            .stream_with(StreamSpec::orbit(3), StreamConfig::default())
+            .expect("stream");
+        let mut remote = client
+            .open(
+                id,
+                small_options(),
+                StreamSpec::orbit(3),
+                StreamConfig::default(),
+            )
+            .expect("open via proxy");
+        let mut i = 0;
+        while let Some(frame) = client.next_frame(&mut remote).expect("pull") {
+            let expected = direct.next_frame().expect("direct has frame").expect("ok");
+            assert_frames_identical(&frame, &expected, &format!("{id} frame {i}"));
+            i += 1;
+        }
+        assert_eq!(i, 3, "{id}: short stream");
+    }
+    reference.shutdown();
+
+    // Typed rejections forward verbatim.
+    match client.open(
+        "atlantis",
+        RenderOptions::default(),
+        StreamSpec::orbit(1),
+        StreamConfig::default(),
+    ) {
+        Err(WireError::Rejected(WireRejection::UnknownScene(s))) => assert_eq!(s, "atlantis"),
+        other => panic!("expected UnknownScene through the proxy, got {other:?}"),
+    }
+
+    // Merged stats reach both backends (total streams == what we opened;
+    // rejected opens count too, wherever they landed).
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.streams.opened, 2, "merged stream count");
+
+    // Kill the backend that *owns* "lego" (the ring says which); after a
+    // probe round the proxy fails opens over to the survivor. Retry on
+    // Unavailable: there is a window where the prober has not yet
+    // noticed the corpse.
+    let home = ShardRing::new(2)
+        .route("lego", &[true, true])
+        .expect("ring routes");
+    backends[home]
+        .take()
+        .expect("home backend alive")
+        .shutdown();
+    let mut failover = None;
+    for _ in 0..50 {
+        match client.open(
+            "lego",
+            small_options(),
+            StreamSpec::orbit(2),
+            StreamConfig::default(),
+        ) {
+            Ok(r) => {
+                failover = Some(r);
+                break;
+            }
+            Err(WireError::Rejected(WireRejection::Unavailable { .. })) => {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => panic!("unexpected failover error: {e}"),
+        }
+    }
+    let mut remote = failover.expect("no open succeeded after backend death");
+    let mut delivered = 0;
+    while client
+        .next_frame(&mut remote)
+        .expect("failover pull")
+        .is_some()
+    {
+        delivered += 1;
+    }
+    assert_eq!(delivered, 2, "failover stream short");
+
+    proxy.shutdown();
+    for server in backends.into_iter().flatten() {
+        server.shutdown();
+    }
+}
