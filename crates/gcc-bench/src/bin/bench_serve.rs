@@ -59,21 +59,34 @@
 //! `Shutdown` request and checks the child exit codes. The record gains
 //! a `"wire"` object that `perf_gate` refuses unless both held.
 //!
+//! With `--lod` the harness exercises the deadline-aware quality ladder
+//! (`gcc-lod` + `ServeConfig::lod`): it calibrates a per-frame deadline
+//! that full-quality rendering cannot meet but the ladder's cheap rungs
+//! can, replays the same deadline-carrying orbit with the ladder on
+//! (expecting **zero** misses) and off (expecting misses), and measures
+//! every rung's PSNR/SSIM against full renders of the same views. The
+//! record gains a `"lod"` object that `perf_gate` refuses unless the
+//! miss contract held, every frame resolved, and every rung met its
+//! documented quality floor.
+//!
 //! ```text
 //! cargo run --release -p gcc-bench --bin bench_serve            # full
 //! cargo run --release -p gcc-bench --bin bench_serve -- --smoke # CI
 //! cargo run --release -p gcc-bench --bin bench_serve -- --smoke --chaos
 //! cargo run --release -p gcc-bench --bin bench_serve -- --smoke --wire
+//! cargo run --release -p gcc-bench --bin bench_serve -- --smoke --lod
 //! ```
 //!
 //! Flags: `--smoke` (tiny scenes, short workload — CI), `--chaos`
 //! (fault-injected storm + recovery phase, recorded under `"chaos"`),
 //! `--wire` (multi-process shard deployment over loopback, recorded
 //! under `"wire"`; needs the `gcc-served`/`gcc-shard` binaries built),
-//! `--clients N` (bulk stream clients; `max(1, N/2)` interactive clients
-//! ride along), `--requests N` (streams per bulk client; interactive
-//! clients submit `3·N` frames each), `--out PATH` (default
-//! `BENCH_serve.json` at the repository root).
+//! `--lod` (deadline-aware quality ladder on/off replay + per-rung
+//! quality, recorded under `"lod"`), `--clients N` (bulk stream clients;
+//! `max(1, N/2)` interactive clients ride along), `--requests N`
+//! (streams per bulk client; interactive clients submit `3·N` frames
+//! each), `--out PATH` (default `BENCH_serve.json` at the repository
+//! root).
 
 use std::io::BufRead;
 use std::net::SocketAddr;
@@ -83,15 +96,18 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use gcc_bench::TablePrinter;
+use gcc_lod::{attach_hierarchy, QualityRung};
 use gcc_math::Vec3;
 use gcc_render::pipeline::FrameScratch;
+use gcc_render::quality::{psnr, ssim};
+use gcc_render::upscale::upscale_bilinear;
 use gcc_render::{RenderJob, RenderOptions, Roi, Schedule};
 use gcc_scene::io::RetryPolicy;
 use gcc_scene::rng::StdRng;
 use gcc_scene::{io, Scene, SceneConfig, ScenePreset, ViewSpec};
 use gcc_serve::{
-    ChaosRenderer, FaultPlan, Priority, RenderService, SceneSource, ScheduleRenderers, ServeConfig,
-    ServeError, ServeStats, StreamConfig, StreamSpec,
+    ChaosRenderer, FaultPlan, LodPolicy, Priority, RenderRequest, RenderService, SceneSource,
+    ScheduleRenderers, ServeConfig, ServeError, ServeStats, StreamConfig, StreamSpec,
 };
 use gcc_wire::{WireClient, WireError, WireRejection};
 
@@ -1055,6 +1071,216 @@ fn run_wire(
     }
 }
 
+/// Measured quality of one ladder rung against the full-quality render
+/// of the same views, plus the floors the ladder documents for it.
+struct RungQuality {
+    name: &'static str,
+    psnr_db: f64,
+    ssim: f64,
+    min_psnr_db: f64,
+    min_ssim: f64,
+}
+
+/// Outcome of the `--lod` phase: the same deadline-carrying orbit served
+/// with and without the adaptive quality ladder, plus the per-rung
+/// quality deltas versus full renders.
+struct LodOutcome {
+    scene: String,
+    frames: u64,
+    deadline_ms: f64,
+    full_ms: f64,
+    floor_ms: f64,
+    misses_ladder_on: u64,
+    misses_ladder_off: u64,
+    degraded_frames: u64,
+    frames_by_rung: Vec<u64>,
+    /// Every frame of both runs was delivered.
+    all_resolved: bool,
+    rungs: Vec<RungQuality>,
+    /// Every rung's measured PSNR/SSIM met its documented floor.
+    quality_ok: bool,
+}
+
+/// Renders `view` of a hierarchy-attached scene the way the serve layer
+/// dispatches `rung`: knobs merged into the options, the camera resolved
+/// at the reduced resolution, the rung's hierarchy level, and the
+/// filtered upscale back to the native frame size.
+fn render_rung(
+    scene: &Scene,
+    rung: &QualityRung,
+    view: &ViewSpec,
+    scratch: &mut FrameScratch,
+) -> gcc_render::Frame {
+    let target = scene.resolution;
+    let options = rung.apply(&RenderOptions::default(), target);
+    let cam = scene
+        .resolve_view(view, &options)
+        .expect("lod bench view resolves");
+    let gaussians = scene.lod.as_ref().map_or(&scene.gaussians[..], |l| {
+        l.level_gaussians(&scene.gaussians, rung.lod_level)
+    });
+    let mut frame = Schedule::Reference
+        .renderer()
+        .render_job(&RenderJob::with_options(gaussians, &cam, options), scratch);
+    if (frame.image.width(), frame.image.height()) != target {
+        frame.image = upscale_bilinear(&frame.image, target.0, target.1);
+    }
+    frame
+}
+
+/// Serves `frames` deadline-carrying orbit frames of `id` sequentially
+/// (cache pre-warmed by one deadline-free frame, which also prices rung 0
+/// for the ladder run) and returns the final stats.
+fn lod_serve_run(
+    registry: &[(String, SceneSource)],
+    id: &str,
+    lod: Option<LodPolicy>,
+    frames: usize,
+    deadline: Duration,
+) -> ServeStats {
+    let service = RenderService::new(
+        ServeConfig {
+            workers: 2,
+            lod,
+            ..ServeConfig::default()
+        },
+        registry.to_vec(),
+    );
+    service
+        .render_blocking(RenderRequest::trajectory(id, 0.05))
+        .expect("lod warm frame");
+    let session = service
+        .session(id, RenderOptions::default())
+        .expect("lod session");
+    let stream = session
+        .stream_with(
+            StreamSpec::OrbitLoop {
+                frames,
+                radius_scale: 1.0,
+                height_offset: 0.0,
+            },
+            StreamConfig::default()
+                .with_window(1)
+                .with_deadline(deadline),
+        )
+        .expect("lod stream");
+    for item in stream {
+        item.expect("lod frame failed");
+    }
+    service.shutdown()
+}
+
+/// The `--lod` phase: calibrates a deadline that full-quality rendering
+/// cannot meet but the ladder's cheap rungs can, replays the same
+/// deadline-carrying orbit ladder-on and ladder-off, and measures each
+/// rung's PSNR/SSIM against full renders of the same views. The gate
+/// (`perf_gate`) refuses the record unless the ladder run missed zero
+/// deadlines, the exact run missed at least one, every frame resolved,
+/// and every rung met its documented quality floor.
+fn run_lod(dir: &Path, smoke: bool) -> LodOutcome {
+    // The shared bench scenes are deliberately small (the cache-pressure
+    // workloads want many cheap scenes), which leaves the rungs
+    // overhead-dominated and too close in cost to separate a deadline.
+    // The LOD phase builds its own heavier scene so full and floor costs
+    // sit an order of magnitude apart.
+    let id = "lodscene";
+    let built = ScenePreset::Lego.build(&SceneConfig::with_scale(0.5));
+    let path = dir.join("lodscene.bin");
+    io::write_binary_file(&built, &path).expect("write lod scene");
+    let registry = vec![(id.to_string(), SceneSource::File(path))];
+    // A wider dispatch margin than the serving default: the committed
+    // record is a gate, so the ladder should only climb to rungs with
+    // comfortable (2x) predicted headroom under the deadline.
+    let policy = LodPolicy {
+        margin: 2.0,
+        ..LodPolicy::default()
+    };
+    let ladder = policy.ladder.clone();
+    let floor = ladder.floor();
+
+    let mut qscene = built;
+    attach_hierarchy(&mut qscene, &policy.hierarchy);
+    let mut scratch = FrameScratch::new();
+
+    // Calibration: best-of-3 direct render cost at the exact rung and at
+    // the floor. The deadline goes between them — geometrically, with an
+    // absolute floor against timer noise — so full quality *must* miss
+    // while the cheap rungs have comfortable headroom.
+    let calib_view = ViewSpec::trajectory(0.3);
+    let mut time_rung = |idx: usize| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            render_rung(&qscene, &ladder.rungs()[idx], &calib_view, &mut scratch);
+            best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        best
+    };
+    let full_ms = time_rung(0);
+    let floor_ms = time_rung(floor);
+    assert!(
+        floor_ms < full_ms / 2.0,
+        "floor rung ({floor_ms:.2} ms) is not meaningfully cheaper than full ({full_ms:.2} ms)"
+    );
+    let deadline_ms = (full_ms * floor_ms)
+        .sqrt()
+        .max(4.0 * floor_ms)
+        .max(2.0)
+        .min(0.7 * full_ms);
+    let deadline = Duration::from_secs_f64(deadline_ms / 1e3);
+
+    // Per-rung quality versus the full render, worst case over a spread
+    // of views. The full rung is exact by construction (PSNR capped for
+    // the record).
+    let views = [
+        ViewSpec::trajectory(0.15),
+        ViewSpec::trajectory(0.5),
+        ViewSpec::trajectory(0.85),
+    ];
+    let full_frames: Vec<gcc_render::Frame> = views
+        .iter()
+        .map(|v| render_rung(&qscene, &ladder.rungs()[0], v, &mut scratch))
+        .collect();
+    let mut rungs = Vec::new();
+    let mut quality_ok = true;
+    for rung in ladder.rungs() {
+        let (mut worst_psnr, mut worst_ssim) = (f64::INFINITY, f64::INFINITY);
+        for (v, want) in views.iter().zip(&full_frames) {
+            let got = render_rung(&qscene, rung, v, &mut scratch);
+            worst_psnr = worst_psnr.min(psnr(&got.image, &want.image).min(99.0));
+            worst_ssim = worst_ssim.min(ssim(&got.image, &want.image));
+        }
+        quality_ok &= worst_psnr >= rung.min_psnr_db && worst_ssim >= rung.min_ssim;
+        rungs.push(RungQuality {
+            name: rung.name,
+            psnr_db: worst_psnr,
+            ssim: worst_ssim,
+            min_psnr_db: rung.min_psnr_db,
+            min_ssim: rung.min_ssim,
+        });
+    }
+
+    // The same deadline-carrying orbit, ladder-on then ladder-off.
+    let frames = if smoke { 12 } else { 40 };
+    let on = lod_serve_run(&registry, id, Some(policy), frames, deadline);
+    let off = lod_serve_run(&registry, id, None, frames, deadline);
+    let expected = frames as u64 + 1; // + the deadline-free warm frame
+    LodOutcome {
+        scene: id.to_string(),
+        frames: frames as u64,
+        deadline_ms,
+        full_ms,
+        floor_ms,
+        misses_ladder_on: on.deadline_misses(),
+        misses_ladder_off: off.deadline_misses(),
+        degraded_frames: on.lod.degraded_frames,
+        frames_by_rung: on.lod.frames_by_rung.clone(),
+        all_resolved: on.frames == expected && off.frames == expected,
+        rungs,
+        quality_ok,
+    }
+}
+
 fn json_escape_free(s: &str) -> &str {
     // Ids/names here are ASCII identifiers; keep the writer simple.
     assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
@@ -1066,6 +1292,7 @@ fn main() {
     let smoke = args.iter().any(|a| a == "--smoke");
     let chaos = args.iter().any(|a| a == "--chaos");
     let wire = args.iter().any(|a| a == "--wire");
+    let lod = args.iter().any(|a| a == "--lod");
     let mut clients = if smoke { 2 } else { 5 };
     let mut per_client = if smoke { 2 } else { 4 };
     let mut out_path = gcc_bench::default_artifact_path("BENCH_serve.json");
@@ -1087,9 +1314,9 @@ fn main() {
             "--out" => {
                 out_path = it.next().expect("--out needs a path").into();
             }
-            "--smoke" | "--chaos" | "--wire" => {}
+            "--smoke" | "--chaos" | "--wire" | "--lod" => {}
             other => panic!(
-                "unknown flag {other} (expected --smoke, --chaos, --wire, --clients N, \
+                "unknown flag {other} (expected --smoke, --chaos, --wire, --lod, --clients N, \
                  --requests N, --out PATH)"
             ),
         }
@@ -1124,6 +1351,11 @@ fn main() {
     // scene directory is removed. It does not touch the in-process
     // services the measured configurations use.
     let wire_outcome = wire.then(|| run_wire(&scenes, &dir, &loaded, clients.max(2)));
+
+    // The LOD phase replays one deadline-carrying orbit with and without
+    // the quality ladder on fresh services over its own heavier scene
+    // file in the same directory, so it too runs before cleanup.
+    let lod_outcome = lod.then(|| run_lod(&dir, smoke));
 
     let batched = run_config(
         "batched_lru",
@@ -1213,6 +1445,37 @@ fn main() {
                 "REQUESTS STRANDED"
             },
         );
+    }
+    if let Some(l) = &lod_outcome {
+        println!(
+            "lod: {} frames of {} under a {:.2} ms deadline (full {:.2} ms, floor {:.2} ms): \
+             ladder-on missed {}, ladder-off missed {}; {} degraded frames, rungs {:?} — {}",
+            l.frames,
+            l.scene,
+            l.deadline_ms,
+            l.full_ms,
+            l.floor_ms,
+            l.misses_ladder_on,
+            l.misses_ladder_off,
+            l.degraded_frames,
+            l.frames_by_rung,
+            match (
+                l.misses_ladder_on == 0 && l.misses_ladder_off > 0,
+                l.all_resolved,
+                l.quality_ok
+            ) {
+                (true, true, true) => "ok",
+                (false, _, _) => "DEADLINE CONTRACT FAILED",
+                (_, false, _) => "FRAMES LOST",
+                (_, _, false) => "QUALITY FLOOR VIOLATED",
+            },
+        );
+        for r in &l.rungs {
+            println!(
+                "  rung {:>8}: psnr {:>5.1} dB (floor {:>4.1}), ssim {:.3} (floor {:.3})",
+                r.name, r.psnr_db, r.min_psnr_db, r.ssim, r.min_ssim
+            );
+        }
     }
     if let Some(w) = &wire_outcome {
         println!(
@@ -1353,6 +1616,43 @@ fn main() {
             c.all_resolved,
         ));
     }
+    if let Some(l) = &lod_outcome {
+        json.push_str(&format!(
+            "  \"lod\": {{\"scene\": \"{}\", \"frames\": {}, \"deadline_ms\": {:.3}, \
+             \"full_ms\": {:.3}, \"floor_ms\": {:.3}, \"misses_ladder_on\": {}, \
+             \"misses_ladder_off\": {}, \"degraded_frames\": {}, \"frames_by_rung\": [{}], \
+             \"all_resolved\": {}, \"quality_ok\": {},\n",
+            json_escape_free(&l.scene),
+            l.frames,
+            l.deadline_ms,
+            l.full_ms,
+            l.floor_ms,
+            l.misses_ladder_on,
+            l.misses_ladder_off,
+            l.degraded_frames,
+            l.frames_by_rung
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(", "),
+            l.all_resolved,
+            l.quality_ok,
+        ));
+        json.push_str("   \"rungs\": [");
+        for (j, r) in l.rungs.iter().enumerate() {
+            json.push_str(&format!(
+                "{}{{\"name\": \"{}\", \"psnr_db\": {:.3}, \"ssim\": {:.4}, \
+                 \"min_psnr_db\": {:.3}, \"min_ssim\": {:.4}}}",
+                if j == 0 { "" } else { ", " },
+                json_escape_free(r.name),
+                r.psnr_db,
+                r.ssim,
+                r.min_psnr_db,
+                r.min_ssim,
+            ));
+        }
+        json.push_str("]},\n");
+    }
     if let Some(w) = &wire_outcome {
         json.push_str(&format!(
             "  \"wire\": {{\"shards\": {}, \"clients\": {}, \"requests\": {}, \
@@ -1397,6 +1697,21 @@ fn main() {
                 "bench_serve: chaos storm stranded requests ({} resolved + {} turned away \
                  of {}, {} lost workers)",
                 c.resolved, c.turned_away, c.storm_requests, c.lost_workers
+            );
+            std::process::exit(1);
+        }
+    }
+
+    // A lod run's acceptance is the degradation contract: under a
+    // deadline full quality cannot meet, the ladder run missed nothing
+    // while the exact run missed at least once, every frame of both runs
+    // was delivered, and every rung met its documented quality floor.
+    if let Some(l) = &lod_outcome {
+        if l.misses_ladder_on != 0 || l.misses_ladder_off == 0 || !l.all_resolved || !l.quality_ok {
+            eprintln!(
+                "bench_serve: lod contract failed (ladder-on misses {}, ladder-off misses {}, \
+                 all_resolved {}, quality_ok {})",
+                l.misses_ladder_on, l.misses_ladder_off, l.all_resolved, l.quality_ok
             );
             std::process::exit(1);
         }

@@ -16,7 +16,12 @@
 //!   with `bench_serve --chaos` carries a `"chaos"` object, and the gate
 //!   additionally requires its fault storm to have resolved cleanly:
 //!   `all_resolved` and zero lost workers — the fault-free floor and the
-//!   resilience contract are enforced by the same invocation.
+//!   resilience contract are enforced by the same invocation. Likewise a
+//!   record produced with `bench_serve --lod` carries a `"lod"` object,
+//!   and the gate requires the deadline-degradation contract: the
+//!   quality-ladder run missed zero deadlines where the exact run missed
+//!   at least one, every frame was delivered, and every rung met its
+//!   documented PSNR/SSIM floor.
 //!
 //! The comparison logic itself lives in `gcc_bench::perf_gate`, where
 //! unit tests pin that an inflated timing record and a collapsed serve

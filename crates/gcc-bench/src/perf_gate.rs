@@ -273,6 +273,38 @@ impl WireGate {
     }
 }
 
+/// LOD-phase summary of a record produced by `bench_serve --lod`: the
+/// same deadline-carrying orbit served with and without the adaptive
+/// quality ladder. When present, the gate requires the degradation
+/// contract to hold: the ladder run missed zero deadlines while the
+/// exact run missed at least one (the deadline was genuinely
+/// unmeetable at full quality), every frame of both runs was delivered,
+/// and every rung's measured PSNR/SSIM met its documented floor.
+#[derive(Debug, Clone)]
+pub struct LodGate {
+    /// Deadline misses of the ladder-on run (must be zero).
+    pub misses_ladder_on: u64,
+    /// Deadline misses of the ladder-off run (must be at least one).
+    pub misses_ladder_off: u64,
+    /// Frames the ladder dispatched at a degraded rung.
+    pub degraded_frames: u64,
+    /// Every frame of both runs was delivered.
+    pub all_resolved: bool,
+    /// Every rung's measured quality met its documented floor.
+    pub quality_ok: bool,
+}
+
+impl LodGate {
+    /// `true` when the ladder beat the deadline the exact run could not,
+    /// without dropping frames or violating a quality floor.
+    pub fn passed(&self) -> bool {
+        self.misses_ladder_on == 0
+            && self.misses_ladder_off >= 1
+            && self.all_resolved
+            && self.quality_ok
+    }
+}
+
 /// Outcome of the serve-throughput floor check against a
 /// `bench_serve/v3` record: the speedup over the naive
 /// load-render-evict configuration must hold a floor, and the record's
@@ -282,7 +314,8 @@ impl WireGate {
 /// `bench_serve` itself in full mode, where the workload is heavy enough
 /// for the comparison to be meaningful). A record carrying a `"chaos"`
 /// object additionally must have resolved its fault storm cleanly
-/// ([`ChaosGate`]).
+/// ([`ChaosGate`]); one carrying a `"lod"` object must have held the
+/// deadline-degradation contract ([`LodGate`]).
 #[derive(Debug, Clone)]
 pub struct ServeGateReport {
     /// Minimum acceptable `speedup_vs_naive`.
@@ -302,17 +335,21 @@ pub struct ServeGateReport {
     /// Wire-deployment summary when the record was produced with
     /// `--wire`.
     pub wire: Option<WireGate>,
+    /// LOD-phase summary when the record was produced with `--lod`.
+    pub lod: Option<LodGate>,
 }
 
 impl ServeGateReport {
     /// `true` when parity held, the speedup clears the floor, and — for
-    /// chaos/wire records — the fault storm resolved cleanly and the
-    /// sharded deployment held its contract.
+    /// chaos/wire/lod records — the fault storm resolved cleanly, the
+    /// sharded deployment held its contract, and the quality ladder beat
+    /// its deadline within the documented quality floors.
     pub fn passed(&self) -> bool {
         self.parity_ok
             && self.speedup_vs_naive >= self.floor
             && self.chaos.as_ref().is_none_or(ChaosGate::passed)
             && self.wire.as_ref().is_none_or(WireGate::passed)
+            && self.lod.as_ref().is_none_or(LodGate::passed)
     }
 
     /// Human-readable report.
@@ -360,6 +397,21 @@ impl ServeGateReport {
                 },
                 if w.parity_ok { "ok" } else { "DIVERGED" },
                 if w.passed() { "" } else { "  FAILED" },
+            ));
+        }
+        if let Some(l) = &self.lod {
+            out.push_str(&format!(
+                "lod ladder: {} misses vs {} ladder-off ({} degraded frames), {}, quality {}{}\n",
+                l.misses_ladder_on,
+                l.misses_ladder_off,
+                l.degraded_frames,
+                if l.all_resolved {
+                    "all frames delivered"
+                } else {
+                    "FRAMES LOST"
+                },
+                if l.quality_ok { "ok" } else { "BELOW FLOOR" },
+                if l.passed() { "" } else { "  FAILED" },
             ));
         }
         out.push_str(&format!(
@@ -467,6 +519,33 @@ pub fn check_serve_record(text: &str, floor: f64) -> Result<ServeGateReport, Str
             })
         }
     };
+    // And for a lod record: a present-but-malformed "lod" object is an
+    // error, not a silent pass.
+    let lod = match doc.get("lod") {
+        None => None,
+        Some(l) => {
+            let flag = |k: &str| -> Result<bool, String> {
+                match l.get(k) {
+                    Some(Value::Bool(b)) => Ok(*b),
+                    _ => Err(format!("lod: missing bool '{k}'")),
+                }
+            };
+            let count = |k: &str| -> Result<u64, String> {
+                l.get(k)
+                    .and_then(Value::as_f32)
+                    .filter(|v| v.is_finite() && *v >= 0.0)
+                    .map(|v| v as u64)
+                    .ok_or(format!("lod: missing count '{k}'"))
+            };
+            Some(LodGate {
+                misses_ladder_on: count("misses_ladder_on")?,
+                misses_ladder_off: count("misses_ladder_off")?,
+                degraded_frames: count("degraded_frames")?,
+                all_resolved: flag("all_resolved")?,
+                quality_ok: flag("quality_ok")?,
+            })
+        }
+    };
     Ok(ServeGateReport {
         floor,
         speedup_vs_naive: f64::from(speedup),
@@ -475,6 +554,7 @@ pub fn check_serve_record(text: &str, floor: f64) -> Result<ServeGateReport, Str
         bulk_p95_ms,
         chaos,
         wire,
+        lod,
     })
 }
 
@@ -812,6 +892,66 @@ mod tests {
         assert!(check_serve_record(&serve_record(3.0, true), 2.0)
             .unwrap()
             .wire
+            .is_none());
+    }
+
+    fn lod_record(misses_on: u64, misses_off: u64, all_resolved: bool, quality_ok: bool) -> String {
+        let base = serve_record(3.0, true);
+        let lod = format!(
+            "\"lod\": {{\"scene\": \"lodscene\", \"frames\": 12, \"deadline_ms\": 31.0, \
+             \"full_ms\": 45.3, \"floor_ms\": 7.8, \"misses_ladder_on\": {misses_on}, \
+             \"misses_ladder_off\": {misses_off}, \"degraded_frames\": 12, \
+             \"frames_by_rung\": [0, 0, 1, 11], \"all_resolved\": {all_resolved}, \
+             \"quality_ok\": {quality_ok}, \"rungs\": [{{\"name\": \"full\", \
+             \"psnr_db\": 99.0, \"ssim\": 1.0, \"min_psnr_db\": 99.0, \
+             \"min_ssim\": 0.999}}]}}, \"speedup_vs_naive\""
+        );
+        base.replace("\"speedup_vs_naive\"", &lod)
+    }
+
+    #[test]
+    fn serve_gate_reads_and_enforces_the_lod_summary() {
+        let report = check_serve_record(&lod_record(0, 12, true, true), 2.0).unwrap();
+        assert!(report.passed());
+        let l = report.lod.as_ref().expect("lod summary parsed");
+        assert_eq!(l.misses_ladder_on, 0);
+        assert_eq!(l.misses_ladder_off, 12);
+        assert_eq!(l.degraded_frames, 12);
+        assert!(report
+            .render()
+            .contains("lod ladder: 0 misses vs 12 ladder-off"));
+
+        // A ladder run that still missed a deadline fails the gate.
+        assert!(!check_serve_record(&lod_record(1, 12, true, true), 2.0)
+            .unwrap()
+            .passed());
+        // A deadline the exact run also met proves nothing — refused.
+        assert!(!check_serve_record(&lod_record(0, 0, true, true), 2.0)
+            .unwrap()
+            .passed());
+        // Dropped frames fail even with zero misses.
+        let report = check_serve_record(&lod_record(0, 12, false, true), 2.0).unwrap();
+        assert!(!report.passed());
+        assert!(report.render().contains("FRAMES LOST"));
+        // So does a rung below its documented quality floor.
+        let report = check_serve_record(&lod_record(0, 12, true, false), 2.0).unwrap();
+        assert!(!report.passed());
+        assert!(report.render().contains("BELOW FLOOR"));
+    }
+
+    #[test]
+    fn serve_gate_rejects_malformed_lod_summaries() {
+        // Present-but-incomplete lod objects are parse errors, not
+        // silent passes.
+        let bad_quality =
+            lod_record(0, 12, true, true).replace("\"quality_ok\": true", "\"quality_ok\": 1");
+        assert!(check_serve_record(&bad_quality, 2.0).is_err());
+        let missing_misses = lod_record(0, 12, true, true).replace("\"misses_ladder_on\": 0, ", "");
+        assert!(check_serve_record(&missing_misses, 2.0).is_err());
+        // Records without a lod object stay valid.
+        assert!(check_serve_record(&serve_record(3.0, true), 2.0)
+            .unwrap()
+            .lod
             .is_none());
     }
 

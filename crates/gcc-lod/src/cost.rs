@@ -1,0 +1,193 @@
+//! The rolling per-scene cost model.
+//!
+//! Every completed frame feeds one observation — "scene S at rung R and
+//! resolution W×H took M milliseconds" — into an EWMA cell. At dispatch
+//! time the scheduler asks for the highest-quality rung whose predicted
+//! cost (with a safety margin) fits the frame's remaining deadline
+//! budget. Rungs never measured for a scene extrapolate from that
+//! scene's nearest measured rung through the ladder's nominal cost
+//! ratios, so one floor-rung render of a cold scene immediately prices
+//! the whole ladder and lets the dispatcher climb back up.
+
+use crate::ladder::QualityLadder;
+use std::collections::HashMap;
+
+/// EWMA smoothing factor: weight of the newest observation.
+const EWMA_ALPHA: f64 = 0.3;
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CostKey {
+    scene: String,
+    rung: usize,
+    width: u32,
+    height: u32,
+}
+
+/// Rolling ms/frame estimates keyed by scene × rung × resolution.
+#[derive(Debug, Clone, Default)]
+pub struct CostModel {
+    cells: HashMap<CostKey, f64>,
+}
+
+impl CostModel {
+    /// An empty model (every scene cold).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct (scene, rung, resolution) cells observed.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` when no observation has been folded in yet.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Folds one measured frame into the model.
+    pub fn observe(&mut self, scene: &str, rung: usize, resolution: (u32, u32), ms: f64) {
+        if !ms.is_finite() || ms < 0.0 {
+            return;
+        }
+        let key = CostKey {
+            scene: scene.to_string(),
+            rung,
+            width: resolution.0,
+            height: resolution.1,
+        };
+        self.cells
+            .entry(key)
+            .and_modify(|v| *v += EWMA_ALPHA * (ms - *v))
+            .or_insert(ms);
+    }
+
+    /// Predicted ms/frame for a scene × rung × resolution, or `None`
+    /// when the scene has no observation at this resolution at all.
+    /// Unmeasured rungs extrapolate from the nearest measured rung via
+    /// the ladder's nominal cost ratios.
+    pub fn predict(
+        &self,
+        ladder: &QualityLadder,
+        scene: &str,
+        rung: usize,
+        resolution: (u32, u32),
+    ) -> Option<f64> {
+        let key = |r: usize| CostKey {
+            scene: scene.to_string(),
+            rung: r,
+            width: resolution.0,
+            height: resolution.1,
+        };
+        if let Some(v) = self.cells.get(&key(rung)) {
+            return Some(*v);
+        }
+        let rungs = ladder.rungs();
+        let target_nominal = rungs.get(rung)?.nominal_cost;
+        // Nearest measured rung (ties resolve toward better quality).
+        let nearest = (0..rungs.len())
+            .filter(|r| self.cells.contains_key(&key(*r)))
+            .min_by_key(|r| (r.abs_diff(rung), *r))?;
+        let measured = self.cells[&key(nearest)];
+        Some(measured * target_nominal / rungs[nearest].nominal_cost)
+    }
+
+    /// Picks the highest-quality rung whose predicted cost, scaled by
+    /// `margin` (> 1 leaves headroom for scheduling noise), fits within
+    /// `budget_ms`. Falls to the floor rung when nothing fits — and for
+    /// cold scenes with no observations, where rendering cheap once is
+    /// the only miss-proof way to start pricing the ladder.
+    pub fn select_rung(
+        &self,
+        ladder: &QualityLadder,
+        scene: &str,
+        resolution: (u32, u32),
+        budget_ms: f64,
+        margin: f64,
+    ) -> usize {
+        for rung in 0..ladder.len() {
+            if let Some(predicted) = self.predict(ladder, scene, rung, resolution) {
+                if predicted * margin <= budget_ms {
+                    return rung;
+                }
+            }
+        }
+        ladder.floor()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RES: (u32, u32) = (640, 480);
+
+    #[test]
+    fn ewma_tracks_observations() {
+        let mut m = CostModel::new();
+        let ladder = QualityLadder::standard();
+        m.observe("lego", 0, RES, 100.0);
+        assert_eq!(m.predict(&ladder, "lego", 0, RES), Some(100.0));
+        // Converges toward a shifted load level.
+        for _ in 0..50 {
+            m.observe("lego", 0, RES, 40.0);
+        }
+        let v = m.predict(&ladder, "lego", 0, RES).unwrap();
+        assert!((v - 40.0).abs() < 1.0, "{v}");
+    }
+
+    #[test]
+    fn unmeasured_rungs_extrapolate_through_nominal_costs() {
+        let mut m = CostModel::new();
+        let ladder = QualityLadder::standard();
+        m.observe("lego", 0, RES, 100.0);
+        // Rung 1 has nominal cost 0.40 vs rung 0's 1.0.
+        let r1 = m.predict(&ladder, "lego", 1, RES).unwrap();
+        assert!((r1 - 40.0).abs() < 1e-9, "{r1}");
+        // From a floor measurement, rung 0 extrapolates upward.
+        let mut m = CostModel::new();
+        m.observe("lego", 3, RES, 10.0);
+        let r0 = m.predict(&ladder, "lego", 0, RES).unwrap();
+        assert!((r0 - 100.0).abs() < 1e-9, "{r0}");
+    }
+
+    #[test]
+    fn prediction_is_scoped_by_scene_and_resolution() {
+        let mut m = CostModel::new();
+        let ladder = QualityLadder::standard();
+        m.observe("lego", 0, RES, 100.0);
+        assert_eq!(m.predict(&ladder, "train", 0, RES), None);
+        assert_eq!(m.predict(&ladder, "lego", 0, (320, 240)), None);
+    }
+
+    #[test]
+    fn selection_degrades_under_pressure_and_climbs_back() {
+        let mut m = CostModel::new();
+        let ladder = QualityLadder::standard();
+        m.observe("lego", 0, RES, 100.0);
+        // Plenty of budget: full quality.
+        assert_eq!(m.select_rung(&ladder, "lego", RES, 500.0, 1.5), 0);
+        // Tight budget: steps down just far enough (rung 1 ≈ 40 ms).
+        assert_eq!(m.select_rung(&ladder, "lego", RES, 80.0, 1.5), 1);
+        // Severe pressure: floor.
+        assert_eq!(m.select_rung(&ladder, "lego", RES, 5.0, 1.5), 3);
+        // Headroom returns: straight back to full quality.
+        assert_eq!(m.select_rung(&ladder, "lego", RES, 1000.0, 1.5), 0);
+    }
+
+    #[test]
+    fn cold_scenes_start_at_the_floor() {
+        let m = CostModel::new();
+        let ladder = QualityLadder::standard();
+        assert_eq!(m.select_rung(&ladder, "unknown", RES, 1e9, 1.5), 3);
+    }
+
+    #[test]
+    fn non_finite_and_negative_observations_are_ignored() {
+        let mut m = CostModel::new();
+        m.observe("lego", 0, RES, f64::NAN);
+        m.observe("lego", 0, RES, f64::INFINITY);
+        m.observe("lego", 0, RES, -5.0);
+        assert!(m.is_empty());
+    }
+}

@@ -1,0 +1,340 @@
+//! The offline coarse-to-fine Gaussian hierarchy builder.
+//!
+//! Each level merges the previous level's Gaussians by voxel cell (cell
+//! edge doubles per level) into single fatter Gaussians:
+//!
+//! * the merged **mean** is the opacity·area-weighted average of the
+//!   children's means;
+//! * the merged **scale** is isotropic with radius
+//!   `R = max_i(|μ_i − μ| + r_i)` where `r_i` is child `i`'s largest
+//!   axis — so the merged footprint *conservatively covers* every
+//!   child's footprint by construction (the property test pins this);
+//! * the merged **opacity** is area-compensated
+//!   (`Σ α_i·r_i² / R²`, clamped to `(0, 1]`) so a cluster of small
+//!   opaque splats does not turn into one huge opaque blob;
+//! * the merged **SH coefficients** are the weighted average, keeping
+//!   low-order color close to the cluster's mix.
+//!
+//! Determinism: cells are gathered in a `BTreeMap` (sorted keys) and
+//! merged through the order-preserving `gcc_parallel::par_map`, so the
+//! output is bit-identical for every thread count. The seed only jitters
+//! the voxel-grid origin (decorrelating cell boundaries from scene
+//! geometry) and is recorded in the built [`SceneLod`].
+
+use gcc_core::{Gaussian3D, SH_FLOATS};
+use gcc_math::{Quat, Vec3};
+use gcc_scene::{LodLevel, Scene, SceneLod};
+use std::collections::BTreeMap;
+
+/// Configuration of [`build_hierarchy`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HierarchyConfig {
+    /// Maximum coarse levels to build (the builder stops early when a
+    /// level fails to strictly shrink or the cloud is already tiny).
+    pub max_levels: usize,
+    /// Do not coarsen below this many Gaussians.
+    pub min_gaussians: usize,
+    /// Voxel-grid resolution of the finest merge level: the scene's
+    /// largest bounding-box extent divided into this many cells.
+    pub base_cells: u32,
+    /// Seed for the grid-origin jitter (recorded in the output).
+    pub seed: u64,
+    /// Worker threads for the merge map. Any value produces the same
+    /// hierarchy; more threads just build it faster.
+    pub threads: usize,
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        Self {
+            max_levels: 3,
+            min_gaussians: 64,
+            base_cells: 48,
+            seed: 0x6ccd_10d5,
+            threads: 1,
+        }
+    }
+}
+
+/// SplitMix64 step — the repo's stock seed-expansion hash.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Unit-interval float from a SplitMix64 draw.
+fn unit_f32(state: &mut u64) -> f32 {
+    (splitmix64(state) >> 40) as f32 / (1u64 << 24) as f32
+}
+
+/// Builds the coarse-to-fine hierarchy for a Gaussian cloud.
+///
+/// Returns an empty hierarchy (no coarse levels) for clouds already at
+/// or below `min_gaussians` — callers can still attach it; level
+/// requests then resolve to the full cloud.
+pub fn build_hierarchy(gaussians: &[Gaussian3D], cfg: &HierarchyConfig) -> SceneLod {
+    let mut lod = SceneLod {
+        levels: Vec::new(),
+        seed: cfg.seed,
+    };
+    if gaussians.is_empty() {
+        return lod;
+    }
+
+    // Scene bounds (means only; the conservative radius math below never
+    // needs the bbox to include the splat extents).
+    let mut lo = gaussians[0].mean;
+    let mut hi = gaussians[0].mean;
+    for g in gaussians {
+        lo = Vec3::new(lo.x.min(g.mean.x), lo.y.min(g.mean.y), lo.z.min(g.mean.z));
+        hi = Vec3::new(hi.x.max(g.mean.x), hi.y.max(g.mean.y), hi.z.max(g.mean.z));
+    }
+    let extent = (hi - lo).max_component().max(1e-6);
+    let base_cell = extent / cfg.base_cells.max(1) as f32;
+
+    let mut rng_state = cfg.seed;
+    let mut prev: Vec<Gaussian3D> = Vec::new();
+    for level in 0..cfg.max_levels {
+        let src: &[Gaussian3D] = if level == 0 { gaussians } else { &prev };
+        if src.len() <= cfg.min_gaussians {
+            break;
+        }
+        let cell = base_cell * (1u32 << level) as f32;
+        // Seeded origin jitter, drawn per level in a fixed order so the
+        // schedule is independent of how many levels actually build.
+        let jitter = Vec3::new(
+            unit_f32(&mut rng_state),
+            unit_f32(&mut rng_state),
+            unit_f32(&mut rng_state),
+        ) * cell;
+        let origin = lo - jitter;
+
+        let mut cells: BTreeMap<(i64, i64, i64), Vec<usize>> = BTreeMap::new();
+        for (i, g) in src.iter().enumerate() {
+            let rel = g.mean - origin;
+            let key = (
+                (rel.x / cell).floor() as i64,
+                (rel.y / cell).floor() as i64,
+                (rel.z / cell).floor() as i64,
+            );
+            cells.entry(key).or_default().push(i);
+        }
+        if cells.len() >= src.len() {
+            // This level would not strictly shrink the cloud; a coarser
+            // cell next iteration would, but levels must decrease
+            // monotonically from the previous one, so stop here.
+            break;
+        }
+        let groups: Vec<Vec<usize>> = cells.into_values().collect();
+        let merged =
+            gcc_parallel::par_map(&groups, cfg.threads.max(1), |idxs| merge_cluster(src, idxs));
+        prev = merged.clone();
+        lod.levels.push(LodLevel {
+            gaussians: merged,
+            cell_size: cell,
+        });
+    }
+    lod
+}
+
+/// Builds and attaches a hierarchy derived from the scene's own cloud,
+/// seeding the grid jitter from the configured seed. Returns how many
+/// coarse levels were built.
+pub fn attach_hierarchy(scene: &mut Scene, cfg: &HierarchyConfig) -> usize {
+    let lod = build_hierarchy(&scene.gaussians, cfg);
+    let depth = lod.depth();
+    scene.lod = Some(lod);
+    depth
+}
+
+/// Merges one voxel cell's Gaussians into a single conservative proxy.
+fn merge_cluster(src: &[Gaussian3D], idxs: &[usize]) -> Gaussian3D {
+    debug_assert!(!idxs.is_empty());
+    // Opacity·area weights: big opaque splats dominate the cluster's
+    // position and color, faint dust barely shifts it.
+    let mut w_sum = 0.0f32;
+    let mut mean = Vec3::ZERO;
+    for &i in idxs {
+        let g = &src[i];
+        let r = g.scale.max_component();
+        let w = (g.opacity() * r * r).max(1e-12);
+        w_sum += w;
+        mean += g.mean * w;
+    }
+    mean *= 1.0 / w_sum;
+
+    // Conservative radius: the merged footprint contains every child's.
+    let mut radius = 0.0f32;
+    let mut alpha_area = 0.0f32;
+    for &i in idxs {
+        let g = &src[i];
+        let r = g.scale.max_component();
+        radius = radius.max((g.mean - mean).norm() + r);
+        alpha_area += g.opacity() * r * r;
+    }
+    let radius = radius.max(1e-6);
+    // Area-compensated opacity: spreading the children's opaque area
+    // over the (larger) merged footprint dims the proxy accordingly.
+    let opacity = (alpha_area / (radius * radius)).clamp(1e-4, 1.0);
+
+    let mut sh = [0.0f32; SH_FLOATS];
+    for &i in idxs {
+        let g = &src[i];
+        let r = g.scale.max_component();
+        let w = (g.opacity() * r * r).max(1e-12) / w_sum;
+        for (dst, s) in sh.iter_mut().zip(g.sh.iter()) {
+            *dst += s * w;
+        }
+    }
+
+    Gaussian3D {
+        mean,
+        scale: Vec3::splat(radius),
+        rot: Quat::IDENTITY,
+        ln_opacity: opacity.ln(),
+        sh,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcc_scene::{SceneConfig, ScenePreset};
+
+    fn test_cloud(seed_scale: f32) -> Vec<Gaussian3D> {
+        ScenePreset::Lego
+            .build(&SceneConfig::with_scale(seed_scale))
+            .gaussians
+    }
+
+    #[test]
+    fn level_counts_strictly_decrease() {
+        // Seeded property: across seeds and presets, every built level
+        // holds strictly fewer Gaussians than the one below it.
+        for seed in 0..6u64 {
+            for preset in [ScenePreset::Lego, ScenePreset::Train] {
+                let cloud = preset.build(&SceneConfig::with_scale(0.03)).gaussians;
+                let cfg = HierarchyConfig {
+                    seed,
+                    max_levels: 4,
+                    min_gaussians: 16,
+                    ..HierarchyConfig::default()
+                };
+                let lod = build_hierarchy(&cloud, &cfg);
+                assert!(lod.depth() >= 1, "seed {seed}: no levels built");
+                let mut last = cloud.len();
+                for (i, level) in lod.levels.iter().enumerate() {
+                    assert!(
+                        level.gaussians.len() < last,
+                        "seed {seed} level {i}: {} !< {last}",
+                        level.gaussians.len()
+                    );
+                    assert!(!level.gaussians.is_empty());
+                    last = level.gaussians.len();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merged_gaussians_conservatively_cover_children() {
+        // Seeded property: every child footprint (mean ± max scale) of
+        // level ℓ−1 lies inside some merged footprint of level ℓ.
+        for seed in [1u64, 7, 23] {
+            let cloud = test_cloud(0.02);
+            let cfg = HierarchyConfig {
+                seed,
+                min_gaussians: 16,
+                ..HierarchyConfig::default()
+            };
+            let lod = build_hierarchy(&cloud, &cfg);
+            let mut below: &[Gaussian3D] = &cloud;
+            for (li, level) in lod.levels.iter().enumerate() {
+                for (ci, child) in below.iter().enumerate() {
+                    let r_child = child.scale.max_component();
+                    let covered = level.gaussians.iter().any(|m| {
+                        (child.mean - m.mean).norm() + r_child <= m.scale.max_component() + 1e-3
+                    });
+                    assert!(covered, "seed {seed} level {li}: child {ci} uncovered");
+                }
+                below = &level.gaussians;
+            }
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic_across_thread_counts() {
+        let cloud = test_cloud(0.03);
+        let base = HierarchyConfig {
+            seed: 99,
+            ..HierarchyConfig::default()
+        };
+        let reference = build_hierarchy(&cloud, &HierarchyConfig { threads: 1, ..base });
+        for threads in [2, 3, 8] {
+            let other = build_hierarchy(&cloud, &HierarchyConfig { threads, ..base });
+            assert_eq!(
+                reference.levels.len(),
+                other.levels.len(),
+                "{threads} threads"
+            );
+            for (a, b) in reference.levels.iter().zip(&other.levels) {
+                assert_eq!(a.cell_size, b.cell_size);
+                assert_eq!(a.gaussians, b.gaussians, "{threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_reproduces_different_seed_may_differ() {
+        let cloud = test_cloud(0.02);
+        let cfg = |seed| HierarchyConfig {
+            seed,
+            ..HierarchyConfig::default()
+        };
+        let a = build_hierarchy(&cloud, &cfg(5));
+        let b = build_hierarchy(&cloud, &cfg(5));
+        assert_eq!(a, b);
+        assert_eq!(a.seed, 5);
+    }
+
+    #[test]
+    fn merged_opacity_is_dimmed_not_summed() {
+        // Two small opaque splats far apart in one cell must not produce
+        // a huge fully opaque blob: the area compensation dims it.
+        let g = |x: f32| Gaussian3D::isotropic(Vec3::new(x, 0.0, 0.0), 0.05, 0.9, Vec3::splat(0.5));
+        let merged = merge_cluster(&[g(0.0), g(2.0)], &[0, 1]);
+        assert!(merged.scale.max_component() >= 1.0);
+        assert!(merged.opacity() < 0.05, "opacity {}", merged.opacity());
+        // A singleton cluster keeps its own opacity and radius.
+        let solo = merge_cluster(&[g(0.0)], &[0]);
+        assert!((solo.opacity() - 0.9).abs() < 1e-3);
+        assert!((solo.scale.max_component() - 0.05).abs() < 1e-4);
+    }
+
+    #[test]
+    fn empty_and_tiny_clouds_yield_no_levels() {
+        let cfg = HierarchyConfig::default();
+        assert_eq!(build_hierarchy(&[], &cfg).depth(), 0);
+        let tiny = vec![Gaussian3D::isotropic(Vec3::ZERO, 0.1, 0.5, Vec3::splat(0.5)); 4];
+        assert_eq!(build_hierarchy(&tiny, &cfg).depth(), 0);
+    }
+
+    #[test]
+    fn attach_hierarchy_sets_scene_lod_and_charges_bytes() {
+        let mut scene = ScenePreset::Lego.build(&SceneConfig::with_scale(0.02));
+        let bare = scene.approx_bytes();
+        let depth = attach_hierarchy(
+            &mut scene,
+            &HierarchyConfig {
+                min_gaussians: 16,
+                ..HierarchyConfig::default()
+            },
+        );
+        assert!(depth >= 1);
+        assert!(scene.lod.is_some());
+        assert!(scene.approx_bytes() > bare);
+    }
+}

@@ -34,6 +34,7 @@ mod image;
 pub mod pipeline;
 pub mod quality;
 pub mod standard;
+pub mod upscale;
 
 pub use image::Image;
 pub use pipeline::{

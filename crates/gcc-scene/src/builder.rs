@@ -40,6 +40,7 @@ pub fn build_scene(params: &PresetParams, config: &SceneConfig) -> Scene {
         resolution: params.resolution,
         fov_y_deg: params.fov_y_deg,
         rig: camera_rig(params),
+        lod: None,
     }
 }
 

@@ -211,7 +211,12 @@ pub fn to_json(scene: &Scene, pretty: bool) -> Result<String, SceneIoError> {
         }
         out.push_str(nl);
     }
-    let _ = write!(out, "{ind}]{nl}}}");
+    let _ = write!(out, "{ind}]");
+    if let Some(lod) = &scene.lod {
+        let _ = write!(out, ",{nl}{ind}\"lod\":{sp}");
+        lod.write_json(&mut out).map_err(SceneIoError::Format)?;
+    }
+    let _ = write!(out, "{nl}}}");
     Ok(out)
 }
 
@@ -292,12 +297,17 @@ pub fn from_json(s: &str) -> Result<Scene, SceneIoError> {
         }
         gaussians.push(Gaussian3D::from_floats(&floats));
     }
+    let lod = match doc.get("lod") {
+        Some(v) => Some(crate::lod::SceneLod::from_json(v).map_err(SceneIoError::Format)?),
+        None => None,
+    };
     Ok(Scene {
         name,
         gaussians,
         resolution,
         fov_y_deg,
         rig,
+        lod,
     })
 }
 
@@ -332,6 +342,16 @@ pub fn write_binary<W: Write>(scene: &Scene, mut w: W) -> Result<(), SceneIoErro
         for v in g.to_floats() {
             codec::write_f32(&mut w, v)?;
         }
+    }
+    // Optional trailing LOD section: a presence flag, then the hierarchy.
+    // Files written before the adaptive-quality subsystem simply end at
+    // the last Gaussian record; the reader treats EOF here as "no lod".
+    match &scene.lod {
+        Some(lod) => {
+            codec::write_u8(&mut w, 1)?;
+            lod.write_binary(&mut w)?;
+        }
+        None => codec::write_u8(&mut w, 0)?,
     }
     Ok(())
 }
@@ -379,6 +399,21 @@ fn read_binary_after_magic<R: Read>(r: &mut R) -> Result<Scene, SceneIoError> {
         }
         gaussians.push(Gaussian3D::from_floats(&rec));
     }
+    // Optional trailing LOD section. Pre-LOD files end here, so a clean
+    // EOF at the flag byte means "no hierarchy"; any other flag value or
+    // a truncated section is a format error.
+    let lod = match codec::read_u8(r) {
+        Ok(1) => Some(
+            crate::lod::SceneLod::read_binary(r)
+                .map_err(|e| SceneIoError::Format(format!("bad lod section: {e}")))?,
+        ),
+        Ok(0) => None,
+        Ok(flag) => {
+            return Err(SceneIoError::Format(format!("bad lod flag {flag}")));
+        }
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => None,
+        Err(e) => return Err(e.into()),
+    };
     Ok(Scene {
         name,
         gaussians,
@@ -392,6 +427,7 @@ fn read_binary_after_magic<R: Read>(r: &mut R) -> Result<Scene, SceneIoError> {
             arc: rig[8],
             phase: rig[9],
         },
+        lod,
     })
 }
 
@@ -525,7 +561,84 @@ mod tests {
         let payload = scene.gaussians.len() * PARAM_FLOATS * 4;
         // Header: magic 8 + name_len 4 + name + res 8 + fov 4 + rig 40 + count 8.
         let header = 8 + 4 + scene.name.len() + 8 + 4 + 40 + 8;
-        assert_eq!(buf.len(), header + payload);
+        // Trailer: 1 lod-presence flag byte (0 here: no hierarchy).
+        assert_eq!(buf.len(), header + payload + 1);
+    }
+
+    fn scene_with_lod() -> Scene {
+        let mut scene = small_scene();
+        let coarse: Vec<Gaussian3D> = scene.gaussians.iter().step_by(3).cloned().collect();
+        let coarser: Vec<Gaussian3D> = scene.gaussians.iter().step_by(9).cloned().collect();
+        scene.lod = Some(crate::lod::SceneLod {
+            levels: vec![
+                crate::lod::LodLevel {
+                    gaussians: coarse,
+                    cell_size: 0.25,
+                },
+                crate::lod::LodLevel {
+                    gaussians: coarser,
+                    cell_size: 0.5,
+                },
+            ],
+            seed: 99,
+        });
+        scene
+    }
+
+    #[test]
+    fn json_round_trip_preserves_lod_hierarchy() {
+        let scene = scene_with_lod();
+        let s = to_json(&scene, true).unwrap();
+        let back = from_json(&s).unwrap();
+        assert_eq!(scene.gaussians, back.gaussians);
+        assert_eq!(scene.lod, back.lod);
+    }
+
+    #[test]
+    fn binary_round_trip_preserves_lod_hierarchy() {
+        let scene = scene_with_lod();
+        let mut buf = Vec::new();
+        write_binary(&scene, &mut buf).unwrap();
+        let back = read_binary(buf.as_slice()).unwrap();
+        assert_eq!(scene.gaussians, back.gaussians);
+        assert_eq!(scene.lod, back.lod);
+    }
+
+    #[test]
+    fn pre_lod_binary_files_still_load() {
+        // Files written before the LOD section simply end after the last
+        // Gaussian record — strip the flag byte to simulate one.
+        let scene = small_scene();
+        let mut buf = Vec::new();
+        write_binary(&scene, &mut buf).unwrap();
+        buf.truncate(buf.len() - 1);
+        let back = read_binary(buf.as_slice()).unwrap();
+        assert_eq!(scene.gaussians, back.gaussians);
+        assert!(back.lod.is_none());
+    }
+
+    #[test]
+    fn corrupt_lod_flag_is_a_format_error() {
+        let scene = small_scene();
+        let mut buf = Vec::new();
+        write_binary(&scene, &mut buf).unwrap();
+        *buf.last_mut().unwrap() = 7;
+        assert!(matches!(
+            read_binary(buf.as_slice()).unwrap_err(),
+            SceneIoError::Format(_)
+        ));
+    }
+
+    #[test]
+    fn truncated_lod_section_is_a_format_error() {
+        let scene = scene_with_lod();
+        let mut buf = Vec::new();
+        write_binary(&scene, &mut buf).unwrap();
+        buf.truncate(buf.len() - 5);
+        assert!(matches!(
+            read_binary(buf.as_slice()).unwrap_err(),
+            SceneIoError::Format(_)
+        ));
     }
 
     #[test]

@@ -36,6 +36,7 @@ mod builder;
 pub mod codec;
 pub mod io;
 pub mod json;
+pub mod lod;
 mod preset;
 pub mod rng;
 mod runner;
@@ -43,6 +44,7 @@ mod scene;
 mod trajectory;
 mod view;
 
+pub use lod::{LodLevel, SceneLod};
 pub use preset::{PresetParams, SceneKind, ScenePreset, ALL_PRESETS};
 pub use runner::{TrajectoryResult, TrajectoryRunner};
 pub use scene::{Scene, SceneConfig, SceneStats};

@@ -1,0 +1,312 @@
+//! Coarse-to-fine Gaussian hierarchy attached to a [`Scene`](crate::Scene).
+//!
+//! A [`SceneLod`] is a stack of mip-style levels: level 0 is the full
+//! cloud (stored once, in `Scene::gaussians`, *not* duplicated here);
+//! level `ℓ ≥ 1` replaces spatial clusters of level `ℓ-1` with single
+//! fatter, opacity/SH-compensated Gaussians. The hierarchy *builder*
+//! lives in the `gcc-lod` crate (it needs the parallel stack); this
+//! module holds only the data type, its byte accounting, and its
+//! JSON/binary codecs so scenes can carry a hierarchy through the io
+//! layer and the serve cache without a dependency cycle.
+
+use crate::json::Value;
+use gcc_core::{Gaussian3D, PARAM_FLOATS};
+use std::fmt::Write as _;
+use std::io::{self, Read, Write};
+
+/// One coarse level of the hierarchy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LodLevel {
+    /// Merged Gaussians at this level (coarser ⇒ fewer, fatter).
+    pub gaussians: Vec<Gaussian3D>,
+    /// Edge length of the merge voxel grid that produced this level, in
+    /// world units. Doubles per level.
+    pub cell_size: f32,
+}
+
+impl LodLevel {
+    /// Resident heap size of this level in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.gaussians.capacity() * std::mem::size_of::<Gaussian3D>()
+    }
+}
+
+/// A coarse-to-fine Gaussian hierarchy: `levels[0]` is the *first coarse*
+/// level (one merge step above the full cloud), `levels.last()` the
+/// coarsest. Level indices exposed to callers are therefore 1-based:
+/// "level 0" always means the scene's own full-resolution cloud.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SceneLod {
+    /// Coarse levels, finest first. Never empty in a built hierarchy.
+    pub levels: Vec<LodLevel>,
+    /// Seed the builder was run with (determinism receipt).
+    pub seed: u64,
+}
+
+impl SceneLod {
+    /// Number of coarse levels (excludes the implicit full-quality level 0).
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The Gaussians at hierarchy level `level`, where level 0 is the
+    /// full cloud (`full` must be the scene's own `gaussians`). Levels
+    /// beyond the coarsest clamp to the coarsest.
+    pub fn level_gaussians<'a>(&'a self, full: &'a [Gaussian3D], level: usize) -> &'a [Gaussian3D] {
+        if level == 0 || self.levels.is_empty() {
+            full
+        } else {
+            &self.levels[(level - 1).min(self.levels.len() - 1)].gaussians
+        }
+    }
+
+    /// Resident heap+inline size of the hierarchy in bytes — charged
+    /// against the serve cache's byte budget via `Scene::approx_bytes`.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .levels
+                .iter()
+                .map(LodLevel::approx_bytes)
+                .sum::<usize>()
+    }
+
+    /// Appends this hierarchy as a compact JSON object to `out` (the
+    /// scene JSON codec embeds it under a `"lod"` key). Floats use
+    /// Rust's shortest round-trip formatting, like the scene writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first non-finite float (JSON has no
+    /// NaN/infinity tokens).
+    pub fn write_json(&self, out: &mut String) -> Result<(), String> {
+        let _ = write!(out, "{{\"seed\": {}, \"levels\": [", self.seed);
+        for (li, l) in self.levels.iter().enumerate() {
+            if !l.cell_size.is_finite() {
+                return Err(format!("non-finite cell_size in lod level {li}"));
+            }
+            if li > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"cell_size\": {}, \"gaussians\": [", l.cell_size);
+            for (gi, g) in l.gaussians.iter().enumerate() {
+                if gi > 0 {
+                    out.push(',');
+                }
+                out.push('[');
+                for (j, v) in g.to_floats().iter().enumerate() {
+                    if !v.is_finite() {
+                        return Err(format!(
+                            "non-finite float in lod level {li} gaussian {gi} (index {j})"
+                        ));
+                    }
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{v}");
+                }
+                out.push(']');
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        Ok(())
+    }
+
+    /// Parses the object produced by [`Self::write_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first schema violation.
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        let seed = match v.get("seed") {
+            Some(Value::Num(t)) => t
+                .parse::<u64>()
+                .map_err(|_| format!("lod: bad seed '{t}'"))?,
+            _ => return Err("lod: missing numeric 'seed'".into()),
+        };
+        let levels_v = v
+            .get("levels")
+            .and_then(Value::as_arr)
+            .ok_or("lod: missing 'levels' array")?;
+        let mut levels = Vec::with_capacity(levels_v.len());
+        for (li, lv) in levels_v.iter().enumerate() {
+            let cell_size = lv
+                .get("cell_size")
+                .and_then(Value::as_f32)
+                .ok_or_else(|| format!("lod level {li}: bad 'cell_size'"))?;
+            let gauss_v = lv
+                .get("gaussians")
+                .and_then(Value::as_arr)
+                .ok_or_else(|| format!("lod level {li}: missing 'gaussians'"))?;
+            let mut gaussians = Vec::with_capacity(gauss_v.len());
+            for (gi, gv) in gauss_v.iter().enumerate() {
+                let rec = gv
+                    .as_arr()
+                    .filter(|a| a.len() == PARAM_FLOATS)
+                    .ok_or_else(|| {
+                        format!("lod level {li} gaussian {gi}: not a {PARAM_FLOATS}-array")
+                    })?;
+                let mut floats = [0.0f32; PARAM_FLOATS];
+                for (slot, item) in floats.iter_mut().zip(rec) {
+                    *slot = item
+                        .as_f32()
+                        .ok_or_else(|| format!("lod level {li} gaussian {gi}: bad float"))?;
+                }
+                gaussians.push(Gaussian3D::from_floats(&floats));
+            }
+            levels.push(LodLevel {
+                gaussians,
+                cell_size,
+            });
+        }
+        Ok(Self { levels, seed })
+    }
+
+    /// Writes the binary hierarchy section: seed, level count, then per
+    /// level its cell size, count, and raw 59-float records.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer failures.
+    pub fn write_binary<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        crate::codec::write_u64(w, self.seed)?;
+        crate::codec::write_u32(w, self.levels.len() as u32)?;
+        for l in &self.levels {
+            crate::codec::write_f32(w, l.cell_size)?;
+            crate::codec::write_u64(w, l.gaussians.len() as u64)?;
+            for g in &l.gaussians {
+                for f in g.to_floats() {
+                    crate::codec::write_f32(w, f)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads the section written by [`Self::write_binary`].
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` for implausible headers, reader errors
+    /// otherwise (truncation surfaces as `UnexpectedEof`).
+    pub fn read_binary<R: Read>(r: &mut R) -> io::Result<Self> {
+        let seed = crate::codec::read_u64(r)?;
+        let n_levels = crate::codec::read_u32(r)? as usize;
+        if n_levels > 64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("lod: implausible level count {n_levels}"),
+            ));
+        }
+        let mut levels = Vec::with_capacity(n_levels);
+        for _ in 0..n_levels {
+            let cell_size = crate::codec::read_f32(r)?;
+            let count = crate::codec::read_u64(r)? as usize;
+            let mut gaussians = Vec::with_capacity(count.min(1 << 24));
+            let mut f = [0.0f32; PARAM_FLOATS];
+            for _ in 0..count {
+                for slot in &mut f {
+                    *slot = crate::codec::read_f32(r)?;
+                }
+                gaussians.push(Gaussian3D::from_floats(&f));
+            }
+            levels.push(LodLevel {
+                gaussians,
+                cell_size,
+            });
+        }
+        Ok(Self { levels, seed })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcc_math::Vec3;
+
+    fn sample_lod() -> SceneLod {
+        let g = |x: f32, r: f32| {
+            Gaussian3D::isotropic(Vec3::new(x, 0.0, 0.0), r, 0.8, Vec3::splat(0.5))
+        };
+        SceneLod {
+            levels: vec![
+                LodLevel {
+                    gaussians: vec![g(0.0, 0.1), g(1.0, 0.2), g(2.0, 0.3)],
+                    cell_size: 0.5,
+                },
+                LodLevel {
+                    gaussians: vec![g(0.5, 0.4)],
+                    cell_size: 1.0,
+                },
+            ],
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn level_gaussians_clamps_and_maps_zero_to_full() {
+        let lod = sample_lod();
+        let full = vec![Gaussian3D::default(); 7];
+        assert_eq!(lod.level_gaussians(&full, 0).len(), 7);
+        assert_eq!(lod.level_gaussians(&full, 1).len(), 3);
+        assert_eq!(lod.level_gaussians(&full, 2).len(), 1);
+        // Beyond the coarsest clamps.
+        assert_eq!(lod.level_gaussians(&full, 99).len(), 1);
+    }
+
+    #[test]
+    fn approx_bytes_counts_all_levels() {
+        let lod = sample_lod();
+        let per_gaussian = std::mem::size_of::<Gaussian3D>();
+        assert!(lod.approx_bytes() >= 4 * per_gaussian);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let lod = sample_lod();
+        let mut doc = String::new();
+        lod.write_json(&mut doc).unwrap();
+        let v = crate::json::parse(&doc).unwrap();
+        let back = SceneLod::from_json(&v).unwrap();
+        assert_eq!(back, lod);
+    }
+
+    #[test]
+    fn non_finite_floats_are_rejected_at_write_time() {
+        let mut lod = sample_lod();
+        lod.levels[0].gaussians[1].ln_opacity = f32::NAN;
+        let mut out = String::new();
+        assert!(lod.write_json(&mut out).is_err());
+        let mut lod = sample_lod();
+        lod.levels[1].cell_size = f32::INFINITY;
+        let mut out = String::new();
+        assert!(lod.write_json(&mut out).is_err());
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let lod = sample_lod();
+        let mut buf = Vec::new();
+        lod.write_binary(&mut buf).unwrap();
+        let back = SceneLod::read_binary(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, lod);
+    }
+
+    #[test]
+    fn binary_rejects_implausible_level_count() {
+        let mut buf = Vec::new();
+        crate::codec::write_u64(&mut buf, 0).unwrap();
+        crate::codec::write_u32(&mut buf, 10_000).unwrap();
+        assert!(SceneLod::read_binary(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncated_binary_errors_instead_of_panicking() {
+        let lod = sample_lod();
+        let mut buf = Vec::new();
+        lod.write_binary(&mut buf).unwrap();
+        buf.truncate(buf.len() - 7);
+        assert!(SceneLod::read_binary(&mut buf.as_slice()).is_err());
+    }
+}

@@ -1,6 +1,7 @@
 //! The [`Scene`] container: a Gaussian cloud plus the camera rig it is
 //! meant to be viewed with, and aggregate statistics.
 
+use crate::lod::SceneLod;
 use crate::trajectory::OrbitRig;
 use gcc_core::{Camera, Gaussian3D};
 
@@ -63,6 +64,10 @@ pub struct Scene {
     pub fov_y_deg: f32,
     /// Default camera trajectory.
     pub rig: OrbitRig,
+    /// Optional coarse-to-fine Gaussian hierarchy for the adaptive
+    /// quality ladder (built offline by `gcc-lod`, persisted with the
+    /// scene). `None` means only full quality is available.
+    pub lod: Option<SceneLod>,
 }
 
 impl Scene {
@@ -89,12 +94,14 @@ impl Scene {
 
     /// Resident heap+inline size of this scene in bytes — the accounting
     /// unit of the serving layer's byte-budgeted scene cache. Dominated by
-    /// the Gaussian records; the container and name are included so empty
-    /// scenes still have a non-zero cost.
+    /// the Gaussian records; the container, the name, and any attached
+    /// LOD hierarchy are included so the LRU byte-budget invariant stays
+    /// honest for scenes carrying auxiliary data.
     pub fn approx_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
             + self.name.capacity()
             + self.gaussians.capacity() * std::mem::size_of::<Gaussian3D>()
+            + self.lod.as_ref().map_or(0, SceneLod::approx_bytes)
     }
 
     /// Aggregate statistics of the Gaussian population.
@@ -179,6 +186,28 @@ mod tests {
         let large = ScenePreset::Lego.build(&SceneConfig::with_scale(0.08));
         assert!(small.approx_bytes() > small.len() * std::mem::size_of::<Gaussian3D>());
         assert!(large.approx_bytes() > 2 * small.approx_bytes());
+    }
+
+    #[test]
+    fn approx_bytes_charges_attached_lod_hierarchy() {
+        use crate::lod::{LodLevel, SceneLod};
+        let mut scene = ScenePreset::Lego.build(&SceneConfig::with_scale(0.02));
+        let bare = scene.approx_bytes();
+        let coarse = scene.gaussians[..scene.len() / 2].to_vec();
+        let coarse_bytes = coarse.capacity() * std::mem::size_of::<Gaussian3D>();
+        scene.lod = Some(SceneLod {
+            levels: vec![LodLevel {
+                gaussians: coarse,
+                cell_size: 0.5,
+            }],
+            seed: 7,
+        });
+        assert!(
+            scene.approx_bytes() >= bare + coarse_bytes,
+            "hierarchy bytes must be charged: {} vs {}",
+            scene.approx_bytes(),
+            bare + coarse_bytes
+        );
     }
 
     #[test]

@@ -145,6 +145,16 @@ mod tests {
         Arc::new(ScenePreset::Lego.build(&SceneConfig::with_scale(scale)))
     }
 
+    /// Same, with an attached LOD hierarchy so `approx_bytes` includes
+    /// the coarse levels the quality ladder renders from.
+    fn scene_with_lod(scale: f32) -> Arc<Scene> {
+        let mut s = ScenePreset::Lego.build(&SceneConfig::with_scale(scale));
+        let levels = gcc_lod::attach_hierarchy(&mut s, &gcc_lod::HierarchyConfig::default());
+        assert!(levels > 0, "test scene too small to build a hierarchy");
+        assert!(s.approx_bytes() > scene(scale).approx_bytes());
+        Arc::new(s)
+    }
+
     #[test]
     fn get_touches_and_changes_the_victim() {
         let s = scene(0.02);
@@ -226,9 +236,18 @@ mod tests {
         // sequences over scenes of different sizes, the cache matches a
         // straightforward recency-list model and never exceeds its byte
         // budget.
+        // Half the pool carries a LOD hierarchy, so the budget math is
+        // exercised against hierarchy-inclusive `approx_bytes` too.
         let scenes: Vec<Arc<Scene>> = [0.02f32, 0.03, 0.05, 0.08]
             .iter()
-            .map(|&s| scene(s))
+            .enumerate()
+            .map(|(i, &s)| {
+                if i % 2 == 0 {
+                    scene(s)
+                } else {
+                    scene_with_lod(s)
+                }
+            })
             .collect();
         let ids = ["a", "b", "c", "d", "e", "f"];
         for seed in 0..8u64 {

@@ -34,6 +34,17 @@
 //!   workers keep serving resident scenes. [`RenderService::submit`] and
 //!   [`RenderService::render_blocking`] are thin shims over single-frame
 //!   interactive streams.
+//! * [`LodPolicy`] — deadline-aware adaptive quality: with
+//!   `ServeConfig::lod` set, deadline-carrying frames dispatch through
+//!   the `gcc_lod` quality ladder. A rolling per-scene cost model
+//!   (EWMA keyed scene × rung × resolution) predicts each rung's cost
+//!   and the worker picks the highest rung fitting the frame's
+//!   remaining budget — degrading resolution (with a filtered upscale
+//!   back to full size), SH degree, alpha threshold and hierarchy
+//!   level instead of missing the deadline, then climbing back when
+//!   headroom returns. Rung 0 is exact, so ladder-on serving stays
+//!   bit-identical whenever the deadline affords it; scene hierarchies
+//!   build at load time and are charged to the cache budget.
 //! * [`ServeStats`] — the introspection surface: per-scene hit / miss /
 //!   eviction / batch counters, per-schedule and per-priority
 //!   request/frame breakdowns (separate Interactive vs Bulk latency
@@ -112,12 +123,14 @@ mod stats;
 pub use cache::LruSceneCache;
 pub use fault::{ChaosRenderer, FaultPlan, LoadFault};
 pub use service::{
-    RenderHandle, RenderRequest, RenderService, ScheduleRenderers, ServeConfig, ShedPolicy,
+    LodPolicy, RenderHandle, RenderRequest, RenderService, ScheduleRenderers, ServeConfig,
+    ShedPolicy,
 };
 pub use session::{FrameStream, Priority, Session, StreamConfig, StreamPoll, StreamSpec};
 pub use source::{LoadError, SceneSource};
 pub use stats::{
-    percentile_us, PriorityCounters, SceneCounters, ScheduleCounters, ServeStats, StreamCounters,
+    percentile_us, LodCounters, LodDecision, PriorityCounters, SceneCounters, ScheduleCounters,
+    ServeStats, StreamCounters,
 };
 
 use gcc_scene::ViewError;

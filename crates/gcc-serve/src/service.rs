@@ -63,10 +63,12 @@ use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use gcc_lod::{attach_hierarchy, CostModel, HierarchyConfig, QualityLadder};
 use gcc_parallel::{available_threads, PoolHealth, RestartPolicy, WorkerPool, WorkerStep};
 use gcc_render::pipeline::{
     Frame, FrameScratch, FrameStats, RenderJob, RenderOptions, Renderer, Schedule,
 };
+use gcc_render::upscale::upscale_bilinear;
 use gcc_scene::io::RetryPolicy;
 use gcc_scene::{Scene, ViewError, ViewSpec};
 
@@ -74,7 +76,8 @@ use crate::cache::LruSceneCache;
 use crate::session::{FrameStream, Inbox, Priority, Session, StreamConfig, StreamPoll};
 use crate::source::SceneSource;
 use crate::stats::{
-    percentile_us, PriorityCounters, SceneCounters, ScheduleCounters, ServeStats, StreamCounters,
+    percentile_us, LodCounters, LodDecision, PriorityCounters, SceneCounters, ScheduleCounters,
+    ServeStats, StreamCounters,
 };
 use crate::ServeError;
 
@@ -133,6 +136,41 @@ impl ShedPolicy {
     }
 }
 
+/// Deadline-aware adaptive quality policy (DESIGN.md §14): when set on
+/// [`ServeConfig::lod`], deadline-carrying frames dispatch through the
+/// [`QualityLadder`] instead of always rendering at full quality. A
+/// rolling per-scene cost model picks the highest rung whose predicted
+/// cost (scaled by [`LodPolicy::margin`]) fits the frame's remaining
+/// deadline budget, degrading resolution / SH degree / alpha culling /
+/// hierarchy level under pressure and climbing back with headroom.
+/// Deadline-free frames always render exactly; with `lod: None` the
+/// service behaves bit-identically to pre-LOD builds.
+#[derive(Debug, Clone)]
+pub struct LodPolicy {
+    /// The quality ladder, best rung first (rung 0 must be exact).
+    pub ladder: QualityLadder,
+    /// Safety factor applied to predicted cost before comparing against
+    /// the deadline budget (> 1 leaves headroom for scheduling noise).
+    pub margin: f64,
+    /// Build a [`gcc_scene::SceneLod`] hierarchy at load time for scenes
+    /// that ship without one, so the coarse rungs have levels to render
+    /// from. The hierarchy is charged to the cache byte budget.
+    pub build_on_load: bool,
+    /// Hierarchy builder configuration used by [`Self::build_on_load`].
+    pub hierarchy: HierarchyConfig,
+}
+
+impl Default for LodPolicy {
+    fn default() -> Self {
+        Self {
+            ladder: QualityLadder::standard(),
+            margin: 1.3,
+            build_on_load: true,
+            hierarchy: HierarchyConfig::default(),
+        }
+    }
+}
+
 /// Service sizing and policy knobs.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -159,6 +197,9 @@ pub struct ServeConfig {
     pub quarantine_for: Duration,
     /// Admission-control watermarks (defaults: admission control off).
     pub shed: ShedPolicy,
+    /// Deadline-aware adaptive quality (default: off — every frame
+    /// renders at exact full quality).
+    pub lod: Option<LodPolicy>,
 }
 
 impl Default for ServeConfig {
@@ -171,6 +212,7 @@ impl Default for ServeConfig {
             load_retry: RetryPolicy::default(),
             quarantine_for: Duration::from_secs(5),
             shed: ShedPolicy::default(),
+            lod: None,
         }
     }
 }
@@ -411,6 +453,48 @@ impl StatsInner {
     }
 }
 
+/// How many recent LOD dispatch decisions the stats snapshot retains.
+const LOD_TRACE_WINDOW: usize = 256;
+
+/// Adaptive-quality bookkeeping (live only when [`ServeConfig::lod`] is
+/// set; stays empty otherwise).
+#[derive(Debug, Default)]
+struct LodInner {
+    /// Rolling per-scene ms/frame estimates.
+    cost: CostModel,
+    /// Frames dispatched per ladder rung.
+    frames_by_rung: Vec<u64>,
+    degraded_frames: u64,
+    degradations: u64,
+    recoveries: u64,
+    /// Last rung each scene dispatched at, for transition counting.
+    last_rung: HashMap<String, usize>,
+    /// Bounded ring of recent decisions, oldest first.
+    recent: VecDeque<LodDecision>,
+}
+
+impl LodInner {
+    fn record(&mut self, scene: &str, ladder_len: usize, decision: LodDecision) {
+        if self.frames_by_rung.len() < ladder_len {
+            self.frames_by_rung.resize(ladder_len, 0);
+        }
+        let rung = decision.rung as usize;
+        self.frames_by_rung[rung] += 1;
+        if rung > 0 {
+            self.degraded_frames += 1;
+        }
+        match self.last_rung.insert(scene.to_string(), rung) {
+            Some(prev) if rung > prev => self.degradations += 1,
+            Some(prev) if rung < prev => self.recoveries += 1,
+            _ => {}
+        }
+        if self.recent.len() == LOD_TRACE_WINDOW {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(decision);
+    }
+}
+
 /// All coordination state, behind the one service mutex.
 #[derive(Debug)]
 struct State {
@@ -437,6 +521,7 @@ struct State {
     next_stream_id: u64,
     shutdown: bool,
     stats: StatsInner,
+    lod: LodInner,
 }
 
 /// What a worker decided to do while holding the lock.
@@ -632,6 +717,7 @@ pub(crate) struct Shared {
     load_retry: RetryPolicy,
     quarantine_for: Duration,
     shed: ShedPolicy,
+    lod: Option<LodPolicy>,
     state: Mutex<State>,
     work: Condvar,
 }
@@ -895,7 +981,41 @@ impl Shared {
             // against the native resolution. Fails the one frame with a
             // typed error instead of poisoning the worker; the stream
             // continues (later frames fail the same way, each in order).
-            let cam = match scene.resolve_view(&p.view, &p.options) {
+            // Adaptive quality: a deadline-carrying frame under a
+            // configured ladder asks the cost model for the highest rung
+            // whose predicted cost (with the policy margin) fits its
+            // remaining budget. Deadline-free frames — and every frame
+            // when no ladder is configured — render exactly as before.
+            let target = p.options.resolution.unwrap_or(scene.resolution);
+            let lod_pick = match (&self.lod, p.deadline) {
+                (Some(policy), Some(deadline)) => {
+                    let budget = deadline.saturating_duration_since(Instant::now());
+                    let budget_ms = budget.as_secs_f64() * 1e3;
+                    let st = self.state.lock().expect("service state poisoned");
+                    let rung = st.lod.cost.select_rung(
+                        &policy.ladder,
+                        &key.scene,
+                        target,
+                        budget_ms,
+                        policy.margin,
+                    );
+                    let predicted = st
+                        .lod
+                        .cost
+                        .predict(&policy.ladder, &key.scene, rung, target);
+                    Some((rung, predicted, budget))
+                }
+                _ => None,
+            };
+            let rung_spec = match (&self.lod, &lod_pick) {
+                (Some(policy), Some((rung, _, _))) => Some(&policy.ladder.rungs()[*rung]),
+                _ => None,
+            };
+            let options = match rung_spec {
+                Some(rung) if rung.degrades() => Arc::new(rung.apply(&p.options, target)),
+                _ => Arc::clone(&p.options),
+            };
+            let cam = match scene.resolve_view(&p.view, &options) {
                 Ok(cam) => cam,
                 Err(e) => {
                     let mut st = self.state.lock().expect("service state poisoned");
@@ -907,11 +1027,53 @@ impl Shared {
                     continue;
                 }
             };
-            let job = RenderJob::with_options(&scene.gaussians, &cam, (*p.options).clone());
-            let frame = renderer.render_job(&job, scratch);
+            // Degraded rungs render from a coarser hierarchy level when
+            // the scene ships one (missing hierarchies fall back to the
+            // full cloud — cheaper knobs still apply).
+            let gaussians = match rung_spec {
+                Some(rung) if rung.lod_level > 0 => {
+                    scene.lod.as_ref().map_or(&scene.gaussians[..], |l| {
+                        l.level_gaussians(&scene.gaussians, rung.lod_level)
+                    })
+                }
+                _ => &scene.gaussians[..],
+            };
+            let render_start = Instant::now();
+            let job = RenderJob::with_options(gaussians, &cam, (*options).clone());
+            let mut frame = renderer.render_job(&job, scratch);
+            // Reduced-resolution frames are upscaled back to the request
+            // size with the filtered upscale pass, so a client always
+            // receives the geometry it asked for.
+            if (frame.image.width(), frame.image.height()) != target && p.options.roi.is_none() {
+                frame.image = upscale_bilinear(&frame.image, target.0, target.1);
+            }
+            let render_us = render_start.elapsed().as_micros() as u64;
             let us = p.submitted.elapsed().as_micros() as u64;
             let missed = p.deadline.is_some_and(|d| Instant::now() > d);
             let mut st = self.state.lock().expect("service state poisoned");
+            if let Some(policy) = &self.lod {
+                // ROI frames skip cost observation — a cropped render's
+                // cost would mislabel the rung's full-frame cell.
+                if p.options.roi.is_none() {
+                    let rung = lod_pick.map_or(0, |(r, _, _)| r);
+                    st.lod
+                        .cost
+                        .observe(&key.scene, rung, target, render_us as f64 / 1e3);
+                }
+                if let Some((rung, predicted, budget)) = lod_pick {
+                    st.lod.record(
+                        &key.scene,
+                        policy.ladder.len(),
+                        LodDecision {
+                            rung: rung as u32,
+                            predicted_us: predicted.map_or(0, |ms| (ms * 1e3) as u64),
+                            actual_us: render_us,
+                            budget_us: budget.as_micros() as u64,
+                            missed,
+                        },
+                    );
+                }
+            }
             st.stats.frame_stats.merge_add(&frame.stats);
             st.stats.frames += 1;
             st.stats.completed += 1;
@@ -1012,6 +1174,21 @@ impl Shared {
                 },
                 Err(e) => break Err(e),
             }
+        };
+        // Scenes that ship without a hierarchy get one built here when
+        // the LOD policy asks for it — lock-free CPU work on the freshly
+        // loaded scene, before any consumer can share the Arc. The
+        // hierarchy's bytes are charged to the cache budget on insert.
+        let loaded = match loaded {
+            Ok(mut scene) => {
+                if let Some(policy) = &self.lod {
+                    if policy.build_on_load && scene.lod.is_none() {
+                        attach_hierarchy(Arc::make_mut(&mut scene), &policy.hierarchy);
+                    }
+                }
+                Ok(scene)
+            }
+            Err(e) => Err(e),
         };
         let mut st = self.state.lock().expect("service state poisoned");
         st.loading.remove(id);
@@ -1145,6 +1322,7 @@ impl RenderService {
             load_retry: cfg.load_retry,
             quarantine_for: cfg.quarantine_for,
             shed: cfg.shed,
+            lod: cfg.lod,
             state: Mutex::new(State {
                 cache: LruSceneCache::new(cfg.cache_budget_bytes),
                 queues: HashMap::new(),
@@ -1157,6 +1335,7 @@ impl RenderService {
                 next_stream_id: 0,
                 shutdown: false,
                 stats: StatsInner::default(),
+                lod: LodInner::default(),
             }),
             work: Condvar::new(),
         });
@@ -1278,6 +1457,14 @@ impl RenderService {
             quarantined_scenes: {
                 let now = Instant::now();
                 st.quarantine.values().filter(|&&until| until > now).count()
+            },
+            lod: LodCounters {
+                enabled: self.shared.lod.is_some(),
+                frames_by_rung: st.lod.frames_by_rung.clone(),
+                degraded_frames: st.lod.degraded_frames,
+                degradations: st.lod.degradations,
+                recoveries: st.lod.recoveries,
+                recent: st.lod.recent.iter().copied().collect(),
             },
         };
         let mut rings: Vec<(Priority, PriorityCounters, Vec<u64>)> = Vec::new();

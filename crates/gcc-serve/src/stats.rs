@@ -96,6 +96,52 @@ pub struct StreamCounters {
     pub frames_discarded: u64,
 }
 
+/// One adaptive-quality dispatch decision (most recent are retained in
+/// [`LodCounters::recent`]): which rung a deadline-carrying frame
+/// rendered at, what the cost model predicted, what the frame actually
+/// cost, and how much deadline budget it had.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LodDecision {
+    /// Ladder rung index the dispatcher picked (0 = full quality).
+    pub rung: u32,
+    /// Cost-model prediction at decision time, µs (0 = cold, no data).
+    pub predicted_us: u64,
+    /// Measured render (+ upscale) cost, µs.
+    pub actual_us: u64,
+    /// Deadline budget remaining at decision time, µs.
+    pub budget_us: u64,
+    /// Whether the frame still missed its deadline.
+    pub missed: bool,
+}
+
+/// Adaptive-quality (LOD ladder) counters: how often the dispatcher
+/// degraded, per-rung frame counts, and a trace of recent decisions.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LodCounters {
+    /// Whether the service was configured with a quality ladder.
+    pub enabled: bool,
+    /// Frames rendered per ladder rung (index 0 = full quality). Only
+    /// deadline-carrying frames are dispatched through the ladder;
+    /// deadline-free frames always render at full quality and are not
+    /// counted here.
+    pub frames_by_rung: Vec<u64>,
+    /// Ladder-dispatched frames that rendered below full quality.
+    pub degraded_frames: u64,
+    /// Scene-level downward rung transitions (pressure events).
+    pub degradations: u64,
+    /// Scene-level upward rung transitions (headroom recovered).
+    pub recoveries: u64,
+    /// Most recent dispatch decisions, oldest first (bounded ring).
+    pub recent: Vec<LodDecision>,
+}
+
+impl LodCounters {
+    /// Total frames dispatched through the ladder.
+    pub fn ladder_frames(&self) -> u64 {
+        self.frames_by_rung.iter().sum()
+    }
+}
+
 /// Linear-interpolated percentile over *sorted* microsecond samples,
 /// returned in milliseconds. Empty input yields 0.
 pub fn percentile_us(sorted_us: &[u64], p: f64) -> f64 {
@@ -155,6 +201,8 @@ pub struct ServeStats {
     pub lost_workers: u64,
     /// Scenes currently quarantined behind the load circuit breaker.
     pub quarantined_scenes: usize,
+    /// Adaptive-quality (LOD ladder) counters.
+    pub lod: LodCounters,
 }
 
 impl ServeStats {
@@ -283,6 +331,27 @@ mod tests {
         assert!((stats.frames_per_batch() - 2.0).abs() < 1e-12);
         assert_eq!(ServeStats::default().hit_rate(), 0.0);
         assert_eq!(ServeStats::default().frames_per_batch(), 0.0);
+    }
+
+    #[test]
+    fn lod_counters_aggregate_per_rung_frames() {
+        let lod = LodCounters {
+            enabled: true,
+            frames_by_rung: vec![10, 4, 1, 0],
+            degraded_frames: 5,
+            degradations: 2,
+            recoveries: 2,
+            recent: vec![LodDecision {
+                rung: 1,
+                predicted_us: 4000,
+                actual_us: 4400,
+                budget_us: 9000,
+                missed: false,
+            }],
+        };
+        assert_eq!(lod.ladder_frames(), 15);
+        assert_eq!(LodCounters::default().ladder_frames(), 0);
+        assert!(!ServeStats::default().lod.enabled);
     }
 
     #[test]

@@ -173,7 +173,7 @@ impl WireClient {
     /// answer.
     pub fn stats(&mut self) -> Result<ServeStats, WireError> {
         match self.call(&Request::Stats)? {
-            Response::Stats(s) => Ok(s),
+            Response::Stats(s) => Ok(*s),
             other => Err(unexpected("Stats", &other)),
         }
     }

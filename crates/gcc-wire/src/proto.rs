@@ -33,8 +33,8 @@ use gcc_render::{Frame, FrameStats, Image, RenderOptions, Roi, Schedule};
 use gcc_scene::codec;
 use gcc_scene::ViewSpec;
 use gcc_serve::{
-    Priority, PriorityCounters, SceneCounters, ScheduleCounters, ServeError, ServeStats,
-    StreamConfig, StreamCounters, StreamSpec,
+    LodCounters, LodDecision, Priority, PriorityCounters, SceneCounters, ScheduleCounters,
+    ServeError, ServeStats, StreamConfig, StreamCounters, StreamSpec,
 };
 
 use crate::frame::WireError;
@@ -146,8 +146,10 @@ pub enum Response {
     /// An [`Request::Open`] was refused with a typed, retryable-or-not
     /// reason.
     Rejected(WireRejection),
-    /// Snapshot answering [`Request::Stats`].
-    Stats(ServeStats),
+    /// Snapshot answering [`Request::Stats`] (boxed: a [`ServeStats`]
+    /// with its per-scene maps and LOD decision trace dwarfs every
+    /// other variant).
+    Stats(Box<ServeStats>),
     /// Answers [`Request::Ping`].
     Pong,
     /// Acknowledges [`Request::Shutdown`].
@@ -388,6 +390,14 @@ fn read_priority<R: Read>(r: &mut R) -> io::Result<Priority> {
 fn read_usize<R: Read>(r: &mut R) -> io::Result<usize> {
     let v = codec::read_u64(r)?;
     usize::try_from(v).map_err(|_| bad(format!("count {v} exceeds this platform's usize")))
+}
+
+fn read_bool<R: Read>(r: &mut R) -> io::Result<bool> {
+    match codec::read_u8(r)? {
+        0 => Ok(false),
+        1 => Ok(true),
+        t => Err(bad(format!("bad bool tag {t}"))),
+    }
 }
 
 fn write_view_spec(out: &mut Vec<u8>, v: &ViewSpec) -> io::Result<()> {
@@ -722,7 +732,51 @@ fn write_serve_stats(out: &mut Vec<u8>, s: &ServeStats) -> io::Result<()> {
     ] {
         codec::write_u64(out, v)?;
     }
+    write_lod_counters(out, &s.lod)?;
     Ok(())
+}
+
+fn write_lod_counters(out: &mut Vec<u8>, lod: &LodCounters) -> io::Result<()> {
+    codec::write_u8(out, u8::from(lod.enabled))?;
+    codec::write_u32(out, lod.frames_by_rung.len() as u32)?;
+    for v in &lod.frames_by_rung {
+        codec::write_u64(out, *v)?;
+    }
+    for v in [lod.degraded_frames, lod.degradations, lod.recoveries] {
+        codec::write_u64(out, v)?;
+    }
+    codec::write_u32(out, lod.recent.len() as u32)?;
+    for d in &lod.recent {
+        codec::write_u32(out, d.rung)?;
+        codec::write_u64(out, d.predicted_us)?;
+        codec::write_u64(out, d.actual_us)?;
+        codec::write_u64(out, d.budget_us)?;
+        codec::write_u8(out, u8::from(d.missed))?;
+    }
+    Ok(())
+}
+
+fn read_lod_counters<R: Read>(r: &mut R) -> io::Result<LodCounters> {
+    let mut lod = LodCounters {
+        enabled: read_bool(r)?,
+        ..LodCounters::default()
+    };
+    for _ in 0..codec::read_u32(r)? {
+        lod.frames_by_rung.push(codec::read_u64(r)?);
+    }
+    lod.degraded_frames = codec::read_u64(r)?;
+    lod.degradations = codec::read_u64(r)?;
+    lod.recoveries = codec::read_u64(r)?;
+    for _ in 0..codec::read_u32(r)? {
+        lod.recent.push(LodDecision {
+            rung: codec::read_u32(r)?,
+            predicted_us: codec::read_u64(r)?,
+            actual_us: codec::read_u64(r)?,
+            budget_us: codec::read_u64(r)?,
+            missed: read_bool(r)?,
+        });
+    }
+    Ok(lod)
 }
 
 fn read_serve_stats<R: Read>(r: &mut R) -> io::Result<ServeStats> {
@@ -787,6 +841,7 @@ fn read_serve_stats<R: Read>(r: &mut R) -> io::Result<ServeStats> {
     stats.respawns = codec::read_u64(r)?;
     stats.lost_workers = codec::read_u64(r)?;
     stats.quarantined_scenes = read_usize(r)?;
+    stats.lod = read_lod_counters(r)?;
     Ok(stats)
 }
 
@@ -1027,7 +1082,7 @@ impl Response {
             }
             kind::CANCELLED => codec::read_u64(&mut r).map(|stream| Response::Cancelled { stream }),
             kind::REJECTED => read_rejection(&mut r).map(Response::Rejected),
-            kind::STATS_SNAPSHOT => read_serve_stats(&mut r).map(Response::Stats),
+            kind::STATS_SNAPSHOT => read_serve_stats(&mut r).map(|s| Response::Stats(Box::new(s))),
             kind::PONG => Ok(Response::Pong),
             kind::SHUTDOWN_ACK => Ok(Response::ShutdownAck),
             kind::ERROR => {
@@ -1244,8 +1299,31 @@ mod tests {
         stats.respawns = 1;
         stats.lost_workers = 0;
         stats.quarantined_scenes = 1;
+        stats.lod = LodCounters {
+            enabled: true,
+            frames_by_rung: vec![30, 6, 3, 1],
+            degraded_frames: 10,
+            degradations: 3,
+            recoveries: 2,
+            recent: vec![
+                LodDecision {
+                    rung: 3,
+                    predicted_us: 0,
+                    actual_us: 1_200,
+                    budget_us: 4_000,
+                    missed: false,
+                },
+                LodDecision {
+                    rung: 0,
+                    predicted_us: 9_500,
+                    actual_us: 9_800,
+                    budget_us: 33_000,
+                    missed: true,
+                },
+            ],
+        };
 
-        let (kind, payload) = Response::Stats(stats.clone()).encode();
+        let (kind, payload) = Response::Stats(Box::new(stats.clone())).encode();
         let back = match Response::decode(kind, &payload).expect("decode") {
             Response::Stats(s) => s,
             other => panic!("decoded {other:?}"),
@@ -1262,6 +1340,7 @@ mod tests {
         assert_eq!(back.frame_stats.total_gaussians, 123_456);
         assert_eq!(back.resident_bytes, 1 << 20);
         assert_eq!(back.quarantined_scenes, 1);
+        assert_eq!(back.lod, stats.lod);
     }
 
     #[test]

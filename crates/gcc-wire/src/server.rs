@@ -407,7 +407,7 @@ fn dispatch(
             }
             Response::Cancelled { stream }
         }
-        Request::Stats => Response::Stats(shared.service.stats()),
+        Request::Stats => Response::Stats(Box::new(shared.service.stats())),
         Request::Ping => Response::Pong,
         Request::Shutdown => {
             shared.draining.store(true, Ordering::Release);

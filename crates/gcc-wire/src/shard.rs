@@ -614,7 +614,7 @@ fn dispatch(shared: &Arc<ProxyShared>, conn: &mut ProxyConn, req: Request) -> Re
             if reached == 0 {
                 unavailable("no alive backend for stats")
             } else {
-                Response::Stats(merged)
+                Response::Stats(Box::new(merged))
             }
         }
         Request::Ping => Response::Pong,

@@ -1,0 +1,127 @@
+//! Deadline-aware adaptive quality: the `gcc-lod` ladder stepping down
+//! and climbing back in one orbit session.
+//!
+//! The service runs with `ServeConfig::lod` enabled, so every
+//! deadline-carrying frame is dispatched through the quality ladder: the
+//! rolling per-scene cost model predicts each rung's cost and the
+//! scheduler picks the highest rung whose prediction fits the frame's
+//! remaining budget. Under a deadline that full quality cannot meet the
+//! orbit visibly steps down to the cheap rungs (reduced resolution +
+//! filtered upscale, coarser hierarchy level, clamped SH) and meets
+//! every deadline; once the deadline relaxes the ladder climbs straight
+//! back to exact full-quality rendering.
+//!
+//! Run with: `cargo run --release --example deadline_orbit`
+
+use std::time::{Duration, Instant};
+
+use gcc_repro::lod::QualityLadder;
+use gcc_repro::scene::ScenePreset;
+use gcc_repro::serve::{
+    LodDecision, LodPolicy, RenderRequest, RenderService, SceneSource, ServeConfig, StreamConfig,
+    StreamSpec,
+};
+
+/// Streams one orbit with the given per-frame deadline and prints every
+/// ladder decision: chosen rung, predicted vs actual cost, budget.
+fn orbit(service: &RenderService, ladder: &QualityLadder, frames: usize, deadline: Duration) {
+    let session = service
+        .session("lego", Default::default())
+        .expect("lego is registered");
+    let stream = session
+        .stream_with(
+            StreamSpec::orbit(frames),
+            StreamConfig::default()
+                .with_window(1)
+                .with_deadline(deadline),
+        )
+        .expect("orbit stream opens");
+    let seen = service.stats().lod.recent.len();
+    for item in stream {
+        item.expect("orbit frame");
+    }
+    for (i, d) in service.stats().lod.recent.iter().skip(seen).enumerate() {
+        let LodDecision {
+            rung,
+            predicted_us,
+            actual_us,
+            budget_us,
+            missed,
+        } = *d;
+        let predicted = if predicted_us == 0 {
+            "   cold".to_string()
+        } else {
+            format!("{:>5.1} ms", predicted_us as f64 / 1e3)
+        };
+        println!(
+            "  frame {i}: rung {:<8} predicted {predicted}  actual {:>5.1} ms  \
+             budget {:>6.1} ms{}",
+            ladder.rungs()[rung as usize].name,
+            actual_us as f64 / 1e3,
+            budget_us as f64 / 1e3,
+            if missed { "  MISSED" } else { "" },
+        );
+    }
+}
+
+fn main() {
+    // A 2x dispatch margin: only climb to a rung whose predicted cost
+    // fits the budget with comfortable headroom, so one mispredicted
+    // frame doesn't turn into a miss while the cost model converges.
+    let policy = LodPolicy {
+        margin: 2.0,
+        ..LodPolicy::default()
+    };
+    let ladder = policy.ladder.clone();
+    let service = RenderService::new(
+        ServeConfig {
+            workers: 2,
+            lod: Some(policy),
+            ..ServeConfig::default()
+        },
+        [(
+            "lego".to_string(),
+            SceneSource::Preset {
+                preset: ScenePreset::Lego,
+                scale: 0.5,
+            },
+        )],
+    );
+
+    // One deadline-free frame: loads the scene, builds its Gaussian
+    // hierarchy, and prices the exact rung for the cost model. Its wall
+    // time calibrates the deadlines below to this machine.
+    let t0 = Instant::now();
+    service
+        .render_blocking(RenderRequest::trajectory("lego", 0.0))
+        .expect("warm frame");
+    let full = t0.elapsed();
+    println!(
+        "full-quality frame: {:.1} ms — tight orbit deadline {:.1} ms, relaxed {:.1} ms",
+        full.as_secs_f64() * 1e3,
+        full.as_secs_f64() * 1e3 / 3.0,
+        full.as_secs_f64() * 1e3 * 20.0,
+    );
+
+    // A deadline full quality cannot meet: the ladder steps down (the
+    // first decision is always the miss-proof floor — the cost model is
+    // cold) and every frame still arrives full-size, upscaled.
+    println!("\ntight orbit (deadline full/3):");
+    orbit(&service, &ladder, 8, full / 3);
+
+    // Headroom returns: the ladder climbs back to exact rendering.
+    println!("\nrelaxed orbit (deadline 20x full):");
+    orbit(&service, &ladder, 4, full * 20);
+
+    let stats = service.shutdown();
+    println!(
+        "\nladder: {} frames dispatched {:?} across rungs, {} degraded, \
+         {} step-downs, {} recoveries, {} deadline misses",
+        stats.lod.ladder_frames(),
+        stats.lod.frames_by_rung,
+        stats.lod.degraded_frames,
+        stats.lod.degradations,
+        stats.lod.recoveries,
+        stats.deadline_misses(),
+    );
+}

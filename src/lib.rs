@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub use gcc_core as core;
+pub use gcc_lod as lod;
 pub use gcc_math as math;
 pub use gcc_parallel as parallel;
 pub use gcc_render as render;

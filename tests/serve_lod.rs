@@ -1,0 +1,167 @@
+//! Scheduling behavior of the deadline-aware quality ladder
+//! (`ServeConfig::lod`): cold scenes start at the floor rung and climb
+//! back under generous deadlines, hopeless deadlines pin the floor,
+//! deadline-free frames bypass the ladder entirely (and stay
+//! bit-identical to ladder-off serving), and load-time hierarchy builds
+//! are charged to the cache budget.
+//!
+//! The end-to-end miss-avoidance demonstration (ladder-on zero misses vs
+//! ladder-off misses under the same deadline) lives in
+//! `bench_serve --lod`, whose committed record `perf_gate` enforces.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use gcc_scene::{Scene, SceneConfig, ScenePreset};
+use gcc_serve::{
+    LodPolicy, RenderRequest, RenderService, SceneSource, ServeConfig, StreamConfig, StreamSpec,
+};
+
+fn lego(scale: f32) -> Arc<Scene> {
+    Arc::new(ScenePreset::Lego.build(&SceneConfig::with_scale(scale)))
+}
+
+fn service(scene: &Arc<Scene>, lod: Option<LodPolicy>) -> RenderService {
+    RenderService::new(
+        ServeConfig {
+            workers: 1,
+            lod,
+            ..ServeConfig::default()
+        },
+        [("lego".to_string(), SceneSource::Memory(Arc::clone(scene)))],
+    )
+}
+
+/// Streams `frames` deadline-carrying frames sequentially (window 1, so
+/// each dispatch sees the cost observations of its predecessors).
+fn run_deadline_sweep(svc: &RenderService, scene: &Scene, frames: usize, deadline: Duration) {
+    let session = svc.session("lego", Default::default()).unwrap();
+    let stream = session
+        .stream_with(
+            StreamSpec::TrajectorySweep {
+                t0: 0.0,
+                t1: 0.8,
+                frames,
+            },
+            StreamConfig::default()
+                .with_window(1)
+                .with_deadline(deadline),
+        )
+        .unwrap();
+    for (i, frame) in stream.enumerate() {
+        let frame = frame.unwrap_or_else(|e| panic!("frame {i} failed: {e}"));
+        // Degraded or not, the client always receives the geometry it
+        // asked for (reduced renders are upscaled back).
+        assert_eq!(
+            (frame.image.width(), frame.image.height()),
+            scene.resolution,
+            "frame {i} came back the wrong size"
+        );
+    }
+}
+
+#[test]
+fn ladder_off_is_the_default_and_reports_disabled() {
+    let scene = lego(0.02);
+    let svc = service(&scene, None);
+    run_deadline_sweep(&svc, &scene, 3, Duration::from_secs(60));
+    let stats = svc.shutdown();
+    assert!(!stats.lod.enabled);
+    assert_eq!(stats.lod.ladder_frames(), 0);
+    assert_eq!(stats.lod.degraded_frames, 0);
+    assert!(stats.lod.recent.is_empty());
+}
+
+#[test]
+fn cold_scenes_floor_then_climb_back_under_generous_deadlines() {
+    let scene = lego(0.02);
+    let svc = service(&scene, Some(LodPolicy::default()));
+    let floor = LodPolicy::default().ladder.floor();
+    run_deadline_sweep(&svc, &scene, 6, Duration::from_secs(60));
+    let stats = svc.shutdown();
+    assert!(stats.lod.enabled);
+    assert_eq!(stats.lod.ladder_frames(), 6);
+    // The very first dispatch has no cost data: it must take the
+    // miss-proof floor rung, and that one observation prices the whole
+    // ladder, so the generous deadline climbs straight back to full.
+    let first = stats.lod.recent.first().expect("decisions were traced");
+    assert_eq!(first.rung as usize, floor);
+    assert!(stats.lod.frames_by_rung[floor] >= 1);
+    assert!(
+        stats.lod.frames_by_rung[0] >= 1,
+        "never recovered to full quality: {:?}",
+        stats.lod.frames_by_rung
+    );
+    assert!(stats.lod.recoveries >= 1);
+    // 60-second deadlines are never missed.
+    for p in stats.per_priority.values() {
+        assert_eq!(p.deadline_misses, 0);
+    }
+}
+
+#[test]
+fn hopeless_deadlines_pin_the_floor_rung() {
+    let scene = lego(0.02);
+    let svc = service(&scene, Some(LodPolicy::default()));
+    let floor = LodPolicy::default().ladder.floor();
+    run_deadline_sweep(&svc, &scene, 4, Duration::from_nanos(1));
+    let stats = svc.shutdown();
+    // Zero remaining budget fits nothing: every frame renders at the
+    // floor (and is still delivered, full-size — the ladder degrades
+    // frames, it never drops them).
+    assert_eq!(stats.lod.frames_by_rung[floor], 4);
+    assert_eq!(stats.lod.degraded_frames, 4);
+    assert_eq!(stats.lod.frames_by_rung[0], 0);
+    for d in &stats.lod.recent {
+        assert!(d.missed, "a 1ns deadline cannot be met");
+    }
+}
+
+#[test]
+fn deadline_free_frames_bypass_the_ladder_and_stay_bit_identical() {
+    let scene = lego(0.02);
+    let ladder_on = service(&scene, Some(LodPolicy::default()));
+    let ladder_off = service(&scene, None);
+    for t in [0.1f32, 0.55] {
+        let a = ladder_on
+            .render_blocking(RenderRequest::trajectory("lego", t))
+            .unwrap();
+        let b = ladder_off
+            .render_blocking(RenderRequest::trajectory("lego", t))
+            .unwrap();
+        assert_eq!(a.image, b.image, "ladder-on diverged at t {t}");
+    }
+    let stats = ladder_on.shutdown();
+    assert!(stats.lod.enabled);
+    // Completed frames, none dispatched through the ladder.
+    assert_eq!(stats.frames, 2);
+    assert_eq!(stats.lod.ladder_frames(), 0);
+    assert_eq!(stats.lod.degraded_frames, 0);
+}
+
+#[test]
+fn hierarchies_are_built_on_load_and_charged_to_the_cache() {
+    let scene = lego(0.03);
+    assert!(scene.lod.is_none());
+    let plain_bytes = scene.approx_bytes();
+
+    let svc = service(&scene, Some(LodPolicy::default()));
+    svc.render_blocking(RenderRequest::trajectory("lego", 0.2))
+        .unwrap();
+    let with_lod = svc.stats().resident_bytes;
+    svc.shutdown();
+
+    let svc = service(&scene, None);
+    svc.render_blocking(RenderRequest::trajectory("lego", 0.2))
+        .unwrap();
+    let without = svc.stats().resident_bytes;
+    svc.shutdown();
+
+    assert_eq!(without, plain_bytes);
+    assert!(
+        with_lod > plain_bytes,
+        "load-time hierarchy not charged: {with_lod} vs {plain_bytes}"
+    );
+    // The source's own scene is untouched (the build copies on write).
+    assert!(scene.lod.is_none());
+}
