@@ -102,7 +102,9 @@ pub fn build_hierarchy(gaussians: &[Gaussian3D], cfg: &HierarchyConfig) -> Scene
         if src.len() <= cfg.min_gaussians {
             break;
         }
-        let cell = base_cell * (1u32 << level) as f32;
+        // f32 scaling, not an integer shift: `max_levels` is an open
+        // config field, and `1u32 << level` overflows past level 31.
+        let cell = base_cell * 2f32.powi(level.min(127) as i32);
         // Seeded origin jitter, drawn per level in a fixed order so the
         // schedule is independent of how many levels actually build.
         let jitter = Vec3::new(
@@ -236,6 +238,25 @@ mod tests {
                     last = level.gaussians.len();
                 }
             }
+        }
+    }
+
+    #[test]
+    fn pathological_max_levels_does_not_overflow() {
+        // `max_levels` is an open config field; a value past 31 must not
+        // panic the cell-size scaling (it used to be a u32 shift). The
+        // strictly-shrinking break ends the build long before then, but
+        // the loop bound itself has to be safe.
+        let cloud = test_cloud(0.02);
+        let cfg = HierarchyConfig {
+            max_levels: 4000,
+            min_gaussians: 1,
+            ..HierarchyConfig::default()
+        };
+        let lod = build_hierarchy(&cloud, &cfg);
+        assert!(lod.depth() >= 1);
+        for level in &lod.levels {
+            assert!(level.cell_size.is_finite());
         }
     }
 

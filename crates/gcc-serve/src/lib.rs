@@ -130,7 +130,7 @@ pub use session::{FrameStream, Priority, Session, StreamConfig, StreamPoll, Stre
 pub use source::{LoadError, SceneSource};
 pub use stats::{
     percentile_us, LodCounters, LodDecision, PriorityCounters, SceneCounters, ScheduleCounters,
-    ServeStats, StreamCounters,
+    ServeStats, StreamCounters, LOD_TRACE_WINDOW,
 };
 
 use gcc_scene::ViewError;

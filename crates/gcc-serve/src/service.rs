@@ -77,7 +77,7 @@ use crate::session::{FrameStream, Inbox, Priority, Session, StreamConfig, Stream
 use crate::source::SceneSource;
 use crate::stats::{
     percentile_us, LodCounters, LodDecision, PriorityCounters, SceneCounters, ScheduleCounters,
-    ServeStats, StreamCounters,
+    ServeStats, StreamCounters, LOD_TRACE_WINDOW,
 };
 use crate::ServeError;
 
@@ -452,9 +452,6 @@ impl StatsInner {
         &mut self.per_priority[p.index()]
     }
 }
-
-/// How many recent LOD dispatch decisions the stats snapshot retains.
-const LOD_TRACE_WINDOW: usize = 256;
 
 /// Adaptive-quality bookkeeping (live only when [`ServeConfig::lod`] is
 /// set; stays empty otherwise).
@@ -1053,8 +1050,15 @@ impl Shared {
             let mut st = self.state.lock().expect("service state poisoned");
             if let Some(policy) = &self.lod {
                 // ROI frames skip cost observation — a cropped render's
-                // cost would mislabel the rung's full-frame cell.
-                if p.options.roi.is_none() {
+                // cost would mislabel the rung's full-frame cell. Frames
+                // whose caller already reduced quality (SH clamp, alpha
+                // floor) skip it too: they render cheaper than the rung's
+                // nominal cost, and observing them would skew the cell
+                // optimistic — rung 0 especially, where every deadline-free
+                // frame lands regardless of its options.
+                let caller_reduced = p.options.sh_degree.is_some_and(|d| d < 3)
+                    || p.options.alpha_min.is_some_and(|a| a > 0.0);
+                if p.options.roi.is_none() && !caller_reduced {
                     let rung = lod_pick.map_or(0, |(r, _, _)| r);
                     st.lod
                         .cost

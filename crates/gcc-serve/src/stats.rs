@@ -135,10 +135,36 @@ pub struct LodCounters {
     pub recent: Vec<LodDecision>,
 }
 
+/// How many recent LOD dispatch decisions a stats snapshot retains —
+/// the bound on [`LodCounters::recent`], both in a single service's
+/// snapshot and after merging snapshots across a fleet.
+pub const LOD_TRACE_WINDOW: usize = 256;
+
 impl LodCounters {
     /// Total frames dispatched through the ladder.
     pub fn ladder_frames(&self) -> u64 {
         self.frames_by_rung.iter().sum()
+    }
+
+    /// Folds another snapshot's LOD counters into this one: `enabled`
+    /// ORs (any backend running the ladder counts), per-rung frames add
+    /// element-wise (resizing to the longer ladder), event counters
+    /// add, and the decision traces concatenate, keeping the newest
+    /// [`LOD_TRACE_WINDOW`] entries.
+    pub fn merge_add(&mut self, other: &Self) {
+        self.enabled |= other.enabled;
+        if self.frames_by_rung.len() < other.frames_by_rung.len() {
+            self.frames_by_rung.resize(other.frames_by_rung.len(), 0);
+        }
+        for (acc, v) in self.frames_by_rung.iter_mut().zip(&other.frames_by_rung) {
+            *acc += v;
+        }
+        self.degraded_frames += other.degraded_frames;
+        self.degradations += other.degradations;
+        self.recoveries += other.recoveries;
+        self.recent.extend(other.recent.iter().copied());
+        let excess = self.recent.len().saturating_sub(LOD_TRACE_WINDOW);
+        self.recent.drain(..excess);
     }
 }
 
@@ -352,6 +378,58 @@ mod tests {
         assert_eq!(lod.ladder_frames(), 15);
         assert_eq!(LodCounters::default().ladder_frames(), 0);
         assert!(!ServeStats::default().lod.enabled);
+    }
+
+    #[test]
+    fn lod_counters_merge_adds_and_resizes() {
+        let decision = |rung: u32| LodDecision {
+            rung,
+            predicted_us: 1000,
+            actual_us: 1100,
+            budget_us: 5000,
+            missed: false,
+        };
+        // A ladder-off backend merged with a ladder-on one: enabled ORs,
+        // the rung vector takes the longer ladder, counters add.
+        let mut acc = LodCounters {
+            enabled: false,
+            frames_by_rung: vec![3, 1],
+            degraded_frames: 1,
+            degradations: 1,
+            recoveries: 0,
+            recent: vec![decision(1)],
+        };
+        let other = LodCounters {
+            enabled: true,
+            frames_by_rung: vec![5, 2, 4],
+            degraded_frames: 6,
+            degradations: 3,
+            recoveries: 2,
+            recent: vec![decision(2), decision(0)],
+        };
+        acc.merge_add(&other);
+        assert!(acc.enabled);
+        assert_eq!(acc.frames_by_rung, vec![8, 3, 4]);
+        assert_eq!(acc.degraded_frames, 7);
+        assert_eq!(acc.degradations, 4);
+        assert_eq!(acc.recoveries, 2);
+        assert_eq!(
+            acc.recent,
+            vec![decision(1), decision(2), decision(0)],
+            "traces concatenate oldest-first"
+        );
+        // The merged trace stays bounded, keeping the newest entries.
+        let mut full = LodCounters {
+            recent: (0..LOD_TRACE_WINDOW as u32).map(decision).collect(),
+            ..LodCounters::default()
+        };
+        full.merge_add(&LodCounters {
+            recent: vec![decision(7777)],
+            ..LodCounters::default()
+        });
+        assert_eq!(full.recent.len(), LOD_TRACE_WINDOW);
+        assert_eq!(full.recent.last().unwrap().rung, 7777);
+        assert_eq!(full.recent[0].rung, 1, "oldest entry evicted first");
     }
 
     #[test]

@@ -34,7 +34,10 @@ use gcc_scene::codec;
 use crate::proto::WireRejection;
 
 /// The wire protocol version this build speaks.
-pub const WIRE_VERSION: u8 = 1;
+///
+/// History: v1 was the original protocol; v2 extended the `Stats`
+/// response payload with the adaptive-quality (LOD) counter section.
+pub const WIRE_VERSION: u8 = 2;
 
 /// Hard ceiling on a frame's declared length (version + kind + payload).
 /// Generous enough for a 4K float frame, small enough that a hostile

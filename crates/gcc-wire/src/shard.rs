@@ -681,6 +681,7 @@ fn merge_stats(acc: &mut ServeStats, s: &ServeStats) {
     acc.respawns += s.respawns;
     acc.lost_workers += s.lost_workers;
     acc.quarantined_scenes += s.quarantined_scenes;
+    acc.lod.merge_add(&s.lod);
 }
 
 fn respond(writer: &mut BufWriter<TcpStream>, resp: &Response) -> Result<(), WireError> {
@@ -702,6 +703,37 @@ fn respond(writer: &mut BufWriter<TcpStream>, resp: &Response) -> Result<(), Wir
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn merge_stats_folds_lod_counters() {
+        // A fleet where only some backends run the ladder must still
+        // surface it in the merged snapshot (regression: the lod field
+        // was once dropped by the fold entirely).
+        let mut acc = ServeStats::default();
+        let mut on = ServeStats::default();
+        on.lod.enabled = true;
+        on.lod.frames_by_rung = vec![10, 3];
+        on.lod.degraded_frames = 3;
+        on.lod.degradations = 2;
+        on.lod.recoveries = 1;
+        on.lod.recent.push(gcc_serve::LodDecision {
+            rung: 1,
+            predicted_us: 900,
+            actual_us: 1000,
+            budget_us: 4000,
+            missed: false,
+        });
+        merge_stats(&mut acc, &ServeStats::default()); // ladder-off backend
+        merge_stats(&mut acc, &on);
+        assert!(acc.lod.enabled);
+        assert_eq!(acc.lod.frames_by_rung, vec![10, 3]);
+        assert_eq!(acc.lod.degraded_frames, 3);
+        assert_eq!(acc.lod.degradations, 2);
+        assert_eq!(acc.lod.recoveries, 1);
+        assert_eq!(acc.lod.recent.len(), 1);
+        merge_stats(&mut acc, &on);
+        assert_eq!(acc.lod.frames_by_rung, vec![20, 6]);
+    }
 
     #[test]
     fn routing_is_deterministic_and_total() {
